@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment setup (catalog + golden template) is built once per
+session; every benchmark then runs its attack campaign against the same
+trained IDS, exactly like the paper's evaluation flow.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SEEDS`` — comma-separated seeds per scenario run
+  (default ``1,2``); more seeds -> smoother numbers, longer runtime.
+
+Every regenerated table/figure is also written to ``results/<name>.txt``
+at the repository root, so the artifacts survive pytest's output capture
+(run with ``-s`` to see them inline).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import IDSConfig
+from repro.experiments import build_setup
+
+#: Where regenerated paper artifacts are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist a rendered table/figure under results/ and return the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def bench_seeds() -> tuple:
+    """Seeds used by the campaign benchmarks (env-overridable)."""
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "1,2")
+    return tuple(int(s) for s in raw.split(",") if s.strip())
+
+
+@pytest.fixture(scope="session")
+def setup():
+    """Catalog + golden template, the paper's training phase."""
+    return build_setup(config=IDSConfig(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def seeds():
+    return bench_seeds()

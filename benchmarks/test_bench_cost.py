@@ -1,0 +1,67 @@
+"""Benchmark E5 — the Section V.E cost & capability comparison.
+
+Analytical costs, detection head-to-head on identical captures, and the
+unseen-ID blindness demonstration.  Asserted shape:
+
+* our memory cost is constant (11 slots) vs. linear for the
+  alternatives — two orders of magnitude on the 223-ID catalog;
+* on catalog-ID injection, ours detects at least as well as every
+  baseline that lacks bit-level information;
+* on unseen-ID injection, the interval and clock-skew schemes are blind
+  while the bit-entropy IDS still detects.
+"""
+
+import pytest
+
+from repro.experiments import cost as cost_experiment
+from repro.metrics.cost import compare_costs
+
+
+@pytest.fixture(scope="module")
+def result(setup, seeds):
+    return cost_experiment.run(setup=setup, seeds=seeds)
+
+
+def test_bench_cost(benchmark, setup, seeds):
+    """Time the comparison campaign and print all three tables."""
+    outcome = benchmark.pedantic(
+        lambda: cost_experiment.run(setup=setup, seeds=seeds), rounds=1, iterations=1
+    )
+    text = outcome.render()
+    print("\n" + text)
+    benchmark.extra_info["tables"] = text
+    from conftest import save_artifact
+    save_artifact("cost", text)
+
+
+class TestCostShape:
+    def test_constant_vs_linear_memory(self):
+        models = {m.name: m for m in compare_costs(223)}
+        ours = models["bit-entropy (this paper)"].memory_slots
+        assert ours == 11
+        assert models["ID-entropy (Muter [8])"].memory_slots == 223
+        assert models["interval (Song [11])"].memory_slots == 446
+
+    def test_ours_detects_well_head_to_head(self, result):
+        ours = result.head_to_head["bit-entropy (ours)"]
+        assert ours["detection_rate"] > 0.9
+        assert ours["false_positive_rate"] <= 0.05
+
+    def test_ours_beats_muter_scalar_entropy(self, result):
+        """Bit-level entropy beats the whole-distribution scalar — the
+        paper's core improvement claim over [8]."""
+        ours = result.head_to_head["bit-entropy (ours)"]["detection_rate"]
+        muter = result.head_to_head["muter-entropy"]["detection_rate"]
+        assert ours >= muter
+
+    def test_interval_blind_to_unseen_id(self, result):
+        assert result.unseen_id_detection["interval"] == 0.0
+
+    def test_clock_skew_blind_to_unseen_id(self, result):
+        assert result.unseen_id_detection["clock-skew"] == 0.0
+
+    def test_ours_detects_unseen_id(self, result):
+        assert result.unseen_id_detection["bit-entropy (ours)"] > 0.9
+
+    def test_unseen_id_not_in_catalog(self, result, setup):
+        assert result.unseen_id not in setup.catalog.id_set()

@@ -1,0 +1,61 @@
+"""Benchmark E2 — regenerate the paper's Fig. 3.
+
+Injection rate and detection rate for 15 identifiers spanning the
+catalog, at a fixed injection frequency.  Asserted shape (the paper's
+headline observations for this figure):
+
+* the injection rate is high for numerically small identifiers and
+  falls as the identifier value grows (dominant-0 arbitration);
+* the detection rate falls along with it (fewer injected messages ->
+  smaller entropy change).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def result(setup, seeds):
+    return fig3.run(setup=setup, seeds=seeds)
+
+
+def test_bench_fig3(benchmark, setup, seeds):
+    """Time the Fig. 3 sweep and print both series."""
+    outcome = benchmark.pedantic(
+        lambda: fig3.run(setup=setup, seeds=seeds), rounds=1, iterations=1
+    )
+    text = outcome.render()
+    print("\n" + text)
+    print(f"trend slopes (Ir, Dr): {outcome.monotone_trend()}")
+    benchmark.extra_info["figure"] = text
+    from conftest import save_artifact
+    save_artifact("fig3", text + f"\ntrend slopes (Ir, Dr): {outcome.monotone_trend()}")
+
+
+class TestFig3Shape:
+    def test_fifteen_identifiers(self, result):
+        assert len(result.points) == 15
+
+    def test_injection_rate_starts_high(self, result):
+        assert result.points[0].injection_rate >= 0.95
+
+    def test_injection_rate_declines(self, result):
+        ir_slope, _ = result.monotone_trend()
+        assert ir_slope < 0
+        assert result.points[-1].injection_rate < result.points[0].injection_rate
+
+    def test_detection_rate_declines_with_injection_rate(self, result):
+        _, dr_slope = result.monotone_trend()
+        assert dr_slope < 0
+
+    def test_detection_correlates_with_injection(self, result):
+        correlation = np.corrcoef(
+            result.injection_rates, result.detection_rates
+        )[0, 1]
+        assert correlation > 0.3
+
+    def test_injection_rates_valid(self, result):
+        assert np.all(result.injection_rates > 0.0)
+        assert np.all(result.injection_rates <= 1.0)

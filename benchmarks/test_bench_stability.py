@@ -1,0 +1,51 @@
+"""Benchmark E4 — the Section IV.B entropy-stability experiment.
+
+The paper's premise: the per-bit entropy barely changes across driving
+scenarios (audio on, lights on, cruise control, ...), so a golden
+template with range-scaled thresholds separates normal variation from
+attacks.  Asserted here:
+
+* normal variation (within- and between-scenario) is small in absolute
+  terms;
+* a moderate attack's deviation dominates it by a wide margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import stability
+
+
+@pytest.fixture(scope="module")
+def result(setup):
+    return stability.run(setup=setup)
+
+
+def test_bench_stability(benchmark, setup):
+    """Time the stability campaign and print the per-bit table."""
+    outcome = benchmark.pedantic(
+        lambda: stability.run(setup=setup), rounds=1, iterations=1
+    )
+    text = outcome.render()
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    from conftest import save_artifact
+    save_artifact("stability", text)
+
+
+class TestStabilityShape:
+    def test_normal_variation_small(self, result):
+        assert float(result.within_range.max()) < 0.06
+        assert float(result.between_range.max()) < 0.06
+
+    def test_attack_dominates_normal_variation(self, result):
+        assert result.stability_margin > 3.0
+
+    def test_every_scenario_measured(self, result):
+        assert len(result.scenario_names) >= 5
+        assert set(result.scenario_means) == set(result.scenario_names)
+
+    def test_scenario_means_close_to_each_other(self, result):
+        means = np.stack(list(result.scenario_means.values()))
+        spread = means.max(axis=0) - means.min(axis=0)
+        assert np.all(spread == result.between_range)

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Head-to-head: bit-entropy IDS vs. the literature baselines.
+
+Reproduces the Section V.E comparison: analytic cost table, detection
+on identical captures, and the unseen-ID blind spot of the per-ID
+schemes (interval [11], clock-skew [9]).
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.experiments import build_setup
+from repro.experiments import cost as cost_experiment
+
+
+def main() -> None:
+    print("training all five systems on the same clean captures...\n")
+    setup = build_setup()
+    result = cost_experiment.run(setup=setup, seeds=(1, 2))
+    print(result.render())
+    print()
+    print("reading guide:")
+    print("  * memory: 11 constant slots (ours) vs. one-or-more per identifier;")
+    print("  * the interval and clock-skew schemes cannot see identifiers that")
+    print("    were absent from training — the bit-entropy method can, because")
+    print("    any identifier perturbs the 11 bit statistics it monitors.")
+
+
+if __name__ == "__main__":
+    main()

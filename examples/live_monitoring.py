@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Live monitoring: the streaming detector attached to a running bus.
+
+The deployment model the paper argues for — a passive monitor on the
+CAN bus that keeps 11 counters and reacts within a window or two — is
+exercised here literally: the detector's ``feed`` method is attached as
+a bus listener and alerts fire through a callback *while the simulation
+runs*.  A gateway filter runs alongside, showing the complementary
+coarse defence the paper describes.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro.attacks import FloodingAttacker, SingleIDAttacker
+from repro.can.gateway import GatewayFilter
+from repro.core import AlertSink
+from repro.experiments import build_setup
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.ecu_profiles import assignments_for
+
+
+def main() -> None:
+    setup = build_setup()
+    catalog = setup.catalog
+
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=29)
+
+    # Two attacks in one drive: a mid-priority single-ID injection early,
+    # a changeable-ID flood later.
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=catalog.ids[90], frequency_hz=60.0, start_s=4.0,
+            duration_s=6.0, seed=2, name="mallory_single",
+        )
+    )
+    sim.add_node(
+        FloodingAttacker(
+            frequency_hz=250.0, start_s=16.0, duration_s=4.0, seed=3,
+            name="mallory_flood",
+        )
+    )
+
+    # The streaming IDS, wired straight into the bus.
+    sink = AlertSink(callback=lambda alert: print(f"  {alert}"))
+    detector = setup.pipeline.streaming_detector(sink)
+    sim.bus.attach_listener(detector.feed)
+
+    # The conventional gateway filter, also live on the bus.
+    gateway = GatewayFilter(
+        known_ids=catalog.id_set(), assignments=assignments_for(catalog)
+    )
+    sim.bus.attach_listener(gateway.on_frame)
+
+    print("driving for 24 s with two attacks scheduled "
+          "(injection at 4-10 s, flood at 16-20 s)...")
+    sim.run(24.0)
+    detector.flush()
+
+    print(f"\nIDS alerts: {len(sink)}")
+    first = sink.first_alert_time_us()
+    if first is not None:
+        print(f"first alert at t={first / 1e6:.1f}s "
+              f"(attack started at t=4.0s)")
+
+    unknown = gateway.alerts_by_kind("unknown_id")
+    print(f"gateway unknown-ID alerts: {len(unknown)} "
+          f"(the flood uses identifiers outside the catalog)")
+    print(f"gateway flagged sources: {sorted(gateway.flagged_sources())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Malicious-ID inference: from entropy shifts back to the injected IDs.
+
+Demonstrates Section V.C of the paper on the hardest interesting case —
+a multi-ID injection — and shows the intermediate evidence the engine
+derives:
+
+* hard direction constraints (which bits shifted, which way);
+* the estimated injected fraction of the traffic;
+* the estimated bit composition of the injected identifier set;
+* the reconstructed identifier set with fitted success shares (members
+  win arbitration at different rates — the reconstruction accounts for
+  that);
+* the final rank-10 candidate list and its hit rate.
+
+Run:  python examples/malicious_id_inference.py
+"""
+
+import numpy as np
+
+from repro.attacks import MultiIDAttacker
+from repro.experiments import build_setup
+from repro.vehicle import VehicleSimulation
+
+
+def main() -> None:
+    setup = build_setup()
+    catalog = setup.catalog
+
+    injected = [catalog.ids[45], catalog.ids[110], catalog.ids[170]]
+    print("injected identifiers (ground truth):",
+          ", ".join(f"0x{i:03X}" for i in injected))
+
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=23)
+    attacker = MultiIDAttacker(
+        injected, frequency_hz=50.0, start_s=2.0, duration_s=10.0, seed=4
+    )
+    sim.add_node(attacker)
+    trace = sim.run(14.0)
+    print(f"capture: {len(trace)} frames, {trace.attack_count} injected\n")
+
+    report = setup.pipeline.analyze(trace, infer_k=len(injected))
+    inference = report.inference
+    if inference is None:
+        print("no alarm raised — nothing to infer")
+        return
+
+    print(f"alarmed windows: {len(report.alarmed_windows)}")
+    constraints = ", ".join(
+        f"bit{b}={v}" for b, v in sorted(inference.constraints.items())
+    ) or "(none)"
+    print(f"direction constraints: {constraints}")
+    print(f"estimated injected fraction: {inference.injected_fraction:.1%}")
+    print("estimated composition:",
+          np.array2string(inference.composition, precision=2, suppress_small=True))
+
+    print("\nreconstructed set (with fitted success shares):")
+    for can_id, share in zip(inference.best_set, inference.member_shares):
+        marker = "<- true member" if can_id in injected else ""
+        print(f"  0x{can_id:03X}  share {share:.2f}  {marker}")
+
+    print("\nrank-10 candidates:",
+          ", ".join(f"0x{c:03X}" for c in inference.candidates))
+    print(f"hit rate vs ground truth: {inference.hit_rate(injected):.0%}")
+
+
+if __name__ == "__main__":
+    main()

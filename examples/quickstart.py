@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: train the IDS on clean driving, catch an injection.
+
+Walks the paper's whole pipeline in five steps:
+
+1. build the synthetic vehicle (223 identifiers, like the 2016 Ford
+   Fusion the paper measured);
+2. record clean windows over diverse driving scenarios and build the
+   golden template (the paper's 35 measurements);
+3. drive again with a single-ID injection attack running;
+4. detect the attack from per-bit entropy deviations;
+5. infer which identifier was injected via rank selection.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attacks import SingleIDAttacker
+from repro.core import IDSConfig, IDSPipeline, build_template
+from repro.vehicle import VehicleSimulation, ford_fusion_catalog
+from repro.vehicle.traffic import record_template_windows
+
+
+def main() -> None:
+    # -- 1. the vehicle -------------------------------------------------
+    catalog = ford_fusion_catalog(seed=0)
+    print(
+        f"vehicle: {len(catalog)} identifiers "
+        f"({catalog.coverage():.2%} of the 11-bit space), "
+        f"~{catalog.nominal_rate_hz():.0f} msg/s nominal"
+    )
+
+    # -- 2. golden template ---------------------------------------------
+    config = IDSConfig()  # window 2 s, alpha 3, rank 10
+    windows = record_template_windows(
+        n_windows=config.template_windows,
+        window_s=config.window_us / 1e6,
+        seed=7,
+        catalog=catalog,
+    )
+    template = build_template(windows, config)
+    print(
+        f"template: {template.n_windows} windows, per-bit entropy range "
+        f"max {template.entropy_range.max():.4f} (normal driving is steady)"
+    )
+
+    # -- 3. attack drive --------------------------------------------------
+    attack_id = catalog.ids[70]
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=11)
+    attacker = SingleIDAttacker(
+        can_id=attack_id, frequency_hz=50.0, start_s=2.0, duration_s=8.0, seed=1
+    )
+    sim.add_node(attacker)
+    trace = sim.run(12.0)
+    print(
+        f"capture: {len(trace)} frames over {trace.duration_us / 1e6:.1f}s, "
+        f"{trace.attack_count} injected (Ir={attacker.injection_rate:.2f})"
+    )
+
+    # -- 4 & 5. detect + infer -------------------------------------------
+    pipeline = IDSPipeline(template, config, id_pool=catalog.ids)
+    report = pipeline.analyze(trace, infer_k=1)
+    print()
+    print(report.summary())
+    print()
+    hit = report.inference_hit_rate([attack_id])
+    print(f"injected identifier was 0x{attack_id:03X}; "
+          f"inference {'HIT' if hit == 1.0 else 'missed'} (rank-10 candidates)")
+
+
+if __name__ == "__main__":
+    main()

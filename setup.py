@@ -1,0 +1,9 @@
+"""Thin shim for legacy editable installs (environments without `wheel`).
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-use-pep517`` work where PEP 660 builds cannot.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — bit-entropy intrusion detection for the Controller Area Network.
+
+This package is a from-scratch reproduction of
+
+    Qian Wang, Zhaojun Lu, and Gang Qu,
+    "An Entropy Analysis based Intrusion Detection System for Controller
+    Area Network in Vehicles", IEEE SOCC 2018.
+
+It contains everything needed to regenerate the paper's evaluation on a
+laptop, with no vehicle hardware:
+
+``repro.can``
+    A bit-accurate, event-driven CAN bus simulator: frames, bitwise
+    dominant-0 arbitration, bit stuffing, frame timing, retransmission,
+    error counters, the transceiver zero-overload guard and a gateway
+    whitelist filter.
+
+``repro.vehicle``
+    A synthetic vehicle traffic model shaped after the paper's 2016 Ford
+    Fusion test car: 223 active 11-bit identifiers, realistic period
+    classes and driving-scenario modifiers.
+
+``repro.attacks``
+    The paper's four adversary scenarios (flooding, single-ID, multi-ID
+    and weak-model injection) plus replay/masquerade extensions.
+
+``repro.core``
+    The paper's contribution: per-bit binary-entropy monitoring with a
+    golden template, alpha-scaled thresholds, alerting and malicious-ID
+    inference via rank selection.
+
+``repro.baselines``
+    The comparison systems discussed in the paper: the Muter & Asaj
+    ID-distribution entropy IDS, the Song et al. message-interval IDS, a
+    simplified clock-skew IDS and a naive frequency monitor.
+
+``repro.experiments``
+    One runner per table/figure in the paper's evaluation section.
+
+Quickstart::
+
+    from repro import quick_demo
+    report = quick_demo(seed=7)
+    print(report.summary())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    BitCounter,
+    EntropyDetector,
+    GoldenTemplate,
+    IDSConfig,
+    IDSPipeline,
+    InferenceEngine,
+    TemplateBuilder,
+    binary_entropy,
+)
+from repro.demo import quick_demo
+
+__all__ = [
+    "__version__",
+    "BitCounter",
+    "EntropyDetector",
+    "GoldenTemplate",
+    "IDSConfig",
+    "IDSPipeline",
+    "InferenceEngine",
+    "TemplateBuilder",
+    "binary_entropy",
+    "quick_demo",
+]

@@ -1,0 +1,19 @@
+"""Statistical utilities used by the experiments.
+
+* :mod:`repro.analysis.rolling` — numerically stable online statistics
+  (Welford) and fixed-size rolling aggregates, useful for long-running
+  monitors that must not grow memory;
+* :mod:`repro.analysis.bootstrap` — nonparametric bootstrap confidence
+  intervals for the evaluation's rate estimates (detection rates from a
+  handful of seeds deserve error bars).
+"""
+
+from repro.analysis.bootstrap import bootstrap_ci, bootstrap_rate_ci
+from repro.analysis.rolling import OnlineStats, RollingWindowStats
+
+__all__ = [
+    "OnlineStats",
+    "RollingWindowStats",
+    "bootstrap_ci",
+    "bootstrap_rate_ci",
+]

@@ -1,0 +1,151 @@
+"""Online and rolling statistics.
+
+:class:`OnlineStats` implements Welford's algorithm: numerically stable
+streaming mean/variance in O(1) memory — the right tool for an embedded
+monitor tracking, say, per-bit deviations over days of driving.
+:class:`RollingWindowStats` keeps the same statistics over the last N
+samples only.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+
+class OnlineStats:
+    """Streaming count/mean/variance/min/max (Welford)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, value: float) -> None:
+        """Account one sample."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Samples accounted."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 below two samples)."""
+        return self._m2 / (self._count - 1) if self._count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest sample (None when empty)."""
+        return self._min if self._count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest sample (None when empty)."""
+        return self._max if self._count else None
+
+    @property
+    def range(self) -> float:
+        """max - min (0 when empty) — the paper's threshold basis."""
+        if not self._count:
+            return 0.0
+        return self._max - self._min
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine with another accumulator (parallel Welford merge)."""
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return self
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._mean += delta * other._count / total
+        self._count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+
+class RollingWindowStats:
+    """Mean/std/min/max over the last ``size`` samples."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self._values: Deque[float] = deque(maxlen=size)
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def push(self, value: float) -> None:
+        """Account one sample, expiring the oldest when full."""
+        if len(self._values) == self.size:
+            expired = self._values[0]
+            self._sum -= expired
+            self._sum_sq -= expired * expired
+        self._values.append(value)
+        self._sum += value
+        self._sum_sq += value * value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def full(self) -> bool:
+        """True once ``size`` samples are held."""
+        return len(self._values) == self.size
+
+    @property
+    def mean(self) -> float:
+        """Mean of the held samples (0 when empty)."""
+        return self._sum / len(self._values) if self._values else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the held samples."""
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mean = self._sum / n
+        # Guard tiny negative values from floating-point cancellation.
+        return max(0.0, self._sum_sq / n - mean * mean)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the held samples."""
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest held sample (None when empty; O(size))."""
+        return min(self._values) if self._values else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest held sample (None when empty; O(size))."""
+        return max(self._values) if self._values else None

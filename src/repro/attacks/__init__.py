@@ -1,0 +1,40 @@
+"""Attack scenarios from Section III of the paper.
+
+All attackers are bus nodes (:class:`repro.attacks.base.AttackerNode`)
+that attempt injections at a fixed frequency and — unlike legitimate
+controllers — **drop** frames that lose arbitration instead of retrying.
+That policy makes the paper's *injection rate* (successful injections
+over attempts) a well-defined, ID-dependent quantity, reproduced in
+Fig. 3.
+
+Scenario classes:
+
+========================  =====================================================
+:class:`FloodingAttacker`  strong model; changeable high-priority identifiers
+                           (fixed 0x000 flooding trips the transceiver guard)
+:class:`SingleIDAttacker`  strong model; one chosen identifier
+:class:`MultiIDAttacker`   strong model; k identifiers (paper tests k = 2,3,4)
+:class:`WeakAttacker`      weak model; only the compromised ECU's assigned IDs
+:class:`ReplayAttacker`    extension; replays a recorded trace segment
+:class:`MasqueradeAttacker` extension; silences a victim ECU and speaks for it
+========================  =====================================================
+"""
+
+from repro.attacks.base import AttackerNode, AttackStats
+from repro.attacks.flooding import FloodingAttacker
+from repro.attacks.masquerade import MasqueradeAttacker
+from repro.attacks.multi_id import MultiIDAttacker
+from repro.attacks.replay import ReplayAttacker
+from repro.attacks.single_id import SingleIDAttacker
+from repro.attacks.weak import WeakAttacker
+
+__all__ = [
+    "AttackStats",
+    "AttackerNode",
+    "FloodingAttacker",
+    "MasqueradeAttacker",
+    "MultiIDAttacker",
+    "ReplayAttacker",
+    "SingleIDAttacker",
+    "WeakAttacker",
+]

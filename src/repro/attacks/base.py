@@ -1,0 +1,166 @@
+"""The attacker node base class.
+
+An attacker attempts one injection every ``1/frequency_hz`` seconds
+inside its active interval.  Each attempt either wins the first
+arbitration round it participates in (a successful injection) or is
+dropped — the paper's injection rate ``Ir`` is exactly
+``wins / attempts`` under this drop-on-loss policy.  The policy is
+configurable (``drop_on_loss=False`` gives a queueing attacker) because
+DESIGN.md calls the policy out as an ablation target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.can.constants import SECOND_US
+from repro.can.frame import CANFrame
+from repro.can.node import Node
+from repro.exceptions import BusConfigError, NodeStateError
+
+
+@dataclass
+class AttackStats:
+    """Ground-truth bookkeeping for one attacker."""
+
+    attempts: int = 0
+    wins: int = 0
+    losses: int = 0
+    filtered: int = 0
+
+    @property
+    def injection_rate(self) -> float:
+        """The paper's ``Ir``: successful injections over attempts."""
+        return self.wins / self.attempts if self.attempts else 0.0
+
+
+class AttackerNode(Node):
+    """Base class for every attack scenario.
+
+    Subclasses implement :meth:`select_id` (and may override
+    :meth:`build_payload`).
+
+    Parameters
+    ----------
+    name:
+        Node name on the bus (appears in trace ground truth).
+    frequency_hz:
+        Injection attempt rate; the paper sweeps 100/50/20/10 Hz.
+    start_s / duration_s:
+        Active interval of the attack.
+    seed:
+        Seeds the attacker's RNG (ID choices, payloads).
+    drop_on_loss:
+        Drop frames that lose their first arbitration round (paper
+        semantics).  ``False`` turns the attacker into a queueing
+        transmitter for the ablation study.
+    """
+
+    is_attacker = True
+
+    def __init__(
+        self,
+        name: str,
+        frequency_hz: float,
+        start_s: float = 0.0,
+        duration_s: float = float("inf"),
+        seed: int = 0,
+        drop_on_loss: bool = True,
+    ) -> None:
+        super().__init__(name)
+        if frequency_hz <= 0:
+            raise BusConfigError(f"attack frequency must be positive, got {frequency_hz}")
+        if start_s < 0:
+            raise BusConfigError(f"attack start must be >= 0, got {start_s}")
+        if duration_s <= 0:
+            raise BusConfigError(f"attack duration must be positive, got {duration_s}")
+        self.frequency_hz = frequency_hz
+        self.period_us = max(1, int(round(SECOND_US / frequency_hz)))
+        self.start_us = int(start_s * SECOND_US)
+        self.end_us = (
+            None if duration_s == float("inf") else self.start_us + int(duration_s * SECOND_US)
+        )
+        self.drop_on_loss = drop_on_loss
+        self.rng = np.random.default_rng(seed)
+        self.stats = AttackStats()
+        self.ids_used: Set[int] = set()
+        self._next_attempt_us = self.start_us
+        self._pending: Optional[CANFrame] = None
+        self._payload_seq = 0
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def select_id(self) -> int:
+        """Choose the identifier for the next injection attempt."""
+        raise NotImplementedError
+
+    def build_payload(self) -> bytes:
+        """Payload for the next injection (default: 8 random bytes)."""
+        return bytes(self.rng.integers(0, 256, size=8, dtype=np.uint8))
+
+    # ------------------------------------------------------------------
+    # Node interface
+    # ------------------------------------------------------------------
+    def _attack_over(self) -> bool:
+        return self.end_us is not None and self._next_attempt_us >= self.end_us
+
+    def next_release(self) -> Optional[int]:
+        if self._attack_over() and self._pending is None:
+            return None
+        return self._next_attempt_us
+
+    def peek(self) -> CANFrame:
+        if self._pending is None:
+            if self._attack_over():
+                raise NodeStateError(f"attacker {self.name} is past its window")
+            can_id = self.select_id()
+            self.ids_used.add(can_id)
+            self._pending = CANFrame(can_id, self.build_payload())
+            self._payload_seq += 1
+        return self._pending
+
+    def _advance_schedule(self, t_us: int) -> None:
+        """Move to the next attempt slot strictly after ``t_us``."""
+        self._pending = None
+        while self._next_attempt_us <= t_us:
+            self._next_attempt_us += self.period_us
+
+    def on_win(self, t_us: int) -> None:
+        super().on_win(t_us)
+        self.stats.attempts += 1
+        self.stats.wins += 1
+        self._advance_schedule(t_us)
+
+    def on_loss(self, t_us: int) -> None:
+        super().on_loss(t_us)
+        if self.drop_on_loss:
+            self.stats.attempts += 1
+            self.stats.losses += 1
+            self._advance_schedule(t_us)
+        # Otherwise keep the frame pending: it re-contends next round and
+        # the eventual win is counted then (queueing attacker ablation).
+
+    def on_filtered(self, t_us: int) -> None:
+        super().on_filtered(t_us)
+        self.stats.attempts += 1
+        self.stats.filtered += 1
+        self._advance_schedule(t_us)
+
+    # ------------------------------------------------------------------
+    @property
+    def injection_rate(self) -> float:
+        """Convenience accessor for ``stats.injection_rate``."""
+        return self.stats.injection_rate
+
+    def describe(self) -> str:
+        """One-line human-readable description of the attack."""
+        end = "inf" if self.end_us is None else f"{self.end_us / SECOND_US:.1f}s"
+        return (
+            f"{type(self).__name__}({self.name}) f={self.frequency_hz:g}Hz "
+            f"window=[{self.start_us / SECOND_US:.1f}s,{end}] "
+            f"Ir={self.injection_rate:.3f} ids={sorted(self.ids_used)}"
+        )

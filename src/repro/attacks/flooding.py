@@ -1,0 +1,52 @@
+"""Scenario 1 — strong model, flooding message injection.
+
+The attacker floods the bus with high-priority frames.  Flooding the
+fully-dominant identifier 0x000 is shut down by the CAN transceiver's
+zero-overload detection (see :mod:`repro.can.transceiver`), so the
+efficient strategy from the paper is *changeable* identifiers of high
+priority: every attempt draws a fresh identifier below ``ceiling``.
+
+The entropy IDS detects the resulting bit-level skew immediately, but —
+as the paper notes — the near-random identifier churn makes inferring
+"the" malicious identifier meaningless (Table I reports ``--``).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackerNode
+from repro.exceptions import BusConfigError
+
+
+class FloodingAttacker(AttackerNode):
+    """Flooding with changeable high-priority identifiers.
+
+    Parameters
+    ----------
+    ceiling:
+        Exclusive upper bound of the identifier range used; the default
+        0x080 keeps every injected frame above (almost) all legitimate
+        traffic in priority.
+    fixed_zero:
+        Use identifier 0x000 for every frame instead — the naive
+        flooding variant that the transceiver guard shuts down.  Kept to
+        reproduce the paper's argument for why attackers must rotate IDs.
+    """
+
+    def __init__(
+        self,
+        name: str = "mallory_flood",
+        frequency_hz: float = 100.0,
+        ceiling: int = 0x080,
+        fixed_zero: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, frequency_hz, **kwargs)
+        if not 0 < ceiling <= 0x800:
+            raise BusConfigError(f"flood ceiling must be in (0, 0x800], got {ceiling:#x}")
+        self.ceiling = ceiling
+        self.fixed_zero = fixed_zero
+
+    def select_id(self) -> int:
+        if self.fixed_zero:
+            return 0x000
+        return int(self.rng.integers(0, self.ceiling))

@@ -1,0 +1,65 @@
+"""Extension attack: masquerade (suspend a victim ECU and speak for it).
+
+Cho & Shin's bus-off work (the paper's ref [10]) shows an attacker can
+silence a victim ECU through error-handling abuse and then transmit in
+its place.  We model the end state: the victim node is disabled at the
+attack start and the attacker emits the victim's identifier at its own
+frequency.
+
+For the entropy IDS this is the subtlest strong-model case: if the
+attacker matches the victim's original frequency the per-bit mix barely
+moves; detection hinges on the frequency mismatch.  The extension
+benchmarks sweep that mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import AttackerNode
+from repro.can.constants import MAX_BASE_ID
+from repro.can.node import Node
+from repro.exceptions import BusConfigError
+
+
+class MasqueradeAttacker(AttackerNode):
+    """Impersonate one identifier of a silenced victim ECU.
+
+    Parameters
+    ----------
+    can_id:
+        The impersonated identifier.
+    victim:
+        The victim node; it is disabled when the attack window opens
+        (call :meth:`arm` after attaching both nodes to the bus, or pass
+        the victim here and the first ``peek`` disables it).
+    """
+
+    def __init__(
+        self,
+        can_id: int,
+        victim: Optional[Node] = None,
+        name: str = "mallory_masq",
+        frequency_hz: float = 50.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, frequency_hz, **kwargs)
+        if not 0 <= can_id <= MAX_BASE_ID:
+            raise BusConfigError(f"identifier 0x{can_id:X} out of 11-bit range")
+        self.can_id = can_id
+        self.victim = victim
+        self._victim_silenced = False
+
+    def arm(self, victim: Node) -> None:
+        """Set (or replace) the victim node before the attack starts."""
+        self.victim = victim
+        self._victim_silenced = False
+
+    def _silence_victim(self) -> None:
+        if self.victim is not None and not self._victim_silenced:
+            self.victim.disable(f"masquerade by {self.name}")
+            self._victim_silenced = True
+
+    def select_id(self) -> int:
+        self._silence_victim()
+        return self.can_id

@@ -1,0 +1,72 @@
+"""Extension attack: replay of recorded traffic.
+
+Not one of the paper's four evaluated scenarios, but listed among the
+attacks CAN cannot defend against ("message replays, injections, and
+modification").  The replay attacker re-injects the (identifier,
+payload) pairs of a previously captured trace segment at a configurable
+speed factor.  Because replayed identifiers follow the legitimate mix,
+the per-bit probability shift is much smaller than for priority-seeking
+injection — a deliberately hard case that the extension experiments use
+to probe the IDS's limits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.attacks.base import AttackerNode
+from repro.exceptions import BusConfigError
+from repro.io.trace import TraceRecord
+
+
+class ReplayAttacker(AttackerNode):
+    """Replay a recorded trace segment.
+
+    Parameters
+    ----------
+    recording:
+        Trace records to replay (in order).  Only identifier and payload
+        are used; timing comes from ``frequency_hz`` like every attacker,
+        so a 2x-rate replay is simply a higher frequency.
+    loop:
+        Restart from the beginning when the recording is exhausted; with
+        ``loop=False`` the attacker goes silent instead.
+    """
+
+    def __init__(
+        self,
+        recording: Sequence[TraceRecord],
+        name: str = "mallory_replay",
+        frequency_hz: float = 50.0,
+        loop: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, frequency_hz, **kwargs)
+        frames: List[Tuple[int, bytes]] = [
+            (record.can_id, record.data) for record in recording
+        ]
+        if not frames:
+            raise BusConfigError("ReplayAttacker needs a non-empty recording")
+        self._frames = frames
+        self.loop = loop
+        self._cursor = 0
+        self._next_payload: bytes = b""
+
+    def next_release(self):
+        if (
+            not self.loop
+            and self._cursor >= len(self._frames)
+            and self._pending is None
+        ):
+            return None  # recording exhausted
+        return super().next_release()
+
+    def select_id(self) -> int:
+        self._cursor %= len(self._frames)
+        can_id, payload = self._frames[self._cursor]
+        self._cursor += 1
+        self._next_payload = payload
+        return can_id
+
+    def build_payload(self) -> bytes:
+        return self._next_payload

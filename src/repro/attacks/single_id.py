@@ -1,0 +1,52 @@
+"""Scenario 2 — strong model, message injection with a single ID.
+
+The attacker narrows down to one identifier, either to win the bus from
+lower-priority traffic or to feed forged contents to the ECUs that
+consume that identifier.  The paper notes the attacker picks from the
+vehicle's legal ID set when it wants to influence a real function; the
+experiments therefore inject catalog identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import AttackerNode
+from repro.can.constants import MAX_BASE_ID
+from repro.exceptions import BusConfigError
+
+
+class SingleIDAttacker(AttackerNode):
+    """Inject one fixed identifier at a fixed frequency.
+
+    Parameters
+    ----------
+    can_id:
+        The injected identifier.
+    payload:
+        Optional fixed payload (forged content); random bytes otherwise.
+    """
+
+    def __init__(
+        self,
+        can_id: int,
+        name: str = "mallory_single",
+        frequency_hz: float = 50.0,
+        payload: Optional[bytes] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, frequency_hz, **kwargs)
+        if not 0 <= can_id <= MAX_BASE_ID:
+            raise BusConfigError(f"identifier 0x{can_id:X} out of 11-bit range")
+        if payload is not None and len(payload) > 8:
+            raise BusConfigError("payload must be at most 8 bytes")
+        self.can_id = can_id
+        self.payload = payload
+
+    def select_id(self) -> int:
+        return self.can_id
+
+    def build_payload(self) -> bytes:
+        if self.payload is not None:
+            return self.payload
+        return super().build_payload()

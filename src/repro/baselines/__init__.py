@@ -1,0 +1,38 @@
+"""Comparison intrusion detection systems.
+
+Section V.E of the paper compares the bit-entropy IDS against two
+representative systems; we implement both, plus two more for context:
+
+* :class:`MuterEntropyIDS` — Muter & Asaj 2011 (the paper's ref [8]):
+  Shannon entropy of the *whole identifier distribution* per window.
+  Needs one counter per distinct identifier and cannot localise which
+  identifier was injected.
+* :class:`IntervalIDS` — Song, Kim & Kim 2016 (ref [11]): per-identifier
+  inter-arrival-time monitoring.  Storage grows linearly with the
+  catalog and, as the paper points out, it is blind to identifiers it
+  never saw during training.
+* :class:`ClockSkewIDS` — a simplified CIDS (Cho & Shin 2016, ref [9]):
+  accumulated clock offset per identifier with a CUSUM test; requires
+  offline fingerprinting and reacts slowly.
+* :class:`FrequencyIDS` — naive total message-rate monitor, the weakest
+  sensible baseline.
+
+All baselines implement the :class:`BaselineIDS` protocol (``fit`` on
+clean windows, ``scan`` a trace into per-window verdicts) so the
+benchmark harness can run them interchangeably with the core IDS.
+"""
+
+from repro.baselines.base import BaselineIDS, BaselineVerdict
+from repro.baselines.clock_skew import ClockSkewIDS
+from repro.baselines.frequency_ids import FrequencyIDS
+from repro.baselines.interval_ids import IntervalIDS
+from repro.baselines.muter_entropy import MuterEntropyIDS
+
+__all__ = [
+    "BaselineIDS",
+    "BaselineVerdict",
+    "ClockSkewIDS",
+    "FrequencyIDS",
+    "IntervalIDS",
+    "MuterEntropyIDS",
+]

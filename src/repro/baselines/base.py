@@ -1,0 +1,123 @@
+"""Common protocol for the baseline IDSes.
+
+Every baseline follows the same two-phase life cycle as the core IDS:
+
+1. :meth:`BaselineIDS.fit` on clean traffic (the training drives);
+2. :meth:`BaselineIDS.scan` over a capture, producing one
+   :class:`BaselineVerdict` per tumbling window.
+
+The shared window semantics make the detection-rate and false-positive
+comparisons in the cost/benchmark experiments apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.can.constants import SECOND_US
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace
+
+
+@dataclass(frozen=True)
+class BaselineVerdict:
+    """One window's verdict from a baseline IDS."""
+
+    index: int
+    t_start_us: int
+    t_end_us: int
+    n_messages: int
+    n_attack_messages: int
+    score: float
+    alarm: bool
+    judged: bool = True
+
+
+class BaselineIDS:
+    """Abstract baseline: fit on clean windows, scan traces into verdicts."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "baseline"
+
+    #: Whether the scheme can, in principle, flag identifiers it never
+    #: saw in training (the paper criticises [11] for lacking this).
+    handles_unseen_ids: bool = True
+
+    #: Whether the scheme can localise the malicious identifier.
+    localizes_ids: bool = False
+
+    def __init__(self, window_us: int = 2 * SECOND_US, min_window_messages: int = 50):
+        if window_us <= 0:
+            raise DetectorError(f"window must be positive, got {window_us}")
+        self.window_us = window_us
+        self.min_window_messages = min_window_messages
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, windows: Sequence[Trace]) -> "BaselineIDS":
+        """Learn normal behaviour from clean window traces."""
+        if not windows:
+            raise DetectorError(f"{self.name}: fit needs at least one clean window")
+        self._fit(windows)
+        self._fitted = True
+        return self
+
+    def scan(self, trace: Trace) -> List[BaselineVerdict]:
+        """Judge every tumbling window of a capture."""
+        if not self._fitted:
+            raise DetectorError(f"{self.name}: scan before fit")
+        verdicts: List[BaselineVerdict] = []
+        for index, window in enumerate(trace.time_windows(self.window_us)):
+            if len(window) == 0:
+                continue
+            judged = len(window) >= self.min_window_messages
+            score, alarm = self._judge(window) if judged else (0.0, False)
+            verdicts.append(
+                BaselineVerdict(
+                    index=index,
+                    t_start_us=window.start_us,
+                    t_end_us=window.start_us + self.window_us,
+                    n_messages=len(window),
+                    n_attack_messages=window.attack_count,
+                    score=score,
+                    alarm=alarm,
+                    judged=judged,
+                )
+            )
+        return verdicts
+
+    # ------------------------------------------------------------------
+    # Cost model hooks (Section V.E comparison)
+    # ------------------------------------------------------------------
+    def memory_slots(self) -> int:
+        """Number of state slots the scheme keeps at runtime."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _fit(self, windows: Sequence[Trace]) -> None:
+        raise NotImplementedError
+
+    def _judge(self, window: Trace) -> tuple:
+        """Return ``(score, alarm)`` for one window."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def detection_rate(verdicts: Sequence[BaselineVerdict]) -> float:
+        """The paper's Dr computed over baseline verdicts."""
+        total = sum(v.n_attack_messages for v in verdicts if v.judged)
+        if total == 0:
+            return 0.0
+        detected = sum(
+            v.n_attack_messages for v in verdicts if v.judged and v.alarm
+        )
+        return detected / total
+
+    @staticmethod
+    def false_positive_rate(verdicts: Sequence[BaselineVerdict]) -> float:
+        """Alarmed clean windows over all clean judged windows."""
+        clean = [v for v in verdicts if v.judged and v.n_attack_messages == 0]
+        if not clean:
+            return 0.0
+        return sum(1 for v in clean if v.alarm) / len(clean)

@@ -1,0 +1,57 @@
+"""Naive total-rate monitor — the weakest sensible baseline.
+
+Counts messages per window and alarms when the count leaves the trained
+band.  It catches volume-changing attacks (flooding, high-frequency
+injection) but is blind to anything that holds the aggregate rate
+roughly constant, and it can neither localise identifiers nor explain
+*what* changed.  Including it calibrates how much of the entropy IDS's
+performance is mere volume detection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace
+
+from repro.baselines.base import BaselineIDS
+
+
+class FrequencyIDS(BaselineIDS):
+    """Window message-count band monitor.
+
+    Parameters
+    ----------
+    band_sigmas:
+        Width of the acceptance band in training standard deviations.
+    """
+
+    name = "frequency"
+    handles_unseen_ids = True  # any frame counts toward the volume
+    localizes_ids = False
+
+    def __init__(self, band_sigmas: float = 6.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if band_sigmas <= 0:
+            raise DetectorError("band_sigmas must be positive")
+        self.band_sigmas = band_sigmas
+        self.mean_count = 0.0
+        self.std_count = 0.0
+
+    def _fit(self, windows: Sequence[Trace]) -> None:
+        counts = np.asarray([len(w) for w in windows], dtype=float)
+        if counts.size < 2:
+            raise DetectorError("frequency IDS needs >= 2 clean windows")
+        self.mean_count = float(counts.mean())
+        self.std_count = float(max(counts.std(), 1.0))
+
+    def _judge(self, window: Trace) -> Tuple[float, bool]:
+        deviation = abs(len(window) - self.mean_count) / self.std_count
+        return deviation, deviation > self.band_sigmas
+
+    def memory_slots(self) -> int:
+        """One running count plus the two trained band parameters."""
+        return 3

@@ -1,0 +1,126 @@
+"""The message-interval IDS of Song, Kim & Kim (the paper's ref [11]).
+
+Learns the nominal inter-arrival time of every identifier from clean
+traffic; at runtime a window alarms when a learned identifier arrives
+much faster than its nominal period (injection compresses intervals).
+
+The two weaknesses the paper highlights are faithfully present:
+
+* **linear storage** — two slots (nominal period, last-seen time) per
+  identifier (:meth:`memory_slots`);
+* **unseen-ID blindness** — an identifier absent from training has no
+  learned period and is silently ignored (``handles_unseen_ids`` is
+  False); the comparison experiment injects an unused identifier to
+  demonstrate exactly this gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace
+
+from repro.baselines.base import BaselineIDS
+
+
+class IntervalIDS(BaselineIDS):
+    """Per-identifier inter-arrival monitoring.
+
+    Parameters
+    ----------
+    speedup_factor:
+        An arrival counts as anomalous when its interval is below
+        ``nominal / speedup_factor``.
+    alarm_fraction:
+        A window alarms when more than this fraction of its (learned-ID)
+        arrivals were anomalous.
+    """
+
+    name = "interval"
+    handles_unseen_ids = False
+    localizes_ids = True  # the offending identifier is known by construction
+
+    def __init__(
+        self,
+        speedup_factor: float = 2.0,
+        alarm_fraction: float = 0.01,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if speedup_factor <= 1.0:
+            raise DetectorError("speedup_factor must exceed 1")
+        if not 0.0 < alarm_fraction < 1.0:
+            raise DetectorError("alarm_fraction must be in (0, 1)")
+        self.speedup_factor = speedup_factor
+        self.alarm_fraction = alarm_fraction
+        self.nominal_period_us: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _fit(self, windows: Sequence[Trace]) -> None:
+        # Intervals must be computed within each capture — the clean
+        # windows are independent recordings whose clocks all start near
+        # zero, so pooling raw timestamps across them would fabricate
+        # absurdly small intervals.
+        intervals_by_id: Dict[int, List[int]] = {}
+        for window in windows:
+            last_seen: Dict[int, int] = {}
+            for record in window:
+                previous = last_seen.get(record.can_id)
+                last_seen[record.can_id] = record.timestamp_us
+                if previous is not None and record.timestamp_us > previous:
+                    intervals_by_id.setdefault(record.can_id, []).append(
+                        record.timestamp_us - previous
+                    )
+        for can_id, intervals in intervals_by_id.items():
+            if intervals:
+                self.nominal_period_us[can_id] = float(np.median(intervals))
+        if not self.nominal_period_us:
+            raise DetectorError("interval IDS learned no identifier periods")
+
+    def _judge(self, window: Trace) -> Tuple[float, bool]:
+        last_seen: Dict[int, int] = {}
+        checked = 0
+        anomalous = 0
+        for record in window:
+            nominal = self.nominal_period_us.get(record.can_id)
+            if nominal is None:
+                continue  # unseen identifier: the documented blind spot
+            previous = last_seen.get(record.can_id)
+            last_seen[record.can_id] = record.timestamp_us
+            if previous is None:
+                continue
+            checked += 1
+            if (record.timestamp_us - previous) < nominal / self.speedup_factor:
+                anomalous += 1
+        if checked == 0:
+            return 0.0, False
+        fraction = anomalous / checked
+        return fraction, fraction > self.alarm_fraction
+
+    # ------------------------------------------------------------------
+    def memory_slots(self) -> int:
+        """Nominal period plus last-seen timestamp per learned identifier."""
+        return 2 * len(self.nominal_period_us)
+
+    def flagged_ids(self, trace: Trace) -> List[int]:
+        """Identifiers whose intervals violated the nominal period.
+
+        The interval scheme localises by construction — but only within
+        the learned set.
+        """
+        last_seen: Dict[int, int] = {}
+        flagged: Dict[int, int] = {}
+        for record in trace:
+            nominal = self.nominal_period_us.get(record.can_id)
+            if nominal is None:
+                continue
+            previous = last_seen.get(record.can_id)
+            last_seen[record.can_id] = record.timestamp_us
+            if previous is None:
+                continue
+            if (record.timestamp_us - previous) < nominal / self.speedup_factor:
+                flagged[record.can_id] = flagged.get(record.can_id, 0) + 1
+        return sorted(flagged, key=flagged.get, reverse=True)

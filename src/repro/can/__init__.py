@@ -1,0 +1,84 @@
+"""Bit-accurate, event-driven CAN bus simulator.
+
+This subpackage is the hardware substitute for the paper's test setup (a
+2016 Ford Fusion tapped through OBD-II plus an Arduino UNO / CAN-shield
+attack prototype).  It implements the parts of ISO 11898 that the paper's
+argument rests on:
+
+* frames with 11-bit (base) and 29-bit (extended) identifiers, CRC-15 and
+  bit stuffing (:mod:`repro.can.frame`, :mod:`repro.can.bits`);
+* bitwise dominant-0 arbitration — the reason every priority-seeking
+  injection must alter ID bits (:mod:`repro.can.arbitration`);
+* an event-driven bus with retransmission, configurable per-frame error
+  injection and error counters (:mod:`repro.can.bus`,
+  :mod:`repro.can.errors`);
+* the transceiver zero-overload guard that shuts down a node flooding the
+  fully-dominant identifier (:mod:`repro.can.transceiver`);
+* a gateway whitelist filter (:mod:`repro.can.gateway`).
+"""
+
+from repro.can.arbitration import ArbitrationResult, arbitration_key, resolve_arbitration
+from repro.can.bits import (
+    crc15,
+    frame_bitstream,
+    frame_wire_bits,
+    id_bits,
+    id_from_bits,
+    stuff_bits,
+    unstuff_bits,
+)
+from repro.can.bus import Bus, BusConfig, BusMonitor, BusStats
+from repro.can.constants import (
+    ACK_FIELD_BITS,
+    BASE_ID_BITS,
+    BAUD_HS_CAN,
+    BAUD_MS_CAN,
+    EOF_BITS,
+    EXT_ID_BITS,
+    IFS_BITS,
+    MAX_BASE_ID,
+    MAX_DLC,
+    MAX_EXT_ID,
+)
+from repro.can.errors import ErrorCounters, ErrorState
+from repro.can.frame import CANFrame
+from repro.can.gateway import GatewayAlert, GatewayFilter
+from repro.can.node import MessageSpec, Node, PeriodicECU
+from repro.can.transceiver import TransceiverEvent, TransceiverGuard
+
+__all__ = [
+    "ACK_FIELD_BITS",
+    "ArbitrationResult",
+    "BASE_ID_BITS",
+    "BAUD_HS_CAN",
+    "BAUD_MS_CAN",
+    "Bus",
+    "BusConfig",
+    "BusMonitor",
+    "BusStats",
+    "CANFrame",
+    "EOF_BITS",
+    "EXT_ID_BITS",
+    "ErrorCounters",
+    "ErrorState",
+    "GatewayAlert",
+    "GatewayFilter",
+    "IFS_BITS",
+    "MAX_BASE_ID",
+    "MAX_DLC",
+    "MAX_EXT_ID",
+    "MessageSpec",
+    "Node",
+    "PeriodicECU",
+    "TransceiverEvent",
+    "TransceiverGuard",
+    "arbitration_key",
+    "crc15",
+    "frame_bitstream",
+    "frame_wire_bits",
+    "id_bits",
+    "id_from_bits",
+    "resolve_arbitration",
+    "stuff_bits",
+    "unstuff_bits",
+]

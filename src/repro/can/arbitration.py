@@ -1,0 +1,103 @@
+"""Bitwise dominant-0 arbitration.
+
+CAN resolves simultaneous transmissions bit by bit over the arbitration
+field: a node writing the recessive level (logic 1) while the bus carries
+the dominant level (logic 0) loses and backs off.  The winner is therefore
+the frame whose arbitration bit sequence is lexicographically smallest —
+which in Python is literally ``min()`` over the bit tuples produced here.
+
+This is the mechanism the paper's whole detection idea rests on: any
+injected message that wants to *win* the bus must put dominant (0) bits
+early in the identifier, which skews the per-bit statistics the IDS
+watches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.can.bits import id_bits
+from repro.can.frame import CANFrame
+from repro.exceptions import ArbitrationError
+
+
+def arbitration_key(frame: CANFrame) -> Tuple[int, ...]:
+    """Return the frame's arbitration bit sequence, dominant bits first.
+
+    For base frames the sequence is ``ID[10..0], RTR, IDE``; for extended
+    frames ``ID[28..18], SRR, IDE, ID[17..0], RTR``.  Comparing these
+    tuples reproduces the ISO 11898 priority rules, including the two
+    cross-format cases:
+
+    * a base data frame beats an extended frame with the same 11-bit
+      prefix (dominant RTR=0 vs recessive SRR=1);
+    * a base remote frame still beats the extended frame at the IDE bit.
+    """
+    rtr = 1 if frame.rtr else 0
+    if frame.extended:
+        base = id_bits(frame.can_id >> 18, 11)
+        ext = id_bits(frame.can_id & ((1 << 18) - 1), 18)
+        return base + (1, 1) + ext + (rtr,)
+    return id_bits(frame.can_id, 11) + (rtr, 0)
+
+
+@dataclass(frozen=True)
+class ArbitrationResult:
+    """Outcome of one arbitration round.
+
+    ``winner_index`` indexes into the contender list that was passed in;
+    ``lost_at_bit`` maps each losing contender index to the bit position
+    (0-based from the start of the arbitration field) where it first sent
+    recessive against a dominant bus level.
+    """
+
+    winner_index: int
+    lost_at_bit: dict
+
+
+def resolve_arbitration(
+    frames: Sequence[CANFrame], allow_ties: bool = False
+) -> ArbitrationResult:
+    """Resolve one arbitration round among simultaneous contenders.
+
+    Parameters
+    ----------
+    frames:
+        The frames whose start-of-frame bits coincide.
+    allow_ties:
+        Two nodes transmitting the *same* arbitration field simultaneously
+        is an error condition on a real bus.  With ``allow_ties=False``
+        (the default) this raises :class:`ArbitrationError`; with ``True``
+        the lowest contender index wins deterministically, which is useful
+        for coarse simulations that don't model the resulting error frame.
+
+    Returns
+    -------
+    ArbitrationResult
+        Winner index plus, for every loser, the bit position at which it
+        dropped out (useful for arbitration-level diagnostics).
+    """
+    if not frames:
+        raise ArbitrationError("arbitration requires at least one contender")
+    keys: List[Tuple[int, ...]] = [arbitration_key(f) for f in frames]
+    best = min(range(len(frames)), key=lambda i: (keys[i], i))
+    best_key = keys[best]
+    lost_at: dict = {}
+    for i, key in enumerate(keys):
+        if i == best:
+            continue
+        if key == best_key:
+            if not allow_ties:
+                raise ArbitrationError(
+                    f"identical arbitration fields: contenders {best} and {i} "
+                    f"both sent {''.join(map(str, key))}"
+                )
+            lost_at[i] = len(key)
+            continue
+        # First position where the loser is recessive and the bus dominant.
+        for pos, (won_bit, lost_bit) in enumerate(zip(best_key, key)):
+            if won_bit != lost_bit:
+                lost_at[i] = pos
+                break
+    return ArbitrationResult(winner_index=best, lost_at_bit=lost_at)

@@ -1,0 +1,192 @@
+"""Bit-level encoding of CAN frames: ID bits, CRC-15, bit stuffing.
+
+The intrusion detection method of the paper operates on the individual
+bits of the identifier field, and the arbitration argument ("0 dominates
+1") is a bit-level property, so the simulator keeps an explicit bit-vector
+representation of frames.  Bits are plain Python ``int`` 0/1 in tuples,
+most significant first, which keeps them hashable and directly comparable
+(``min`` over bit tuples is exactly dominant-0 arbitration).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.can.constants import (
+    ACK_FIELD_BITS,
+    CRC15_POLY,
+    CRC_BITS,
+    EOF_BITS,
+    MAX_DLC,
+    STUFF_RUN,
+)
+from repro.exceptions import FrameError
+
+Bits = Tuple[int, ...]
+
+
+def id_bits(can_id: int, width: int) -> Bits:
+    """Return ``can_id`` as a tuple of ``width`` bits, MSB first.
+
+    >>> id_bits(0b101, 4)
+    (0, 1, 0, 1)
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if can_id < 0 or can_id >= (1 << width):
+        raise FrameError(f"identifier 0x{can_id:X} does not fit in {width} bits")
+    return tuple((can_id >> shift) & 1 for shift in range(width - 1, -1, -1))
+
+
+def id_from_bits(bits: Sequence[int]) -> int:
+    """Inverse of :func:`id_bits`: fold an MSB-first bit sequence to an int.
+
+    >>> id_from_bits((0, 1, 0, 1))
+    5
+    """
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def byte_bits(data: bytes) -> Bits:
+    """Return the bits of ``data``, each byte MSB first."""
+    out: List[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            out.append((byte >> shift) & 1)
+    return tuple(out)
+
+
+def crc15(bits: Sequence[int]) -> int:
+    """Compute the CAN CRC-15 over a bit sequence.
+
+    Implements the shift-register algorithm from ISO 11898-1 with the
+    generator polynomial ``0x4599``.
+    """
+    crc = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit!r}")
+        msb = (crc >> (CRC_BITS - 1)) & 1
+        crc = (crc << 1) & ((1 << CRC_BITS) - 1)
+        if bit ^ msb:
+            crc ^= CRC15_POLY
+    return crc
+
+
+def stuff_bits(bits: Sequence[int]) -> Bits:
+    """Insert a complement bit after every run of five equal bits.
+
+    Stuff bits themselves participate in subsequent run counting, exactly
+    as on the wire.
+
+    >>> stuff_bits((0, 0, 0, 0, 0))
+    (0, 0, 0, 0, 0, 1)
+    """
+    out: List[int] = []
+    run_bit = -1
+    run_len = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit!r}")
+        out.append(bit)
+        if bit == run_bit:
+            run_len += 1
+        else:
+            run_bit = bit
+            run_len = 1
+        if run_len == STUFF_RUN:
+            stuffed = 1 - bit
+            out.append(stuffed)
+            run_bit = stuffed
+            run_len = 1
+    return tuple(out)
+
+
+def unstuff_bits(bits: Sequence[int]) -> Bits:
+    """Remove stuff bits inserted by :func:`stuff_bits`.
+
+    Raises
+    ------
+    FrameError
+        If a run of five equal bits is not followed by its complement
+        (a stuff violation, which real controllers signal as a form error).
+    """
+    out: List[int] = []
+    run_bit = -1
+    run_len = 0
+    i = 0
+    n = len(bits)
+    while i < n:
+        bit = bits[i]
+        out.append(bit)
+        if bit == run_bit:
+            run_len += 1
+        else:
+            run_bit = bit
+            run_len = 1
+        if run_len == STUFF_RUN:
+            i += 1  # move onto the stuff bit
+            if i < n:
+                stuffed = bits[i]
+                if stuffed == bit:
+                    raise FrameError(f"stuff violation at bit {i}")
+                # The stuff bit is consumed (not emitted) but seeds the
+                # run tracking for the bits that follow it.
+                run_bit = stuffed
+                run_len = 1
+                i += 1
+            continue
+        i += 1
+    return tuple(out)
+
+
+def _header_bits(can_id: int, extended: bool, rtr: bool, dlc: int) -> Bits:
+    """SOF + arbitration + control field bits for a frame header."""
+    if not 0 <= dlc <= MAX_DLC:
+        raise FrameError(f"DLC must be 0..{MAX_DLC}, got {dlc}")
+    dlc_bits = tuple((dlc >> shift) & 1 for shift in range(3, -1, -1))
+    rtr_bit = 1 if rtr else 0
+    if extended:
+        base = id_bits(can_id >> 18, 11)
+        ext = id_bits(can_id & ((1 << 18) - 1), 18)
+        # SOF, 11-bit base ID, SRR (recessive), IDE (recessive), 18-bit
+        # extension, RTR, r1, r0, DLC.
+        return (0,) + base + (1, 1) + ext + (rtr_bit, 0, 0) + dlc_bits
+    base = id_bits(can_id, 11)
+    # SOF, 11-bit ID, RTR, IDE (dominant), r0, DLC.
+    return (0,) + base + (rtr_bit, 0, 0) + dlc_bits
+
+
+def frame_bitstream(
+    can_id: int, data: bytes, extended: bool = False, rtr: bool = False
+) -> Bits:
+    """Return the stuffed bit sequence of the frame's stuffed region.
+
+    The stuffed region runs from the start-of-frame bit through the CRC
+    sequence; the CRC delimiter, ACK field and EOF are fixed-form and
+    transmitted without stuffing.
+    """
+    header = _header_bits(can_id, extended, rtr, len(data))
+    payload = () if rtr else byte_bits(data)
+    body = header + payload
+    crc = crc15(body)
+    crc_field = tuple((crc >> shift) & 1 for shift in range(CRC_BITS - 1, -1, -1))
+    return stuff_bits(body + crc_field)
+
+
+def frame_wire_bits(
+    can_id: int, data: bytes, extended: bool = False, rtr: bool = False
+) -> int:
+    """Total number of bits the frame occupies on the wire.
+
+    Counts the stuffed region (with actual, not worst-case, stuff bits)
+    plus the unstuffed CRC delimiter, ACK field and end-of-frame.  The
+    3-bit interframe space is accounted separately by the bus.
+    """
+    stuffed = frame_bitstream(can_id, data, extended=extended, rtr=rtr)
+    return len(stuffed) + ACK_FIELD_BITS + EOF_BITS

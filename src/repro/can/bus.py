@@ -1,0 +1,283 @@
+"""The event-driven CAN bus.
+
+The bus advances from one bus-idle point to the next.  At each idle point
+every enabled node with a pending frame contends; bitwise dominant-0
+arbitration (:mod:`repro.can.arbitration`) picks the winner; the frame
+occupies the bus for its exact wire length (actual stuff bits included)
+plus the interframe space; losers are notified and — if they are
+legitimate controllers — stay pending for the next round.
+
+The model captures the properties the paper's evaluation depends on:
+
+* **injection rate shape** (Fig. 3): a high-priority identifier wins
+  essentially every contended round, a low-priority one loses whenever
+  legitimate traffic queued up during the previous transmission;
+* **frequency matters** (Table I): bus time is conserved, so injected
+  frames displace or delay legitimate ones;
+* **transceiver guard**: naive 0x000 flooding is shut down at the
+  transceiver (:mod:`repro.can.transceiver`);
+* **fault confinement**: injected transmission errors drive TEC toward
+  bus-off (:mod:`repro.can.errors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.can.arbitration import resolve_arbitration
+from repro.can.constants import (
+    BAUD_MS_CAN,
+    ERROR_FRAME_BITS,
+    IFS_BITS,
+    bit_time_us,
+)
+from repro.can.frame import CANFrame
+from repro.can.node import Node
+from repro.can.transceiver import TransceiverEvent, TransceiverGuard
+from repro.exceptions import BusConfigError, NodeStateError
+from repro.io.trace import Trace, TraceRecord
+
+Listener = Callable[[TraceRecord], None]
+
+
+@dataclass
+class BusConfig:
+    """Static configuration of a bus instance.
+
+    Parameters
+    ----------
+    baud_rate:
+        Line rate in bit/s; defaults to the paper's middle-speed 125 kbit/s.
+    allow_arbitration_ties:
+        Resolve two nodes sending an identical arbitration field by node
+        attach order instead of raising.  Real buses produce bit errors in
+        this situation; simulations of benign traffic keep it enabled
+        because randomized schedules can collide on the same microsecond.
+    error_rate:
+        Per-frame probability of an injected transmission error (failure
+        injection for robustness experiments).
+    error_seed:
+        Seed of the RNG that draws transmission errors.
+    guard_limit:
+        Consecutive all-dominant frames tolerated before the transceiver
+        guard shuts the sender down; ``None`` disables the guard.
+    """
+
+    baud_rate: int = BAUD_MS_CAN
+    allow_arbitration_ties: bool = True
+    error_rate: float = 0.0
+    error_seed: int = 0
+    guard_limit: Optional[int] = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise BusConfigError(f"error_rate must be in [0, 1), got {self.error_rate}")
+        # Validates divisibility as a side effect.
+        bit_time_us(self.baud_rate)
+
+
+@dataclass
+class BusStats:
+    """Aggregate counters maintained by the bus while it runs."""
+
+    frames_ok: int = 0
+    frames_error: int = 0
+    arbitration_rounds: int = 0
+    contended_rounds: int = 0
+    busy_us: int = 0
+    filtered_frames: int = 0
+    wins_by_node: Dict[str, int] = field(default_factory=dict)
+    losses_by_node: Dict[str, int] = field(default_factory=dict)
+
+    def busload(self, elapsed_us: int) -> float:
+        """Fraction of wall time the bus carried bits."""
+        return self.busy_us / elapsed_us if elapsed_us > 0 else 0.0
+
+
+class BusMonitor:
+    """A passive listener that collects every successful frame."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.trace.append(record)
+
+
+class Bus:
+    """An event-driven CAN bus segment."""
+
+    def __init__(self, config: Optional[BusConfig] = None) -> None:
+        self.config = config or BusConfig()
+        self.bit_us = bit_time_us(self.config.baud_rate)
+        self._nodes: Dict[str, Node] = {}
+        self._tx_filters: Dict[str, FrozenSet[int]] = {}
+        self._listeners: List[Listener] = []
+        self._rng = np.random.default_rng(self.config.error_seed)
+        self._guard = (
+            TransceiverGuard(self.config.guard_limit)
+            if self.config.guard_limit is not None
+            else None
+        )
+        self.stats = BusStats()
+        self.trace = Trace()
+        self.guard_events: List[TransceiverEvent] = []
+        self._t_idle = 0  # next time the bus is free for arbitration
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(
+        self, node: Node, tx_filter: Optional[Iterable[int]] = None
+    ) -> Node:
+        """Attach a node; optionally restrict its transmittable IDs.
+
+        ``tx_filter`` models the paper's weak-adversary "transmitter
+        filter installed outside of the ECU": frames whose identifier is
+        not in the set never reach the bus.
+        """
+        if node.name in self._nodes:
+            raise BusConfigError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        if tx_filter is not None:
+            self._tx_filters[node.name] = frozenset(tx_filter)
+        return node
+
+    def attach_listener(self, listener: Listener) -> Listener:
+        """Register a callable invoked with every successful TraceRecord."""
+        self._listeners.append(listener)
+        return listener
+
+    def node(self, name: str) -> Node:
+        """Look up an attached node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise BusConfigError(f"no node named {name!r} on this bus") from None
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All attached nodes in attach order."""
+        return list(self._nodes.values())
+
+    @property
+    def now_us(self) -> int:
+        """The next bus-idle time (the simulator clock)."""
+        return self._t_idle
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self, duration_us: int) -> Trace:
+        """Run until the clock passes ``duration_us``; return the trace.
+
+        May be called repeatedly; each call continues from the current
+        clock, so ``run(a); run(b)`` equals ``run(a + b)``.
+        """
+        if duration_us <= 0:
+            raise BusConfigError(f"duration must be positive, got {duration_us}")
+        t_end = self._t_idle + duration_us
+        while True:
+            progressed = self._step(t_end)
+            if not progressed:
+                break
+        self._t_idle = max(self._t_idle, t_end)
+        return self.trace
+
+    def _enabled_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.enabled]
+
+    def _step(self, t_end: int) -> bool:
+        """Transmit one frame (or inject one error); False when done."""
+        while True:
+            candidates = []
+            for node in self._enabled_nodes():
+                release = node.next_release()
+                if release is not None:
+                    candidates.append((release, node))
+            if not candidates:
+                return False
+            earliest = min(release for release, _node in candidates)
+            t_start = max(self._t_idle, earliest)
+            if t_start >= t_end:
+                return False
+            ready = [node for release, node in candidates if release <= t_start]
+            # Transmitter filters act before the frame reaches the wire.
+            filtered = [
+                node
+                for node in ready
+                if node.name in self._tx_filters
+                and node.peek().can_id not in self._tx_filters[node.name]
+            ]
+            if filtered:
+                for node in filtered:
+                    node.on_filtered(t_start)
+                    self.stats.filtered_frames += 1
+                continue  # re-collect: schedules advanced
+            break
+
+        frames = [node.peek() for node in ready]
+        result = resolve_arbitration(
+            frames, allow_ties=self.config.allow_arbitration_ties
+        )
+        winner = ready[result.winner_index]
+        frame = frames[result.winner_index]
+
+        self.stats.arbitration_rounds += 1
+        if len(ready) > 1:
+            self.stats.contended_rounds += 1
+        for index, node in enumerate(ready):
+            if index == result.winner_index:
+                continue
+            node.on_loss(t_start)
+            self.stats.losses_by_node[node.name] = (
+                self.stats.losses_by_node.get(node.name, 0) + 1
+            )
+
+        if self.config.error_rate and self._rng.random() < self.config.error_rate:
+            self._transmit_error(winner, frame, t_start)
+        else:
+            self._transmit_ok(winner, frame, t_start)
+        return True
+
+    def _transmit_ok(self, winner: Node, frame: CANFrame, t_start: int) -> None:
+        wire_bits = frame.wire_bits()
+        t_done = t_start + wire_bits * self.bit_us
+        winner.on_win(t_start)
+        self.stats.frames_ok += 1
+        self.stats.busy_us += wire_bits * self.bit_us
+        self.stats.wins_by_node[winner.name] = (
+            self.stats.wins_by_node.get(winner.name, 0) + 1
+        )
+        record = TraceRecord(
+            timestamp_us=t_done,
+            can_id=frame.can_id,
+            data=frame.data,
+            extended=frame.extended,
+            source=winner.name,
+            is_attack=winner.is_attacker,
+        )
+        self.trace.append(record)
+        for listener in self._listeners:
+            listener(record)
+        if self._guard is not None:
+            event = self._guard.observe(winner.name, frame, t_done)
+            if event is not None:
+                self.guard_events.append(event)
+                winner.disable("transceiver zero-overload guard")
+        self._t_idle = t_done + IFS_BITS * self.bit_us
+
+    def _transmit_error(self, winner: Node, frame: CANFrame, t_start: int) -> None:
+        # The error hits mid-frame; the bus carries roughly half the frame
+        # plus the error frame, then the transmitter retries automatically.
+        half_bits = max(1, frame.wire_bits() // 2)
+        busy_bits = half_bits + ERROR_FRAME_BITS
+        winner.on_error(t_start)
+        self.stats.frames_error += 1
+        self.stats.busy_us += busy_bits * self.bit_us
+        if winner.error_counters.bus_off:
+            winner.disable("bus-off (TEC exceeded 255)")
+        self._t_idle = t_start + busy_bits * self.bit_us + IFS_BITS * self.bit_us

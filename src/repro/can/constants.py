@@ -1,0 +1,71 @@
+"""Protocol constants for the CAN simulator.
+
+All times in the simulator are integer **microseconds** so that the two
+baud rates the paper uses (125 kbit/s for the middle-speed bus, 500 kbit/s
+for the high-speed bus) yield exact integer bit times (8 us and 2 us).
+"""
+
+#: Number of identifier bits in a base-format frame.
+BASE_ID_BITS = 11
+
+#: Number of identifier bits in an extended-format frame.
+EXT_ID_BITS = 29
+
+#: Largest valid base-format identifier (0x7FF).
+MAX_BASE_ID = (1 << BASE_ID_BITS) - 1
+
+#: Largest valid extended-format identifier (0x1FFFFFFF).
+MAX_EXT_ID = (1 << EXT_ID_BITS) - 1
+
+#: Largest data length code for classic CAN (8 bytes).
+MAX_DLC = 8
+
+#: Middle-speed CAN baud rate used by the paper's Ford Fusion logs (bit/s).
+BAUD_MS_CAN = 125_000
+
+#: High-speed CAN baud rate (bit/s).
+BAUD_HS_CAN = 500_000
+
+#: CRC-15 generator polynomial of CAN (x^15+x^14+x^10+x^8+x^7+x^4+x^3+1).
+CRC15_POLY = 0x4599
+
+#: Width of the CRC field in bits.
+CRC_BITS = 15
+
+#: Run length after which a stuff bit is inserted.
+STUFF_RUN = 5
+
+#: CRC delimiter + ACK slot + ACK delimiter, transmitted without stuffing.
+ACK_FIELD_BITS = 3
+
+#: End-of-frame field (7 recessive bits), transmitted without stuffing.
+EOF_BITS = 7
+
+#: Interframe space (3 recessive bits) between consecutive frames.
+IFS_BITS = 3
+
+#: Number of bits in an (active) error frame plus error delimiter; used to
+#: charge bus time when the simulator injects a transmission error.
+ERROR_FRAME_BITS = 14
+
+#: One second expressed in simulator microseconds.
+SECOND_US = 1_000_000
+
+
+def bit_time_us(baud_rate: int) -> int:
+    """Return the duration of one bit in integer microseconds.
+
+    Raises
+    ------
+    ValueError
+        If the baud rate does not divide 1 MHz evenly; the simulator clock
+        is integer microseconds, so only such rates are representable
+        exactly (all the standard automotive rates are: 125k/250k/500k/1M).
+    """
+    if baud_rate <= 0:
+        raise ValueError(f"baud rate must be positive, got {baud_rate}")
+    if SECOND_US % baud_rate:
+        raise ValueError(
+            f"baud rate {baud_rate} does not give an integer microsecond bit time"
+        )
+    return SECOND_US // baud_rate

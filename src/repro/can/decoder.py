@@ -1,0 +1,145 @@
+"""Decoding CAN frames back from their wire bitstream.
+
+The encoder lives in :mod:`repro.can.bits` (:func:`frame_bitstream`);
+this module is its inverse: it consumes the stuffed bit sequence of the
+stuffed region, reverses the stuffing, parses the arbitration/control/
+data/CRC fields for both base and extended formats, and verifies the
+CRC-15.  Together they give the simulator a complete, fuzz-testable
+wire-format round trip — and a foundation for tooling that inspects raw
+captures (e.g. a logic-analyzer import path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.can.bits import crc15, id_from_bits, unstuff_bits
+from repro.can.constants import CRC_BITS, MAX_DLC
+from repro.can.frame import CANFrame
+from repro.exceptions import FrameError
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """A parsed frame plus decoder diagnostics."""
+
+    frame: CANFrame
+    crc_ok: bool
+    stuff_bits_removed: int
+    bits_consumed: int
+
+
+def _take(bits: Sequence[int], cursor: int, count: int) -> Tuple[Tuple[int, ...], int]:
+    if cursor + count > len(bits):
+        raise FrameError(
+            f"truncated frame: needed {count} bits at offset {cursor}, "
+            f"have {len(bits) - cursor}"
+        )
+    return tuple(bits[cursor : cursor + count]), cursor + count
+
+
+def decode_frame(stuffed_bits: Sequence[int]) -> DecodedFrame:
+    """Decode one frame from its stuffed-region bit sequence.
+
+    Parameters
+    ----------
+    stuffed_bits:
+        The bits produced by :func:`repro.can.bits.frame_bitstream` —
+        start-of-frame through the CRC sequence, stuff bits included.
+
+    Returns
+    -------
+    DecodedFrame
+        The reconstructed :class:`CANFrame`, whether the transmitted CRC
+        matched a recomputation, how many stuff bits were removed, and
+        how many unstuffed bits the frame consumed.
+
+    Raises
+    ------
+    FrameError
+        On stuff violations, truncated input, a dominant start-of-frame
+        violation, reserved DLC values, or any field inconsistency.
+    """
+    raw = unstuff_bits(stuffed_bits)
+    removed = len(stuffed_bits) - len(raw)
+    cursor = 0
+
+    sof, cursor = _take(raw, cursor, 1)
+    if sof[0] != 0:
+        raise FrameError("start-of-frame bit must be dominant (0)")
+
+    base_id_bits, cursor = _take(raw, cursor, 11)
+    bit12, cursor = _take(raw, cursor, 1)  # RTR (base) or SRR (extended)
+    ide, cursor = _take(raw, cursor, 1)
+
+    if ide[0] == 0:
+        # Base format: bit12 was RTR, next is r0.
+        rtr = bool(bit12[0])
+        _r0, cursor = _take(raw, cursor, 1)
+        can_id = id_from_bits(base_id_bits)
+        extended = False
+    else:
+        # Extended format: bit12 was SRR (must be recessive).
+        if bit12[0] != 1:
+            raise FrameError("SRR must be recessive in extended frames")
+        ext_id_bits, cursor = _take(raw, cursor, 18)
+        rtr_bit, cursor = _take(raw, cursor, 1)
+        _r1r0, cursor = _take(raw, cursor, 2)
+        rtr = bool(rtr_bit[0])
+        can_id = (id_from_bits(base_id_bits) << 18) | id_from_bits(ext_id_bits)
+        extended = True
+
+    dlc_bits, cursor = _take(raw, cursor, 4)
+    dlc = id_from_bits(dlc_bits)
+    if dlc > MAX_DLC:
+        raise FrameError(f"reserved DLC value {dlc}")
+
+    if rtr:
+        payload = b""
+    else:
+        data_bits, cursor = _take(raw, cursor, 8 * dlc)
+        payload = bytes(
+            id_from_bits(data_bits[offset : offset + 8])
+            for offset in range(0, len(data_bits), 8)
+        )
+
+    crc_bits, cursor = _take(raw, cursor, CRC_BITS)
+    transmitted_crc = id_from_bits(crc_bits)
+    recomputed = crc15(raw[: cursor - CRC_BITS])
+
+    if cursor != len(raw):
+        raise FrameError(
+            f"{len(raw) - cursor} trailing bits after the CRC sequence"
+        )
+
+    frame = CANFrame(can_id, payload, extended=extended, rtr=rtr)
+    return DecodedFrame(
+        frame=frame,
+        crc_ok=(transmitted_crc == recomputed),
+        stuff_bits_removed=removed,
+        bits_consumed=len(raw),
+    )
+
+
+def roundtrip(frame: CANFrame) -> DecodedFrame:
+    """Encode a frame and decode it back (self-check helper).
+
+    Raises
+    ------
+    FrameError
+        If the decoded frame differs from the input or the CRC fails —
+        either indicates an encoder/decoder bug.
+    """
+    from repro.can.bits import frame_bitstream
+
+    decoded = decode_frame(
+        frame_bitstream(
+            frame.can_id, frame.data, extended=frame.extended, rtr=frame.rtr
+        )
+    )
+    if decoded.frame != frame:
+        raise FrameError(f"roundtrip mismatch: {frame} -> {decoded.frame}")
+    if not decoded.crc_ok:
+        raise FrameError(f"roundtrip CRC failure for {frame}")
+    return decoded

@@ -1,0 +1,72 @@
+"""ISO 11898 fault confinement: error counters and node error states.
+
+The simulator uses these for failure injection (random transmission
+errors) and to model the bus-off behaviour that takes a misbehaving node
+off the bus — one of the side channels the paper notes would eventually
+expose a long-running flooding attacker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ErrorState(enum.Enum):
+    """Fault-confinement state of a CAN controller."""
+
+    ERROR_ACTIVE = "error_active"
+    ERROR_PASSIVE = "error_passive"
+    BUS_OFF = "bus_off"
+
+
+#: TEC/REC threshold for the error-passive transition.
+ERROR_PASSIVE_LIMIT = 128
+
+#: TEC threshold beyond which the controller goes bus-off.
+BUS_OFF_LIMIT = 255
+
+
+@dataclass
+class ErrorCounters:
+    """Transmit/receive error counters with the standard state rules.
+
+    Only the transitions the simulator exercises are implemented:
+    transmit errors add 8 to TEC, successful transmissions subtract 1,
+    receive errors add 1 to REC, successful receptions subtract 1.
+    """
+
+    tec: int = 0
+    rec: int = 0
+
+    @property
+    def state(self) -> ErrorState:
+        """Current fault-confinement state."""
+        if self.tec > BUS_OFF_LIMIT:
+            return ErrorState.BUS_OFF
+        if self.tec >= ERROR_PASSIVE_LIMIT or self.rec >= ERROR_PASSIVE_LIMIT:
+            return ErrorState.ERROR_PASSIVE
+        return ErrorState.ERROR_ACTIVE
+
+    @property
+    def bus_off(self) -> bool:
+        """True once the transmit error counter exceeded the bus-off limit."""
+        return self.state is ErrorState.BUS_OFF
+
+    def on_tx_error(self) -> None:
+        """Register a transmission error (TEC += 8)."""
+        self.tec += 8
+
+    def on_tx_success(self) -> None:
+        """Register a successful transmission (TEC -= 1, floored at 0)."""
+        if self.tec > 0:
+            self.tec -= 1
+
+    def on_rx_error(self) -> None:
+        """Register a reception error (REC += 1)."""
+        self.rec += 1
+
+    def on_rx_success(self) -> None:
+        """Register a successful reception (REC -= 1, floored at 0)."""
+        if self.rec > 0:
+            self.rec -= 1

@@ -1,0 +1,81 @@
+"""The CAN data frame.
+
+A frame is an immutable value object; everything stateful (timestamps,
+source node, ground-truth attack labels) lives in
+:class:`repro.io.trace.TraceRecord` instead, mirroring how a real logger
+sees frames on the wire without knowing who sent them — the very property
+("no transmitter or receiver addresses") the paper points out makes CAN
+messages easy to forge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.can import bits as _bits
+from repro.can.constants import MAX_BASE_ID, MAX_DLC, MAX_EXT_ID
+from repro.exceptions import FrameError
+
+
+@dataclass(frozen=True)
+class CANFrame:
+    """An immutable CAN data (or remote) frame.
+
+    Parameters
+    ----------
+    can_id:
+        The identifier; at most 11 bits for base format, 29 for extended.
+    data:
+        0–8 payload bytes.  Must be empty for remote frames.
+    extended:
+        Use the 29-bit extended identifier format.
+    rtr:
+        Remote transmission request (no payload on the wire).
+    """
+
+    can_id: int
+    data: bytes = b""
+    extended: bool = False
+    rtr: bool = False
+
+    def __post_init__(self) -> None:
+        limit = MAX_EXT_ID if self.extended else MAX_BASE_ID
+        if not 0 <= self.can_id <= limit:
+            kind = "extended" if self.extended else "base"
+            raise FrameError(
+                f"identifier 0x{self.can_id:X} out of range for {kind} format"
+            )
+        if not isinstance(self.data, (bytes, bytearray)):
+            raise FrameError(f"data must be bytes, got {type(self.data).__name__}")
+        if isinstance(self.data, bytearray):
+            object.__setattr__(self, "data", bytes(self.data))
+        if len(self.data) > MAX_DLC:
+            raise FrameError(f"payload of {len(self.data)} bytes exceeds {MAX_DLC}")
+        if self.rtr and self.data:
+            raise FrameError("remote frames carry no payload")
+
+    @property
+    def dlc(self) -> int:
+        """Data length code (payload byte count for classic CAN)."""
+        return len(self.data)
+
+    @property
+    def id_width(self) -> int:
+        """Number of identifier bits (11 or 29)."""
+        return 29 if self.extended else 11
+
+    def id_bit_tuple(self) -> tuple:
+        """The identifier as an MSB-first bit tuple (the IDS's raw input)."""
+        return _bits.id_bits(self.can_id, self.id_width)
+
+    def wire_bits(self) -> int:
+        """Total bits on the wire, including actual stuff bits."""
+        return _bits.frame_wire_bits(
+            self.can_id, self.data, extended=self.extended, rtr=self.rtr
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        width = 8 if self.extended else 3
+        payload = self.data.hex().upper() or "--"
+        kind = "R" if self.rtr else "D"
+        return f"CAN[{kind}] 0x{self.can_id:0{width}X} dlc={self.dlc} {payload}"

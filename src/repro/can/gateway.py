@@ -1,0 +1,159 @@
+"""Gateway whitelist filter.
+
+The paper repeatedly leans on a gateway-level filter as the complementary
+coarse defence: flooding "with different IDs ... will be easily detected
+by the filter in the gateway", and "with 4 and more injection IDs, the
+compromised ECU would be easily figured out by the gateway filter".
+
+:class:`GatewayFilter` implements that component as a passive bus
+listener producing :class:`GatewayAlert` events for three conditions:
+
+* ``unknown_id`` — an identifier outside the vehicle's catalog appeared;
+* ``unassigned_id`` — a node transmitted an identifier that is not in its
+  assignment (visible to the simulator's ground truth; a real gateway
+  sees this at the port level);
+* ``id_spread`` — a single node used more distinct identifiers within the
+  sliding window than its assignment size allows.
+
+The gateway never feeds the entropy IDS; it exists so experiments can
+show which attack configurations are *already* caught by conventional
+filtering, reproducing the paper's qualitative discussion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.can.constants import SECOND_US
+from repro.exceptions import BusConfigError
+from repro.io.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class GatewayAlert:
+    """One gateway filter decision."""
+
+    timestamp_us: int
+    kind: str
+    source: str
+    can_id: int
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.timestamp_us}us] gateway {self.kind}: source={self.source or '?'} "
+            f"id=0x{self.can_id:03X} {self.detail}"
+        )
+
+
+class GatewayFilter:
+    """Sliding-window whitelist monitor over bus traffic."""
+
+    def __init__(
+        self,
+        known_ids: Iterable[int],
+        assignments: Optional[Dict[str, Iterable[int]]] = None,
+        window_us: int = SECOND_US,
+        max_distinct_margin: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        known_ids:
+            The vehicle's catalog of legitimate identifiers.
+        assignments:
+            Optional per-node identifier assignments.  When present,
+            frames whose source transmits outside its assignment raise
+            ``unassigned_id`` alerts, and ``id_spread`` uses the
+            assignment size (plus ``max_distinct_margin``) as the limit.
+        window_us:
+            Sliding window length for the distinct-ID spread check.
+        max_distinct_margin:
+            Slack added to each node's assignment size before an
+            ``id_spread`` alert fires.
+        """
+        if window_us <= 0:
+            raise BusConfigError(f"gateway window must be positive, got {window_us}")
+        self.known_ids: FrozenSet[int] = frozenset(known_ids)
+        if not self.known_ids:
+            raise BusConfigError("gateway needs a non-empty whitelist")
+        self.assignments: Dict[str, FrozenSet[int]] = {
+            name: frozenset(ids) for name, ids in (assignments or {}).items()
+        }
+        self.window_us = window_us
+        self.max_distinct_margin = max_distinct_margin
+        self.alerts: List[GatewayAlert] = []
+        self._history: Dict[str, Deque[Tuple[int, int]]] = {}
+        self._spread_flagged: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def on_frame(self, record: TraceRecord) -> List[GatewayAlert]:
+        """Inspect one frame; return (and retain) any alerts it raised."""
+        raised: List[GatewayAlert] = []
+        if record.can_id not in self.known_ids:
+            raised.append(
+                GatewayAlert(
+                    timestamp_us=record.timestamp_us,
+                    kind="unknown_id",
+                    source=record.source,
+                    can_id=record.can_id,
+                    detail="identifier not in vehicle catalog",
+                )
+            )
+        assignment = self.assignments.get(record.source)
+        if assignment is not None and record.can_id not in assignment:
+            raised.append(
+                GatewayAlert(
+                    timestamp_us=record.timestamp_us,
+                    kind="unassigned_id",
+                    source=record.source,
+                    can_id=record.can_id,
+                    detail=f"not among the {len(assignment)} assigned identifiers",
+                )
+            )
+        raised.extend(self._check_spread(record, assignment))
+        self.alerts.extend(raised)
+        return raised
+
+    def _check_spread(
+        self, record: TraceRecord, assignment: Optional[FrozenSet[int]]
+    ) -> List[GatewayAlert]:
+        history = self._history.setdefault(record.source, deque())
+        history.append((record.timestamp_us, record.can_id))
+        horizon = record.timestamp_us - self.window_us
+        while history and history[0][0] < horizon:
+            history.popleft()
+        distinct = {can_id for _t, can_id in history}
+        limit = (len(assignment) if assignment else 1) + self.max_distinct_margin
+        if len(distinct) > limit:
+            if record.source in self._spread_flagged:
+                return []  # one alert per offending burst, not per frame
+            self._spread_flagged.add(record.source)
+            return [
+                GatewayAlert(
+                    timestamp_us=record.timestamp_us,
+                    kind="id_spread",
+                    source=record.source,
+                    can_id=record.can_id,
+                    detail=f"{len(distinct)} distinct identifiers in window (limit {limit})",
+                )
+            ]
+        self._spread_flagged.discard(record.source)
+        return []
+
+    # ------------------------------------------------------------------
+    def alerts_by_kind(self, kind: str) -> List[GatewayAlert]:
+        """All retained alerts of one kind."""
+        return [a for a in self.alerts if a.kind == kind]
+
+    def flagged_sources(self) -> Set[str]:
+        """Names of all nodes that raised at least one alert."""
+        return {a.source for a in self.alerts}
+
+    def reset(self) -> None:
+        """Drop all alert and window state."""
+        self.alerts.clear()
+        self._history.clear()
+        self._spread_flagged.clear()

@@ -1,0 +1,266 @@
+"""Bus nodes (ECUs).
+
+A :class:`Node` is anything that can contend for the bus.  The bus drives
+nodes through a small pull-style protocol:
+
+* :meth:`Node.next_release` — when is your earliest pending frame ready?
+* :meth:`Node.peek` — which frame would you send right now?
+* :meth:`Node.on_win` / :meth:`Node.on_loss` / :meth:`Node.on_error` —
+  outcome callbacks after each arbitration round.
+
+:class:`PeriodicECU` models a legitimate ECU: a set of periodic messages
+(with offset and jitter) plus optional event-driven messages with Poisson
+arrivals.  Lost arbitration keeps the frame pending — legitimate
+controllers retransmit — while attackers (see :mod:`repro.attacks`)
+override :meth:`on_loss` to drop, which is what makes the paper's
+*injection rate* (wins over attempts) a meaningful quantity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.can.constants import SECOND_US
+from repro.can.errors import ErrorCounters
+from repro.can.frame import CANFrame
+from repro.exceptions import BusConfigError, NodeStateError
+
+PayloadFn = Callable[[int], bytes]
+
+
+def counter_payload(dlc: int = 8) -> PayloadFn:
+    """Default payload generator: a big-endian message counter.
+
+    Real ECUs typically carry rolling counters and slowly-varying sensor
+    values; a counter keeps payload bits exercised without mattering to
+    the ID-based IDS.
+    """
+    if not 0 <= dlc <= 8:
+        raise BusConfigError(f"dlc must be 0..8, got {dlc}")
+
+    def generate(seq: int) -> bytes:
+        return (seq % (1 << (8 * dlc))).to_bytes(dlc, "big") if dlc else b""
+
+    return generate
+
+
+@dataclass
+class MessageSpec:
+    """One message a node is responsible for.
+
+    Exactly one of ``period_us`` (periodic message) or ``rate_hz``
+    (event-driven message with exponential inter-arrivals) must be set.
+
+    Parameters
+    ----------
+    can_id:
+        Identifier used on the wire.
+    period_us:
+        Nominal period for periodic messages.
+    rate_hz:
+        Mean arrival rate for event-driven messages.
+    offset_us:
+        Release time of the first instance.
+    jitter_frac:
+        Gaussian jitter applied to each period, as a fraction of the
+        period (clipped to +-3 sigma and to a minimum of one tenth of
+        the period so schedules stay sane).
+    payload_fn:
+        Maps the per-message sequence number to payload bytes.
+    extended:
+        Use the 29-bit identifier format.
+    """
+
+    can_id: int
+    period_us: Optional[int] = None
+    rate_hz: Optional[float] = None
+    offset_us: int = 0
+    jitter_frac: float = 0.0
+    payload_fn: PayloadFn = field(default_factory=counter_payload)
+    extended: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.period_us is None) == (self.rate_hz is None):
+            raise BusConfigError(
+                f"message 0x{self.can_id:X}: exactly one of period_us/rate_hz required"
+            )
+        if self.period_us is not None and self.period_us <= 0:
+            raise BusConfigError(f"message 0x{self.can_id:X}: period must be positive")
+        if self.rate_hz is not None and self.rate_hz <= 0:
+            raise BusConfigError(f"message 0x{self.can_id:X}: rate must be positive")
+        if self.offset_us < 0:
+            raise BusConfigError(f"message 0x{self.can_id:X}: offset must be >= 0")
+        if not 0.0 <= self.jitter_frac < 0.5:
+            raise BusConfigError(
+                f"message 0x{self.can_id:X}: jitter_frac must be in [0, 0.5)"
+            )
+
+    @property
+    def is_periodic(self) -> bool:
+        """True for fixed-period messages, False for event-driven ones."""
+        return self.period_us is not None
+
+
+class Node:
+    """Base class for everything attached to the bus."""
+
+    #: Ground-truth marker propagated into trace records.
+    is_attacker: bool = False
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise BusConfigError("node name must be non-empty")
+        self.name = name
+        self.enabled = True
+        self.disabled_reason: Optional[str] = None
+        self.error_counters = ErrorCounters()
+        #: Number of frames this node put on the wire successfully.
+        self.tx_success = 0
+        #: Number of arbitration rounds this node lost.
+        self.tx_lost = 0
+        #: Number of frames dropped by the transmitter filter.
+        self.tx_filtered = 0
+        #: Number of transmission errors suffered.
+        self.tx_errors = 0
+
+    # -- scheduling interface -------------------------------------------------
+    def next_release(self) -> Optional[int]:
+        """Earliest time (us) a frame is pending, or None when idle."""
+        raise NotImplementedError
+
+    def peek(self) -> CANFrame:
+        """The frame this node would contend with right now."""
+        raise NotImplementedError
+
+    # -- outcome callbacks ----------------------------------------------------
+    def on_win(self, t_us: int) -> None:
+        """Called when the pending frame completed successfully."""
+        self.tx_success += 1
+        self.error_counters.on_tx_success()
+
+    def on_loss(self, t_us: int) -> None:
+        """Called when the node lost arbitration.
+
+        The default (legitimate-controller) behaviour keeps the frame
+        pending so it re-contends at the next bus-idle point.
+        """
+        self.tx_lost += 1
+
+    def on_error(self, t_us: int) -> None:
+        """Called when the transmission was hit by an injected error.
+
+        The frame stays pending (automatic retransmission); the transmit
+        error counter increases per ISO 11898 fault confinement.
+        """
+        self.tx_errors += 1
+        self.error_counters.on_tx_error()
+
+    def on_filtered(self, t_us: int) -> None:
+        """Called when the transmitter filter rejected the pending frame.
+
+        Default: count and drop the frame (advance past it).  Subclasses
+        whose scheduling state must advance override this.
+        """
+        self.tx_filtered += 1
+
+    # -- administrative -------------------------------------------------------
+    def disable(self, reason: str) -> None:
+        """Take the node off the bus (guard shutdown, bus-off, ...)."""
+        self.enabled = False
+        self.disabled_reason = reason
+
+    def reset(self) -> None:
+        """Re-enable a disabled node and clear its error state."""
+        self.enabled = True
+        self.disabled_reason = None
+        self.error_counters = ErrorCounters()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.enabled else f"down({self.disabled_reason})"
+        return f"<{type(self).__name__} {self.name} {state}>"
+
+
+class PeriodicECU(Node):
+    """A legitimate ECU transmitting periodic and event-driven messages."""
+
+    def __init__(
+        self,
+        name: str,
+        messages: Sequence[MessageSpec],
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if not messages:
+            raise BusConfigError(f"ECU {name} needs at least one message")
+        self._messages: List[MessageSpec] = list(messages)
+        self._rng = np.random.default_rng(seed)
+        self._seq: Dict[int, int] = {i: 0 for i in range(len(self._messages))}
+        # Heap entries: (release_us, can_id, msg_index).  The can_id in the
+        # key makes a node with a backlog offer its highest-priority frame
+        # first, like a controller with priority-sorted transmit buffers.
+        self._heap: List[Tuple[int, int, int]] = []
+        for index, spec in enumerate(self._messages):
+            first = spec.offset_us + self._first_delay(spec)
+            heapq.heappush(self._heap, (first, spec.can_id, index))
+
+    # -- schedule generation ----------------------------------------------
+    def _first_delay(self, spec: MessageSpec) -> int:
+        if spec.is_periodic:
+            return 0
+        return self._exponential_us(spec.rate_hz)
+
+    def _exponential_us(self, rate_hz: float) -> int:
+        return max(1, int(self._rng.exponential(SECOND_US / rate_hz)))
+
+    def _next_period(self, spec: MessageSpec) -> int:
+        period = spec.period_us
+        if spec.jitter_frac:
+            sigma = spec.jitter_frac * period
+            delta = float(np.clip(self._rng.normal(0.0, sigma), -3 * sigma, 3 * sigma))
+            period = max(period // 10, int(round(period + delta)))
+        return period
+
+    def _advance(self, index: int, release_us: int) -> None:
+        spec = self._messages[index]
+        if spec.is_periodic:
+            nxt = release_us + self._next_period(spec)
+        else:
+            nxt = release_us + self._exponential_us(spec.rate_hz)
+        heapq.heappush(self._heap, (nxt, spec.can_id, index))
+
+    # -- Node interface -----------------------------------------------------
+    def next_release(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def peek(self) -> CANFrame:
+        if not self._heap:
+            raise NodeStateError(f"ECU {self.name} has no pending frame")
+        _release, _can_id, index = self._heap[0]
+        spec = self._messages[index]
+        payload = spec.payload_fn(self._seq[index])
+        return CANFrame(spec.can_id, payload, extended=spec.extended)
+
+    def on_win(self, t_us: int) -> None:
+        super().on_win(t_us)
+        release, _can_id, index = heapq.heappop(self._heap)
+        self._seq[index] += 1
+        self._advance(index, release)
+
+    def on_filtered(self, t_us: int) -> None:
+        super().on_filtered(t_us)
+        release, _can_id, index = heapq.heappop(self._heap)
+        self._advance(index, release)
+
+    @property
+    def message_specs(self) -> Tuple[MessageSpec, ...]:
+        """The message set this ECU owns (read-only view)."""
+        return tuple(self._messages)
+
+    def assigned_ids(self) -> frozenset:
+        """The identifier set legitimately assigned to this ECU."""
+        return frozenset(spec.can_id for spec in self._messages)

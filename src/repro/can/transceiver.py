@@ -1,0 +1,79 @@
+"""The transceiver zero-overload guard.
+
+Section III of the paper: flooding "is usually deployed by injecting CAN
+messages containing the most dominant identifier, i.e. 0x00.  However,
+the CAN transceivers have the detection mechanism for zero overloads on
+CAN bus ... it will automatically shut down the transmission".  The
+efficient flooding strategy is therefore *changeable* high-priority IDs.
+
+:class:`TransceiverGuard` reproduces that mechanism: a node that puts
+more than ``limit`` consecutive frames with a fully-dominant arbitration
+field (base-format identifier 0x000, dominant RTR) on the bus is shut
+down.  Flooding attackers that rotate identifiers never trip it — which
+is exactly why the entropy IDS is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.can.frame import CANFrame
+from repro.exceptions import BusConfigError
+
+
+@dataclass(frozen=True)
+class TransceiverEvent:
+    """A guard shutdown decision."""
+
+    timestamp_us: int
+    node: str
+    consecutive_dominant: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.timestamp_us}us] transceiver guard shut down {self.node} "
+            f"after {self.consecutive_dominant} consecutive all-dominant frames"
+        )
+
+
+class TransceiverGuard:
+    """Per-node monitor for zero-overload (all-dominant) transmissions."""
+
+    def __init__(self, limit: int = 5) -> None:
+        if limit < 1:
+            raise BusConfigError(f"guard limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._streak: Dict[str, int] = {}
+
+    @staticmethod
+    def _is_all_dominant(frame: CANFrame) -> bool:
+        # Base-format data frame with identifier 0: SOF, all 11 ID bits,
+        # RTR and IDE are all dominant.  Extended frames always carry the
+        # recessive SRR/IDE pair, remote frames a recessive RTR.
+        return frame.can_id == 0 and not frame.extended and not frame.rtr
+
+    def observe(self, node: str, frame: CANFrame, t_us: int) -> Optional[TransceiverEvent]:
+        """Account one transmitted frame; return a shutdown event if due.
+
+        The caller (the bus) is responsible for actually disabling the
+        node when an event is returned.
+        """
+        if self._is_all_dominant(frame):
+            streak = self._streak.get(node, 0) + 1
+            self._streak[node] = streak
+            if streak >= self.limit:
+                self._streak[node] = 0
+                return TransceiverEvent(
+                    timestamp_us=t_us, node=node, consecutive_dominant=streak
+                )
+        else:
+            self._streak[node] = 0
+        return None
+
+    def reset(self, node: Optional[str] = None) -> None:
+        """Clear streak state for one node or for all nodes."""
+        if node is None:
+            self._streak.clear()
+        else:
+            self._streak.pop(node, None)

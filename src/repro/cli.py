@@ -1,0 +1,247 @@
+"""Command-line interface: ``repro-ids``.
+
+Subcommands mirror the workflow of the paper's evaluation:
+
+* ``simulate`` — record a clean drive to a candump/CSV trace;
+* ``attack``   — record a drive with an injected attack;
+* ``template`` — build a golden template from clean traces;
+* ``detect``   — run the detector (and inference) over a trace;
+* ``fig2`` / ``fig3`` / ``table1`` / ``stability`` / ``cost`` — regenerate
+  the paper's artifacts.
+
+Examples::
+
+    repro-ids simulate --duration 30 --out drive.log
+    repro-ids template --windows 35 --out template.json
+    repro-ids attack --attack single --id 0x1A4 --freq 50 --out attack.log
+    repro-ids detect --template template.json --trace attack.log --infer
+    repro-ids table1 --seeds 1 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text}")
+    return value
+
+
+def _can_id(text: str) -> int:
+    value = int(text, 0)
+    if not 0 <= value <= 0x7FF:
+        raise argparse.ArgumentTypeError(f"identifier {text} out of 11-bit range")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ids",
+        description="Bit-entropy CAN intrusion detection (SOCC 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="record a clean drive")
+    simulate.add_argument("--duration", type=_positive_float, default=20.0)
+    simulate.add_argument("--scenario", default="city")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", type=Path, required=True)
+
+    attack = sub.add_parser("attack", help="record a drive with an injected attack")
+    attack.add_argument(
+        "--attack",
+        choices=["flood", "single", "multi", "weak"],
+        default="single",
+    )
+    attack.add_argument("--id", dest="can_ids", type=_can_id, action="append",
+                        help="injected identifier (repeat for multi)")
+    attack.add_argument("--freq", type=_positive_float, default=50.0)
+    attack.add_argument("--start", type=_positive_float, default=2.0)
+    attack.add_argument("--attack-duration", type=_positive_float, default=10.0)
+    attack.add_argument("--duration", type=_positive_float, default=14.0)
+    attack.add_argument("--scenario", default="city")
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--out", type=Path, required=True)
+
+    template = sub.add_parser("template", help="build a golden template")
+    template.add_argument("--windows", type=int, default=35)
+    template.add_argument("--window-s", type=_positive_float, default=2.0)
+    template.add_argument("--alpha", type=_positive_float, default=3.0)
+    template.add_argument("--seed", type=int, default=7)
+    template.add_argument("--traces", type=Path, nargs="*", default=[],
+                          help="clean trace files; simulated drives if omitted")
+    template.add_argument("--out", type=Path, required=True)
+
+    detect = sub.add_parser("detect", help="scan a trace with a template")
+    detect.add_argument("--template", type=Path, required=True)
+    detect.add_argument("--trace", type=Path, required=True)
+    detect.add_argument("--infer", action="store_true",
+                        help="also infer malicious-ID candidates")
+    detect.add_argument("--infer-k", type=int, default=1)
+
+    for name, helptext in [
+        ("fig2", "regenerate Fig. 2 (template vs attack)"),
+        ("fig3", "regenerate Fig. 3 (injection/detection vs ID)"),
+        ("table1", "regenerate Table I"),
+        ("stability", "regenerate the entropy stability experiment"),
+        ("cost", "regenerate the Sec. V.E cost comparison"),
+    ]:
+        exp = sub.add_parser(name, help=helptext)
+        exp.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+def _write_trace(trace, path: Path) -> None:
+    from repro.io import write_candump, write_csv
+
+    if path.suffix.lower() == ".csv":
+        write_csv(trace, path)
+    else:
+        write_candump(trace, path)
+
+
+def _read_trace(path: Path):
+    from repro.io import read_candump, read_csv
+
+    if path.suffix.lower() == ".csv":
+        return read_csv(path)
+    return read_candump(path)
+
+
+def _cmd_simulate(args) -> int:
+    from repro.vehicle.traffic import simulate_drive
+
+    trace = simulate_drive(args.duration, scenario=args.scenario, seed=args.seed)
+    _write_trace(trace, args.out)
+    print(f"wrote {len(trace)} frames ({trace.message_rate_hz():.0f} msg/s) to {args.out}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import (
+        FloodingAttacker,
+        MultiIDAttacker,
+        SingleIDAttacker,
+        WeakAttacker,
+    )
+    from repro.vehicle import VehicleSimulation, ford_fusion_catalog
+    from repro.vehicle.ecu_profiles import assignments_for
+
+    catalog = ford_fusion_catalog(seed=0)
+    sim = VehicleSimulation(catalog=catalog, scenario=args.scenario, seed=args.seed)
+    common = dict(
+        frequency_hz=args.freq,
+        start_s=args.start,
+        duration_s=args.attack_duration,
+        seed=args.seed,
+    )
+    ids = args.can_ids or []
+    if args.attack == "flood":
+        attacker = FloodingAttacker(**common)
+    elif args.attack == "single":
+        attacker = SingleIDAttacker(can_id=ids[0] if ids else catalog.ids[60], **common)
+    elif args.attack == "multi":
+        chosen = ids if len(ids) >= 2 else [catalog.ids[60], catalog.ids[120]]
+        attacker = MultiIDAttacker(chosen, **common)
+    else:
+        assignments = assignments_for(catalog)
+        ecu = sorted(assignments)[0]
+        attacker = WeakAttacker(sorted(assignments[ecu]), **common)
+    sim.add_node(attacker)
+    trace = sim.run(args.duration)
+    _write_trace(trace, args.out)
+    print(f"wrote {len(trace)} frames to {args.out}")
+    print(attacker.describe())
+    return 0
+
+
+def _cmd_template(args) -> int:
+    from repro.core import IDSConfig, TemplateBuilder
+    from repro.vehicle.traffic import record_template_windows
+
+    config = IDSConfig(
+        alpha=args.alpha,
+        window_us=int(args.window_s * 1e6),
+        template_windows=max(2, args.windows),
+    )
+    builder = TemplateBuilder(config)
+    if args.traces:
+        for path in args.traces:
+            builder.add_trace_windows(_read_trace(path))
+    else:
+        for window in record_template_windows(
+            n_windows=args.windows, window_s=args.window_s, seed=args.seed
+        ):
+            builder.add_trace(window)
+    template = builder.build()
+    template.save(args.out)
+    print(f"template from {template.n_windows} windows written to {args.out}")
+    print(template.describe())
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
+    from repro.vehicle import ford_fusion_catalog
+
+    template = GoldenTemplate.load(args.template)
+    config = IDSConfig(alpha=template.alpha)
+    pool = ford_fusion_catalog(seed=0).ids if args.infer else None
+    pipeline = IDSPipeline(template, config, id_pool=pool)
+    trace = _read_trace(args.trace)
+    report = pipeline.analyze(trace, infer_k=args.infer_k)
+    print(report.summary())
+    return 0 if not report.alarmed_windows else 2
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import fig2, fig3, stability, table1
+    from repro.experiments import cost as cost_experiment
+
+    seeds = tuple(args.seeds)
+    if args.command == "fig2":
+        print(fig2.run(seed=seeds[0]).render())
+    elif args.command == "fig3":
+        print(fig3.run(seeds=seeds).render())
+    elif args.command == "table1":
+        print(table1.run(seeds=seeds).render())
+    elif args.command == "stability":
+        print(stability.run(seed=seeds[0]).render())
+    else:
+        print(cost_experiment.run(seeds=seeds).render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "attack": _cmd_attack,
+        "template": _cmd_template,
+        "detect": _cmd_detect,
+        "fig2": _cmd_experiment,
+        "fig3": _cmd_experiment,
+        "table1": _cmd_experiment,
+        "stability": _cmd_experiment,
+        "cost": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

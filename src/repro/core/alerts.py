@@ -1,0 +1,74 @@
+"""Alerts emitted by the IDS.
+
+The paper: "If the bit change is above the threshold, we will treat the
+CAN bus is under intrusion attack, and the system will send an alert
+signal."  An :class:`Alert` captures one such signal with enough context
+for an operator (which bits fired, by how much); :class:`AlertSink`
+collects them and is the natural integration point for a real system
+(replace with a callback into the gateway, a logger, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.can.constants import SECOND_US
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One intrusion alert.
+
+    ``violated_bits`` uses the paper's 1-based bit numbering (Bit 1 is
+    the identifier MSB); ``deviations`` are the signed entropy deviations
+    of exactly those bits, in the same order.
+    """
+
+    timestamp_us: int
+    window_index: int
+    violated_bits: Tuple[int, ...]
+    deviations: Tuple[float, ...]
+    n_messages: int
+
+    @property
+    def timestamp_s(self) -> float:
+        """Alert time in seconds."""
+        return self.timestamp_us / SECOND_US
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        bits = ", ".join(
+            f"bit {b} ({d:+.4f})" for b, d in zip(self.violated_bits, self.deviations)
+        )
+        return (
+            f"[{self.timestamp_s:.3f}s] INTRUSION window #{self.window_index}: "
+            f"{bits} over {self.n_messages} messages"
+        )
+
+
+class AlertSink:
+    """Collects alerts; optionally forwards each to a callback."""
+
+    def __init__(self, callback: Optional[Callable[[Alert], None]] = None) -> None:
+        self.alerts: List[Alert] = []
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        """Record (and forward) one alert."""
+        self.alerts.append(alert)
+        if self._callback is not None:
+            self._callback(alert)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __iter__(self):
+        return iter(self.alerts)
+
+    def clear(self) -> None:
+        """Drop all collected alerts."""
+        self.alerts.clear()
+
+    def first_alert_time_us(self) -> Optional[int]:
+        """Timestamp of the earliest alert, or None."""
+        return self.alerts[0].timestamp_us if self.alerts else None

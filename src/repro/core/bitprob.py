@@ -1,0 +1,159 @@
+"""Streaming per-bit occurrence counters.
+
+This is the data structure behind the paper's cost argument (Section
+V.E): whereas the Muter-entropy IDS must keep one counter per *distinct
+identifier* (hundreds, growing with the catalog), the bit-slice method
+needs exactly ``n_bits`` counters — 11 integers — no matter how many
+identifiers are on the bus.
+
+:class:`BitCounter` supports O(n_bits) streaming updates, vectorised
+batch updates from identifier arrays, and counter arithmetic (merge and
+subtract) so sliding windows can be maintained incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.can.constants import BASE_ID_BITS
+from repro.exceptions import DetectorError
+
+
+class BitCounter:
+    """Counts, for each identifier bit, how many messages carried a 1.
+
+    Bits are indexed MSB-first: index 0 is the paper's "Bit 1" (the most
+    significant identifier bit, the one arbitration decides first).
+    """
+
+    __slots__ = ("n_bits", "_counts", "_total")
+
+    def __init__(self, n_bits: int = BASE_ID_BITS) -> None:
+        if n_bits < 1:
+            raise DetectorError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = n_bits
+        self._counts = np.zeros(n_bits, dtype=np.int64)
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, can_id: int) -> None:
+        """Account one identifier (O(n_bits), allocation-free)."""
+        if can_id < 0 or can_id >> self.n_bits:
+            raise DetectorError(
+                f"identifier 0x{can_id:X} does not fit in {self.n_bits} bits"
+            )
+        counts = self._counts
+        for index in range(self.n_bits):
+            if (can_id >> (self.n_bits - 1 - index)) & 1:
+                counts[index] += 1
+        self._total += 1
+
+    def update_many(self, can_ids: Iterable[int]) -> None:
+        """Vectorised batch update from an iterable/array of identifiers."""
+        ids = np.asarray(
+            can_ids if isinstance(can_ids, np.ndarray) else list(can_ids),
+            dtype=np.int64,
+        )
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or (int(ids.max()) >> self.n_bits):
+            bad = ids[(ids < 0) | (ids >> self.n_bits > 0)][0]
+            raise DetectorError(
+                f"identifier 0x{int(bad):X} does not fit in {self.n_bits} bits"
+            )
+        shifts = np.arange(self.n_bits - 1, -1, -1, dtype=np.int64)
+        bits = (ids[:, None] >> shifts[None, :]) & 1
+        self._counts += bits.sum(axis=0)
+        self._total += ids.size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Number of identifiers accounted so far."""
+        return self._total
+
+    def counts(self) -> np.ndarray:
+        """Per-bit 1-counts (copy; MSB first)."""
+        return self._counts.copy()
+
+    def probabilities(self) -> np.ndarray:
+        """The paper's ``p_i`` vector; zeros when the counter is empty."""
+        if self._total == 0:
+            return np.zeros(self.n_bits, dtype=float)
+        return self._counts / float(self._total)
+
+    def is_empty(self) -> bool:
+        """True when no identifier has been accounted."""
+        return self._total == 0
+
+    # ------------------------------------------------------------------
+    # Arithmetic (for sliding windows)
+    # ------------------------------------------------------------------
+    def merge(self, other: "BitCounter") -> "BitCounter":
+        """Add another counter's contents into this one (in place)."""
+        self._check_compatible(other)
+        self._counts += other._counts
+        self._total += other._total
+        return self
+
+    def subtract(self, other: "BitCounter") -> "BitCounter":
+        """Remove another counter's contents (for expiring window slices).
+
+        Raises
+        ------
+        DetectorError
+            If the subtraction would drive any count or the total
+            negative — the slice being removed was never added.
+        """
+        self._check_compatible(other)
+        if other._total > self._total or np.any(other._counts > self._counts):
+            raise DetectorError("cannot subtract a counter that is not a subset")
+        self._counts -= other._counts
+        self._total -= other._total
+        return self
+
+    def copy(self) -> "BitCounter":
+        """An independent copy."""
+        clone = BitCounter(self.n_bits)
+        clone._counts = self._counts.copy()
+        clone._total = self._total
+        return clone
+
+    def reset(self) -> None:
+        """Clear all counts."""
+        self._counts[:] = 0
+        self._total = 0
+
+    def _check_compatible(self, other: "BitCounter") -> None:
+        if not isinstance(other, BitCounter):
+            raise DetectorError(f"expected BitCounter, got {type(other).__name__}")
+        if other.n_bits != self.n_bits:
+            raise DetectorError(
+                f"bit width mismatch: {self.n_bits} vs {other.n_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ids(cls, can_ids: Iterable[int], n_bits: int = BASE_ID_BITS) -> "BitCounter":
+        """Build a counter directly from identifiers."""
+        counter = cls(n_bits)
+        counter.update_many(can_ids)
+        return counter
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitCounter):
+            return NotImplemented
+        return (
+            self.n_bits == other.n_bits
+            and self._total == other._total
+            and bool(np.all(self._counts == other._counts))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitCounter(n_bits={self.n_bits}, total={self._total})"

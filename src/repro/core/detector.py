@@ -1,0 +1,199 @@
+"""The windowed entropy detector (Section IV.B of the paper).
+
+"In the detection procedure, we compare the binary entropy to the
+template bit by bit.  If the bit change is above the threshold, we will
+treat the CAN bus is under intrusion attack."
+
+:class:`EntropyDetector` offers two driving modes:
+
+* **batch** — :meth:`scan` splits a recorded :class:`~repro.io.trace.Trace`
+  into tumbling windows and judges each;
+* **streaming** — :meth:`feed` accepts records one by one (e.g. straight
+  from a bus listener) and emits a :class:`WindowResult` whenever a
+  window closes, which is how the real-time deployment the paper argues
+  for ("react ... in a time period of as short as 1 s") would run.
+
+Every window also records the number of ground-truth attack messages it
+contained (carried by the simulator's trace records) so the evaluation
+can compute the paper's detection rate; the verdict itself never uses
+that field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.alerts import Alert, AlertSink
+from repro.core.bitprob import BitCounter
+from repro.core.config import IDSConfig
+from repro.core.entropy import binary_entropy
+from repro.core.template import GoldenTemplate
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Verdict and measurements for one detection window."""
+
+    index: int
+    t_start_us: int
+    t_end_us: int
+    n_messages: int
+    n_attack_messages: int
+    probabilities: np.ndarray
+    entropy: np.ndarray
+    deviations: np.ndarray
+    violated: np.ndarray
+    judged: bool
+
+    @property
+    def alarm(self) -> bool:
+        """True when the window was judged and at least one bit fired."""
+        return self.judged and bool(np.any(self.violated))
+
+    @property
+    def violated_bit_numbers(self) -> tuple:
+        """Violated bits in the paper's 1-based numbering (MSB = Bit 1)."""
+        return tuple(int(i) + 1 for i in np.flatnonzero(self.violated))
+
+    def to_alert(self) -> Alert:
+        """Convert an alarming window into an :class:`Alert`."""
+        if not self.alarm:
+            raise DetectorError("window did not alarm; no alert to build")
+        indices = np.flatnonzero(self.violated)
+        return Alert(
+            timestamp_us=self.t_end_us,
+            window_index=self.index,
+            violated_bits=tuple(int(i) + 1 for i in indices),
+            deviations=tuple(float(self.deviations[i]) for i in indices),
+            n_messages=self.n_messages,
+        )
+
+
+class EntropyDetector:
+    """Tumbling-window, per-bit entropy detector."""
+
+    def __init__(
+        self,
+        template: GoldenTemplate,
+        config: Optional[IDSConfig] = None,
+        sink: Optional[AlertSink] = None,
+    ) -> None:
+        self.config = config or IDSConfig()
+        if template.n_bits != self.config.n_bits:
+            raise DetectorError(
+                f"template monitors {template.n_bits} bits, config expects "
+                f"{self.config.n_bits}"
+            )
+        self.template = template
+        self.sink = sink if sink is not None else AlertSink()
+        self._counter = BitCounter(self.config.n_bits)
+        self._window_index = 0
+        self._window_start_us: Optional[int] = None
+        self._attack_in_window = 0
+        self._last_timestamp: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Batch mode
+    # ------------------------------------------------------------------
+    def scan(self, trace: Trace) -> List[WindowResult]:
+        """Judge every tumbling window of a recorded trace."""
+        results: List[WindowResult] = []
+        for record in trace:
+            result = self.feed(record)
+            if result is not None:
+                results.append(result)
+        final = self.flush()
+        if final is not None:
+            results.append(final)
+        return results
+
+    # ------------------------------------------------------------------
+    # Streaming mode
+    # ------------------------------------------------------------------
+    def feed(self, record: TraceRecord) -> Optional[WindowResult]:
+        """Account one record; return a result when a window closes.
+
+        Records must arrive in non-decreasing timestamp order.  When a
+        record lands past the current window's end, the window is closed
+        and judged first, then the record opens the next window.  Long
+        silent gaps close the intervening empty windows without verdicts.
+        """
+        if self._last_timestamp is not None and record.timestamp_us < self._last_timestamp:
+            raise DetectorError(
+                f"record at {record.timestamp_us}us arrived after "
+                f"{self._last_timestamp}us; feed records in time order"
+            )
+        self._last_timestamp = record.timestamp_us
+
+        closed: Optional[WindowResult] = None
+        if self._window_start_us is None:
+            self._window_start_us = record.timestamp_us
+        elif record.timestamp_us >= self._window_start_us + self.config.window_us:
+            closed = self._close_window()
+            # Advance the window origin across any silent gap.
+            start = self._window_start_us
+            while record.timestamp_us >= start + self.config.window_us:
+                start += self.config.window_us
+            self._window_start_us = start
+
+        self._counter.update(record.can_id)
+        if record.is_attack:
+            self._attack_in_window += 1
+        return closed
+
+    def flush(self) -> Optional[WindowResult]:
+        """Close the trailing partial window (end of capture)."""
+        if self._window_start_us is None or self._counter.is_empty():
+            return None
+        return self._close_window(final=True)
+
+    def _close_window(self, final: bool = False) -> WindowResult:
+        assert self._window_start_us is not None
+        probabilities = self._counter.probabilities()
+        entropy = np.asarray(binary_entropy(probabilities), dtype=float)
+        judged = self._counter.total >= self.config.min_window_messages
+        deviations = (
+            self.template.deviations(entropy)
+            if judged
+            else np.zeros(self.config.n_bits)
+        )
+        violated = (
+            np.abs(deviations) > self.template.thresholds
+            if judged
+            else np.zeros(self.config.n_bits, dtype=bool)
+        )
+        result = WindowResult(
+            index=self._window_index,
+            t_start_us=self._window_start_us,
+            t_end_us=self._window_start_us + self.config.window_us,
+            n_messages=self._counter.total,
+            n_attack_messages=self._attack_in_window,
+            probabilities=probabilities,
+            entropy=entropy,
+            deviations=deviations,
+            violated=violated,
+            judged=judged,
+        )
+        if result.alarm:
+            self.sink.emit(result.to_alert())
+        self._window_index += 1
+        self._counter.reset()
+        self._attack_in_window = 0
+        if final:
+            self._window_start_us = None
+            self._last_timestamp = None
+        return result
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all window state (template and config are kept)."""
+        self._counter.reset()
+        self._window_index = 0
+        self._window_start_us = None
+        self._attack_in_window = 0
+        self._last_timestamp = None

@@ -1,0 +1,186 @@
+"""Response: blocking the inferred malicious identifiers.
+
+The paper's abstract promises that "the malicious messages containing
+those IDs would be discarded or blocked", and the conclusion claims the
+system "is capable of restricting attackers from injecting a large
+number of malicious messages".  This module implements that last stage:
+
+* :class:`Blocklist` — identifier block entries with a time-to-live
+  (blocks must expire: an inferred identifier may be a legitimate one the
+  attacker abused, and permanent blocking would DoS the real function);
+* :class:`ResponseGate` — the composite online component: it feeds a
+  streaming detector, runs inference when windows alarm, updates the
+  blocklist, and forwards only unblocked records downstream — exactly
+  what an IDS-empowered gateway would do;
+* :class:`ResponseOutcome` — effectiveness accounting: how much of the
+  attack was suppressed downstream, at what collateral cost to
+  legitimate traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.can.constants import SECOND_US
+from repro.core.alerts import AlertSink
+from repro.core.config import IDSConfig
+from repro.core.detector import EntropyDetector, WindowResult
+from repro.core.inference import InferenceEngine
+from repro.core.template import GoldenTemplate
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace, TraceRecord
+
+
+@dataclass
+class Blocklist:
+    """Identifier blocks with expiry."""
+
+    ttl_us: int = 10 * SECOND_US
+    _expiry: Dict[int, int] = field(default_factory=dict)
+
+    def block(self, can_id: int, now_us: int) -> None:
+        """Block (or re-arm) an identifier from ``now_us``."""
+        self._expiry[can_id] = now_us + self.ttl_us
+
+    def is_blocked(self, can_id: int, now_us: int) -> bool:
+        """True while the identifier's block has not expired."""
+        expiry = self._expiry.get(can_id)
+        if expiry is None:
+            return False
+        if now_us >= expiry:
+            del self._expiry[can_id]
+            return False
+        return True
+
+    def active(self, now_us: int) -> List[int]:
+        """Currently blocked identifiers."""
+        return sorted(
+            can_id for can_id in list(self._expiry)
+            if self.is_blocked(can_id, now_us)
+        )
+
+    def clear(self) -> None:
+        """Remove every block."""
+        self._expiry.clear()
+
+
+@dataclass
+class ResponseOutcome:
+    """Effectiveness of the response stage over one capture."""
+
+    #: Attack messages suppressed / all attack messages.
+    attack_suppression: float
+    #: Legitimate messages suppressed / all legitimate messages.
+    collateral_rate: float
+    #: Messages forwarded downstream.
+    forwarded: int
+    #: Messages dropped by the blocklist.
+    dropped: int
+    #: Identifiers that were blocked at least once.
+    blocked_ids: List[int]
+
+    def summary(self) -> str:
+        """One-paragraph rendering."""
+        ids = ", ".join(f"0x{i:03X}" for i in self.blocked_ids) or "none"
+        return (
+            f"attack suppression: {self.attack_suppression:.1%}, "
+            f"collateral: {self.collateral_rate:.2%}, "
+            f"forwarded {self.forwarded}, dropped {self.dropped}, "
+            f"blocked ids: {ids}"
+        )
+
+
+class ResponseGate:
+    """Detector + inference + blocklist as one streaming component.
+
+    Attach :meth:`on_frame` as a bus listener (or replay a recorded
+    trace through :meth:`process_trace`).  Records pass through unless
+    their identifier is currently blocked; whenever a detection window
+    alarms, inference runs on it and the top ``block_top`` candidates
+    are blocked for ``ttl_us``.
+    """
+
+    def __init__(
+        self,
+        template: GoldenTemplate,
+        id_pool: Sequence[int],
+        config: Optional[IDSConfig] = None,
+        block_top: int = 1,
+        ttl_us: int = 10 * SECOND_US,
+        infer_k: int = 1,
+        downstream: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.config = config or IDSConfig()
+        if block_top < 1:
+            raise DetectorError(f"block_top must be >= 1, got {block_top}")
+        self.detector = EntropyDetector(template, self.config, AlertSink())
+        self.engine = InferenceEngine(id_pool, template, self.config)
+        self.blocklist = Blocklist(ttl_us=ttl_us)
+        self.block_top = block_top
+        self.infer_k = infer_k
+        self.downstream = downstream
+        #: Everything forwarded downstream (also kept when a callback is set).
+        self.forwarded_trace = Trace()
+        self._suppressed_attack = 0
+        self._suppressed_legit = 0
+        self._seen_attack = 0
+        self._seen_legit = 0
+        self._ever_blocked: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def on_frame(self, record: TraceRecord) -> bool:
+        """Process one record; returns True when it was forwarded."""
+        if record.is_attack:
+            self._seen_attack += 1
+        else:
+            self._seen_legit += 1
+
+        window = self.detector.feed(record)
+        if window is not None and window.alarm:
+            self._react(window)
+
+        if self.blocklist.is_blocked(record.can_id, record.timestamp_us):
+            if record.is_attack:
+                self._suppressed_attack += 1
+            else:
+                self._suppressed_legit += 1
+            return False
+        self.forwarded_trace.append(record)
+        if self.downstream is not None:
+            self.downstream(record)
+        return True
+
+    def _react(self, window: WindowResult) -> None:
+        inference = self.engine.infer(
+            window.probabilities, window.n_messages, k=self.infer_k
+        )
+        for can_id in inference.candidates[: self.block_top]:
+            self.blocklist.block(can_id, window.t_end_us)
+            self._ever_blocked[can_id] = True
+
+    # ------------------------------------------------------------------
+    def process_trace(self, trace: Trace) -> ResponseOutcome:
+        """Replay a capture through the gate and account the outcome."""
+        for record in trace:
+            self.on_frame(record)
+        self.detector.flush()
+        return self.outcome()
+
+    def outcome(self) -> ResponseOutcome:
+        """Effectiveness so far."""
+        return ResponseOutcome(
+            attack_suppression=(
+                self._suppressed_attack / self._seen_attack
+                if self._seen_attack
+                else 0.0
+            ),
+            collateral_rate=(
+                self._suppressed_legit / self._seen_legit
+                if self._seen_legit
+                else 0.0
+            ),
+            forwarded=len(self.forwarded_trace),
+            dropped=self._suppressed_attack + self._suppressed_legit,
+            blocked_ids=sorted(self._ever_blocked),
+        )

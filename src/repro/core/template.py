@@ -1,0 +1,242 @@
+"""The golden template (Section IV.B of the paper).
+
+During normal driving the per-bit entropy of the identifier stream is
+steady, so the IDS learns a *golden template*: the per-bit mean entropy
+over ``template_windows`` clean windows (paper: 35 measurements from
+diverse driving behaviors), the per-bit min/max range, and thresholds
+``Th_i = alpha * (max H_i - min H_i)``.
+
+Beyond the entropy statistics of the paper, the template also retains
+the per-bit *probability* statistics and the window message-count
+statistics — both needed by the malicious-ID inference of Section V.C
+(probability-shift directions and the injected-fraction estimate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.bitprob import BitCounter
+from repro.core.config import IDSConfig
+from repro.core.entropy import binary_entropy
+from repro.exceptions import TemplateError
+from repro.io.trace import Trace
+
+
+@dataclass(frozen=True)
+class GoldenTemplate:
+    """Frozen statistics of clean traffic.
+
+    All arrays are length ``n_bits``, MSB first.
+    """
+
+    n_bits: int
+    alpha: float
+    n_windows: int
+    mean_entropy: np.ndarray
+    min_entropy: np.ndarray
+    max_entropy: np.ndarray
+    thresholds: np.ndarray
+    mean_p: np.ndarray
+    min_p: np.ndarray
+    max_p: np.ndarray
+    mean_count: float
+    std_count: float
+
+    # ------------------------------------------------------------------
+    # Detection primitives
+    # ------------------------------------------------------------------
+    @property
+    def entropy_range(self) -> np.ndarray:
+        """Per-bit ``max - min`` entropy over the template windows."""
+        return self.max_entropy - self.min_entropy
+
+    @property
+    def p_range(self) -> np.ndarray:
+        """Per-bit ``max - min`` probability over the template windows."""
+        return self.max_p - self.min_p
+
+    def deviations(self, entropy: np.ndarray) -> np.ndarray:
+        """Signed per-bit deviation of a measured entropy vector."""
+        measured = np.asarray(entropy, dtype=float)
+        if measured.shape != self.mean_entropy.shape:
+            raise TemplateError(
+                f"entropy vector has shape {measured.shape}, template expects "
+                f"{self.mean_entropy.shape}"
+            )
+        return measured - self.mean_entropy
+
+    def violated_bits(self, entropy: np.ndarray) -> np.ndarray:
+        """Boolean mask of bits whose deviation exceeds the threshold."""
+        return np.abs(self.deviations(entropy)) > self.thresholds
+
+    def is_anomalous(self, entropy: np.ndarray) -> bool:
+        """The paper's bit-by-bit comparison: any violated bit → alarm."""
+        return bool(np.any(self.violated_bits(entropy)))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "n_bits": self.n_bits,
+            "alpha": self.alpha,
+            "n_windows": self.n_windows,
+            "mean_entropy": self.mean_entropy.tolist(),
+            "min_entropy": self.min_entropy.tolist(),
+            "max_entropy": self.max_entropy.tolist(),
+            "thresholds": self.thresholds.tolist(),
+            "mean_p": self.mean_p.tolist(),
+            "min_p": self.min_p.tolist(),
+            "max_p": self.max_p.tolist(),
+            "mean_count": self.mean_count,
+            "std_count": self.std_count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GoldenTemplate":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                n_bits=int(payload["n_bits"]),
+                alpha=float(payload["alpha"]),
+                n_windows=int(payload["n_windows"]),
+                mean_entropy=np.asarray(payload["mean_entropy"], dtype=float),
+                min_entropy=np.asarray(payload["min_entropy"], dtype=float),
+                max_entropy=np.asarray(payload["max_entropy"], dtype=float),
+                thresholds=np.asarray(payload["thresholds"], dtype=float),
+                mean_p=np.asarray(payload["mean_p"], dtype=float),
+                min_p=np.asarray(payload["min_p"], dtype=float),
+                max_p=np.asarray(payload["max_p"], dtype=float),
+                mean_count=float(payload["mean_count"]),
+                std_count=float(payload["std_count"]),
+            )
+        except KeyError as exc:
+            raise TemplateError(f"template dict missing field {exc}") from exc
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the template to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="ascii")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "GoldenTemplate":
+        """Read a template written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="ascii")))
+
+    def describe(self) -> str:
+        """Multi-line rendering of the template (the paper's Fig. 2 data)."""
+        lines = [
+            f"GoldenTemplate: {self.n_windows} windows, alpha={self.alpha:g}, "
+            f"mean {self.mean_count:.0f} msg/window",
+            f"{'bit':>4} {'mean H':>9} {'min H':>9} {'max H':>9} {'Th':>9} {'mean p':>9}",
+        ]
+        for i in range(self.n_bits):
+            lines.append(
+                f"{i + 1:>4} {self.mean_entropy[i]:>9.5f} {self.min_entropy[i]:>9.5f} "
+                f"{self.max_entropy[i]:>9.5f} {self.thresholds[i]:>9.5f} "
+                f"{self.mean_p[i]:>9.5f}"
+            )
+        return "\n".join(lines)
+
+
+class TemplateBuilder:
+    """Accumulates clean windows and produces a :class:`GoldenTemplate`."""
+
+    def __init__(self, config: Optional[IDSConfig] = None) -> None:
+        self.config = config or IDSConfig()
+        self._entropies: List[np.ndarray] = []
+        self._probabilities: List[np.ndarray] = []
+        self._counts: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        """Number of windows accumulated so far."""
+        return len(self._entropies)
+
+    def add_counter(self, counter: BitCounter) -> None:
+        """Add one measurement window from a populated counter."""
+        if counter.n_bits != self.config.n_bits:
+            raise TemplateError(
+                f"counter has {counter.n_bits} bits, config expects {self.config.n_bits}"
+            )
+        if counter.total < self.config.min_window_messages:
+            raise TemplateError(
+                f"window has {counter.total} messages, below the minimum "
+                f"{self.config.min_window_messages}"
+            )
+        p = counter.probabilities()
+        self._probabilities.append(p)
+        self._entropies.append(np.asarray(binary_entropy(p), dtype=float))
+        self._counts.append(counter.total)
+
+    def add_trace(self, trace: Trace) -> None:
+        """Add one whole trace as a single measurement window."""
+        counter = BitCounter(self.config.n_bits)
+        counter.update_many(trace.ids())
+        self.add_counter(counter)
+
+    def add_trace_windows(self, trace: Trace) -> int:
+        """Split a long trace into config windows and add each; returns count.
+
+        Windows below ``min_window_messages`` (trace edges) are skipped.
+        """
+        added = 0
+        for window in trace.time_windows(self.config.window_us):
+            if len(window) < self.config.min_window_messages:
+                continue
+            self.add_trace(window)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    def build(self) -> GoldenTemplate:
+        """Freeze the accumulated windows into a template.
+
+        Raises
+        ------
+        TemplateError
+            With fewer than two windows (no range is defined).
+        """
+        if self.n_windows < 2:
+            raise TemplateError(
+                f"template needs at least 2 windows, got {self.n_windows}"
+            )
+        entropies = np.stack(self._entropies)
+        probabilities = np.stack(self._probabilities)
+        counts = np.asarray(self._counts, dtype=float)
+        entropy_range = entropies.max(axis=0) - entropies.min(axis=0)
+        thresholds = np.maximum(
+            self.config.alpha * entropy_range, self.config.threshold_floor
+        )
+        return GoldenTemplate(
+            n_bits=self.config.n_bits,
+            alpha=self.config.alpha,
+            n_windows=self.n_windows,
+            mean_entropy=entropies.mean(axis=0),
+            min_entropy=entropies.min(axis=0),
+            max_entropy=entropies.max(axis=0),
+            thresholds=thresholds,
+            mean_p=probabilities.mean(axis=0),
+            min_p=probabilities.min(axis=0),
+            max_p=probabilities.max(axis=0),
+            mean_count=float(counts.mean()),
+            std_count=float(counts.std()),
+        )
+
+
+def build_template(
+    windows: Iterable[Trace],
+    config: Optional[IDSConfig] = None,
+) -> GoldenTemplate:
+    """Build a golden template from an iterable of clean window traces."""
+    builder = TemplateBuilder(config)
+    for window in windows:
+        builder.add_trace(window)
+    return builder.build()

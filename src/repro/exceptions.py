@@ -1,0 +1,57 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library throws with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` library."""
+
+
+class FrameError(ReproError):
+    """An ill-formed CAN frame (bad identifier, DLC or payload length)."""
+
+
+class ArbitrationError(ReproError):
+    """Two nodes transmitted the same arbitration field simultaneously.
+
+    Real CAN controllers treat this as a bus error; the simulator raises it
+    unless the bus was configured with a deterministic tie-break.
+    """
+
+
+class BusConfigError(ReproError):
+    """The bus or a node was configured inconsistently."""
+
+    # Examples: two nodes with the same name, a zero baud rate, or a node
+    # attached to two buses at once.
+
+
+class NodeStateError(ReproError):
+    """An operation was attempted on a node in an incompatible state.
+
+    For example transmitting from a node that the transceiver guard has
+    shut down, or re-enabling a node that is BUS_OFF without a reset.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed (candump or CSV log formats)."""
+
+
+class TemplateError(ReproError):
+    """A golden template was built from insufficient or inconsistent data."""
+
+
+class DetectorError(ReproError):
+    """The detector was driven incorrectly (e.g. fed records out of order)."""
+
+
+class InferenceError(ReproError):
+    """Malicious-ID inference was invoked with invalid inputs."""
+
+
+class ScenarioError(ReproError):
+    """An experiment scenario specification is invalid."""

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper artifact.
+
+==================  ========================================================
+:mod:`~repro.experiments.fig2`       Fig. 2 — golden template + attack case study
+:mod:`~repro.experiments.fig3`       Fig. 3 — injection/detection rate vs identifier
+:mod:`~repro.experiments.table1`     Table I — detection & inference per scenario
+:mod:`~repro.experiments.stability`  Sec. IV.B — entropy stability across driving
+:mod:`~repro.experiments.cost`       Sec. V.E — cost & capability comparison
+==================  ========================================================
+
+Each module exposes ``run(...)`` returning a structured result object
+with a ``render()`` method producing the table/series as text.  The
+``benchmarks/`` directory wraps these in pytest-benchmark entries.
+"""
+
+from repro.experiments.runner import (
+    AttackRun,
+    ExperimentSetup,
+    ScenarioResult,
+    build_setup,
+    run_attack,
+    run_scenario,
+)
+from repro.experiments.scenarios import TABLE1_SCENARIOS, ScenarioSpec, scenario
+
+__all__ = [
+    "AttackRun",
+    "ExperimentSetup",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TABLE1_SCENARIOS",
+    "build_setup",
+    "run_attack",
+    "run_scenario",
+    "scenario",
+]

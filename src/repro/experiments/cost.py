@@ -1,0 +1,204 @@
+"""Experiment E5 — the Section V.E comparison.
+
+Three parts:
+
+1. **Analytical cost table** — memory slots and per-message work for the
+   bit-entropy IDS vs. the Muter-entropy [8], interval [11] and
+   clock-skew [9] schemes (:func:`repro.metrics.cost.compare_costs`).
+2. **Detection head-to-head** — all schemes fitted on the same clean
+   windows and run over the same attack captures; detection and
+   false-positive rates side by side.
+3. **Unseen-ID blindness** — an attack that injects an identifier absent
+   from the catalog: the interval scheme (which "cannot figure out such
+   an attack scenario when the attacker uses unseen ID") stays silent
+   while the entropy schemes alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks import SingleIDAttacker
+from repro.baselines import (
+    BaselineIDS,
+    ClockSkewIDS,
+    FrequencyIDS,
+    IntervalIDS,
+    MuterEntropyIDS,
+)
+from repro.core import EntropyDetector
+from repro.experiments.report import hexid, pct, render_table
+from repro.experiments.runner import (
+    ATTACK_DURATION_S,
+    ATTACK_START_S,
+    ExperimentSetup,
+    build_setup,
+)
+from repro.io.trace import Trace
+from repro.metrics.cost import compare_costs
+from repro.metrics.rates import detection_rate
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import record_template_windows
+
+
+@dataclass
+class CostResult:
+    """All three parts of the Section-V.E comparison."""
+
+    n_catalog_ids: int
+    #: scheme name -> (detection rate, false positive rate) on the shared runs.
+    head_to_head: Dict[str, Dict[str, float]]
+    #: scheme name -> detection rate on the unseen-ID attack.
+    unseen_id_detection: Dict[str, float]
+    unseen_id: int
+
+    def render(self) -> str:
+        """The complete comparison, three tables."""
+        cost_rows = [
+            list(model.as_row().values()) for model in compare_costs(self.n_catalog_ids)
+        ]
+        cost_table = render_table(
+            headers=[
+                "scheme",
+                "memory slots",
+                "updates/msg",
+                "terms/window",
+                "unseen IDs",
+                "localizes",
+            ],
+            rows=cost_rows,
+            title=f"Cost comparison for a {self.n_catalog_ids}-identifier catalog (Sec. V.E)",
+        )
+        head_rows = [
+            [name, pct(scores["detection_rate"]), pct(scores["false_positive_rate"])]
+            for name, scores in self.head_to_head.items()
+        ]
+        head_table = render_table(
+            headers=["scheme", "detection rate", "false positive rate"],
+            rows=head_rows,
+            title="Head-to-head on identical attack captures",
+        )
+        unseen_rows = [
+            [name, pct(rate)] for name, rate in self.unseen_id_detection.items()
+        ]
+        unseen_table = render_table(
+            headers=["scheme", "detection rate"],
+            rows=unseen_rows,
+            title=f"Unseen-ID injection ({hexid(self.unseen_id)}, not in the catalog)",
+        )
+        return "\n\n".join([cost_table, head_table, unseen_table])
+
+
+def _fit_baselines(
+    setup: ExperimentSetup, clean_windows: Sequence[Trace]
+) -> List[BaselineIDS]:
+    """Fit every baseline on the same clean windows."""
+    kwargs = dict(
+        window_us=setup.config.window_us,
+        min_window_messages=setup.config.min_window_messages,
+    )
+    baselines: List[BaselineIDS] = [
+        MuterEntropyIDS(**kwargs),
+        IntervalIDS(**kwargs),
+        ClockSkewIDS(**kwargs),
+        FrequencyIDS(**kwargs),
+    ]
+    for baseline in baselines:
+        baseline.fit(list(clean_windows))
+    return baselines
+
+
+def _first_unused_id(setup: ExperimentSetup) -> int:
+    """The smallest mid-range identifier absent from the catalog."""
+    catalog = set(setup.catalog.id_set())
+    for candidate in range(0x100, 0x800):
+        if candidate not in catalog:
+            return candidate
+    raise RuntimeError("catalog uses every identifier; cannot pick an unseen one")
+
+
+def run(
+    setup: Optional[ExperimentSetup] = None,
+    frequency_hz: float = 50.0,
+    seeds: Sequence[int] = (1, 2),
+) -> CostResult:
+    """Run the full Section-V.E comparison."""
+    if setup is None:
+        setup = build_setup()
+    window_s = setup.config.window_us / 1e6
+    clean_windows = record_template_windows(
+        n_windows=max(10, setup.config.template_windows // 2),
+        window_s=window_s,
+        seed=setup.seed + 1,
+        catalog=setup.catalog,
+    )
+    baselines = _fit_baselines(setup, clean_windows)
+
+    def analyze_all(trace: Trace) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        report = setup.pipeline.analyze(trace)
+        out["bit-entropy (ours)"] = {
+            "detection_rate": report.detection_rate,
+            "false_positive_rate": report.false_positive_rate,
+        }
+        for baseline in baselines:
+            verdicts = baseline.scan(trace)
+            out[baseline.name] = {
+                "detection_rate": detection_rate(verdicts),
+                "false_positive_rate": BaselineIDS.false_positive_rate(verdicts),
+            }
+        return out
+
+    # Part 2: head-to-head on catalog-ID injections.
+    accumulator: Dict[str, Dict[str, List[float]]] = {}
+    for seed in seeds:
+        can_id = setup.catalog.ids[60 + 40 * seed]
+        sim = VehicleSimulation(catalog=setup.catalog, scenario="city", seed=seed + 5)
+        sim.add_node(
+            SingleIDAttacker(
+                can_id=can_id,
+                frequency_hz=frequency_hz,
+                start_s=ATTACK_START_S,
+                duration_s=ATTACK_DURATION_S,
+                seed=seed,
+            )
+        )
+        trace = sim.run(ATTACK_START_S + ATTACK_DURATION_S + 2.0)
+        for name, scores in analyze_all(trace).items():
+            slot = accumulator.setdefault(
+                name, {"detection_rate": [], "false_positive_rate": []}
+            )
+            slot["detection_rate"].append(scores["detection_rate"])
+            slot["false_positive_rate"].append(scores["false_positive_rate"])
+    head_to_head = {
+        name: {metric: float(np.mean(values)) for metric, values in slots.items()}
+        for name, slots in accumulator.items()
+    }
+
+    # Part 3: unseen-ID injection (the interval scheme's blind spot).
+    unseen = _first_unused_id(setup)
+    sim = VehicleSimulation(catalog=setup.catalog, scenario="city", seed=77)
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=unseen,
+            frequency_hz=frequency_hz,
+            start_s=ATTACK_START_S,
+            duration_s=ATTACK_DURATION_S,
+            seed=9,
+        )
+    )
+    trace = sim.run(ATTACK_START_S + ATTACK_DURATION_S + 2.0)
+    unseen_scores = analyze_all(trace)
+    unseen_id_detection = {
+        name: scores["detection_rate"] for name, scores in unseen_scores.items()
+    }
+
+    return CostResult(
+        n_catalog_ids=len(setup.catalog),
+        head_to_head=head_to_head,
+        unseen_id_detection=unseen_id_detection,
+        unseen_id=unseen,
+    )

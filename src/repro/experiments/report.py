@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment results.
+
+The paper's tables and figures are regenerated as aligned text tables so
+the benchmarks can print them without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numeric cells may be pre-formatted strings; everything is converted
+    with ``str``.
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def hexid(can_id: int) -> str:
+    """Format an identifier in the paper's 0x3-digit style."""
+    return f"0x{can_id:03X}"

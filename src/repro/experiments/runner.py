@@ -1,0 +1,232 @@
+"""Generic experiment runner.
+
+:func:`build_setup` assembles the shared fixtures once — the synthetic
+vehicle catalog, the golden template (from clean drives over diverse
+scenarios, the paper's 35 measurements), the IDS configuration and the
+inference pool.  :func:`run_attack` executes a single attack capture and
+analysis; :func:`run_scenario` sweeps a Table-I scenario across its
+frequencies and seeds and aggregates the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks import AttackerNode
+from repro.core import IDSConfig, IDSPipeline, build_template
+from repro.core.template import GoldenTemplate
+from repro.experiments.scenarios import ScenarioSpec
+from repro.vehicle import VehicleSimulation, ford_fusion_catalog
+from repro.vehicle.ecu_profiles import assignments_for
+from repro.vehicle.ids_catalog import VehicleCatalog
+from repro.vehicle.traffic import record_template_windows
+
+#: Default attack timing inside each capture (seconds).
+ATTACK_START_S = 2.0
+ATTACK_DURATION_S = 10.0
+CAPTURE_DURATION_S = 14.0
+
+
+@dataclass
+class ExperimentSetup:
+    """Shared fixtures for one experiment campaign."""
+
+    catalog: VehicleCatalog
+    template: GoldenTemplate
+    config: IDSConfig
+    assignments: Dict[str, frozenset]
+    seed: int
+
+    @property
+    def pipeline(self) -> IDSPipeline:
+        """A fresh pipeline bound to the setup's template and pool."""
+        return IDSPipeline(self.template, self.config, id_pool=self.catalog.ids)
+
+
+def build_setup(
+    config: Optional[IDSConfig] = None,
+    seed: int = 7,
+    catalog_seed: int = 0,
+) -> ExperimentSetup:
+    """Build catalog + golden template, the paper's training phase."""
+    config = config or IDSConfig()
+    catalog = ford_fusion_catalog(seed=catalog_seed)
+    windows = record_template_windows(
+        n_windows=config.template_windows,
+        window_s=config.window_us / 1e6,
+        seed=seed,
+        catalog=catalog,
+    )
+    template = build_template(windows, config)
+    return ExperimentSetup(
+        catalog=catalog,
+        template=template,
+        config=config,
+        assignments=assignments_for(catalog),
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class AttackRun:
+    """Metrics of one attack capture."""
+
+    scenario: str
+    frequency_hz: float
+    seed: int
+    injection_rate: float
+    n_injected: int
+    detection_rate: float
+    false_positive_rate: float
+    detection_latency_us: Optional[int]
+    detected: bool
+    hit_rate: Optional[float]
+    ids_used: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+
+
+def run_attack(
+    setup: ExperimentSetup,
+    attacker: AttackerNode,
+    k: int,
+    scenario_name: str = "adhoc",
+    frequency_hz: float = 0.0,
+    seed: int = 0,
+    scenario_traffic: str = "city",
+    capture_duration_s: float = CAPTURE_DURATION_S,
+    evaluate_inference: bool = True,
+) -> AttackRun:
+    """Run one attack capture through the pipeline and score it."""
+    sim = VehicleSimulation(
+        catalog=setup.catalog,
+        scenario=scenario_traffic,
+        seed=seed * 1009 + int(frequency_hz) + 17,
+    )
+    sim.add_node(attacker)
+    trace = sim.run(capture_duration_s)
+    report = setup.pipeline.analyze(trace, infer_k=max(1, k))
+    detected = len(report.alarmed_windows) > 0
+    hit: Optional[float] = None
+    if evaluate_inference and detected and report.inference is not None:
+        truth = sorted(attacker.ids_used)
+        if truth:
+            hit = report.inference.hit_rate(truth)
+    return AttackRun(
+        scenario=scenario_name,
+        frequency_hz=frequency_hz,
+        seed=seed,
+        injection_rate=attacker.injection_rate,
+        n_injected=sum(w.n_attack_messages for w in report.judged_windows),
+        detection_rate=report.detection_rate,
+        false_positive_rate=report.false_positive_rate,
+        detection_latency_us=report.detection_latency_us,
+        detected=detected,
+        hit_rate=hit,
+        ids_used=tuple(sorted(attacker.ids_used)),
+        candidates=(
+            report.inference.candidates if report.inference is not None else ()
+        ),
+    )
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated Table-I row."""
+
+    spec: ScenarioSpec
+    runs: List[AttackRun] = field(default_factory=list)
+
+    @property
+    def detection_rate(self) -> float:
+        """Message-weighted Dr across all runs (the paper's row value)."""
+        total = sum(run.n_injected for run in self.runs)
+        if total == 0:
+            return 0.0
+        return sum(run.detection_rate * run.n_injected for run in self.runs) / total
+
+    @property
+    def inference_accuracy(self) -> Optional[float]:
+        """Mean hit rate over the *detected* runs (None for flooding)."""
+        if not self.spec.inferable:
+            return None
+        hits = [run.hit_rate for run in self.runs if run.hit_rate is not None]
+        return float(np.mean(hits)) if hits else 0.0
+
+    def detection_rate_ci(self, confidence: float = 0.95) -> tuple:
+        """Bootstrap CI for the message-weighted detection rate.
+
+        Runs are the resampling unit; returns (point, low, high).
+        """
+        from repro.analysis.bootstrap import bootstrap_rate_ci
+
+        detected = [
+            int(round(run.detection_rate * run.n_injected)) for run in self.runs
+        ]
+        totals = [run.n_injected for run in self.runs]
+        if not totals or sum(totals) == 0:
+            return (0.0, 0.0, 0.0)
+        return bootstrap_rate_ci(detected, totals, confidence=confidence)
+
+    @property
+    def mean_injection_rate(self) -> float:
+        """Mean Ir across runs."""
+        if not self.runs:
+            return 0.0
+        return float(np.mean([run.injection_rate for run in self.runs]))
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Mean FPR across runs."""
+        if not self.runs:
+            return 0.0
+        return float(np.mean([run.false_positive_rate for run in self.runs]))
+
+    def by_frequency(self) -> Dict[float, float]:
+        """Message-weighted Dr per injection frequency."""
+        grouped: Dict[float, List[AttackRun]] = {}
+        for run in self.runs:
+            grouped.setdefault(run.frequency_hz, []).append(run)
+        out: Dict[float, float] = {}
+        for freq, runs in sorted(grouped.items()):
+            total = sum(r.n_injected for r in runs)
+            out[freq] = (
+                sum(r.detection_rate * r.n_injected for r in runs) / total
+                if total
+                else 0.0
+            )
+        return out
+
+
+def run_scenario(
+    setup: ExperimentSetup,
+    spec: ScenarioSpec,
+    seeds: Sequence[int] = (1, 2),
+    attack_start_s: float = ATTACK_START_S,
+    attack_duration_s: float = ATTACK_DURATION_S,
+) -> ScenarioResult:
+    """Sweep one Table-I scenario over its frequencies and seeds."""
+    result = ScenarioResult(spec=spec)
+    for frequency in spec.frequencies_hz:
+        for seed in seeds:
+            attacker = spec.build_attacker(
+                setup.catalog,
+                setup.assignments,
+                frequency_hz=frequency,
+                seed=seed,
+                start_s=attack_start_s,
+                duration_s=attack_duration_s,
+            )
+            run = run_attack(
+                setup,
+                attacker,
+                k=spec.k,
+                scenario_name=spec.name,
+                frequency_hz=frequency,
+                seed=seed,
+                evaluate_inference=spec.inferable,
+            )
+            result.runs.append(run)
+    return result

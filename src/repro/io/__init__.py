@@ -1,0 +1,21 @@
+"""Trace containers and log file formats.
+
+The paper captured its data with the Vehicle Spy 3 tool over OBD-II; this
+package provides the equivalent plumbing for the simulator: an in-memory
+:class:`~repro.io.trace.Trace` of timestamped frames with ground-truth
+attack labels, a candump-compatible text format, and a Vehicle-Spy-like
+CSV format.
+"""
+
+from repro.io.csvlog import read_csv, write_csv
+from repro.io.log import read_candump, write_candump
+from repro.io.trace import Trace, TraceRecord
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "read_candump",
+    "read_csv",
+    "write_candump",
+    "write_csv",
+]

@@ -1,0 +1,77 @@
+"""Vehicle-Spy-like CSV trace format.
+
+The paper's raw data was captured with Vehicle Spy 3 Professional, which
+exports CSV.  We implement a compact equivalent with an explicit header
+so traces round-trip losslessly, including the simulator ground truth::
+
+    time_us,can_id_hex,extended,dlc,data_hex,source,is_attack
+    12345,1A4,0,4,DEADBEEF,ECU_Powertrain,0
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.exceptions import TraceFormatError
+from repro.io.trace import Trace, TraceRecord
+
+HEADER = ["time_us", "can_id_hex", "extended", "dlc", "data_hex", "source", "is_attack"]
+
+
+def write_csv(trace: Iterable[TraceRecord], path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` as CSV with the module header."""
+    with open(path, "w", encoding="ascii", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        for record in trace:
+            writer.writerow(
+                [
+                    record.timestamp_us,
+                    f"{record.can_id:X}",
+                    int(record.extended),
+                    record.dlc,
+                    record.data.hex().upper(),
+                    record.source,
+                    int(record.is_attack),
+                ]
+            )
+
+
+def read_csv(path: Union[str, Path]) -> Trace:
+    """Read a CSV trace written by :func:`write_csv`."""
+    trace = Trace()
+    with open(path, "r", encoding="ascii", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != HEADER:
+            raise TraceFormatError(
+                f"{path}: unexpected CSV header {header!r}; expected {HEADER!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(HEADER):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected {len(HEADER)} fields, got {len(row)}"
+                )
+            try:
+                time_us, id_hex, extended, dlc, data_hex, source, is_attack = row
+                record = TraceRecord(
+                    timestamp_us=int(time_us),
+                    can_id=int(id_hex, 16),
+                    data=bytes.fromhex(data_hex),
+                    extended=bool(int(extended)),
+                    source=source,
+                    is_attack=bool(int(is_attack)),
+                )
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+            if record.dlc != int(dlc):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: dlc field {dlc} disagrees with payload "
+                    f"length {record.dlc}"
+                )
+            trace.append(record)
+    return trace

@@ -1,0 +1,269 @@
+"""A miniature message database (DBC-like) for signal decode/encode.
+
+Real automotive work revolves around DBC files: per-message signal
+layouts (bit position, length, scale, offset) that map raw payload bytes
+to physical values.  This module implements a compact, self-contained
+equivalent so the synthetic vehicle's payloads are inspectable the way a
+practitioner expects:
+
+* :class:`SignalDef` — one signal: big-endian bit slice + linear scaling;
+* :class:`MessageDef` — a named message with its signals;
+* :class:`MessageDatabase` — lookup by identifier, encode/decode, and a
+  tiny text format (one line per message/signal) with load/save.
+
+The IDS itself never reads payloads — the paper's method is ID-based —
+but the database closes the loop for the examples and makes forged
+payload *content* (scenario 2's "send wrong information out") concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.can.constants import MAX_BASE_ID, MAX_DLC
+from repro.exceptions import TraceFormatError
+
+
+@dataclass(frozen=True)
+class SignalDef:
+    """One signal inside a message payload.
+
+    Bits are counted big-endian across the payload: bit 0 is the MSB of
+    byte 0.  The physical value is ``raw * scale + offset``.
+    """
+
+    name: str
+    start_bit: int
+    length: int
+    scale: float = 1.0
+    offset: float = 0.0
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TraceFormatError("signal name must be non-empty")
+        if self.length < 1 or self.length > 64:
+            raise TraceFormatError(f"signal {self.name}: length must be 1..64")
+        if self.start_bit < 0:
+            raise TraceFormatError(f"signal {self.name}: negative start bit")
+        if self.scale == 0:
+            raise TraceFormatError(f"signal {self.name}: zero scale")
+
+    @property
+    def end_bit(self) -> int:
+        """One past the last payload bit this signal occupies."""
+        return self.start_bit + self.length
+
+    # ------------------------------------------------------------------
+    def extract_raw(self, payload: bytes) -> int:
+        """Raw (unscaled) integer value of the signal in ``payload``."""
+        if self.end_bit > 8 * len(payload):
+            raise TraceFormatError(
+                f"signal {self.name} needs {self.end_bit} payload bits, "
+                f"got {8 * len(payload)}"
+            )
+        value = 0
+        for bit in range(self.start_bit, self.end_bit):
+            byte_index, bit_index = divmod(bit, 8)
+            value = (value << 1) | ((payload[byte_index] >> (7 - bit_index)) & 1)
+        return value
+
+    def decode(self, payload: bytes) -> float:
+        """Physical value of the signal in ``payload``."""
+        return self.extract_raw(payload) * self.scale + self.offset
+
+    def encode_into(self, payload: bytearray, physical: float) -> None:
+        """Write a physical value into ``payload`` (in place)."""
+        raw = int(round((physical - self.offset) / self.scale))
+        limit = (1 << self.length) - 1
+        raw = max(0, min(limit, raw))
+        for position, bit in enumerate(range(self.start_bit, self.end_bit)):
+            byte_index, bit_index = divmod(bit, 8)
+            mask = 1 << (7 - bit_index)
+            if (raw >> (self.length - 1 - position)) & 1:
+                payload[byte_index] |= mask
+            else:
+                payload[byte_index] &= ~mask
+
+
+@dataclass(frozen=True)
+class MessageDef:
+    """A message: identifier, name, payload size, signals."""
+
+    can_id: int
+    name: str
+    dlc: int
+    signals: Tuple[SignalDef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= MAX_BASE_ID:
+            raise TraceFormatError(f"message id 0x{self.can_id:X} out of range")
+        if not 0 <= self.dlc <= MAX_DLC:
+            raise TraceFormatError(f"message {self.name}: dlc out of range")
+        names = [s.name for s in self.signals]
+        if len(set(names)) != len(names):
+            raise TraceFormatError(f"message {self.name}: duplicate signal names")
+        for signal in self.signals:
+            if signal.end_bit > 8 * self.dlc:
+                raise TraceFormatError(
+                    f"signal {signal.name} exceeds {self.name}'s {self.dlc}-byte payload"
+                )
+
+    def signal(self, name: str) -> SignalDef:
+        """Look up a signal by name."""
+        for candidate in self.signals:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"message {self.name} has no signal {name!r}")
+
+    def decode(self, payload: bytes) -> Dict[str, float]:
+        """Decode every signal from a payload."""
+        return {signal.name: signal.decode(payload) for signal in self.signals}
+
+    def encode(self, values: Dict[str, float]) -> bytes:
+        """Build a payload from physical signal values (zeros elsewhere)."""
+        payload = bytearray(self.dlc)
+        for name, value in values.items():
+            self.signal(name).encode_into(payload, value)
+        return bytes(payload)
+
+
+class MessageDatabase:
+    """Identifier-indexed collection of :class:`MessageDef`."""
+
+    def __init__(self, messages: Iterable[MessageDef] = ()) -> None:
+        self._by_id: Dict[int, MessageDef] = {}
+        for message in messages:
+            self.add(message)
+
+    def add(self, message: MessageDef) -> None:
+        """Register a message (identifiers must be unique)."""
+        if message.can_id in self._by_id:
+            raise TraceFormatError(
+                f"duplicate message id 0x{message.can_id:03X} in database"
+            )
+        self._by_id[message.can_id] = message
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, can_id: int) -> bool:
+        return can_id in self._by_id
+
+    def message(self, can_id: int) -> MessageDef:
+        """Look up a message by identifier."""
+        try:
+            return self._by_id[can_id]
+        except KeyError:
+            raise KeyError(f"no message 0x{can_id:03X} in database") from None
+
+    def messages(self) -> List[MessageDef]:
+        """All messages, ascending by identifier."""
+        return [self._by_id[i] for i in sorted(self._by_id)]
+
+    def decode_record(self, can_id: int, payload: bytes) -> Dict[str, float]:
+        """Decode a trace record's payload; empty dict for unknown ids."""
+        if can_id not in self._by_id:
+            return {}
+        return self._by_id[can_id].decode(payload)
+
+    # ------------------------------------------------------------------
+    # Text format:
+    #   MSG 1A4 EngineData 8
+    #   SIG EngineSpeed 0 16 0.25 0 rpm
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialise to the line-oriented text format."""
+        lines: List[str] = []
+        for message in self.messages():
+            lines.append(f"MSG {message.can_id:X} {message.name} {message.dlc}")
+            for signal in message.signals:
+                unit = signal.unit or "-"
+                lines.append(
+                    f"SIG {signal.name} {signal.start_bit} {signal.length} "
+                    f"{signal.scale:g} {signal.offset:g} {unit}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def loads(cls, text: str) -> "MessageDatabase":
+        """Parse the line-oriented text format."""
+        database = cls()
+        current: Optional[Tuple[int, str, int, List[SignalDef]]] = None
+
+        def flush() -> None:
+            if current is not None:
+                can_id, name, dlc, signals = current
+                database.add(MessageDef(can_id, name, dlc, tuple(signals)))
+
+        for lineno, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            try:
+                if fields[0] == "MSG":
+                    flush()
+                    current = (int(fields[1], 16), fields[2], int(fields[3]), [])
+                elif fields[0] == "SIG":
+                    if current is None:
+                        raise TraceFormatError("SIG before any MSG")
+                    unit = "" if fields[6] == "-" else fields[6]
+                    current[3].append(
+                        SignalDef(
+                            name=fields[1],
+                            start_bit=int(fields[2]),
+                            length=int(fields[3]),
+                            scale=float(fields[4]),
+                            offset=float(fields[5]),
+                            unit=unit,
+                        )
+                    )
+                else:
+                    raise TraceFormatError(f"unknown directive {fields[0]!r}")
+            except (IndexError, ValueError) as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from exc
+        flush()
+        return database
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the database to a file."""
+        Path(path).write_text(self.dumps(), encoding="ascii")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MessageDatabase":
+        """Read a database written by :meth:`save`."""
+        return cls.loads(Path(path).read_text(encoding="ascii"))
+
+
+def database_for_catalog(catalog) -> MessageDatabase:
+    """Generate a plausible signal database for a vehicle catalog.
+
+    Every periodic powertrain/chassis message gets a 4-bit rolling
+    counter, a 16-bit sensor channel and an 8-bit checksum (matching the
+    payload generators in :mod:`repro.vehicle.signals`); body/comfort
+    messages get status flags.  This is tooling realism, not something
+    the IDS consumes.
+    """
+    database = MessageDatabase()
+    for entry in catalog:
+        dlc = max(1, entry.dlc)
+        signals: List[SignalDef] = [
+            SignalDef("Counter", 0, 4, 1.0, 0.0, "count")
+        ]
+        if entry.cluster in ("powertrain", "chassis") and dlc >= 3:
+            signals.append(SignalDef("Sensor", 8, 16, 0.1, -100.0, "unit"))
+            signals.append(SignalDef("Checksum", 8 * (dlc - 1), 8))
+        elif dlc >= 2:
+            signals.append(SignalDef("Flags", 8, min(8, 8 * (dlc - 1))))
+        database.add(
+            MessageDef(
+                can_id=entry.can_id,
+                name=entry.name,
+                dlc=dlc,
+                signals=tuple(s for s in signals if s.end_bit <= 8 * dlc),
+            )
+        )
+    return database

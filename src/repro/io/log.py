@@ -1,0 +1,96 @@
+"""candump-compatible text logs.
+
+Format (one frame per line, as produced by ``candump -L``)::
+
+    (1620000123.456789) can0 1A4#DEADBEEF
+
+The fractional seconds carry microsecond resolution, which matches the
+simulator clock exactly.  Two optional trailing comment fields carry the
+simulator's ground truth so traces can round-trip losslessly::
+
+    (0.012345) can0 1A4#DEADBEEF ; src=ECU_Powertrain attack=0
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, TextIO, Union
+
+from repro.can.constants import MAX_BASE_ID, SECOND_US
+from repro.exceptions import TraceFormatError
+from repro.io.trace import Trace, TraceRecord
+
+_LINE_RE = re.compile(
+    r"^\((?P<secs>\d+)\.(?P<usecs>\d{6})\)\s+"
+    r"(?P<iface>\S+)\s+"
+    r"(?P<id>[0-9A-Fa-f]{3,8})#(?P<data>(?:[0-9A-Fa-f]{2})*)"
+    r"(?:\s*;\s*src=(?P<src>\S+)\s+attack=(?P<attack>[01]))?\s*$"
+)
+
+
+def format_record(record: TraceRecord, iface: str = "can0") -> str:
+    """Render one record as a candump line (with ground-truth comment)."""
+    secs, usecs = divmod(record.timestamp_us, SECOND_US)
+    width = 8 if record.extended else 3
+    data = record.data.hex().upper()
+    src = record.source or "-"
+    return (
+        f"({secs}.{usecs:06d}) {iface} {record.can_id:0{width}X}#{data}"
+        f" ; src={src} attack={1 if record.is_attack else 0}"
+    )
+
+
+def parse_line(line: str) -> TraceRecord:
+    """Parse one candump line into a :class:`TraceRecord`.
+
+    Lines without the ground-truth comment get ``source=''`` and
+    ``is_attack=False``.
+    """
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise TraceFormatError(f"unparseable candump line: {line!r}")
+    timestamp_us = int(match["secs"]) * SECOND_US + int(match["usecs"])
+    id_text = match["id"]
+    can_id = int(id_text, 16)
+    extended = len(id_text) > 3 or can_id > MAX_BASE_ID
+    source = match["src"] if match["src"] not in (None, "-") else ""
+    is_attack = match["attack"] == "1"
+    return TraceRecord(
+        timestamp_us=timestamp_us,
+        can_id=can_id,
+        data=bytes.fromhex(match["data"]),
+        extended=extended,
+        source=source,
+        is_attack=is_attack,
+    )
+
+
+def write_candump(
+    trace: Iterable[TraceRecord],
+    path: Union[str, Path],
+    iface: str = "can0",
+) -> None:
+    """Write a trace to ``path`` in candump format."""
+    with open(path, "w", encoding="ascii") as handle:
+        for record in trace:
+            handle.write(format_record(record, iface))
+            handle.write("\n")
+
+
+def read_candump(path: Union[str, Path]) -> Trace:
+    """Read a candump file back into a :class:`Trace`.
+
+    Blank lines and lines starting with ``#`` are skipped.
+    """
+    trace = Trace()
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                trace.append(parse_line(stripped))
+            except TraceFormatError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+    return trace

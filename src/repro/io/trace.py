@@ -1,0 +1,246 @@
+"""In-memory traces of CAN traffic.
+
+A :class:`TraceRecord` is one frame as a logger on the bus saw it: the
+completion timestamp, the frame fields, plus two pieces of simulator
+ground truth a real logger would not have — the sending node's name and
+whether the frame was injected by an attacker.  The ground truth never
+feeds the detectors; it exists so the evaluation can score them.
+
+:class:`Trace` is an ordered container of records with the vectorised
+accessors the IDS and the metrics code need (identifier arrays, timestamp
+arrays, time slicing, merging).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.can.constants import SECOND_US
+from repro.exceptions import TraceFormatError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logged frame.
+
+    ``timestamp_us`` is the time the frame *completed* on the bus, in
+    integer microseconds from the start of the capture, matching how
+    candump timestamps frames.
+    """
+
+    timestamp_us: int
+    can_id: int
+    data: bytes = b""
+    extended: bool = False
+    source: str = ""
+    is_attack: bool = False
+
+    @property
+    def dlc(self) -> int:
+        """Payload byte count."""
+        return len(self.data)
+
+    @property
+    def timestamp_s(self) -> float:
+        """Timestamp in seconds (derived; storage is integer us)."""
+        return self.timestamp_us / SECOND_US
+
+    def relabel(self, *, is_attack: Optional[bool] = None, source: Optional[str] = None) -> "TraceRecord":
+        """Return a copy with ground-truth fields replaced."""
+        out = self
+        if is_attack is not None:
+            out = replace(out, is_attack=is_attack)
+        if source is not None:
+            out = replace(out, source=source)
+        return out
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceRecord`.
+
+    Records must be appended in non-decreasing timestamp order; this is
+    what a single-point bus tap produces and what the streaming detectors
+    assume.
+    """
+
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None) -> None:
+        self._records: List[TraceRecord] = []
+        if records is not None:
+            for record in records:
+                self.append(record)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._records[index])
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        span = f"{self.duration_us / SECOND_US:.3f}s" if self._records else "empty"
+        return f"Trace({len(self._records)} records, {span})"
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def append(self, record: TraceRecord) -> None:
+        """Append one record, enforcing timestamp monotonicity."""
+        if self._records and record.timestamp_us < self._records[-1].timestamp_us:
+            raise TraceFormatError(
+                f"record at {record.timestamp_us}us appended after "
+                f"{self._records[-1].timestamp_us}us; traces must be time-ordered"
+            )
+        self._records.append(record)
+
+    @staticmethod
+    def merge(*traces: "Trace") -> "Trace":
+        """Merge time-ordered traces into one time-ordered trace.
+
+        Useful for composing a clean capture with an attack capture that
+        was recorded against the same clock.
+        """
+        merged = sorted(
+            (record for trace in traces for record in trace),
+            key=lambda r: r.timestamp_us,
+        )
+        return Trace(merged)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def start_us(self) -> int:
+        """Timestamp of the first record (0 for an empty trace)."""
+        return self._records[0].timestamp_us if self._records else 0
+
+    @property
+    def end_us(self) -> int:
+        """Timestamp of the last record (0 for an empty trace)."""
+        return self._records[-1].timestamp_us if self._records else 0
+
+    @property
+    def duration_us(self) -> int:
+        """Time spanned by the records."""
+        return self.end_us - self.start_us
+
+    @property
+    def attack_count(self) -> int:
+        """Number of ground-truth attack records."""
+        return sum(1 for r in self._records if r.is_attack)
+
+    # ------------------------------------------------------------------
+    # Vectorised accessors
+    # ------------------------------------------------------------------
+    def ids(self) -> np.ndarray:
+        """All identifiers as an ``int64`` array, in time order."""
+        return np.fromiter(
+            (r.can_id for r in self._records), dtype=np.int64, count=len(self._records)
+        )
+
+    def timestamps_us(self) -> np.ndarray:
+        """All timestamps (us) as an ``int64`` array, in time order."""
+        return np.fromiter(
+            (r.timestamp_us for r in self._records),
+            dtype=np.int64,
+            count=len(self._records),
+        )
+
+    def attack_mask(self) -> np.ndarray:
+        """Boolean array marking ground-truth attack records."""
+        return np.fromiter(
+            (r.is_attack for r in self._records),
+            dtype=bool,
+            count=len(self._records),
+        )
+
+    def unique_ids(self) -> np.ndarray:
+        """Sorted array of distinct identifiers seen in the trace."""
+        return np.unique(self.ids()) if self._records else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Slicing and filtering
+    # ------------------------------------------------------------------
+    def between(self, start_us: int, end_us: int) -> "Trace":
+        """Records with ``start_us <= timestamp < end_us`` (binary search)."""
+        stamps = [r.timestamp_us for r in self._records]
+        lo = bisect.bisect_left(stamps, start_us)
+        hi = bisect.bisect_left(stamps, end_us)
+        return Trace(self._records[lo:hi])
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
+        """Records satisfying ``predicate``, preserving order."""
+        return Trace(r for r in self._records if predicate(r))
+
+    def without_attacks(self) -> "Trace":
+        """Only the legitimate traffic (by ground truth)."""
+        return self.filter(lambda r: not r.is_attack)
+
+    def only_attacks(self) -> "Trace":
+        """Only the injected traffic (by ground truth)."""
+        return self.filter(lambda r: r.is_attack)
+
+    def shifted(self, offset_us: int) -> "Trace":
+        """A copy with every timestamp moved by ``offset_us``."""
+        return Trace(
+            replace(r, timestamp_us=r.timestamp_us + offset_us) for r in self._records
+        )
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def time_windows(
+        self, window_us: int, *, start_us: Optional[int] = None
+    ) -> Iterator["Trace"]:
+        """Yield consecutive tumbling time windows of ``window_us``.
+
+        The last partial window is yielded too (callers that need a
+        minimum population filter on ``len(window)``).
+        """
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        if not self._records:
+            return
+        t0 = self.start_us if start_us is None else start_us
+        t_end = self.end_us
+        while t0 <= t_end:
+            yield self.between(t0, t0 + window_us)
+            t0 += window_us
+
+    def count_windows(self, size: int) -> Iterator["Trace"]:
+        """Yield consecutive tumbling windows of ``size`` records each."""
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        for lo in range(0, len(self._records), size):
+            yield Trace(self._records[lo : lo + size])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def message_rate_hz(self) -> float:
+        """Average message rate over the trace duration."""
+        if len(self._records) < 2 or self.duration_us == 0:
+            return 0.0
+        return (len(self._records) - 1) / (self.duration_us / SECOND_US)
+
+    def id_histogram(self) -> dict:
+        """Mapping of identifier -> occurrence count."""
+        hist: dict = {}
+        for record in self._records:
+            hist[record.can_id] = hist.get(record.can_id, 0) + 1
+        return hist

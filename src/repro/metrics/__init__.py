@@ -1,0 +1,26 @@
+"""Evaluation metrics.
+
+The paper's two headline metrics live in :mod:`repro.metrics.rates`
+(injection rate ``Ir``, detection rate ``Dr``, inference hit rate); the
+usual confusion-matrix derivations in :mod:`repro.metrics.confusion`;
+detection latency in :mod:`repro.metrics.latency`; and the Section-V.E
+cost model (memory slots, work per message) in
+:mod:`repro.metrics.cost`.
+"""
+
+from repro.metrics.confusion import ConfusionMatrix, window_confusion
+from repro.metrics.cost import CostModel, bitslice_cost, compare_costs
+from repro.metrics.latency import detection_latency_us
+from repro.metrics.rates import detection_rate, hit_rate, injection_rate
+
+__all__ = [
+    "ConfusionMatrix",
+    "CostModel",
+    "bitslice_cost",
+    "compare_costs",
+    "detection_latency_us",
+    "detection_rate",
+    "hit_rate",
+    "injection_rate",
+    "window_confusion",
+]

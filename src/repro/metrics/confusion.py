@@ -1,0 +1,87 @@
+"""Window-level confusion matrix and derived scores.
+
+The paper only reports detection rate, but a credible IDS evaluation
+also needs the false-alarm side; these helpers compute the standard
+derivations from per-window verdicts (positive = window contains at
+least one injected message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts of window-level outcomes."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    @property
+    def total(self) -> int:
+        """All judged windows."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing was flagged."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 0 when nothing was attacked."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN); 0 when no clean windows were judged."""
+        denominator = self.fp + self.tn
+        return self.fp / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+
+def window_confusion(windows: Iterable) -> ConfusionMatrix:
+    """Build a confusion matrix from window verdicts.
+
+    Works with both :class:`repro.core.WindowResult` and
+    :class:`repro.baselines.BaselineVerdict` (anything exposing
+    ``judged``, ``alarm`` and ``n_attack_messages``).
+    """
+    tp = fp = fn = tn = 0
+    for window in windows:
+        if not window.judged:
+            continue
+        attacked = window.n_attack_messages > 0
+        if window.alarm and attacked:
+            tp += 1
+        elif window.alarm and not attacked:
+            fp += 1
+        elif not window.alarm and attacked:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)

@@ -1,0 +1,69 @@
+"""The paper's rate metrics (Section V.B).
+
+* **Injection rate** ``Ir`` — "the proportion of successfully injected
+  messages on the bus over the total number of messages the malicious
+  ECU sends to compete for the bus arbitration".
+* **Detection rate** ``Dr`` — "the proportion of successfully detected
+  injected messages over the total number of injected".  The IDS judges
+  windows, so an alarmed window detects every injected message in it.
+* **Hit rate** — for inference: the true malicious identifier(s) found
+  within the rank-``n`` candidate set.
+* ``Nm = Ir x f x T0`` — the successfully injected message count the
+  paper derives; :func:`expected_injected` computes it for cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Union
+
+from repro.exceptions import ReproError
+
+
+def injection_rate(wins: int, attempts: int) -> float:
+    """``Ir = wins / attempts``; 0 for a passive attacker."""
+    if wins < 0 or attempts < 0:
+        raise ReproError("wins and attempts must be non-negative")
+    if wins > attempts:
+        raise ReproError(f"wins ({wins}) cannot exceed attempts ({attempts})")
+    return wins / attempts if attempts else 0.0
+
+
+def detection_rate(windows: Iterable) -> float:
+    """``Dr`` over window results (core or baseline verdicts).
+
+    Accepts any objects exposing ``judged``, ``alarm`` and
+    ``n_attack_messages`` — both :class:`repro.core.WindowResult` and
+    :class:`repro.baselines.BaselineVerdict` qualify.
+    """
+    total = 0
+    detected = 0
+    for window in windows:
+        if not window.judged:
+            continue
+        total += window.n_attack_messages
+        if window.alarm:
+            detected += window.n_attack_messages
+    return detected / total if total else 0.0
+
+
+def hit_rate(candidates: Sequence[int], true_ids: Union[Set[int], Sequence[int]]) -> float:
+    """Recovered fraction of the true injected identifiers.
+
+    The paper's rank selection marks a detection as a *hit* when the
+    malicious identifier appears among the first ``rank`` candidates;
+    with several injected identifiers this generalises to the recovered
+    fraction.
+    """
+    truth = set(true_ids)
+    if not truth:
+        raise ReproError("hit_rate needs a non-empty truth set")
+    return len(truth.intersection(candidates)) / len(truth)
+
+
+def expected_injected(ir: float, frequency_hz: float, duration_s: float) -> float:
+    """The paper's ``Nm = Ir x f x T0``."""
+    if not 0.0 <= ir <= 1.0:
+        raise ReproError(f"injection rate must be in [0, 1], got {ir}")
+    if frequency_hz < 0 or duration_s < 0:
+        raise ReproError("frequency and duration must be non-negative")
+    return ir * frequency_hz * duration_s

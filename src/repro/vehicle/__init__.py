@@ -1,0 +1,43 @@
+"""Synthetic vehicle traffic shaped after the paper's test car.
+
+The paper's measurements come from a 2016 Ford Fusion whose CAN carries
+223 active identifiers — 10.88 % of the 2048-value 11-bit space.  This
+package generates an equivalent synthetic vehicle:
+
+* :mod:`repro.vehicle.ids_catalog` — a seeded catalog of 223 identifiers
+  grouped into functional clusters (powertrain, chassis, body, comfort,
+  diagnostics) with realistic period classes;
+* :mod:`repro.vehicle.ecu_profiles` — the ECU nodes owning those
+  identifiers;
+* :mod:`repro.vehicle.driving` — driving scenarios (audio on, lights on,
+  cruise control, ...) that modulate the event-driven messages, exactly
+  the variation the paper averaged over to build its golden template;
+* :mod:`repro.vehicle.traffic` — glue that builds a ready-to-run
+  :class:`repro.can.Bus` and records traces.
+"""
+
+from repro.vehicle.driving import (
+    STANDARD_SCENARIOS,
+    DrivingScenario,
+    random_scenario,
+    scenario_by_name,
+)
+from repro.vehicle.ecu_profiles import build_ecus
+from repro.vehicle.ids_catalog import CatalogEntry, VehicleCatalog, ford_fusion_catalog
+from repro.vehicle.multibus import BridgeNode, DualBusVehicle
+from repro.vehicle.traffic import VehicleSimulation, simulate_drive
+
+__all__ = [
+    "BridgeNode",
+    "CatalogEntry",
+    "DrivingScenario",
+    "DualBusVehicle",
+    "STANDARD_SCENARIOS",
+    "VehicleCatalog",
+    "VehicleSimulation",
+    "build_ecus",
+    "ford_fusion_catalog",
+    "random_scenario",
+    "scenario_by_name",
+    "simulate_drive",
+]

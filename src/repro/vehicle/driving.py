@@ -1,0 +1,101 @@
+"""Driving scenarios.
+
+The paper's golden template averages entropy measurements over "diverse
+driving behaviors, e.g. turning the audio on, turning the light on, and
+driving with cruise control".  In the synthetic vehicle, a scenario is a
+set of rate multipliers over the event-message tags: turning the audio on
+raises the arrival rate of ``audio``-tagged messages, night driving
+raises ``lights``, and so on.  Periodic traffic — the overwhelming bulk of
+the bus — is unaffected, which is precisely why the paper finds the
+per-bit entropy so stable across scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ScenarioError
+
+
+@dataclass(frozen=True)
+class DrivingScenario:
+    """A named modulation of the event-driven traffic.
+
+    ``rate_multipliers`` maps an event tag to a factor applied to the
+    tag's base arrival rate; tags not listed keep factor 1.0.  A factor
+    of 0 silences the tag entirely.
+    """
+
+    name: str
+    rate_multipliers: Dict[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for tag, factor in self.rate_multipliers.items():
+            if factor < 0:
+                raise ScenarioError(f"scenario {self.name}: negative rate for {tag!r}")
+
+    def rate_for(self, tag: str, base_rate_hz: float) -> float:
+        """Effective arrival rate of an event tag under this scenario."""
+        return base_rate_hz * self.rate_multipliers.get(tag, 1.0)
+
+
+# The paper's key empirical observation (Section IV.B) is that the per-bit
+# entropy barely moves across driving behaviours — the dominant periodic
+# traffic is identical and only a handful of low-rate event messages
+# change.  The standard scenarios therefore modulate event rates gently
+# (factors in [0.5, 2]); the golden-template stability experiment (E4)
+# verifies the resulting ranges stay orders of magnitude below attack
+# deviations.
+STANDARD_SCENARIOS: List[DrivingScenario] = [
+    DrivingScenario("idle", {"audio": 0.6, "lights": 0.6, "cruise": 0.5, "wipers": 0.5},
+                    description="engine running, car parked"),
+    DrivingScenario("city", {"lights": 1.1, "doors": 1.3, "cruise": 0.7},
+                    description="stop-and-go city driving"),
+    DrivingScenario("highway", {"cruise": 1.4, "doors": 0.6},
+                    description="steady highway driving"),
+    DrivingScenario("audio_on", {"audio": 1.8},
+                    description="infotainment in active use"),
+    DrivingScenario("lights_on", {"lights": 1.8},
+                    description="night driving with exterior lights"),
+    DrivingScenario("cruise_control", {"cruise": 1.8, "audio": 0.8},
+                    description="adaptive cruise control engaged"),
+    DrivingScenario("rain", {"wipers": 2.0, "lights": 1.5},
+                    description="wipers and lights active"),
+    DrivingScenario("parking", {"doors": 1.8, "audio": 0.7, "cruise": 0.5},
+                    description="low-speed manoeuvring, doors cycling"),
+]
+
+
+def scenario_by_name(name: str) -> DrivingScenario:
+    """Look up one of the standard scenarios."""
+    for scenario in STANDARD_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise ScenarioError(
+        f"unknown scenario {name!r}; available: "
+        + ", ".join(s.name for s in STANDARD_SCENARIOS)
+    )
+
+
+def random_scenario(rng: np.random.Generator, name: Optional[str] = None) -> DrivingScenario:
+    """Draw a randomized scenario for template diversity.
+
+    Every known event tag receives a log-uniform multiplier in
+    [0.5, 2.0]; this is how the reproduction obtains the paper's "35
+    measurements from diverse driving behaviors" without 35 scripted
+    drives.  The modulation is deliberately gentle — matching the paper's
+    observation that normal-driving entropy varies only minutely.
+    """
+    tags = ("audio", "lights", "cruise", "wipers", "doors", "hvac", "diag", "misc")
+    multipliers = {
+        tag: float(np.exp(rng.uniform(np.log(0.5), np.log(2.0)))) for tag in tags
+    }
+    return DrivingScenario(
+        name or f"random_{rng.integers(1 << 30)}",
+        multipliers,
+        description="randomized event mix for template construction",
+    )

@@ -1,0 +1,103 @@
+"""Building ECU nodes from the catalog.
+
+Each catalog entry belongs to one ECU; this module converts a
+:class:`~repro.vehicle.ids_catalog.VehicleCatalog` plus a
+:class:`~repro.vehicle.driving.DrivingScenario` into a list of ready
+:class:`repro.can.PeriodicECU` nodes, with per-message start offsets that
+desynchronize the periodic schedules (real ECUs boot at different times).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.can.node import MessageSpec, PeriodicECU
+from repro.vehicle.driving import DrivingScenario
+from repro.vehicle.ids_catalog import CatalogEntry, VehicleCatalog
+from repro.vehicle.signals import default_payload_for
+
+
+#: Per-ECU task tick; periodic releases inside one ECU snap to this grid.
+ECU_TICK_US = 10_000
+
+
+def _spec_for(
+    entry: CatalogEntry,
+    scenario: DrivingScenario,
+    rng: np.random.Generator,
+    ecu_phase_us: int,
+) -> Optional[MessageSpec]:
+    """Build the MessageSpec for one catalog entry under a scenario.
+
+    Returns None for event messages the scenario silences entirely.
+    """
+    payload_fn = default_payload_for(
+        entry.cluster, entry.dlc, seed=entry.can_id
+    )
+    if entry.is_periodic:
+        # Releases inside one ECU share that ECU's task tick (real ECUs
+        # emit several frames per OS tick), but different ECUs have
+        # independent phases — their clocks are not synchronized.  The
+        # small bursts this produces create the arbitration contention
+        # behind the paper's Fig. 3 injection-rate curve without the
+        # fleet-wide release alignment a global grid would cause.
+        slots = max(1, entry.period_us // ECU_TICK_US)
+        offset = ecu_phase_us + int(rng.integers(0, slots)) * ECU_TICK_US
+        return MessageSpec(
+            can_id=entry.can_id,
+            period_us=entry.period_us,
+            offset_us=offset,
+            jitter_frac=entry.jitter_frac,
+            payload_fn=payload_fn,
+        )
+    rate = scenario.rate_for(entry.tag, entry.base_rate_hz)
+    if rate <= 0.0:
+        return None
+    return MessageSpec(
+        can_id=entry.can_id,
+        rate_hz=rate,
+        offset_us=int(rng.integers(0, 1_000_000)),
+        payload_fn=payload_fn,
+    )
+
+
+def build_ecus(
+    catalog: VehicleCatalog,
+    scenario: DrivingScenario,
+    seed: int = 0,
+) -> List[PeriodicECU]:
+    """Instantiate one :class:`PeriodicECU` per catalog ECU.
+
+    The RNG seeds offsets, jitter streams and event arrivals, so two
+    calls with the same (catalog, scenario, seed) produce statistically
+    identical buses.
+    """
+    rng = np.random.default_rng(seed)
+    nodes: List[PeriodicECU] = []
+    for ecu_name, entries in sorted(catalog.by_ecu().items()):
+        ecu_phase_us = int(rng.integers(0, ECU_TICK_US))
+        specs = []
+        for entry in entries:
+            spec = _spec_for(entry, scenario, rng, ecu_phase_us)
+            if spec is not None:
+                specs.append(spec)
+        if not specs:
+            continue  # every event message silenced for this ECU
+        nodes.append(
+            PeriodicECU(
+                name=f"ECU_{ecu_name}",
+                messages=specs,
+                seed=int(rng.integers(1 << 31)),
+            )
+        )
+    return nodes
+
+
+def assignments_for(catalog: VehicleCatalog) -> Dict[str, frozenset]:
+    """Per-node identifier assignments (for gateway/transmitter filters)."""
+    return {
+        f"ECU_{ecu}": frozenset(entry.can_id for entry in entries)
+        for ecu, entries in catalog.by_ecu().items()
+    }

@@ -1,0 +1,170 @@
+"""Dual-bus vehicle: middle-speed and high-speed CAN with a gateway.
+
+The paper's test car exposes two buses through OBD-II — 125 kbit/s
+middle-speed and 500 kbit/s high-speed — and the paper evaluates on the
+middle-speed one while noting the method "would also work for high-speed
+CAN".  This module builds that topology:
+
+* the high-speed bus carries powertrain and chassis traffic;
+* the middle-speed bus carries body, comfort and diagnostics;
+* a :class:`BridgeNode` on the gateway forwards a configured identifier
+  set from the high-speed bus onto the middle-speed bus (instrument
+  cluster data in a real car), so the MS capture contains re-timed HS
+  frames exactly like a production gateway produces.
+
+Each bus can carry its own IDS instance; the multibus extension tests
+confirm the method works on both, as the paper asserts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.can.bus import Bus, BusConfig
+from repro.can.constants import BAUD_HS_CAN, BAUD_MS_CAN, SECOND_US
+from repro.can.frame import CANFrame
+from repro.can.node import Node
+from repro.exceptions import BusConfigError, NodeStateError
+from repro.io.trace import Trace, TraceRecord
+from repro.vehicle.driving import DrivingScenario, scenario_by_name
+from repro.vehicle.ecu_profiles import build_ecus
+from repro.vehicle.ids_catalog import VehicleCatalog, ford_fusion_catalog
+
+#: Clusters carried by the high-speed bus.
+HS_CLUSTERS = frozenset({"powertrain", "chassis"})
+
+
+class BridgeNode(Node):
+    """A queue-backed node the gateway uses to re-transmit frames.
+
+    Frames arrive via :meth:`enqueue` (from a listener on the source
+    bus) and contend for the destination bus like any node; gateway
+    store-and-forward adds a configurable processing latency.
+    """
+
+    def __init__(self, name: str = "gateway_bridge", latency_us: int = 500) -> None:
+        super().__init__(name)
+        if latency_us < 0:
+            raise BusConfigError(f"latency must be >= 0, got {latency_us}")
+        self.latency_us = latency_us
+        self._queue: List[Tuple[int, int, CANFrame]] = []
+        self._sequence = 0
+        self.dropped_overflow = 0
+        self.max_queue = 64  # typical gateway buffer depth
+
+    def enqueue(self, frame: CANFrame, arrival_us: int) -> None:
+        """Accept a frame from the source bus for forwarding."""
+        if len(self._queue) >= self.max_queue:
+            self.dropped_overflow += 1  # gateways drop on overflow
+            return
+        heapq.heappush(
+            self._queue,
+            (arrival_us + self.latency_us, self._sequence, frame),
+        )
+        self._sequence += 1
+
+    def next_release(self) -> Optional[int]:
+        return self._queue[0][0] if self._queue else None
+
+    def peek(self) -> CANFrame:
+        if not self._queue:
+            raise NodeStateError(f"bridge {self.name} has no pending frame")
+        return self._queue[0][2]
+
+    def on_win(self, t_us: int) -> None:
+        super().on_win(t_us)
+        heapq.heappop(self._queue)
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently waiting to be forwarded."""
+        return len(self._queue)
+
+
+class DualBusVehicle:
+    """The two-bus topology with a forwarding gateway.
+
+    Parameters
+    ----------
+    catalog:
+        The full vehicle catalog; entries are split by cluster.
+    scenario:
+        Driving scenario applied to both buses.
+    forward_ids:
+        Identifiers forwarded HS -> MS (defaults to every 10th
+        powertrain identifier — cluster-style data).
+    seed:
+        Seeds both buses' ECU schedules.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[VehicleCatalog] = None,
+        scenario: object = "city",
+        forward_ids: Optional[Iterable[int]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.catalog = catalog or ford_fusion_catalog(seed=0)
+        if isinstance(scenario, str):
+            scenario = scenario_by_name(scenario)
+        self.scenario: DrivingScenario = scenario
+
+        hs_entries = [e for e in self.catalog if e.cluster in HS_CLUSTERS]
+        ms_entries = [e for e in self.catalog if e.cluster not in HS_CLUSTERS]
+        if not hs_entries or not ms_entries:
+            raise BusConfigError("catalog must populate both buses")
+        self.hs_catalog = VehicleCatalog(hs_entries)
+        self.ms_catalog = VehicleCatalog(ms_entries)
+
+        self.hs_bus = Bus(BusConfig(baud_rate=BAUD_HS_CAN))
+        self.ms_bus = Bus(BusConfig(baud_rate=BAUD_MS_CAN))
+        for ecu in build_ecus(self.hs_catalog, self.scenario, seed=seed):
+            self.hs_bus.attach(ecu)
+        for ecu in build_ecus(self.ms_catalog, self.scenario, seed=seed + 1):
+            self.ms_bus.attach(ecu)
+
+        if forward_ids is None:
+            forward_ids = [e.can_id for e in hs_entries[::10]]
+        self.forward_ids: FrozenSet[int] = frozenset(forward_ids)
+        unknown = self.forward_ids - self.hs_catalog.id_set()
+        if unknown:
+            raise BusConfigError(
+                f"forward set contains non-HS identifiers: "
+                + ", ".join(f"0x{i:03X}" for i in sorted(unknown))
+            )
+        self.bridge = BridgeNode()
+        self.ms_bus.attach(self.bridge)
+        self.hs_bus.attach_listener(self._maybe_forward)
+
+    # ------------------------------------------------------------------
+    def _maybe_forward(self, record: TraceRecord) -> None:
+        if record.can_id in self.forward_ids:
+            self.bridge.enqueue(
+                CANFrame(record.can_id, record.data, extended=record.extended),
+                record.timestamp_us,
+            )
+
+    def run(self, duration_s: float) -> Tuple[Trace, Trace]:
+        """Advance both buses in lockstep slices; returns (HS, MS) traces.
+
+        The buses are independent except for the bridge queue, so
+        coarse-grained interleaving (10 ms slices) keeps forwarded-frame
+        timing accurate to well under a bridge latency.
+        """
+        slice_us = 10_000
+        total_us = int(duration_s * SECOND_US)
+        elapsed = 0
+        while elapsed < total_us:
+            step = min(slice_us, total_us - elapsed)
+            self.hs_bus.run(step)
+            self.ms_bus.run(step)
+            elapsed += step
+        return self.hs_bus.trace, self.ms_bus.trace
+
+    def busloads(self) -> Dict[str, float]:
+        """Busload per segment."""
+        return {
+            "high_speed": self.hs_bus.stats.busload(self.hs_bus.now_us),
+            "middle_speed": self.ms_bus.stats.busload(self.ms_bus.now_us),
+        }

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+The expensive fixtures (catalog, clean template windows, golden
+template) are session-scoped: they are deterministic in their seeds, so
+sharing them across tests changes nothing about isolation while keeping
+the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IDSConfig, build_template
+from repro.vehicle import ford_fusion_catalog
+from repro.vehicle.traffic import record_template_windows
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The default synthetic Ford Fusion catalog."""
+    return ford_fusion_catalog(seed=0)
+
+
+@pytest.fixture(scope="session")
+def ids_config():
+    """Default IDS configuration with a smaller template for speed."""
+    return IDSConfig(template_windows=12)
+
+
+@pytest.fixture(scope="session")
+def template_windows(catalog, ids_config):
+    """Twelve clean windows over diverse scenarios."""
+    return record_template_windows(
+        n_windows=ids_config.template_windows,
+        window_s=ids_config.window_us / 1e6,
+        seed=7,
+        catalog=catalog,
+    )
+
+
+@pytest.fixture(scope="session")
+def golden_template(template_windows, ids_config):
+    """Golden template built from the shared clean windows."""
+    return build_template(template_windows, ids_config)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

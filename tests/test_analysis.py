@@ -1,0 +1,139 @@
+"""Analysis utilities: online stats and bootstrap intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bootstrap import bootstrap_ci, bootstrap_rate_ci
+from repro.analysis.rolling import OnlineStats, RollingWindowStats
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.min is None
+        assert stats.range == 0.0
+
+    def test_known_values(self):
+        stats = OnlineStats()
+        for value in (2.0, 4.0, 6.0):
+            stats.push(value)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.variance == pytest.approx(4.0)
+        assert (stats.min, stats.max) == (2.0, 6.0)
+        assert stats.range == 4.0
+
+    @given(st.lists(floats, min_size=2, max_size=100))
+    @settings(max_examples=100)
+    def test_matches_numpy(self, values):
+        stats = OnlineStats()
+        for value in values:
+            stats.push(value)
+        arr = np.asarray(values)
+        assert stats.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(arr.var(ddof=1), rel=1e-6, abs=1e-4)
+
+    @given(
+        st.lists(floats, min_size=1, max_size=50),
+        st.lists(floats, min_size=1, max_size=50),
+    )
+    @settings(max_examples=60)
+    def test_merge_equals_concatenation(self, a_values, b_values):
+        a = OnlineStats()
+        for value in a_values:
+            a.push(value)
+        b = OnlineStats()
+        for value in b_values:
+            b.push(value)
+        a.merge(b)
+        combined = OnlineStats()
+        for value in a_values + b_values:
+            combined.push(value)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert a.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-4)
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        a.push(1.0)
+        a.merge(OnlineStats())
+        assert a.count == 1
+        empty = OnlineStats()
+        empty.merge(a)
+        assert empty.count == 1
+
+
+class TestRollingWindow:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            RollingWindowStats(0)
+
+    def test_expires_oldest(self):
+        rolling = RollingWindowStats(3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            rolling.push(value)
+        assert len(rolling) == 3
+        assert rolling.mean == pytest.approx(3.0)
+        assert rolling.min == 2.0
+
+    def test_full_flag(self):
+        rolling = RollingWindowStats(2)
+        rolling.push(1.0)
+        assert not rolling.full
+        rolling.push(2.0)
+        assert rolling.full
+
+    @given(st.lists(floats, min_size=5, max_size=80), st.integers(3, 10))
+    @settings(max_examples=60)
+    def test_matches_trailing_slice(self, values, size):
+        rolling = RollingWindowStats(size)
+        for value in values:
+            rolling.push(value)
+        tail = np.asarray(values[-size:])
+        assert rolling.mean == pytest.approx(tail.mean(), rel=1e-9, abs=1e-6)
+        assert rolling.std == pytest.approx(tail.std(), rel=1e-5, abs=1e-3)
+
+
+class TestBootstrap:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_rate_ci([2], [1])
+
+    def test_single_sample_degenerate(self):
+        point, low, high = bootstrap_ci([0.9])
+        assert point == low == high == 0.9
+
+    def test_interval_contains_point(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.9, 0.05, size=30)
+        point, low, high = bootstrap_ci(samples, seed=2)
+        assert low <= point <= high
+        assert high - low < 0.1
+
+    def test_deterministic_in_seed(self):
+        samples = [0.8, 0.85, 0.95, 0.9]
+        assert bootstrap_ci(samples, seed=3) == bootstrap_ci(samples, seed=3)
+
+    def test_rate_ci_pools_counts(self):
+        detected = [90, 50, 10]
+        totals = [100, 50, 100]
+        point, low, high = bootstrap_rate_ci(detected, totals, seed=4)
+        assert point == pytest.approx(150 / 250)
+        assert low <= point <= high
+
+    def test_tighter_with_more_data(self):
+        rng = np.random.default_rng(5)
+        small = rng.normal(0.5, 0.1, size=5)
+        large = rng.normal(0.5, 0.1, size=200)
+        _p1, low1, high1 = bootstrap_ci(small, seed=6)
+        _p2, low2, high2 = bootstrap_ci(large, seed=6)
+        assert (high2 - low2) < (high1 - low1)

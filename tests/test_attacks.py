@@ -1,0 +1,247 @@
+"""Attack scenario nodes."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    FloodingAttacker,
+    MasqueradeAttacker,
+    MultiIDAttacker,
+    ReplayAttacker,
+    SingleIDAttacker,
+    WeakAttacker,
+)
+from repro.can.bus import Bus, BusConfig
+from repro.can.node import MessageSpec, PeriodicECU
+from repro.exceptions import BusConfigError
+from repro.io.trace import TraceRecord
+
+
+def busy_bus(seed=0):
+    """A bus with enough legitimate traffic to contest arbitration.
+
+    Five ECUs at 10 ms periods ≈ 500 msg/s ≈ 50 % busload on the default
+    middle-speed bus: contested, but with winnable idle slots.
+    """
+    bus = Bus()
+    for index in range(5):
+        bus.attach(
+            PeriodicECU(
+                f"ecu{index}",
+                [MessageSpec(0x100 + 0x40 * index, period_us=10_000,
+                             offset_us=index * 911)],
+                seed=seed + index,
+            )
+        )
+    return bus
+
+
+class TestAttackerBase:
+    def test_scheduling_respects_window(self):
+        attacker = SingleIDAttacker(0x300, frequency_hz=100.0, start_s=0.5,
+                                    duration_s=1.0)
+        assert attacker.next_release() == 500_000
+
+    def test_injection_rate_zero_before_attempts(self):
+        attacker = SingleIDAttacker(0x300, frequency_hz=10.0)
+        assert attacker.injection_rate == 0.0
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(BusConfigError):
+            SingleIDAttacker(0x300, frequency_hz=0.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(BusConfigError):
+            SingleIDAttacker(0x300, frequency_hz=10.0, start_s=-1.0)
+
+    def test_attack_stops_after_duration(self):
+        bus = Bus()
+        attacker = SingleIDAttacker(0x300, frequency_hz=100.0, start_s=0.0,
+                                    duration_s=0.5)
+        bus.attach(attacker)
+        trace = bus.run(2_000_000)
+        assert len(trace) == 50
+        assert trace.end_us < 600_000
+
+    def test_attack_frames_labelled(self):
+        bus = Bus()
+        bus.attach(SingleIDAttacker(0x300, frequency_hz=50.0, duration_s=0.2))
+        trace = bus.run(300_000)
+        assert all(r.is_attack for r in trace)
+
+    def test_drop_on_loss_counts_attempts(self):
+        bus = busy_bus()
+        attacker = SingleIDAttacker(0x7F0, frequency_hz=200.0, seed=1)
+        bus.attach(attacker)
+        bus.run(2_000_000)
+        stats = attacker.stats
+        assert stats.attempts == stats.wins + stats.losses
+        assert stats.losses > 0  # low priority must lose sometimes
+        assert 0.0 < attacker.injection_rate < 1.0
+
+    def test_queueing_attacker_never_drops(self):
+        bus = busy_bus()
+        attacker = SingleIDAttacker(0x7F0, frequency_hz=100.0, seed=1,
+                                    drop_on_loss=False)
+        bus.attach(attacker)
+        bus.run(1_000_000)
+        assert attacker.stats.losses == 0
+        assert attacker.stats.wins == attacker.stats.attempts
+
+    def test_describe_mentions_rate(self):
+        attacker = SingleIDAttacker(0x300, frequency_hz=50.0)
+        assert "50" in attacker.describe()
+
+
+class TestFlooding:
+    def test_ids_change_per_attempt(self):
+        attacker = FloodingAttacker(frequency_hz=100.0, ceiling=0x80, seed=2)
+        ids = {attacker.select_id() for _ in range(50)}
+        assert len(ids) > 10
+        assert all(i < 0x80 for i in ids)
+
+    def test_fixed_zero_mode(self):
+        attacker = FloodingAttacker(fixed_zero=True)
+        assert {attacker.select_id() for _ in range(10)} == {0x000}
+
+    def test_rejects_bad_ceiling(self):
+        with pytest.raises(BusConfigError):
+            FloodingAttacker(ceiling=0)
+
+    def test_high_priority_floods_win_contested_bus(self):
+        bus = busy_bus()
+        attacker = FloodingAttacker(frequency_hz=100.0, ceiling=0x080, seed=3)
+        bus.attach(attacker)
+        bus.run(2_000_000)
+        assert attacker.injection_rate > 0.95
+
+
+class TestSingleID:
+    def test_fixed_id(self):
+        attacker = SingleIDAttacker(0x1A4, frequency_hz=10.0)
+        assert attacker.select_id() == 0x1A4
+
+    def test_fixed_payload(self):
+        attacker = SingleIDAttacker(0x1A4, payload=b"\x01\x02")
+        assert attacker.build_payload() == b"\x01\x02"
+
+    def test_random_payload_varies(self):
+        attacker = SingleIDAttacker(0x1A4, seed=1)
+        assert attacker.build_payload() != attacker.build_payload()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(BusConfigError):
+            SingleIDAttacker(0x800)
+
+    def test_rejects_long_payload(self):
+        with pytest.raises(BusConfigError):
+            SingleIDAttacker(0x100, payload=b"\x00" * 9)
+
+
+class TestMultiID:
+    def test_round_robin_cycles(self):
+        attacker = MultiIDAttacker([0x100, 0x200, 0x300], mode="round_robin")
+        assert [attacker.select_id() for _ in range(6)] == [
+            0x100, 0x200, 0x300, 0x100, 0x200, 0x300,
+        ]
+
+    def test_random_mode_draws_from_set(self):
+        attacker = MultiIDAttacker([0x100, 0x200], mode="random", seed=4)
+        assert {attacker.select_id() for _ in range(40)} == {0x100, 0x200}
+
+    def test_aggregate_frequency_scales_with_k(self):
+        attacker = MultiIDAttacker([0x100, 0x200, 0x300], frequency_hz=10.0)
+        assert attacker.frequency_hz == pytest.approx(30.0)
+        assert attacker.per_id_frequency_hz == pytest.approx(10.0)
+
+    def test_needs_two_distinct_ids(self):
+        with pytest.raises(BusConfigError):
+            MultiIDAttacker([0x100])
+        with pytest.raises(BusConfigError):
+            MultiIDAttacker([0x100, 0x100])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(BusConfigError):
+            MultiIDAttacker([0x100, 0x200], mode="zigzag")
+
+
+class TestWeak:
+    def test_restricted_to_dominant_assigned(self):
+        attacker = WeakAttacker([0x500, 0x300, 0x400], max_active=2, seed=5)
+        chosen = {attacker.select_id() for _ in range(100)}
+        assert chosen <= {0x300, 0x400}
+
+    def test_prefers_dominant(self):
+        attacker = WeakAttacker([0x300, 0x400], seed=6)
+        draws = [attacker.select_id() for _ in range(500)]
+        assert draws.count(0x300) > draws.count(0x400) * 2
+
+    def test_uniform_mode(self):
+        attacker = WeakAttacker([0x300, 0x400], prefer_dominant=False, seed=6)
+        draws = [attacker.select_id() for _ in range(1000)]
+        assert abs(draws.count(0x300) - draws.count(0x400)) < 200
+
+    def test_transmitter_filter_blocks_unassigned(self):
+        """A weak attacker trying a foreign ID is stopped by the filter."""
+        bus = Bus()
+        cheat = SingleIDAttacker(0x050, frequency_hz=100.0, duration_s=0.5)
+        bus.attach(cheat, tx_filter={0x500})
+        trace = bus.run(1_000_000)
+        assert len(trace) == 0
+        assert cheat.stats.filtered == 50
+
+    def test_needs_assigned_ids(self):
+        with pytest.raises(BusConfigError):
+            WeakAttacker([])
+
+
+class TestReplay:
+    def _recording(self):
+        return [
+            TraceRecord(0, 0x111, b"\x01"),
+            TraceRecord(10, 0x222, b"\x02"),
+        ]
+
+    def test_replays_ids_and_payloads(self):
+        attacker = ReplayAttacker(self._recording(), frequency_hz=10.0)
+        assert attacker.select_id() == 0x111
+        assert attacker.build_payload() == b"\x01"
+        assert attacker.select_id() == 0x222
+        assert attacker.build_payload() == b"\x02"
+
+    def test_loops_by_default(self):
+        attacker = ReplayAttacker(self._recording(), frequency_hz=10.0)
+        ids = [attacker.select_id() for _ in range(5)]
+        assert ids == [0x111, 0x222, 0x111, 0x222, 0x111]
+
+    def test_no_loop_ends_attack(self):
+        bus = Bus()
+        attacker = ReplayAttacker(self._recording(), frequency_hz=100.0, loop=False)
+        bus.attach(attacker)
+        trace = bus.run(1_000_000)
+        assert len(trace) == 2
+
+    def test_needs_recording(self):
+        with pytest.raises(BusConfigError):
+            ReplayAttacker([])
+
+
+class TestMasquerade:
+    def test_victim_silenced_on_first_frame(self):
+        bus = Bus()
+        victim = PeriodicECU("victim", [MessageSpec(0x150, period_us=10_000)])
+        bus.attach(victim)
+        attacker = MasqueradeAttacker(0x150, victim=victim, frequency_hz=20.0,
+                                      start_s=0.05)
+        bus.attach(attacker)
+        trace = bus.run(1_000_000)
+        assert not victim.enabled
+        late = trace.between(100_000, 1_000_000)
+        assert all(r.is_attack for r in late if r.can_id == 0x150)
+
+    def test_arm_after_construction(self):
+        victim = PeriodicECU("victim", [MessageSpec(0x150, period_us=10_000)])
+        attacker = MasqueradeAttacker(0x150, frequency_hz=20.0)
+        attacker.arm(victim)
+        attacker.select_id()
+        assert not victim.enabled

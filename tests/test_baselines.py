@@ -1,0 +1,167 @@
+"""Baseline IDSes: protocol, detection behaviour, documented weaknesses."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.baselines import (
+    BaselineIDS,
+    ClockSkewIDS,
+    FrequencyIDS,
+    IntervalIDS,
+    MuterEntropyIDS,
+)
+from repro.exceptions import DetectorError
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import record_template_windows, simulate_drive
+
+ALL_BASELINES = [MuterEntropyIDS, IntervalIDS, ClockSkewIDS, FrequencyIDS]
+
+
+@pytest.fixture(scope="module")
+def clean_windows(catalog):
+    return record_template_windows(8, 2.0, seed=21, catalog=catalog)
+
+
+@pytest.fixture(scope="module")
+def fitted(clean_windows):
+    out = {}
+    for cls in ALL_BASELINES:
+        out[cls.name] = cls(window_us=2_000_000).fit(clean_windows)
+    return out
+
+
+@pytest.fixture(scope="module")
+def attack_trace(catalog):
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=77)
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=catalog.ids[80], frequency_hz=100.0, start_s=2.0,
+            duration_s=8.0, seed=2,
+        )
+    )
+    return sim.run(12.0)
+
+
+@pytest.fixture(scope="module")
+def clean_trace(catalog):
+    return simulate_drive(10.0, scenario="highway", seed=88, catalog=catalog)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_scan_before_fit_rejected(self, cls, clean_trace):
+        with pytest.raises(DetectorError):
+            cls().scan(clean_trace)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_fit_requires_windows(self, cls):
+        with pytest.raises(DetectorError):
+            cls().fit([])
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_memory_slots_positive(self, cls, fitted):
+        assert fitted[cls.name].memory_slots() > 0
+
+    def test_verdict_windows_cover_trace(self, fitted, clean_trace):
+        verdicts = fitted["muter-entropy"].scan(clean_trace)
+        assert sum(v.n_messages for v in verdicts) == len(clean_trace)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("name", ["muter-entropy", "interval", "frequency"])
+    def test_detects_high_frequency_injection(self, fitted, attack_trace, name):
+        verdicts = fitted[name].scan(attack_trace)
+        assert BaselineIDS.detection_rate(verdicts) > 0.5
+
+    @pytest.mark.parametrize(
+        "name", ["muter-entropy", "interval", "clock-skew", "frequency"]
+    )
+    def test_clean_traffic_quiet(self, fitted, clean_trace, name):
+        verdicts = fitted[name].scan(clean_trace)
+        assert BaselineIDS.false_positive_rate(verdicts) <= 0.10
+
+    def test_attack_windows_labelled(self, fitted, attack_trace):
+        verdicts = fitted["frequency"].scan(attack_trace)
+        assert sum(v.n_attack_messages for v in verdicts) == attack_trace.attack_count
+
+
+class TestMuter:
+    def test_memory_grows_with_catalog(self, fitted, catalog):
+        assert fitted["muter-entropy"].memory_slots() == pytest.approx(
+            len(catalog), abs=5
+        )
+
+    def test_cannot_localize(self):
+        assert not MuterEntropyIDS.localizes_ids
+
+    def test_needs_two_windows(self, clean_windows):
+        with pytest.raises(DetectorError):
+            MuterEntropyIDS().fit(clean_windows[:1])
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(DetectorError):
+            MuterEntropyIDS(alpha=0.0)
+
+
+class TestInterval:
+    def test_blind_to_unseen_id(self, fitted, catalog):
+        """The paper's criticism of [11]: unseen identifiers are invisible."""
+        unseen = next(i for i in range(0x100, 0x7FF) if i not in catalog.id_set())
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=5)
+        sim.add_node(
+            SingleIDAttacker(can_id=unseen, frequency_hz=100.0, start_s=2.0,
+                             duration_s=6.0, seed=5)
+        )
+        trace = sim.run(10.0)
+        verdicts = fitted["interval"].scan(trace)
+        assert BaselineIDS.detection_rate(verdicts) == 0.0
+
+    def test_flagged_ids_localize_seen_injection(self, fitted, attack_trace, catalog):
+        flagged = fitted["interval"].flagged_ids(attack_trace)
+        assert flagged[0] == catalog.ids[80]
+
+    def test_linear_memory(self, fitted):
+        ids_learned = len(fitted["interval"].nominal_period_us)
+        assert fitted["interval"].memory_slots() == 2 * ids_learned
+
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            IntervalIDS(speedup_factor=1.0)
+        with pytest.raises(DetectorError):
+            IntervalIDS(alarm_fraction=0.0)
+
+
+class TestClockSkew:
+    def test_blind_to_unseen_id(self):
+        assert not ClockSkewIDS.handles_unseen_ids
+
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            ClockSkewIDS(cusum_threshold=0.0)
+
+    def test_detects_fast_injection_of_seen_id(self, fitted, attack_trace):
+        verdicts = fitted["clock-skew"].scan(attack_trace)
+        assert BaselineIDS.detection_rate(verdicts) > 0.5
+
+
+class TestFrequency:
+    def test_constant_memory(self, fitted):
+        assert fitted["frequency"].memory_slots() == 3
+
+    def test_blind_to_volume_preserving_change(self, fitted, clean_trace):
+        """Relabelling identifiers keeps the volume identical — the naive
+        frequency monitor cannot see it (ours would)."""
+        from dataclasses import replace
+
+        from repro.io.trace import Trace
+
+        scrambled = Trace(
+            replace(r, can_id=(r.can_id ^ 0x155) & 0x7FF) for r in clean_trace
+        )
+        verdicts = fitted["frequency"].scan(scrambled)
+        assert not any(v.alarm for v in verdicts)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            FrequencyIDS(band_sigmas=0.0)

@@ -1,0 +1,91 @@
+"""Bitwise dominant-0 arbitration semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.arbitration import arbitration_key, resolve_arbitration
+from repro.can.frame import CANFrame
+from repro.exceptions import ArbitrationError
+
+
+class TestArbitrationKey:
+    def test_base_key_length(self):
+        # ID(11) + RTR + IDE
+        assert len(arbitration_key(CANFrame(0x123))) == 13
+
+    def test_extended_key_length(self):
+        # ID(11) + SRR + IDE + ID(18) + RTR
+        assert len(arbitration_key(CANFrame(0x123, extended=True))) == 32
+
+    def test_lower_id_is_smaller_key(self):
+        assert arbitration_key(CANFrame(0x100)) < arbitration_key(CANFrame(0x101))
+
+    def test_data_beats_remote_same_id(self):
+        data = arbitration_key(CANFrame(0x100))
+        remote = arbitration_key(CANFrame(0x100, rtr=True))
+        assert data < remote
+
+    def test_base_data_beats_extended_same_prefix(self):
+        base = arbitration_key(CANFrame(0x100))
+        ext = arbitration_key(CANFrame(0x100 << 18, extended=True))
+        assert base < ext
+
+    def test_base_remote_still_beats_extended(self):
+        base_rtr = arbitration_key(CANFrame(0x100, rtr=True))
+        ext = arbitration_key(CANFrame(0x100 << 18, extended=True))
+        assert base_rtr < ext
+
+
+class TestResolve:
+    def test_single_contender_wins(self):
+        result = resolve_arbitration([CANFrame(0x300)])
+        assert result.winner_index == 0
+        assert result.lost_at_bit == {}
+
+    def test_lowest_id_wins(self):
+        frames = [CANFrame(0x300), CANFrame(0x100), CANFrame(0x200)]
+        assert resolve_arbitration(frames).winner_index == 1
+
+    def test_zero_dominates_everything(self):
+        frames = [CANFrame(i) for i in (0x7FF, 0x000, 0x400)]
+        assert resolve_arbitration(frames).winner_index == 1
+
+    def test_lost_at_bit_positions(self):
+        # 0x400 = 100_0000_0000 loses to 0x000 at the very first ID bit.
+        result = resolve_arbitration([CANFrame(0x000), CANFrame(0x400)])
+        assert result.lost_at_bit[1] == 0
+
+    def test_lost_at_later_bit(self):
+        # 0x001 differs from 0x000 only at the last ID bit (position 10).
+        result = resolve_arbitration([CANFrame(0x000), CANFrame(0x001)])
+        assert result.lost_at_bit[1] == 10
+
+    def test_identical_frames_raise(self):
+        with pytest.raises(ArbitrationError):
+            resolve_arbitration([CANFrame(0x100), CANFrame(0x100)])
+
+    def test_identical_frames_tie_break(self):
+        result = resolve_arbitration(
+            [CANFrame(0x100), CANFrame(0x100)], allow_ties=True
+        )
+        assert result.winner_index == 0
+
+    def test_empty_contenders_raise(self):
+        with pytest.raises(ArbitrationError):
+            resolve_arbitration([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF), min_size=1,
+                    max_size=10, unique=True))
+    def test_winner_is_numeric_minimum_for_base_data_frames(self, ids):
+        frames = [CANFrame(i) for i in ids]
+        winner = resolve_arbitration(frames).winner_index
+        assert frames[winner].can_id == min(ids)
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF), min_size=2,
+                    max_size=10, unique=True))
+    def test_every_loser_has_a_loss_position(self, ids):
+        frames = [CANFrame(i) for i in ids]
+        result = resolve_arbitration(frames)
+        losers = set(range(len(frames))) - {result.winner_index}
+        assert set(result.lost_at_bit) == losers

@@ -1,0 +1,186 @@
+"""Bit-level encoding: ID bits, CRC-15, stuffing, frame lengths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.bits import (
+    byte_bits,
+    crc15,
+    frame_bitstream,
+    frame_wire_bits,
+    id_bits,
+    id_from_bits,
+    stuff_bits,
+    unstuff_bits,
+)
+from repro.can.constants import STUFF_RUN
+from repro.exceptions import FrameError
+
+
+class TestIdBits:
+    def test_msb_first(self):
+        assert id_bits(0b10000000000, 11) == (1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+
+    def test_lsb(self):
+        assert id_bits(1, 11)[-1] == 1
+
+    def test_zero(self):
+        assert id_bits(0, 11) == (0,) * 11
+
+    def test_full(self):
+        assert id_bits(0x7FF, 11) == (1,) * 11
+
+    def test_rejects_overflow(self):
+        with pytest.raises(FrameError):
+            id_bits(0x800, 11)
+
+    def test_rejects_negative(self):
+        with pytest.raises(FrameError):
+            id_bits(-1, 11)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            id_bits(0, 0)
+
+    @given(st.integers(min_value=0, max_value=0x7FF))
+    def test_roundtrip_11(self, value):
+        assert id_from_bits(id_bits(value, 11)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 29) - 1))
+    def test_roundtrip_29(self, value):
+        assert id_from_bits(id_bits(value, 29)) == value
+
+    def test_id_from_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            id_from_bits((0, 2, 1))
+
+
+class TestByteBits:
+    def test_single_byte(self):
+        assert byte_bits(b"\x80") == (1, 0, 0, 0, 0, 0, 0, 0)
+
+    def test_empty(self):
+        assert byte_bits(b"") == ()
+
+    def test_length(self):
+        assert len(byte_bits(b"\x01\x02\x03")) == 24
+
+
+class TestCrc15:
+    def test_empty_is_zero(self):
+        assert crc15(()) == 0
+
+    def test_single_one(self):
+        # One 1-bit shifts in the polynomial once.
+        assert crc15((1,)) == 0x4599
+
+    def test_fits_in_15_bits(self):
+        bits = tuple(int(b) for b in bin(0xDEADBEEF)[2:])
+        assert 0 <= crc15(bits) < (1 << 15)
+
+    def test_detects_single_bit_flip(self):
+        bits = [0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1]
+        original = crc15(tuple(bits))
+        bits[4] ^= 1
+        assert crc15(tuple(bits)) != original
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc15((0, 1, 2))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=80))
+    def test_deterministic(self, bits):
+        assert crc15(bits) == crc15(bits)
+
+
+class TestStuffing:
+    def test_no_run_no_stuff(self):
+        bits = (0, 1, 0, 1, 0, 1)
+        assert stuff_bits(bits) == bits
+
+    def test_run_of_five_zeros(self):
+        assert stuff_bits((0,) * 5) == (0, 0, 0, 0, 0, 1)
+
+    def test_run_of_five_ones(self):
+        assert stuff_bits((1,) * 5) == (1, 1, 1, 1, 1, 0)
+
+    def test_stuff_bit_starts_new_run(self):
+        # 10 zeros: stuff after 5, the stuffed 1 resets the run, then the
+        # remaining 5 zeros trigger another stuff bit.
+        out = stuff_bits((0,) * 10)
+        assert out == (0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1)
+
+    def test_six_equal_without_stuffing_is_violation(self):
+        with pytest.raises(FrameError):
+            unstuff_bits((0,) * 6)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            stuff_bits((0, 1, 3))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    @settings(max_examples=200)
+    def test_roundtrip(self, bits):
+        assert list(unstuff_bits(stuff_bits(bits))) == bits
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_no_six_bit_runs_after_stuffing(self, bits):
+        stuffed = stuff_bits(bits)
+        run = 0
+        prev = None
+        for bit in stuffed:
+            run = run + 1 if bit == prev else 1
+            prev = bit
+            assert run <= STUFF_RUN
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_stuffing_only_adds_bits(self, bits):
+        stuffed = stuff_bits(bits)
+        assert len(stuffed) >= len(bits)
+        # At most one stuff bit per STUFF_RUN original bits.
+        assert len(stuffed) <= len(bits) + len(bits) // STUFF_RUN + 1
+
+
+class TestFrameBitstream:
+    def test_base_frame_header_length(self):
+        # SOF(1) + ID(11) + RTR(1) + IDE(1) + r0(1) + DLC(4) + CRC(15)
+        # with no payload: 34 bits before stuffing.
+        stream = frame_bitstream(0x2AA, b"")  # alternating ID avoids stuffing
+        assert len(stream) >= 34
+
+    def test_extended_frame_longer_than_base(self):
+        base = frame_wire_bits(0x555, b"\xAA" * 4)
+        ext = frame_wire_bits(0x555 << 18 | 0x2AAAA, b"\xAA" * 4, extended=True)
+        assert ext > base + 15  # 18 extra ID bits + SRR, minus stuffing noise
+
+    def test_payload_increases_length(self):
+        short = frame_wire_bits(0x2AA, b"")
+        long = frame_wire_bits(0x2AA, b"\x55" * 8)
+        assert long - short >= 60  # 64 payload bits minus stuffing variance
+
+    def test_dominant_id_stuffs_more(self):
+        # Identifier 0 produces long dominant runs -> more stuff bits.
+        assert frame_wire_bits(0x000, b"") > frame_wire_bits(0x2AA, b"")
+
+    def test_rtr_frame_has_no_payload_bits(self):
+        data = frame_wire_bits(0x2AA, b"")
+        rtr = frame_wire_bits(0x2AA, b"", rtr=True)
+        # RTR bit value may change stuffing slightly; length is comparable.
+        assert abs(data - rtr) <= 3
+
+    def test_rejects_oversized_dlc(self):
+        with pytest.raises(FrameError):
+            frame_bitstream(0x100, b"\x00" * 9)
+
+    @given(
+        st.integers(min_value=0, max_value=0x7FF),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=100)
+    def test_wire_bits_bounds(self, can_id, data):
+        # Unstuffed base data frame: 34 + 8*dlc bits in the stuffed
+        # region plus 10 fixed trailer bits; stuffing adds at most 20%.
+        bits = frame_wire_bits(can_id, data)
+        unstuffed = 34 + 8 * len(data)
+        assert unstuffed + 10 <= bits <= unstuffed + unstuffed // STUFF_RUN + 11

@@ -1,0 +1,204 @@
+"""Event-driven bus: timing, arbitration integration, filters, errors."""
+
+import pytest
+
+from repro.can.bus import Bus, BusConfig, BusMonitor
+from repro.can.constants import IFS_BITS, bit_time_us
+from repro.can.node import MessageSpec, PeriodicECU
+from repro.exceptions import BusConfigError
+
+
+def make_ecu(name, can_id, period_us, offset_us=0, seed=0):
+    return PeriodicECU(
+        name, [MessageSpec(can_id, period_us=period_us, offset_us=offset_us)], seed=seed
+    )
+
+
+class TestBusConfig:
+    def test_default_baud_rate_is_middle_speed(self):
+        assert Bus().bit_us == 8  # 125 kbit/s
+
+    def test_high_speed(self):
+        assert Bus(BusConfig(baud_rate=500_000)).bit_us == 2
+
+    def test_rejects_bad_error_rate(self):
+        with pytest.raises(BusConfigError):
+            BusConfig(error_rate=1.0)
+
+    def test_rejects_non_integer_bit_time(self):
+        with pytest.raises(ValueError):
+            BusConfig(baud_rate=333_333)
+
+
+class TestTopology:
+    def test_duplicate_names_rejected(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        with pytest.raises(BusConfigError):
+            bus.attach(make_ecu("A", 0x200, 10_000))
+
+    def test_node_lookup(self):
+        bus = Bus()
+        ecu = bus.attach(make_ecu("A", 0x100, 10_000))
+        assert bus.node("A") is ecu
+        with pytest.raises(BusConfigError):
+            bus.node("missing")
+
+    def test_rejects_nonpositive_duration(self):
+        bus = Bus()
+        with pytest.raises(BusConfigError):
+            bus.run(0)
+
+
+class TestTransmission:
+    def test_single_node_transmits_on_schedule(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        trace = bus.run(95_000)
+        # Releases at 0, 10ms, ..., 90ms -> 10 frames.
+        assert len(trace) == 10
+        assert all(r.can_id == 0x100 for r in trace)
+
+    def test_frame_timestamps_reflect_wire_time(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 50_000))
+        trace = bus.run(60_000)
+        first = trace[0]
+        # Completion = release (0) + wire bits * bit time.
+        assert first.timestamp_us > 0
+        assert first.timestamp_us % bus.bit_us == 0
+
+    def test_interframe_space_enforced(self):
+        bus = Bus()
+        # Two nodes releasing simultaneously with different priorities.
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        bus.attach(make_ecu("B", 0x200, 10_000))
+        trace = bus.run(30_000)
+        gaps = [
+            trace[i + 1].timestamp_us - trace[i].timestamp_us
+            for i in range(len(trace) - 1)
+        ]
+        # Back-to-back frames are separated by at least frame + IFS time.
+        min_frame_us = 40 * bus.bit_us
+        assert all(g >= min_frame_us + IFS_BITS * bus.bit_us for g in gaps[:2])
+
+    def test_priority_wins_simultaneous_release(self):
+        bus = Bus()
+        bus.attach(make_ecu("low", 0x400, 100_000))
+        bus.attach(make_ecu("high", 0x050, 100_000))
+        trace = bus.run(50_000)
+        assert trace[0].can_id == 0x050
+        assert trace[1].can_id == 0x400  # loser retransmits right after
+
+    def test_loser_retransmits(self):
+        bus = Bus()
+        bus.attach(make_ecu("low", 0x400, 100_000))
+        bus.attach(make_ecu("high", 0x050, 100_000))
+        bus.run(100_000)
+        low = bus.node("low")
+        assert low.tx_lost >= 1
+        assert low.tx_success >= 1
+
+    def test_run_is_resumable(self):
+        bus_a = Bus()
+        bus_a.attach(make_ecu("A", 0x100, 10_000))
+        bus_a.run(50_000)
+        bus_a.run(50_000)
+
+        bus_b = Bus()
+        bus_b.attach(make_ecu("A", 0x100, 10_000))
+        bus_b.run(100_000)
+        assert len(bus_a.trace) == len(bus_b.trace)
+
+    def test_source_recorded(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        trace = bus.run(20_000)
+        assert trace[0].source == "A"
+        assert not trace[0].is_attack
+
+
+class TestListeners:
+    def test_monitor_sees_all_frames(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        monitor = BusMonitor()
+        bus.attach_listener(monitor)
+        bus.run(50_000)
+        assert len(monitor.trace) == len(bus.trace)
+
+    def test_listener_callable(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        seen = []
+        bus.attach_listener(seen.append)
+        bus.run(25_000)
+        assert len(seen) == len(bus.trace)
+
+
+class TestTransmitterFilter:
+    def test_filter_blocks_unassigned_id(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000), tx_filter={0x200})
+        trace = bus.run(50_000)
+        assert len(trace) == 0
+        assert bus.node("A").tx_filtered >= 4
+        assert bus.stats.filtered_frames >= 4
+
+    def test_filter_allows_assigned_id(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000), tx_filter={0x100})
+        trace = bus.run(50_000)
+        assert len(trace) == 5
+
+
+class TestErrorInjection:
+    def test_errors_reduce_throughput_and_count(self):
+        clean = Bus(BusConfig(error_rate=0.0))
+        clean.attach(make_ecu("A", 0x100, 5_000))
+        clean.run(500_000)
+
+        noisy = Bus(BusConfig(error_rate=0.3, error_seed=42))
+        noisy.attach(make_ecu("A", 0x100, 5_000))
+        noisy.run(500_000)
+
+        assert noisy.stats.frames_error > 0
+        # Retransmission recovers the frames: totals stay close.
+        assert len(noisy.trace) >= len(clean.trace) - 5
+
+    def test_error_increments_tec(self):
+        bus = Bus(BusConfig(error_rate=0.5, error_seed=1))
+        bus.attach(make_ecu("A", 0x100, 5_000))
+        bus.run(100_000)
+        node = bus.node("A")
+        assert node.tx_errors > 0
+
+    def test_relentless_errors_drive_bus_off(self):
+        bus = Bus(BusConfig(error_rate=0.95, error_seed=1))
+        bus.attach(make_ecu("A", 0x100, 1_000))
+        bus.run(2_000_000)
+        node = bus.node("A")
+        assert not node.enabled
+        assert "bus-off" in node.disabled_reason
+
+
+class TestStats:
+    def test_busload_between_zero_and_one(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 5_000))
+        bus.run(200_000)
+        load = bus.stats.busload(bus.now_us)
+        assert 0.0 < load < 1.0
+
+    def test_contended_rounds_counted(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        bus.attach(make_ecu("B", 0x200, 10_000))
+        bus.run(50_000)
+        assert bus.stats.contended_rounds >= 1
+
+    def test_wins_per_node(self):
+        bus = Bus()
+        bus.attach(make_ecu("A", 0x100, 10_000))
+        bus.run(50_000)
+        assert bus.stats.wins_by_node["A"] == len(bus.trace)

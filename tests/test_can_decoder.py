@@ -1,0 +1,101 @@
+"""Wire-format decoder: field parsing, CRC verification, fuzz round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.bits import frame_bitstream
+from repro.can.decoder import decode_frame, roundtrip
+from repro.can.frame import CANFrame
+from repro.exceptions import FrameError
+
+
+class TestDecodeBase:
+    def test_simple_frame(self):
+        frame = CANFrame(0x1A4, b"\xDE\xAD\xBE\xEF")
+        decoded = decode_frame(frame_bitstream(0x1A4, b"\xDE\xAD\xBE\xEF"))
+        assert decoded.frame == frame
+        assert decoded.crc_ok
+
+    def test_empty_payload(self):
+        decoded = decode_frame(frame_bitstream(0x2AA, b""))
+        assert decoded.frame.dlc == 0
+        assert decoded.crc_ok
+
+    def test_remote_frame(self):
+        decoded = decode_frame(frame_bitstream(0x123, b"", rtr=True))
+        assert decoded.frame.rtr
+        assert decoded.frame.data == b""
+
+    def test_stuff_bits_counted(self):
+        # Identifier 0 produces dominant runs -> stuff bits present.
+        decoded = decode_frame(frame_bitstream(0x000, b""))
+        assert decoded.stuff_bits_removed > 0
+
+    def test_bit_flip_breaks_crc_or_structure(self):
+        stream = list(frame_bitstream(0x1A4, b"\x01\x02\x03"))
+        stream[15] ^= 1  # flip a payload-region bit
+        try:
+            decoded = decode_frame(tuple(stream))
+        except FrameError:
+            return  # structural break (stuff violation etc.) is also a catch
+        assert not decoded.crc_ok
+
+
+class TestDecodeExtended:
+    def test_extended_frame(self):
+        can_id = (0x155 << 18) | 0x2AAAA
+        decoded = decode_frame(frame_bitstream(can_id, b"\x42", extended=True))
+        assert decoded.frame.extended
+        assert decoded.frame.can_id == can_id
+        assert decoded.crc_ok
+
+    def test_extended_remote(self):
+        can_id = 0x1ABCDEF
+        decoded = decode_frame(
+            frame_bitstream(can_id, b"", extended=True, rtr=True)
+        )
+        assert decoded.frame.rtr and decoded.frame.extended
+
+
+class TestDecodeErrors:
+    def test_truncated_raises(self):
+        stream = frame_bitstream(0x1A4, b"\x01\x02")
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(stream[: len(stream) // 2])
+
+    def test_recessive_sof_rejected(self):
+        # Alternating bits avoid stuff violations; the SOF check fires.
+        stream = tuple(i % 2 for i in range(40))  # starts with 0? -> flip
+        stream = tuple(1 - b for b in stream)  # starts recessive
+        with pytest.raises(FrameError, match="start-of-frame"):
+            decode_frame(stream)
+
+    def test_trailing_bits_rejected(self):
+        stream = frame_bitstream(0x2AA, b"")
+        with pytest.raises(FrameError, match="trailing"):
+            decode_frame(stream + (0, 1))
+
+
+class TestRoundtrip:
+    @given(
+        st.integers(min_value=0, max_value=0x7FF),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=150)
+    def test_base_frames(self, can_id, data):
+        decoded = roundtrip(CANFrame(can_id, data))
+        assert decoded.crc_ok
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 29) - 1),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=150)
+    def test_extended_frames(self, can_id, data):
+        decoded = roundtrip(CANFrame(can_id, data, extended=True))
+        assert decoded.crc_ok
+
+    @given(st.integers(min_value=0, max_value=0x7FF))
+    def test_remote_frames(self, can_id):
+        roundtrip(CANFrame(can_id, b"", rtr=True))

@@ -1,0 +1,63 @@
+"""Fault confinement counters."""
+
+from repro.can.errors import BUS_OFF_LIMIT, ERROR_PASSIVE_LIMIT, ErrorCounters, ErrorState
+
+
+class TestStates:
+    def test_fresh_controller_is_error_active(self):
+        assert ErrorCounters().state is ErrorState.ERROR_ACTIVE
+
+    def test_error_passive_on_tec(self):
+        counters = ErrorCounters(tec=ERROR_PASSIVE_LIMIT)
+        assert counters.state is ErrorState.ERROR_PASSIVE
+
+    def test_error_passive_on_rec(self):
+        counters = ErrorCounters(rec=ERROR_PASSIVE_LIMIT)
+        assert counters.state is ErrorState.ERROR_PASSIVE
+
+    def test_bus_off_above_limit(self):
+        counters = ErrorCounters(tec=BUS_OFF_LIMIT + 1)
+        assert counters.state is ErrorState.BUS_OFF
+        assert counters.bus_off
+
+    def test_bus_off_requires_strictly_above(self):
+        assert not ErrorCounters(tec=BUS_OFF_LIMIT).bus_off
+
+
+class TestTransitions:
+    def test_tx_error_adds_eight(self):
+        counters = ErrorCounters()
+        counters.on_tx_error()
+        assert counters.tec == 8
+
+    def test_tx_success_subtracts_one_floored(self):
+        counters = ErrorCounters()
+        counters.on_tx_success()
+        assert counters.tec == 0
+        counters.on_tx_error()
+        counters.on_tx_success()
+        assert counters.tec == 7
+
+    def test_rx_counters(self):
+        counters = ErrorCounters()
+        counters.on_rx_error()
+        assert counters.rec == 1
+        counters.on_rx_success()
+        assert counters.rec == 0
+        counters.on_rx_success()
+        assert counters.rec == 0
+
+    def test_sustained_errors_reach_bus_off(self):
+        counters = ErrorCounters()
+        for _ in range(32):
+            counters.on_tx_error()
+        assert counters.bus_off
+
+    def test_recovery_pattern(self):
+        # 1 error per 8 successes keeps TEC bounded (8 - 8 = 0 net).
+        counters = ErrorCounters()
+        for _ in range(50):
+            counters.on_tx_error()
+            for _ in range(8):
+                counters.on_tx_success()
+        assert counters.state is ErrorState.ERROR_ACTIVE

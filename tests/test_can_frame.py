@@ -1,0 +1,71 @@
+"""CANFrame validation and derived properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.frame import CANFrame
+from repro.exceptions import FrameError
+
+
+class TestValidation:
+    def test_basic_frame(self):
+        frame = CANFrame(0x1A4, b"\xDE\xAD")
+        assert frame.can_id == 0x1A4
+        assert frame.dlc == 2
+        assert not frame.extended
+
+    def test_base_id_upper_bound(self):
+        CANFrame(0x7FF)  # largest legal base id
+        with pytest.raises(FrameError):
+            CANFrame(0x800)
+
+    def test_extended_id_upper_bound(self):
+        CANFrame(0x1FFFFFFF, extended=True)
+        with pytest.raises(FrameError):
+            CANFrame(0x20000000, extended=True)
+
+    def test_negative_id(self):
+        with pytest.raises(FrameError):
+            CANFrame(-1)
+
+    def test_payload_too_long(self):
+        with pytest.raises(FrameError):
+            CANFrame(0x100, b"\x00" * 9)
+
+    def test_rtr_with_payload_rejected(self):
+        with pytest.raises(FrameError):
+            CANFrame(0x100, b"\x01", rtr=True)
+
+    def test_bytearray_payload_normalised(self):
+        frame = CANFrame(0x100, bytearray(b"\x01\x02"))
+        assert isinstance(frame.data, bytes)
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(FrameError):
+            CANFrame(0x100, "junk")  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        frame = CANFrame(0x100)
+        with pytest.raises(Exception):
+            frame.can_id = 0x200  # type: ignore[misc]
+
+
+class TestDerived:
+    def test_id_width(self):
+        assert CANFrame(0x100).id_width == 11
+        assert CANFrame(0x100, extended=True).id_width == 29
+
+    def test_id_bit_tuple_matches_id(self):
+        frame = CANFrame(0x555)
+        assert frame.id_bit_tuple() == (1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1)
+
+    def test_wire_bits_positive(self):
+        assert CANFrame(0x100, b"\x00" * 8).wire_bits() > 100
+
+    @given(st.integers(min_value=0, max_value=0x7FF), st.binary(max_size=8))
+    def test_equality_is_structural(self, can_id, data):
+        assert CANFrame(can_id, data) == CANFrame(can_id, data)
+
+    def test_str_contains_id(self):
+        assert "1A4" in str(CANFrame(0x1A4, b"\x01"))

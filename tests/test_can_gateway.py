@@ -1,0 +1,104 @@
+"""Gateway whitelist filter."""
+
+import pytest
+
+from repro.can.constants import SECOND_US
+from repro.can.gateway import GatewayFilter
+from repro.exceptions import BusConfigError
+from repro.io.trace import TraceRecord
+
+
+def record(t_us, can_id, source="ecu1"):
+    return TraceRecord(timestamp_us=t_us, can_id=can_id, source=source)
+
+
+KNOWN = {0x100, 0x200, 0x300}
+
+
+class TestConstruction:
+    def test_requires_whitelist(self):
+        with pytest.raises(BusConfigError):
+            GatewayFilter(known_ids=[])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(BusConfigError):
+            GatewayFilter(known_ids=KNOWN, window_us=0)
+
+
+class TestUnknownId:
+    def test_unknown_id_alerts(self):
+        gateway = GatewayFilter(known_ids=KNOWN)
+        alerts = gateway.on_frame(record(0, 0x555))
+        assert [a.kind for a in alerts] == ["unknown_id"]
+
+    def test_known_id_silent(self):
+        gateway = GatewayFilter(known_ids=KNOWN)
+        assert gateway.on_frame(record(0, 0x100)) == []
+
+    def test_alerts_retained(self):
+        gateway = GatewayFilter(known_ids=KNOWN)
+        gateway.on_frame(record(0, 0x555))
+        gateway.on_frame(record(10, 0x556))
+        assert len(gateway.alerts_by_kind("unknown_id")) == 2
+
+
+class TestAssignments:
+    def test_unassigned_id_alerts(self):
+        gateway = GatewayFilter(
+            known_ids=KNOWN, assignments={"ecu1": {0x100}}
+        )
+        alerts = gateway.on_frame(record(0, 0x200, source="ecu1"))
+        assert "unassigned_id" in [a.kind for a in alerts]
+
+    def test_assigned_id_silent(self):
+        gateway = GatewayFilter(
+            known_ids=KNOWN, assignments={"ecu1": {0x100}}
+        )
+        assert gateway.on_frame(record(0, 0x100, source="ecu1")) == []
+
+    def test_unknown_source_not_checked_against_assignments(self):
+        gateway = GatewayFilter(
+            known_ids=KNOWN, assignments={"ecu1": {0x100}}
+        )
+        assert gateway.on_frame(record(0, 0x200, source="other")) == []
+
+
+class TestIdSpread:
+    def test_spread_alert_fires_once_per_burst(self):
+        """The paper: >= 4 injected IDs expose the ECU to the gateway."""
+        gateway = GatewayFilter(
+            known_ids=set(range(0x100, 0x110)),
+            assignments={"mallory": {0x100}},
+            max_distinct_margin=2,
+        )
+        alerts = []
+        for index in range(8):
+            alerts += gateway.on_frame(
+                record(index * 1000, 0x100 + index, source="mallory")
+            )
+        spread = [a for a in alerts if a.kind == "id_spread"]
+        assert len(spread) == 1
+        assert "distinct identifiers" in spread[0].detail
+
+    def test_spread_window_slides(self):
+        gateway = GatewayFilter(
+            known_ids=set(range(0x100, 0x110)),
+            window_us=SECOND_US,
+        )
+        # Two distinct IDs more than a window apart never accumulate.
+        gateway.on_frame(record(0, 0x100))
+        gateway.on_frame(record(2 * SECOND_US, 0x101))
+        gateway.on_frame(record(4 * SECOND_US, 0x102))
+        assert gateway.alerts_by_kind("id_spread") == []
+
+    def test_flagged_sources(self):
+        gateway = GatewayFilter(known_ids=KNOWN)
+        gateway.on_frame(record(0, 0x555, source="evil"))
+        assert gateway.flagged_sources() == {"evil"}
+
+    def test_reset_clears_state(self):
+        gateway = GatewayFilter(known_ids=KNOWN)
+        gateway.on_frame(record(0, 0x555))
+        gateway.reset()
+        assert gateway.alerts == []
+        assert gateway.flagged_sources() == set()

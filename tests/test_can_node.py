@@ -1,0 +1,154 @@
+"""PeriodicECU scheduling and the Node protocol."""
+
+import pytest
+
+from repro.can.node import MessageSpec, Node, PeriodicECU, counter_payload
+from repro.exceptions import BusConfigError, NodeStateError
+
+
+class TestMessageSpec:
+    def test_periodic(self):
+        spec = MessageSpec(0x100, period_us=10_000)
+        assert spec.is_periodic
+
+    def test_event(self):
+        spec = MessageSpec(0x100, rate_hz=2.0)
+        assert not spec.is_periodic
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(BusConfigError):
+            MessageSpec(0x100)
+        with pytest.raises(BusConfigError):
+            MessageSpec(0x100, period_us=1000, rate_hz=1.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(BusConfigError):
+            MessageSpec(0x100, period_us=0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(BusConfigError):
+            MessageSpec(0x100, period_us=1000, offset_us=-1)
+
+    def test_rejects_wild_jitter(self):
+        with pytest.raises(BusConfigError):
+            MessageSpec(0x100, period_us=1000, jitter_frac=0.5)
+
+
+class TestCounterPayload:
+    def test_increments(self):
+        payload = counter_payload(4)
+        assert payload(0) == b"\x00\x00\x00\x00"
+        assert payload(1) == b"\x00\x00\x00\x01"
+
+    def test_wraps(self):
+        payload = counter_payload(1)
+        assert payload(256) == b"\x00"
+
+    def test_zero_dlc(self):
+        assert counter_payload(0)(5) == b""
+
+    def test_rejects_bad_dlc(self):
+        with pytest.raises(BusConfigError):
+            counter_payload(9)
+
+
+class TestPeriodicECU:
+    def test_first_release_at_offset(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000, offset_us=250)])
+        assert ecu.next_release() == 250
+
+    def test_schedule_advances_by_period(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        first = ecu.next_release()
+        ecu.on_win(first)
+        assert ecu.next_release() == first + 1000
+
+    def test_peek_builds_frame_with_payload_sequence(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        frame0 = ecu.peek()
+        ecu.on_win(0)
+        frame1 = ecu.peek()
+        assert frame0.can_id == frame1.can_id == 0x100
+        assert frame0.data != frame1.data  # counter advanced
+
+    def test_backlog_offers_highest_priority_first(self):
+        ecu = PeriodicECU(
+            "A",
+            [
+                MessageSpec(0x300, period_us=1000, offset_us=0),
+                MessageSpec(0x100, period_us=1000, offset_us=0),
+            ],
+        )
+        # Both due at 0: the lower identifier must be offered first.
+        assert ecu.peek().can_id == 0x100
+
+    def test_loss_keeps_frame_pending(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        release = ecu.next_release()
+        ecu.on_loss(release)
+        assert ecu.next_release() == release
+        assert ecu.tx_lost == 1
+
+    def test_filtered_drops_frame(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        first = ecu.next_release()
+        ecu.on_filtered(first)
+        assert ecu.next_release() == first + 1000
+        assert ecu.tx_filtered == 1
+
+    def test_event_message_reschedules_randomly(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, rate_hz=100.0)], seed=3)
+        t0 = ecu.next_release()
+        ecu.on_win(t0)
+        t1 = ecu.next_release()
+        assert t1 > t0
+
+    def test_jitter_keeps_period_positive(self):
+        ecu = PeriodicECU(
+            "A", [MessageSpec(0x100, period_us=1000, jitter_frac=0.3)], seed=5
+        )
+        previous = ecu.next_release()
+        for _ in range(200):
+            ecu.on_win(previous)
+            nxt = ecu.next_release()
+            assert nxt > previous
+            previous = nxt
+
+    def test_assigned_ids(self):
+        ecu = PeriodicECU(
+            "A",
+            [MessageSpec(0x100, period_us=1000), MessageSpec(0x200, period_us=1000)],
+        )
+        assert ecu.assigned_ids() == frozenset({0x100, 0x200})
+
+    def test_needs_messages(self):
+        with pytest.raises(BusConfigError):
+            PeriodicECU("A", [])
+
+    def test_peek_without_pending_raises(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        ecu._heap.clear()  # simulate exhaustion
+        with pytest.raises(NodeStateError):
+            ecu.peek()
+
+
+class TestNodeBase:
+    def test_requires_name(self):
+        with pytest.raises(BusConfigError):
+            PeriodicECU("", [MessageSpec(0x1, period_us=10)])
+
+    def test_disable_and_reset(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        ecu.disable("test")
+        assert not ecu.enabled
+        assert ecu.disabled_reason == "test"
+        ecu.reset()
+        assert ecu.enabled
+        assert ecu.disabled_reason is None
+
+    def test_win_decrements_error_counter(self):
+        ecu = PeriodicECU("A", [MessageSpec(0x100, period_us=1000)])
+        ecu.on_error(0)
+        assert ecu.error_counters.tec == 8
+        ecu.on_win(0)
+        assert ecu.error_counters.tec == 7

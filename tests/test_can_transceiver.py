@@ -1,0 +1,88 @@
+"""The transceiver zero-overload guard and its bus integration."""
+
+import pytest
+
+from repro.attacks import FloodingAttacker
+from repro.can.bus import Bus, BusConfig
+from repro.can.frame import CANFrame
+from repro.can.transceiver import TransceiverGuard
+from repro.exceptions import BusConfigError
+
+
+class TestGuardUnit:
+    def test_all_dominant_streak_triggers(self):
+        guard = TransceiverGuard(limit=3)
+        frame = CANFrame(0x000)
+        assert guard.observe("X", frame, 0) is None
+        assert guard.observe("X", frame, 1) is None
+        event = guard.observe("X", frame, 2)
+        assert event is not None
+        assert event.node == "X"
+        assert event.consecutive_dominant == 3
+
+    def test_non_zero_id_resets_streak(self):
+        guard = TransceiverGuard(limit=2)
+        zero = CANFrame(0x000)
+        other = CANFrame(0x001)
+        assert guard.observe("X", zero, 0) is None
+        assert guard.observe("X", other, 1) is None
+        assert guard.observe("X", zero, 2) is None  # streak restarted
+
+    def test_streaks_tracked_per_node(self):
+        guard = TransceiverGuard(limit=2)
+        zero = CANFrame(0x000)
+        assert guard.observe("X", zero, 0) is None
+        assert guard.observe("Y", zero, 1) is None
+        assert guard.observe("X", zero, 2) is not None
+
+    def test_extended_zero_is_not_all_dominant(self):
+        # Extended frames carry recessive SRR/IDE bits.
+        guard = TransceiverGuard(limit=1)
+        assert guard.observe("X", CANFrame(0, extended=True), 0) is None
+
+    def test_remote_zero_is_not_all_dominant(self):
+        guard = TransceiverGuard(limit=1)
+        assert guard.observe("X", CANFrame(0, rtr=True), 0) is None
+
+    def test_reset(self):
+        guard = TransceiverGuard(limit=2)
+        zero = CANFrame(0x000)
+        guard.observe("X", zero, 0)
+        guard.reset("X")
+        assert guard.observe("X", zero, 1) is None
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(BusConfigError):
+            TransceiverGuard(limit=0)
+
+
+class TestGuardOnBus:
+    def test_fixed_zero_flooder_is_shut_down(self):
+        """The paper's argument: naive 0x00 flooding trips the guard."""
+        bus = Bus(BusConfig(guard_limit=5))
+        flooder = FloodingAttacker(frequency_hz=200.0, fixed_zero=True, seed=1)
+        bus.attach(flooder)
+        bus.run(1_000_000)
+        assert not flooder.enabled
+        assert "zero-overload" in flooder.disabled_reason
+        assert len(bus.guard_events) == 1
+        # The shutdown happened after exactly guard_limit frames.
+        assert len(bus.trace) == 5
+
+    def test_changeable_id_flooder_evades_guard(self):
+        """...which is why the efficient flooder rotates identifiers."""
+        bus = Bus(BusConfig(guard_limit=5))
+        flooder = FloodingAttacker(frequency_hz=200.0, ceiling=0x080, seed=1)
+        bus.attach(flooder)
+        bus.run(1_000_000)
+        assert flooder.enabled
+        assert len(bus.guard_events) == 0
+        assert len(bus.trace) > 100
+
+    def test_guard_disabled_by_config(self):
+        bus = Bus(BusConfig(guard_limit=None))
+        flooder = FloodingAttacker(frequency_hz=200.0, fixed_zero=True, seed=1)
+        bus.attach(flooder)
+        bus.run(100_000)
+        assert flooder.enabled
+        assert len(bus.trace) > 10

@@ -1,0 +1,89 @@
+"""The repro-ids command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_rejects_bad_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--id", "0x800", "--out", "x.log"])
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--duration", "-3", "--out", "x"])
+
+    def test_parses_hex_and_decimal_ids(self):
+        args = build_parser().parse_args(
+            ["attack", "--id", "0x1A4", "--id", "420", "--out", "x.log"]
+        )
+        assert args.can_ids == [0x1A4, 420]
+
+
+class TestWorkflow:
+    """simulate -> template -> attack -> detect, through real files."""
+
+    def test_simulate_writes_candump(self, tmp_path, capsys):
+        out = tmp_path / "drive.log"
+        assert main(["simulate", "--duration", "2", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_simulate_writes_csv(self, tmp_path):
+        out = tmp_path / "drive.csv"
+        assert main(["simulate", "--duration", "1", "--out", str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("time_us,")
+
+    def test_full_detection_workflow(self, tmp_path, capsys):
+        template_path = tmp_path / "template.json"
+        attack_path = tmp_path / "attack.log"
+
+        assert main(
+            ["template", "--windows", "8", "--out", str(template_path)]
+        ) == 0
+        assert template_path.exists()
+
+        assert main(
+            [
+                "attack", "--attack", "single", "--freq", "100",
+                "--duration", "8", "--attack-duration", "5",
+                "--out", str(attack_path),
+            ]
+        ) == 0
+
+        code = main(
+            ["detect", "--template", str(template_path),
+             "--trace", str(attack_path), "--infer"]
+        )
+        assert code == 2  # exit 2 signals alarms
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+        assert "candidates" in out
+
+    def test_detect_clean_trace_exits_zero(self, tmp_path, capsys):
+        template_path = tmp_path / "template.json"
+        drive_path = tmp_path / "drive.log"
+        main(["template", "--windows", "8", "--out", str(template_path)])
+        main(["simulate", "--duration", "6", "--out", str(drive_path)])
+        assert main(
+            ["detect", "--template", str(template_path), "--trace", str(drive_path)]
+        ) == 0
+
+    def test_attack_multi_defaults_two_ids(self, tmp_path, capsys):
+        out = tmp_path / "attack.log"
+        assert main(
+            ["attack", "--attack", "multi", "--duration", "4",
+             "--attack-duration", "2", "--out", str(out)]
+        ) == 0
+        assert "MultiIDAttacker" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Streaming per-bit counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitprob import BitCounter
+from repro.exceptions import DetectorError
+
+ids_11 = st.lists(st.integers(min_value=0, max_value=0x7FF), max_size=200)
+
+
+class TestUpdates:
+    def test_single_update(self):
+        counter = BitCounter(3)
+        counter.update(0b101)
+        assert counter.counts().tolist() == [1, 0, 1]
+        assert counter.total == 1
+
+    def test_msb_first_indexing(self):
+        counter = BitCounter(11)
+        counter.update(0x400)  # only the MSB set
+        assert counter.counts()[0] == 1
+        assert counter.counts()[1:].sum() == 0
+
+    def test_update_many_matches_loop(self):
+        ids = [0x123, 0x456, 0x0F0, 0x7FF]
+        a = BitCounter(11)
+        for i in ids:
+            a.update(i)
+        b = BitCounter(11)
+        b.update_many(ids)
+        assert a == b
+
+    def test_update_many_accepts_ndarray(self):
+        counter = BitCounter(11)
+        counter.update_many(np.array([1, 2, 3]))
+        assert counter.total == 3
+
+    def test_update_many_empty(self):
+        counter = BitCounter(11)
+        counter.update_many([])
+        assert counter.is_empty()
+
+    def test_rejects_oversized_id(self):
+        counter = BitCounter(11)
+        with pytest.raises(DetectorError):
+            counter.update(0x800)
+        with pytest.raises(DetectorError):
+            counter.update_many([0x100, 0x800])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DetectorError):
+            BitCounter(11).update(-1)
+
+    @given(ids_11)
+    def test_streaming_equals_batch(self, ids):
+        streaming = BitCounter(11)
+        for can_id in ids:
+            streaming.update(can_id)
+        assert streaming == BitCounter.from_ids(ids, 11)
+
+
+class TestProbabilities:
+    def test_empty_probabilities_are_zero(self):
+        assert BitCounter(4).probabilities().tolist() == [0.0] * 4
+
+    def test_all_ones(self):
+        counter = BitCounter.from_ids([0x7FF, 0x7FF], 11)
+        assert counter.probabilities().tolist() == [1.0] * 11
+
+    @given(ids_11)
+    def test_probabilities_bounded(self, ids):
+        p = BitCounter.from_ids(ids, 11).probabilities()
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+    @given(ids_11)
+    def test_probabilities_match_definition(self, ids):
+        """p_i = (#messages with bit i set) / total — the paper's
+        Definition in Section IV.A."""
+        if not ids:
+            return
+        p = BitCounter.from_ids(ids, 11).probabilities()
+        for bit in range(11):
+            expected = sum((i >> (10 - bit)) & 1 for i in ids) / len(ids)
+            assert p[bit] == pytest.approx(expected)
+
+
+class TestArithmetic:
+    @given(ids_11, ids_11)
+    def test_merge_is_concatenation(self, a_ids, b_ids):
+        merged = BitCounter.from_ids(a_ids, 11).merge(BitCounter.from_ids(b_ids, 11))
+        assert merged == BitCounter.from_ids(list(a_ids) + list(b_ids), 11)
+
+    @given(ids_11, ids_11)
+    def test_subtract_inverts_merge(self, a_ids, b_ids):
+        a = BitCounter.from_ids(a_ids, 11)
+        combined = a.copy().merge(BitCounter.from_ids(b_ids, 11))
+        combined.subtract(BitCounter.from_ids(b_ids, 11))
+        assert combined == a
+
+    def test_subtract_rejects_non_subset(self):
+        a = BitCounter.from_ids([0x001], 11)
+        b = BitCounter.from_ids([0x400], 11)
+        with pytest.raises(DetectorError):
+            a.subtract(b)
+
+    def test_incompatible_widths_rejected(self):
+        with pytest.raises(DetectorError):
+            BitCounter(11).merge(BitCounter(29))
+
+    def test_merge_requires_bitcounter(self):
+        with pytest.raises(DetectorError):
+            BitCounter(11).merge("nope")  # type: ignore[arg-type]
+
+    def test_copy_is_independent(self):
+        a = BitCounter.from_ids([0x100], 11)
+        b = a.copy()
+        b.update(0x200)
+        assert a.total == 1
+        assert b.total == 2
+
+    def test_reset(self):
+        counter = BitCounter.from_ids([0x100], 11)
+        counter.reset()
+        assert counter.is_empty()
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(DetectorError):
+            BitCounter(0)

@@ -1,0 +1,211 @@
+"""Windowed detector: batch/streaming equivalence, verdicts, alerts."""
+
+import numpy as np
+import pytest
+
+from repro.core.alerts import AlertSink
+from repro.core.config import IDSConfig
+from repro.core.detector import EntropyDetector
+from repro.core.template import TemplateBuilder
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace, TraceRecord
+
+
+def uniform_trace(ids, start_us=0, spacing_us=1000, attack_ids=()):
+    records = []
+    for i, can_id in enumerate(ids):
+        records.append(
+            TraceRecord(
+                timestamp_us=start_us + i * spacing_us,
+                can_id=can_id,
+                is_attack=can_id in attack_ids,
+            )
+        )
+    return Trace(records)
+
+
+@pytest.fixture()
+def tiny_template():
+    """Template over alternating 0x155/0x2AA traffic (p known exactly)."""
+    config = IDSConfig(
+        window_us=100_000, min_window_messages=10, template_windows=2, alpha=3.0
+    )
+    builder = TemplateBuilder(config)
+    ids = [0x155, 0x2AA] * 40
+    builder.add_trace(uniform_trace(ids))
+    builder.add_trace(uniform_trace(ids))
+    return config, builder.build()
+
+
+class TestScanBasics:
+    def test_clean_traffic_no_alarm(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        windows = detector.scan(uniform_trace([0x155, 0x2AA] * 200))
+        assert windows
+        assert not any(w.alarm for w in windows)
+
+    def test_injection_alarms(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        # Inject a third identifier at 33% of traffic.
+        ids = [0x155, 0x2AA, 0x001] * 150
+        windows = detector.scan(uniform_trace(ids, attack_ids={0x001}))
+        assert any(w.alarm for w in windows)
+
+    def test_attack_messages_counted_per_window(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        ids = [0x155, 0x2AA, 0x001] * 150
+        windows = detector.scan(uniform_trace(ids, attack_ids={0x001}))
+        assert sum(w.n_attack_messages for w in windows) == 150
+
+    def test_underpopulated_window_not_judged(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        windows = detector.scan(uniform_trace([0x001] * 3, spacing_us=1000))
+        assert len(windows) == 1
+        assert not windows[0].judged
+        assert not windows[0].alarm
+
+    def test_window_metadata(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        windows = detector.scan(uniform_trace([0x155, 0x2AA] * 200))
+        assert windows[0].index == 0
+        assert windows[1].index == 1
+        assert windows[0].t_end_us - windows[0].t_start_us == config.window_us
+
+
+class TestStreaming:
+    def test_feed_matches_scan(self, tiny_template):
+        config, template = tiny_template
+        trace = uniform_trace([0x155, 0x2AA, 0x001] * 120, attack_ids={0x001})
+
+        batch = EntropyDetector(template, config).scan(trace)
+
+        streaming = EntropyDetector(template, config)
+        collected = []
+        for record in trace:
+            result = streaming.feed(record)
+            if result is not None:
+                collected.append(result)
+        final = streaming.flush()
+        if final is not None:
+            collected.append(final)
+
+        assert len(collected) == len(batch)
+        for a, b in zip(collected, batch):
+            assert a.alarm == b.alarm
+            assert a.n_messages == b.n_messages
+
+    def test_rejects_out_of_order(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        detector.feed(TraceRecord(timestamp_us=1000, can_id=0x155))
+        with pytest.raises(DetectorError):
+            detector.feed(TraceRecord(timestamp_us=500, can_id=0x155))
+
+    def test_silent_gap_advances_window_origin(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        detector.feed(TraceRecord(timestamp_us=0, can_id=0x155))
+        # A record 10 windows later must land in its own window.
+        result = detector.feed(
+            TraceRecord(timestamp_us=10 * config.window_us + 1, can_id=0x2AA)
+        )
+        assert result is not None  # first window closed
+        follow_up = detector.flush()
+        assert follow_up.n_messages == 1
+
+    def test_flush_empty_returns_none(self, tiny_template):
+        config, template = tiny_template
+        assert EntropyDetector(template, config).flush() is None
+
+    def test_reset_restarts_indexing(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        detector.scan(uniform_trace([0x155, 0x2AA] * 100))
+        detector.reset()
+        windows = detector.scan(uniform_trace([0x155, 0x2AA] * 100))
+        assert windows[0].index == 0
+
+
+class TestAlerts:
+    def test_alarming_window_emits_alert(self, tiny_template):
+        config, template = tiny_template
+        sink = AlertSink()
+        detector = EntropyDetector(template, config, sink)
+        detector.scan(
+            uniform_trace([0x155, 0x2AA, 0x001] * 150, attack_ids={0x001})
+        )
+        assert len(sink) >= 1
+        alert = sink.alerts[0]
+        assert alert.violated_bits
+        assert len(alert.violated_bits) == len(alert.deviations)
+
+    def test_alert_bit_numbers_are_one_based(self, tiny_template):
+        config, template = tiny_template
+        sink = AlertSink()
+        detector = EntropyDetector(template, config, sink)
+        detector.scan(uniform_trace([0x155, 0x2AA, 0x001] * 150))
+        for alert in sink:
+            assert all(1 <= bit <= 11 for bit in alert.violated_bits)
+
+    def test_sink_callback(self, tiny_template):
+        config, template = tiny_template
+        seen = []
+        sink = AlertSink(callback=seen.append)
+        detector = EntropyDetector(template, config, sink)
+        detector.scan(uniform_trace([0x155, 0x2AA, 0x001] * 150))
+        assert seen == sink.alerts
+
+    def test_to_alert_requires_alarm(self, tiny_template):
+        config, template = tiny_template
+        detector = EntropyDetector(template, config)
+        windows = detector.scan(uniform_trace([0x155, 0x2AA] * 100))
+        with pytest.raises(DetectorError):
+            windows[0].to_alert()
+
+    def test_first_alert_time(self, tiny_template):
+        config, template = tiny_template
+        sink = AlertSink()
+        EntropyDetector(template, config, sink).scan(
+            uniform_trace([0x155, 0x2AA, 0x001] * 150)
+        )
+        assert sink.first_alert_time_us() == sink.alerts[0].timestamp_us
+
+    def test_str_rendering(self, tiny_template):
+        config, template = tiny_template
+        sink = AlertSink()
+        EntropyDetector(template, config, sink).scan(
+            uniform_trace([0x155, 0x2AA, 0x001] * 150)
+        )
+        assert "INTRUSION" in str(sink.alerts[0])
+
+
+class TestConfigValidation:
+    def test_template_width_must_match(self, tiny_template):
+        _config, template = tiny_template
+        with pytest.raises(DetectorError):
+            EntropyDetector(template, IDSConfig(n_bits=29))
+
+    def test_config_rejects_bad_values(self):
+        for bad in (
+            dict(n_bits=12),
+            dict(window_us=0),
+            dict(alpha=0.0),
+            dict(min_window_messages=0),
+            dict(rank=0),
+            dict(template_windows=1),
+            dict(constraint_z=0.0),
+            dict(min_injected_fraction=0.0),
+            dict(threshold_floor=-1.0),
+        ):
+            with pytest.raises(DetectorError):
+                IDSConfig(**bad)
+
+    def test_with_override(self):
+        config = IDSConfig().with_(alpha=7.5)
+        assert config.alpha == 7.5
+        assert config.rank == IDSConfig().rank

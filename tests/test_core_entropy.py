@@ -1,0 +1,123 @@
+"""Entropy functions: values, symmetry, edge cases, gradients."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitprob import BitCounter
+from repro.core.entropy import (
+    binary_entropy,
+    entropy_gradient,
+    entropy_vector,
+    shannon_entropy,
+)
+
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestBinaryEntropy:
+    def test_half_is_one_bit(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_endpoints_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_known_value(self):
+        # H(0.25) = 2 - 0.75*log2(3)
+        assert binary_entropy(0.25) == pytest.approx(2 - 0.75 * math.log2(3))
+
+    def test_array_input(self):
+        result = binary_entropy(np.array([0.0, 0.5, 1.0]))
+        assert isinstance(result, np.ndarray)
+        assert result.tolist() == pytest.approx([0.0, 1.0, 0.0])
+
+    def test_scalar_returns_float(self):
+        assert isinstance(binary_entropy(0.3), float)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+        with pytest.raises(ValueError):
+            binary_entropy(-0.1)
+
+    @given(probability)
+    def test_symmetry(self, p):
+        assert binary_entropy(p) == pytest.approx(binary_entropy(1.0 - p), abs=1e-12)
+
+    @given(probability)
+    def test_bounded(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.49))
+    def test_monotone_toward_half(self, p):
+        assert binary_entropy(p) < binary_entropy(p + 0.005)
+
+    @given(probability, probability)
+    def test_concavity(self, p, q):
+        mid = (p + q) / 2
+        assert binary_entropy(mid) >= (binary_entropy(p) + binary_entropy(q)) / 2 - 1e-12
+
+
+class TestShannonEntropy:
+    def test_uniform_distribution(self):
+        assert shannon_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_point_mass_is_zero(self):
+        assert shannon_entropy([10, 0, 0]) == 0.0
+
+    def test_empty_and_zero(self):
+        assert shannon_entropy([]) == 0.0
+        assert shannon_entropy([0, 0]) == 0.0
+
+    def test_counts_equivalent_to_probabilities(self):
+        counts = [3, 1, 4]
+        probs = np.asarray(counts) / 8
+        assert shannon_entropy(counts) == pytest.approx(shannon_entropy(probs))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([-1, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=64))
+    def test_bounded_by_log_support(self, counts):
+        h = shannon_entropy(counts)
+        support = sum(1 for c in counts if c > 0)
+        assert 0.0 <= h <= math.log2(max(support, 1)) + 1e-9
+
+    def test_injection_lowers_uniform_entropy(self):
+        """A mass concentration (single-ID injection) lowers H — the
+        Muter baseline's detection signal."""
+        base = [10] * 20
+        attacked = base.copy()
+        attacked[0] += 100
+        assert shannon_entropy(attacked) < shannon_entropy(base)
+
+
+class TestEntropyVector:
+    def test_matches_counter_probabilities(self):
+        counter = BitCounter.from_ids([0b111, 0b000, 0b101], n_bits=3)
+        expected = binary_entropy(counter.probabilities())
+        assert entropy_vector(counter).tolist() == pytest.approx(list(expected))
+
+    def test_empty_counter_gives_zeros(self):
+        assert entropy_vector(BitCounter(11)).tolist() == [0.0] * 11
+
+
+class TestGradient:
+    def test_zero_at_half(self):
+        assert entropy_gradient(0.5) == pytest.approx(0.0)
+
+    def test_steep_at_small_p(self):
+        assert entropy_gradient(0.01) > 6.0
+
+    def test_antisymmetric(self):
+        assert entropy_gradient(0.2) == pytest.approx(-entropy_gradient(0.8))
+
+    def test_matches_numerical_derivative(self):
+        p, eps = 0.3, 1e-6
+        numeric = (binary_entropy(p + eps) - binary_entropy(p - eps)) / (2 * eps)
+        assert entropy_gradient(p) == pytest.approx(numeric, rel=1e-4)

@@ -1,0 +1,122 @@
+"""End-to-end pipeline on the synthetic vehicle (integration)."""
+
+import pytest
+
+from repro.attacks import FloodingAttacker, MultiIDAttacker, SingleIDAttacker
+from repro.core import IDSPipeline
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import simulate_drive
+
+
+@pytest.fixture(scope="module")
+def pipeline(golden_template, ids_config, catalog):
+    return IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+
+
+def attacked_trace(catalog, attacker, seed=31, duration_s=12.0):
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=seed)
+    sim.add_node(attacker)
+    return sim.run(duration_s)
+
+
+class TestCleanTraffic:
+    def test_no_alarms_on_clean_drive(self, pipeline, catalog):
+        trace = simulate_drive(10.0, scenario="highway", seed=55, catalog=catalog)
+        report = pipeline.analyze(trace)
+        assert report.alarmed_windows == []
+        assert report.false_positive_rate == 0.0
+        assert report.detection_rate == 0.0
+        assert report.inference is None
+
+    def test_empty_trace_rejected(self, pipeline):
+        with pytest.raises(DetectorError):
+            pipeline.analyze(Trace())
+
+
+class TestSingleIdAttack:
+    def test_detection_and_inference(self, pipeline, catalog):
+        attack_id = catalog.ids[70]
+        attacker = SingleIDAttacker(
+            can_id=attack_id, frequency_hz=50.0, start_s=2.0, duration_s=8.0, seed=3
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker), infer_k=1)
+        assert report.detection_rate > 0.9
+        assert report.false_positive_rate == 0.0
+        assert report.inference is not None
+        assert report.inference_hit_rate([attack_id]) == 1.0
+
+    def test_latency_within_two_windows(self, pipeline, catalog, ids_config):
+        attacker = SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+            duration_s=8.0, seed=4,
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker))
+        assert report.detection_latency_us is not None
+        assert report.detection_latency_us <= 2 * ids_config.window_us
+
+    def test_alerts_collected(self, pipeline, catalog):
+        attacker = SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+            duration_s=8.0, seed=5,
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker))
+        assert len(report.alerts) == len(report.alarmed_windows)
+
+    def test_summary_mentions_key_metrics(self, pipeline, catalog):
+        attacker = SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+            duration_s=8.0, seed=6,
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker), infer_k=1)
+        summary = report.summary()
+        assert "detection rate" in summary
+        assert "candidates" in summary
+
+
+class TestMultiIdAttack:
+    def test_multi_detection_and_inference(self, pipeline, catalog):
+        ids = [catalog.ids[40], catalog.ids[95], catalog.ids[150]]
+        attacker = MultiIDAttacker(
+            ids, frequency_hz=50.0, start_s=2.0, duration_s=8.0, seed=7
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker), infer_k=3)
+        assert report.detection_rate > 0.9
+        assert report.inference_hit_rate(ids) >= 2 / 3
+
+
+class TestFloodingAttack:
+    def test_flood_fully_detected(self, pipeline, catalog):
+        attacker = FloodingAttacker(
+            frequency_hz=300.0, start_s=2.0, duration_s=8.0, seed=8
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker))
+        assert report.detection_rate > 0.99
+
+
+class TestStreamingIntegration:
+    def test_streaming_detector_on_live_bus(self, pipeline, catalog, ids_config):
+        """Attach the streaming detector directly as a bus listener."""
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=9)
+        sim.add_node(
+            SingleIDAttacker(
+                can_id=catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+                duration_s=6.0, seed=9,
+            )
+        )
+        detector = pipeline.streaming_detector()
+        sim.bus.attach_listener(lambda record: detector.feed(record))
+        sim.run(10.0)
+        detector.flush()
+        assert len(detector.sink) >= 1
+
+    def test_no_pool_no_inference(self, golden_template, ids_config, catalog):
+        pipeline = IDSPipeline(golden_template, ids_config)  # no pool
+        attacker = SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+            duration_s=6.0, seed=10,
+        )
+        report = pipeline.analyze(attacked_trace(catalog, attacker))
+        assert report.inference is None
+        assert report.inference_hit_rate([catalog.ids[60]]) == 0.0

@@ -1,0 +1,132 @@
+"""Response stage: blocklist semantics and end-to-end suppression."""
+
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.can.constants import SECOND_US
+from repro.core.response import Blocklist, ResponseGate
+from repro.exceptions import DetectorError
+from repro.vehicle import VehicleSimulation
+
+
+class TestBlocklist:
+    def test_block_and_expiry(self):
+        blocklist = Blocklist(ttl_us=1000)
+        blocklist.block(0x100, now_us=0)
+        assert blocklist.is_blocked(0x100, 500)
+        assert not blocklist.is_blocked(0x100, 1000)
+
+    def test_unblocked_id(self):
+        assert not Blocklist().is_blocked(0x100, 0)
+
+    def test_rearm_extends(self):
+        blocklist = Blocklist(ttl_us=1000)
+        blocklist.block(0x100, now_us=0)
+        blocklist.block(0x100, now_us=800)
+        assert blocklist.is_blocked(0x100, 1500)
+
+    def test_active_listing(self):
+        blocklist = Blocklist(ttl_us=1000)
+        blocklist.block(0x300, 0)
+        blocklist.block(0x100, 0)
+        assert blocklist.active(10) == [0x100, 0x300]
+        assert blocklist.active(2000) == []
+
+    def test_clear(self):
+        blocklist = Blocklist(ttl_us=1000)
+        blocklist.block(0x100, 0)
+        blocklist.clear()
+        assert not blocklist.is_blocked(0x100, 1)
+
+
+class TestResponseGate:
+    @pytest.fixture()
+    def attacked_trace(self, catalog):
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=71)
+        sim.add_node(
+            SingleIDAttacker(
+                can_id=catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+                duration_s=14.0, seed=5,
+            )
+        )
+        return sim.run(18.0), catalog.ids[60]
+
+    def test_suppresses_most_attack_traffic(
+        self, golden_template, ids_config, catalog, attacked_trace
+    ):
+        trace, attack_id = attacked_trace
+        gate = ResponseGate(
+            golden_template, catalog.ids, ids_config,
+            block_top=1, ttl_us=20 * SECOND_US,
+        )
+        outcome = gate.process_trace(trace)
+        # Detection needs a window or two; everything after is blocked.
+        assert outcome.attack_suppression > 0.5
+        assert attack_id in outcome.blocked_ids
+
+    def test_collateral_damage_bounded(
+        self, golden_template, ids_config, catalog, attacked_trace
+    ):
+        trace, attack_id = attacked_trace
+        gate = ResponseGate(
+            golden_template, catalog.ids, ids_config, block_top=1
+        )
+        outcome = gate.process_trace(trace)
+        # Blocking one identifier suppresses at most that identifier's
+        # legitimate share (the abused ID's real messages) plus nothing.
+        assert outcome.collateral_rate < 0.02
+
+    def test_clean_traffic_passes_untouched(
+        self, golden_template, ids_config, catalog
+    ):
+        from repro.vehicle.traffic import simulate_drive
+
+        trace = simulate_drive(8.0, scenario="city", seed=72, catalog=catalog)
+        gate = ResponseGate(golden_template, catalog.ids, ids_config)
+        outcome = gate.process_trace(trace)
+        assert outcome.dropped == 0
+        assert outcome.forwarded == len(trace)
+        assert outcome.blocked_ids == []
+
+    def test_blocks_expire(self, golden_template, ids_config, catalog):
+        """After the attack stops and the block expires, the abused
+        identifier's legitimate messages flow again."""
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=73)
+        attack_id = catalog.ids[60]
+        sim.add_node(
+            SingleIDAttacker(
+                can_id=attack_id, frequency_hz=100.0, start_s=2.0,
+                duration_s=4.0, seed=6,
+            )
+        )
+        trace = sim.run(30.0)
+        gate = ResponseGate(
+            golden_template, catalog.ids, ids_config,
+            block_top=1, ttl_us=5 * SECOND_US,
+        )
+        gate.process_trace(trace)
+        tail = gate.forwarded_trace.between(20 * SECOND_US, 30 * SECOND_US)
+        assert any(r.can_id == attack_id for r in tail)
+
+    def test_downstream_callback(self, golden_template, ids_config, catalog):
+        from repro.vehicle.traffic import simulate_drive
+
+        seen = []
+        trace = simulate_drive(4.0, scenario="city", seed=74, catalog=catalog)
+        gate = ResponseGate(
+            golden_template, catalog.ids, ids_config, downstream=seen.append
+        )
+        gate.process_trace(trace)
+        assert len(seen) == len(trace)
+
+    def test_validates_block_top(self, golden_template, ids_config, catalog):
+        with pytest.raises(DetectorError):
+            ResponseGate(golden_template, catalog.ids, ids_config, block_top=0)
+
+    def test_outcome_summary(self, golden_template, ids_config, catalog):
+        from repro.vehicle.traffic import simulate_drive
+
+        trace = simulate_drive(4.0, scenario="city", seed=75, catalog=catalog)
+        gate = ResponseGate(golden_template, catalog.ids, ids_config)
+        outcome = gate.process_trace(trace)
+        assert "suppression" in outcome.summary()

@@ -1,0 +1,132 @@
+"""Sliding-window detector: equivalence, latency advantage, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import IDSConfig
+from repro.core.detector import EntropyDetector
+from repro.core.sliding import SlidingEntropyDetector
+from repro.core.template import TemplateBuilder
+from repro.exceptions import DetectorError
+from repro.io.trace import Trace, TraceRecord
+
+
+def uniform_trace(ids, start_us=0, spacing_us=1000, attack_ids=()):
+    return Trace(
+        TraceRecord(
+            timestamp_us=start_us + i * spacing_us,
+            can_id=can_id,
+            is_attack=can_id in attack_ids,
+        )
+        for i, can_id in enumerate(ids)
+    )
+
+
+@pytest.fixture()
+def tiny():
+    config = IDSConfig(
+        window_us=100_000, min_window_messages=10, template_windows=2, alpha=3.0
+    )
+    builder = TemplateBuilder(config)
+    ids = [0x155, 0x2AA] * 40
+    builder.add_trace(uniform_trace(ids))
+    builder.add_trace(uniform_trace(ids))
+    return config, builder.build()
+
+
+class TestConstruction:
+    def test_rejects_indivisible_stride(self, tiny):
+        config, template = tiny
+        with pytest.raises(DetectorError):
+            SlidingEntropyDetector(template, config, slices=3)  # 100ms/3
+
+    def test_rejects_zero_slices(self, tiny):
+        config, template = tiny
+        with pytest.raises(DetectorError):
+            SlidingEntropyDetector(template, config, slices=0)
+
+    def test_rejects_width_mismatch(self, tiny):
+        _config, template = tiny
+        with pytest.raises(DetectorError):
+            SlidingEntropyDetector(template, IDSConfig(n_bits=29), slices=2)
+
+
+class TestBehaviour:
+    def test_single_slice_matches_tumbling(self, tiny):
+        config, template = tiny
+        trace = uniform_trace([0x155, 0x2AA, 0x001] * 120, attack_ids={0x001})
+        tumbling = EntropyDetector(template, config).scan(trace)
+        sliding = SlidingEntropyDetector(template, config, slices=1).scan(trace)
+        assert len(sliding) == len(tumbling)
+        for a, b in zip(sliding, tumbling):
+            assert a.n_messages == b.n_messages
+            assert a.alarm == b.alarm
+
+    def test_clean_traffic_quiet(self, tiny):
+        config, template = tiny
+        detector = SlidingEntropyDetector(template, config, slices=4)
+        windows = detector.scan(uniform_trace([0x155, 0x2AA] * 300))
+        assert not any(w.alarm for w in windows)
+
+    def test_injection_alarms(self, tiny):
+        config, template = tiny
+        detector = SlidingEntropyDetector(template, config, slices=4)
+        windows = detector.scan(
+            uniform_trace([0x155, 0x2AA, 0x001] * 200, attack_ids={0x001})
+        )
+        assert any(w.alarm for w in windows)
+
+    def test_sliding_reacts_before_tumbling(self, tiny):
+        """The latency advantage: the attack starts mid-window; sliding
+        strides alarm before the tumbling window closes."""
+        config, template = tiny
+        clean = [0x155, 0x2AA] * 75  # 150 msgs = 150ms of clean lead-in
+        attacked = [0x155, 0x2AA, 0x001] * 200
+        trace = uniform_trace(clean + attacked, attack_ids={0x001})
+
+        def first_alarm(windows):
+            for window in windows:
+                if window.alarm:
+                    return window.t_end_us
+            return None
+
+        tumbling = first_alarm(EntropyDetector(template, config).scan(trace))
+        sliding = first_alarm(
+            SlidingEntropyDetector(template, config, slices=4).scan(trace)
+        )
+        assert sliding is not None and tumbling is not None
+        assert sliding <= tumbling
+
+    def test_window_population_stays_bounded(self, tiny):
+        config, template = tiny
+        detector = SlidingEntropyDetector(template, config, slices=4)
+        windows = detector.scan(uniform_trace([0x155, 0x2AA] * 500))
+        full = [w for w in windows if w.judged]
+        expected = config.window_us // 1000  # one message per ms
+        for window in full:
+            assert window.n_messages == pytest.approx(expected, abs=8)
+
+    def test_attack_message_accounting(self, tiny):
+        config, template = tiny
+        detector = SlidingEntropyDetector(template, config, slices=4)
+        trace = uniform_trace([0x155, 0x2AA, 0x001] * 100, attack_ids={0x001})
+        windows = detector.scan(trace)
+        # Sliding windows overlap, so attack messages are counted up to
+        # `slices` times in total, never more.
+        total = sum(w.n_attack_messages for w in windows)
+        assert total <= 4 * trace.attack_count
+
+    def test_out_of_order_rejected(self, tiny):
+        config, template = tiny
+        detector = SlidingEntropyDetector(template, config, slices=2)
+        detector.feed(TraceRecord(timestamp_us=1000, can_id=0x155))
+        with pytest.raises(DetectorError):
+            detector.feed(TraceRecord(timestamp_us=10, can_id=0x155))
+
+    def test_alerts_emitted(self, tiny):
+        config, template = tiny
+        detector = SlidingEntropyDetector(template, config, slices=4)
+        detector.scan(
+            uniform_trace([0x155, 0x2AA, 0x001] * 200, attack_ids={0x001})
+        )
+        assert len(detector.sink) >= 1

@@ -1,0 +1,135 @@
+"""Golden template construction, thresholds, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitprob import BitCounter
+from repro.core.config import IDSConfig
+from repro.core.template import GoldenTemplate, TemplateBuilder, build_template
+from repro.exceptions import TemplateError
+from repro.io.trace import Trace, TraceRecord
+
+
+def trace_of_ids(ids, spacing_us=1000):
+    return Trace(
+        TraceRecord(timestamp_us=i * spacing_us, can_id=can_id)
+        for i, can_id in enumerate(ids)
+    )
+
+
+def small_config(**overrides):
+    defaults = dict(min_window_messages=2, template_windows=2)
+    defaults.update(overrides)
+    return IDSConfig(**defaults)
+
+
+class TestBuilder:
+    def test_needs_two_windows(self):
+        builder = TemplateBuilder(small_config())
+        builder.add_trace(trace_of_ids([0x100, 0x200, 0x300]))
+        with pytest.raises(TemplateError):
+            builder.build()
+
+    def test_rejects_underpopulated_window(self):
+        builder = TemplateBuilder(small_config(min_window_messages=10))
+        with pytest.raises(TemplateError):
+            builder.add_trace(trace_of_ids([0x100]))
+
+    def test_rejects_wrong_width_counter(self):
+        builder = TemplateBuilder(small_config())
+        counter = BitCounter(29)
+        counter.update_many([1, 2, 3])
+        with pytest.raises(TemplateError):
+            builder.add_counter(counter)
+
+    def test_statistics(self):
+        builder = TemplateBuilder(small_config())
+        builder.add_trace(trace_of_ids([0b000, 0b111, 0b000, 0b111]))  # p = .5
+        builder.add_trace(trace_of_ids([0b111, 0b111, 0b111, 0b000]))  # p = .75
+        template = builder.build()
+        assert template.n_windows == 2
+        assert template.mean_p[-1] == pytest.approx(0.625)
+        assert template.min_p[-1] == pytest.approx(0.5)
+        assert template.max_p[-1] == pytest.approx(0.75)
+        assert template.mean_count == pytest.approx(4.0)
+
+    def test_thresholds_alpha_scaled_with_floor(self):
+        config = small_config(alpha=4.0, threshold_floor=0.01)
+        builder = TemplateBuilder(config)
+        builder.add_trace(trace_of_ids([0b000, 0b111] * 4))
+        builder.add_trace(trace_of_ids([0b000, 0b111] * 4))
+        template = builder.build()
+        # Identical windows: range 0 -> every threshold equals the floor.
+        assert template.thresholds.tolist() == [0.01] * 11
+
+    def test_add_trace_windows_splits(self):
+        config = small_config(window_us=1_000_000)
+        builder = TemplateBuilder(config)
+        long_trace = trace_of_ids(
+            ((0x100 + i) % 0x7FF for i in range(3000)), spacing_us=1000
+        )
+        added = builder.add_trace_windows(long_trace)
+        assert added == builder.n_windows >= 2
+
+
+class TestTemplateApi:
+    def test_deviations_signed(self, golden_template):
+        measured = golden_template.mean_entropy + 0.01
+        dev = golden_template.deviations(measured)
+        assert np.allclose(dev, 0.01)
+
+    def test_deviation_shape_checked(self, golden_template):
+        with pytest.raises(TemplateError):
+            golden_template.deviations(np.zeros(5))
+
+    def test_within_band_not_anomalous(self, golden_template):
+        assert not golden_template.is_anomalous(golden_template.mean_entropy)
+
+    def test_large_shift_anomalous(self, golden_template):
+        shifted = golden_template.mean_entropy.copy()
+        shifted[5] += golden_template.thresholds[5] * 2
+        assert golden_template.is_anomalous(shifted)
+        assert golden_template.violated_bits(shifted)[5]
+
+    def test_ranges_nonnegative(self, golden_template):
+        assert np.all(golden_template.entropy_range >= 0)
+        assert np.all(golden_template.p_range >= 0)
+
+    def test_describe_has_one_row_per_bit(self, golden_template):
+        lines = golden_template.describe().splitlines()
+        assert len(lines) == 2 + golden_template.n_bits
+
+
+class TestSerialisation:
+    def test_roundtrip_dict(self, golden_template):
+        clone = GoldenTemplate.from_dict(golden_template.to_dict())
+        assert np.allclose(clone.mean_entropy, golden_template.mean_entropy)
+        assert np.allclose(clone.thresholds, golden_template.thresholds)
+        assert clone.n_windows == golden_template.n_windows
+
+    def test_roundtrip_file(self, golden_template, tmp_path):
+        path = tmp_path / "template.json"
+        golden_template.save(path)
+        clone = GoldenTemplate.load(path)
+        assert np.allclose(clone.mean_p, golden_template.mean_p)
+        assert clone.alpha == golden_template.alpha
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(TemplateError):
+            GoldenTemplate.from_dict({"n_bits": 11})
+
+
+class TestBuildTemplateOnVehicle:
+    def test_template_is_tight_on_clean_traffic(self, golden_template):
+        """The Section-IV.B observation: normal-driving entropy is steady,
+        so per-bit ranges are small next to the entropy scale."""
+        assert float(golden_template.entropy_range.max()) < 0.05
+
+    def test_mean_count_matches_traffic(self, golden_template, catalog, ids_config):
+        window_s = ids_config.window_us / 1e6
+        expected = catalog.nominal_rate_hz() * window_s
+        assert golden_template.mean_count == pytest.approx(expected, rel=0.2)
+
+    def test_build_template_helper(self, template_windows, ids_config):
+        template = build_template(template_windows, ids_config)
+        assert template.n_windows == len(template_windows)

@@ -1,0 +1,24 @@
+"""The quick_demo convenience entry point."""
+
+import pytest
+
+from repro import quick_demo
+from repro.core import IDSConfig
+
+
+class TestQuickDemo:
+    def test_detects_and_infers(self):
+        report = quick_demo(seed=7)
+        assert report.detection_rate > 0.9
+        assert report.false_positive_rate <= 0.1
+        assert report.inference is not None
+        assert "detection rate" in report.summary()
+
+    def test_custom_attack_parameters(self):
+        report = quick_demo(seed=3, attack_frequency_hz=100.0)
+        assert report.detection_rate > 0.95
+
+    def test_custom_config(self):
+        config = IDSConfig(template_windows=6, alpha=4.0)
+        report = quick_demo(seed=5, config=config)
+        assert report.windows

@@ -1,0 +1,149 @@
+"""Experiment harness: setup, scenario sweeps, artifact generators.
+
+These are integration tests; they use one shared setup and the smallest
+run counts that still exercise the full code paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IDSConfig
+from repro.exceptions import ScenarioError
+from repro.experiments import (
+    TABLE1_SCENARIOS,
+    build_setup,
+    run_attack,
+    run_scenario,
+    scenario,
+)
+from repro.experiments import fig2, fig3, stability, table1
+from repro.experiments.report import hexid, pct, render_table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(config=IDSConfig(template_windows=10), seed=7)
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["x", 1], ["long", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2  # aligned
+
+    def test_pct(self):
+        assert pct(0.912) == "91.2%"
+        assert pct(1.0, digits=0) == "100%"
+
+    def test_hexid(self):
+        assert hexid(0x4A) == "0x04A"
+
+
+class TestScenarioSpecs:
+    def test_table1_has_six_rows(self):
+        assert len(TABLE1_SCENARIOS) == 6
+
+    def test_lookup(self):
+        assert scenario("multi_3").k == 3
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ScenarioError):
+            scenario("quantum")
+
+    def test_flood_not_inferable(self):
+        assert not scenario("flood").inferable
+
+    def test_attacker_construction_deterministic(self, setup):
+        spec = scenario("single")
+        a = spec.build_attacker(setup.catalog, setup.assignments, 50.0, 1, 2.0, 5.0)
+        b = spec.build_attacker(setup.catalog, setup.assignments, 50.0, 1, 2.0, 5.0)
+        assert a.can_id == b.can_id
+
+    def test_multi_attacker_has_k_ids(self, setup):
+        spec = scenario("multi_4")
+        attacker = spec.build_attacker(
+            setup.catalog, setup.assignments, 20.0, 1, 2.0, 5.0
+        )
+        assert len(attacker.can_ids) == 4
+
+    def test_weak_attacker_restricted_to_assignment(self, setup):
+        spec = scenario("weak")
+        attacker = spec.build_attacker(
+            setup.catalog, setup.assignments, 20.0, 1, 2.0, 5.0
+        )
+        assigned = frozenset().union(*setup.assignments.values())
+        assert set(attacker.assigned_ids) <= assigned
+
+
+class TestRunner:
+    def test_setup_contents(self, setup):
+        assert len(setup.catalog) == 223
+        assert setup.template.n_windows == 10
+        assert setup.assignments
+
+    def test_run_attack_outcome_fields(self, setup):
+        from repro.attacks import SingleIDAttacker
+
+        attacker = SingleIDAttacker(
+            can_id=setup.catalog.ids[60], frequency_hz=100.0, start_s=2.0,
+            duration_s=6.0, seed=1,
+        )
+        outcome = run_attack(
+            setup, attacker, k=1, scenario_name="t", frequency_hz=100.0, seed=1,
+            capture_duration_s=10.0,
+        )
+        assert outcome.detected
+        assert outcome.n_injected > 0
+        assert 0.0 < outcome.injection_rate <= 1.0
+        assert outcome.hit_rate == 1.0
+        assert outcome.candidates
+
+    def test_run_scenario_aggregates(self, setup):
+        spec = scenario("single")
+        result = run_scenario(
+            setup, spec, seeds=(1,), attack_duration_s=6.0
+        )
+        assert len(result.runs) == len(spec.frequencies_hz)
+        assert 0.0 <= result.detection_rate <= 1.0
+        assert set(result.by_frequency()) == set(spec.frequencies_hz)
+
+
+class TestArtifacts:
+    def test_fig2_shape(self, setup):
+        result = fig2.run(setup=setup)
+        assert len(result.template_mean) == 11
+        assert result.violated_bits  # the case study must alarm
+        rendering = result.render()
+        assert "Bit 11" in rendering and "ALARM" in rendering
+
+    def test_fig3_series(self, setup):
+        result = fig3.run(setup=setup, seeds=(1,), count=5)
+        assert len(result.points) == 5
+        ir_slope, _dr_slope = result.monotone_trend()
+        assert ir_slope < 0  # the paper's headline for this figure
+        ids = [p.can_id for p in result.points]
+        assert ids == sorted(ids)
+        assert "Fig. 3" in result.render()
+
+    def test_table1_single_row(self, setup):
+        result = table1.run(
+            setup=setup, scenarios=[scenario("single")], seeds=(1,)
+        )
+        row = result.row("single")
+        assert row.detection_rate > 0.7
+        assert row.inference_accuracy is not None
+        assert "Table I" in result.render()
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+    def test_stability_margin(self, setup):
+        from repro.vehicle import STANDARD_SCENARIOS
+
+        result = stability.run(
+            setup=setup, scenarios=STANDARD_SCENARIOS[:3], windows_per_scenario=3
+        )
+        # Attack deviations dominate normal variation — the Sec. IV.B
+        # premise that makes the golden template viable.
+        assert result.stability_margin > 3.0
+        assert "stability margin" in result.render()

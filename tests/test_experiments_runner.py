@@ -1,0 +1,85 @@
+"""Runner aggregation logic and the CI integration (fast, no simulation)."""
+
+import pytest
+
+from repro.experiments.runner import AttackRun, ScenarioResult
+from repro.experiments.scenarios import scenario
+
+
+def make_run(freq, dr, n_injected, hit=None, ir=0.8, fpr=0.0, detected=True):
+    return AttackRun(
+        scenario="single",
+        frequency_hz=freq,
+        seed=1,
+        injection_rate=ir,
+        n_injected=n_injected,
+        detection_rate=dr,
+        false_positive_rate=fpr,
+        detection_latency_us=2_000_000 if detected else None,
+        detected=detected,
+        hit_rate=hit,
+        ids_used=(0x100,),
+        candidates=(0x100, 0x200),
+    )
+
+
+class TestScenarioAggregation:
+    def test_detection_rate_message_weighted(self):
+        result = ScenarioResult(spec=scenario("single"))
+        result.runs = [
+            make_run(100, 1.0, 900),
+            make_run(10, 0.0, 100),
+        ]
+        assert result.detection_rate == pytest.approx(0.9)
+
+    def test_empty_runs(self):
+        result = ScenarioResult(spec=scenario("single"))
+        assert result.detection_rate == 0.0
+        assert result.mean_injection_rate == 0.0
+        assert result.false_positive_rate == 0.0
+        assert result.detection_rate_ci() == (0.0, 0.0, 0.0)
+
+    def test_inference_accuracy_over_detected_only(self):
+        result = ScenarioResult(spec=scenario("single"))
+        result.runs = [
+            make_run(100, 1.0, 900, hit=1.0),
+            make_run(10, 0.0, 100, hit=None, detected=False),
+        ]
+        assert result.inference_accuracy == 1.0
+
+    def test_flood_has_no_inference(self):
+        result = ScenarioResult(spec=scenario("flood"))
+        result.runs = [make_run(500, 1.0, 900)]
+        assert result.inference_accuracy is None
+
+    def test_by_frequency_grouping(self):
+        result = ScenarioResult(spec=scenario("single"))
+        result.runs = [
+            make_run(100, 1.0, 500),
+            make_run(100, 0.8, 500),
+            make_run(10, 0.2, 100),
+        ]
+        by_freq = result.by_frequency()
+        assert by_freq[100.0] == pytest.approx(0.9)
+        assert by_freq[10.0] == pytest.approx(0.2)
+
+    def test_detection_rate_ci_brackets_point(self):
+        result = ScenarioResult(spec=scenario("single"))
+        result.runs = [
+            make_run(100, 0.95, 800),
+            make_run(50, 0.9, 400),
+            make_run(20, 0.5, 150),
+            make_run(10, 0.1, 80),
+        ]
+        point, low, high = result.detection_rate_ci()
+        assert low <= point <= high
+        assert point == pytest.approx(result.detection_rate)
+
+    def test_mean_rates(self):
+        result = ScenarioResult(spec=scenario("single"))
+        result.runs = [
+            make_run(100, 1.0, 500, ir=0.9, fpr=0.0),
+            make_run(10, 0.5, 100, ir=0.7, fpr=0.1),
+        ]
+        assert result.mean_injection_rate == pytest.approx(0.8)
+        assert result.false_positive_rate == pytest.approx(0.05)

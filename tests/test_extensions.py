@@ -1,0 +1,186 @@
+"""Extension features beyond the paper's evaluation.
+
+* extended (29-bit) identifier support — the paper notes the method "could
+  also be applied to the extended format";
+* automatic estimation of the number of injected identifiers
+  (:meth:`InferenceEngine.estimate_k`), where the paper assumes k known;
+* replay and masquerade attacks — harder cases probing the IDS's limits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import MasqueradeAttacker, MultiIDAttacker, ReplayAttacker, SingleIDAttacker
+from repro.can.bus import Bus
+from repro.can.node import MessageSpec, PeriodicECU
+from repro.core import IDSConfig, IDSPipeline, TemplateBuilder
+from repro.core.inference import InferenceEngine
+from repro.exceptions import InferenceError
+from repro.io.trace import Trace, TraceRecord
+from repro.vehicle import VehicleSimulation
+
+
+class TestExtendedIdentifiers:
+    """The 29-bit path, end to end on a small synthetic bus."""
+
+    @pytest.fixture(scope="class")
+    def ext_setup(self):
+        config = IDSConfig(
+            n_bits=29, window_us=1_000_000, min_window_messages=20,
+            template_windows=2, alpha=3.0,
+        )
+
+        def run_bus(with_attack):
+            bus = Bus()
+            for index in range(4):
+                bus.attach(
+                    PeriodicECU(
+                        f"e{index}",
+                        [
+                            MessageSpec(
+                                (0x1234 << 10) + index * 0x111,
+                                period_us=10_000,
+                                offset_us=index * 733,
+                                extended=True,
+                            )
+                        ],
+                        seed=index,
+                    )
+                )
+            if with_attack:
+                # An extended-format injection: attacker node sending a
+                # high-priority extended identifier.
+                class ExtAttacker(SingleIDAttacker):
+                    def peek(self):
+                        from repro.can.frame import CANFrame
+
+                        if self._pending is None:
+                            can_id = self.select_id()
+                            self.ids_used.add(can_id)
+                            self._pending = CANFrame(
+                                can_id, self.build_payload(), extended=True
+                            )
+                        return self._pending
+
+                attacker = ExtAttacker(0x00000042, frequency_hz=80.0, seed=1)
+                attacker.can_id = 0x00000042
+                bus.attach(attacker)
+            bus.run(4_000_000)
+            return bus.trace
+
+        builder = TemplateBuilder(config)
+        clean = run_bus(with_attack=False)
+        for window in clean.time_windows(config.window_us):
+            if len(window) >= config.min_window_messages:
+                builder.add_trace(window)
+        template = builder.build()
+        return config, template, run_bus
+
+    def test_clean_extended_traffic_quiet(self, ext_setup):
+        config, template, run_bus = ext_setup
+        pipeline = IDSPipeline(template, config)
+        report = pipeline.analyze(run_bus(with_attack=False))
+        assert report.false_positive_rate == 0.0
+
+    def test_extended_injection_detected(self, ext_setup):
+        config, template, run_bus = ext_setup
+        pipeline = IDSPipeline(template, config)
+        report = pipeline.analyze(run_bus(with_attack=True))
+        assert report.detection_rate > 0.9
+
+
+class TestEstimateK:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        rng = np.random.default_rng(3)
+        pool = sorted(int(i) for i in rng.choice(0x7FF, size=40, replace=False))
+        config = IDSConfig(min_window_messages=10, template_windows=2)
+        builder = TemplateBuilder(config)
+        trace = Trace(
+            TraceRecord(timestamp_us=i * 100, can_id=c)
+            for i, c in enumerate(pool * 25)
+        )
+        builder.add_trace(trace)
+        builder.add_trace(trace)
+        return pool, InferenceEngine(pool, builder.build(), config)
+
+    @staticmethod
+    def _mixture(pool, injected, fraction):
+        def bits(v):
+            return np.array([(v >> (10 - i)) & 1 for i in range(11)], float)
+
+        base = np.mean([bits(i) for i in pool], axis=0)
+        inj = np.mean([bits(i) for i in injected], axis=0)
+        return (1 - fraction) * base + fraction * inj
+
+    @pytest.mark.parametrize("true_k", [1, 2, 3])
+    def test_recovers_k_exactly_on_clean_mixtures(self, engine, true_k):
+        pool, eng = engine
+        injected = [pool[i] for i in (3, 17, 29)[:true_k]]
+        p = self._mixture(pool, injected, 0.25)
+        n = int(eng.template.mean_count / 0.75)
+        assert eng.estimate_k(p, n) == true_k
+
+    def test_validates_inputs(self, engine):
+        _pool, eng = engine
+        with pytest.raises(InferenceError):
+            eng.estimate_k(np.zeros(5), 100)
+        with pytest.raises(InferenceError):
+            eng.estimate_k(eng.template.mean_p, 100, k_max=0)
+
+    def test_pipeline_auto_mode(self, golden_template, ids_config, catalog):
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        ids = [catalog.ids[50], catalog.ids[120]]
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=61)
+        sim.add_node(
+            MultiIDAttacker(ids, frequency_hz=50.0, start_s=2.0,
+                            duration_s=8.0, seed=2)
+        )
+        report = pipeline.analyze(sim.run(12.0), infer_k="auto")
+        assert report.inference is not None
+        assert len(report.inference.best_set) == 2
+        assert report.inference_hit_rate(ids) == 1.0
+
+
+class TestReplayAttackDetection:
+    def test_high_rate_replay_detected(self, golden_template, ids_config, catalog):
+        """Replay preserves the ID mix, so entropy barely moves — but the
+        traffic volume does; a 2x-rate replay is caught (partially)."""
+        from repro.vehicle.traffic import simulate_drive
+
+        recording = simulate_drive(3.0, scenario="city", seed=63, catalog=catalog)
+        pipeline = IDSPipeline(golden_template, ids_config)
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=64)
+        sim.add_node(
+            ReplayAttacker(
+                list(recording)[:2000], frequency_hz=400.0, start_s=2.0,
+                duration_s=8.0, seed=3,
+            )
+        )
+        report = pipeline.analyze(sim.run(12.0))
+        # Detection is possible here through count-sensitive bits, but the
+        # method is ID-based: assert the run completes and reports sane
+        # metrics rather than a specific rate (replay is a documented
+        # hard case).
+        assert 0.0 <= report.detection_rate <= 1.0
+        assert report.false_positive_rate <= 0.5
+
+
+class TestMasqueradeDetection:
+    def test_rate_mismatch_masquerade_detected(
+        self, golden_template, ids_config, catalog
+    ):
+        """Masquerading at a much higher rate than the victim shifts the
+        mix toward the impersonated identifier -> detectable."""
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=65)
+        victim = sim.ecus[2]
+        victim_id = sorted(victim.assigned_ids())[0]
+        attacker = MasqueradeAttacker(
+            victim_id, victim=victim, frequency_hz=100.0, start_s=2.0,
+            duration_s=8.0, seed=4,
+        )
+        sim.add_node(attacker)
+        report = pipeline.analyze(sim.run(12.0), infer_k=1)
+        assert report.detection_rate > 0.5
+        assert report.inference is not None

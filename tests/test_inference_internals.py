@@ -1,0 +1,180 @@
+"""White-box tests of the inference engine's internal machinery.
+
+These pin down the algorithmic pieces the black-box suite exercises only
+in aggregate: the unanimity member filter, the batched least-squares set
+fitter, and the beam search's recall behaviour under member-share skew.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import IDSConfig
+from repro.core.inference import InferenceEngine
+from repro.core.template import TemplateBuilder
+from repro.io.trace import Trace, TraceRecord
+
+
+def bits_of(can_id, n_bits=11):
+    return np.array([(can_id >> (n_bits - 1 - i)) & 1 for i in range(n_bits)], float)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = np.random.default_rng(17)
+    pool = sorted(int(i) for i in rng.choice(0x7FF, size=60, replace=False))
+    config = IDSConfig(min_window_messages=10, template_windows=2)
+    builder = TemplateBuilder(config)
+    trace = Trace(
+        TraceRecord(timestamp_us=i * 100, can_id=c)
+        for i, c in enumerate(pool * 20)
+    )
+    builder.add_trace(trace)
+    builder.add_trace(trace)
+    return pool, InferenceEngine(pool, builder.build(), config)
+
+
+def exact_mixture(pool, weights_by_id):
+    base = np.mean([bits_of(i) for i in pool], axis=0)
+    total = sum(weights_by_id.values())
+    mixed = (1 - total) * base
+    for can_id, weight in weights_by_id.items():
+        mixed = mixed + weight * bits_of(can_id)
+    return mixed
+
+
+class TestUnanimityFilter:
+    def test_true_member_survives_moderate_fraction(self, engine):
+        pool, eng = engine
+        member = pool[7]
+        p = exact_mixture(pool, {member: 0.25})
+        delta = p - eng.template.mean_p
+        noise = eng._noise_scale(5000)
+        surviving = eng._candidate_members(1, delta, noise, 0.25)
+        # The true member always survives its own unanimity constraints.
+        assert pool.index(member) in surviving
+
+    def test_dominant_mixture_prunes_pool(self, engine):
+        """At high injected fractions the conservative composition still
+        reaches the unanimity margins and the filter genuinely prunes."""
+        pool, eng = engine
+        member = pool[7]
+        p = exact_mixture(pool, {member: 0.85})
+        delta = p - eng.template.mean_p
+        noise = eng._noise_scale(20_000)
+        surviving = eng._candidate_members(1, delta, noise, 0.85)
+        assert pool.index(member) in surviving
+        assert len(surviving) < len(pool)
+
+    def test_overtight_filter_falls_back_to_full_pool(self, engine):
+        pool, eng = engine
+        # A delta pointing outside the pool's realisable compositions:
+        # all-ones shift that no pool id can satisfy on every bit.
+        delta = np.ones(11) * 0.3
+        noise = eng._noise_scale(5000)
+        surviving = eng._candidate_members(4, delta, noise, 0.3)
+        assert len(surviving) >= 4
+
+    def test_filter_never_excludes_true_members_of_k3(self, engine):
+        pool, eng = engine
+        members = [pool[3], pool[21], pool[44]]
+        p = exact_mixture(pool, {m: 0.1 for m in members})
+        delta = p - eng.template.mean_p
+        noise = eng._noise_scale(5000)
+        surviving = set(eng._candidate_members(3, delta, noise, 0.3))
+        for member in members:
+            assert pool.index(member) in surviving
+
+
+class TestFitSets:
+    def test_recovers_exact_weights(self, engine):
+        pool, eng = engine
+        a, b = pool[5], pool[30]
+        p = exact_mixture(pool, {a: 0.18, b: 0.07})
+        delta = p - eng.template.mean_p
+        sets_idx = np.asarray([[pool.index(a), pool.index(b)]])
+        weights, objective = eng._fit_sets(
+            sets_idx, delta, np.ones(11), penalize_degenerate=False
+        )
+        assert weights[0][0] == pytest.approx(0.18, abs=1e-6)
+        assert weights[0][1] == pytest.approx(0.07, abs=1e-6)
+        assert objective[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_wrong_set_has_positive_residual(self, engine):
+        pool, eng = engine
+        p = exact_mixture(pool, {pool[5]: 0.2})
+        delta = p - eng.template.mean_p
+        wrong = np.asarray([[pool.index(pool[6]), pool.index(pool[7])]])
+        _w, objective = eng._fit_sets(
+            wrong, delta, np.ones(11), penalize_degenerate=False
+        )
+        assert objective[0] > 1e-6
+
+    def test_negative_solutions_clipped(self, engine):
+        pool, eng = engine
+        # A *negative* mixture direction cannot be explained with
+        # non-negative weights: fitted weights stay >= 0.
+        p = exact_mixture(pool, {pool[5]: 0.2})
+        delta = -(p - eng.template.mean_p)
+        sets_idx = np.asarray([[pool.index(pool[5]), pool.index(pool[9])]])
+        weights, _obj = eng._fit_sets(
+            sets_idx, delta, np.ones(11), penalize_degenerate=False
+        )
+        assert np.all(weights >= 0.0)
+
+    def test_degenerate_penalty_orders_sets(self, engine):
+        pool, eng = engine
+        a, b, c = pool[5], pool[30], pool[50]
+        p = exact_mixture(pool, {a: 0.2})  # truly a 1-mixture
+        delta = p - eng.template.mean_p
+        pair = np.asarray(
+            [[pool.index(a), pool.index(b)], [pool.index(a), pool.index(c)]]
+        )
+        _w, plain = eng._fit_sets(pair, delta, np.ones(11), penalize_degenerate=False)
+        _w, penalized = eng._fit_sets(
+            pair, delta, np.ones(11), penalize_degenerate=True
+        )
+        # Both sets fit perfectly via w2=0, so both get penalised.
+        assert np.all(penalized >= plain)
+
+
+class TestBeamRecall:
+    def test_skewed_shares_recovered(self, engine):
+        """Shares 5:1 — the weaker member must still be found."""
+        pool, eng = engine
+        a, b = pool[12], pool[48]
+        p = exact_mixture(pool, {a: 0.25, b: 0.05})
+        delta = p - eng.template.mean_p
+        members, shares = eng._reconstruct_set(2, delta, 8000, 0.3)
+        assert set(members) == {a, b}
+        share_map = dict(zip(members, shares))
+        assert share_map[a] > 3 * share_map[b]
+
+    def test_four_member_recall_on_exact_data(self, engine):
+        pool, eng = engine
+        chosen = [pool[2], pool[19], pool[33], pool[55]]
+        p = exact_mixture(pool, {m: 0.07 for m in chosen})
+        delta = p - eng.template.mean_p
+        members, _shares = eng._reconstruct_set(4, delta, 8000, 0.28)
+        assert set(members) == set(chosen)
+
+    def test_members_sorted_ascending(self, engine):
+        pool, eng = engine
+        chosen = [pool[40], pool[3]]
+        p = exact_mixture(pool, {m: 0.12 for m in chosen})
+        delta = p - eng.template.mean_p
+        members, shares = eng._reconstruct_set(2, delta, 8000, 0.24)
+        assert members == sorted(members)
+        assert len(shares) == len(members)
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestNoiseScale:
+    def test_binomial_floor_shrinks_with_population(self, engine):
+        _pool, eng = engine
+        small = eng._noise_scale(100)
+        large = eng._noise_scale(100_000)
+        assert np.all(small >= large)
+
+    def test_never_below_absolute_floor(self, engine):
+        _pool, eng = engine
+        assert np.all(eng._noise_scale(10**9) >= 1e-4)

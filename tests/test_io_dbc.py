@@ -1,0 +1,143 @@
+"""Mini message database: signal codec and the text format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TraceFormatError
+from repro.io.dbc import (
+    MessageDatabase,
+    MessageDef,
+    SignalDef,
+    database_for_catalog,
+)
+
+
+@pytest.fixture()
+def engine_message():
+    return MessageDef(
+        can_id=0x1A4,
+        name="EngineData",
+        dlc=8,
+        signals=(
+            SignalDef("EngineSpeed", 0, 16, scale=0.25, unit="rpm"),
+            SignalDef("Throttle", 16, 8, scale=0.4, unit="%"),
+            SignalDef("Temp", 24, 8, scale=1.0, offset=-40.0, unit="C"),
+        ),
+    )
+
+
+class TestSignalCodec:
+    def test_decode_known_payload(self, engine_message):
+        payload = bytes([0x0F, 0xA0, 0x7D, 0x5A, 0, 0, 0, 0])
+        values = engine_message.decode(payload)
+        assert values["EngineSpeed"] == pytest.approx(0x0FA0 * 0.25)
+        assert values["Throttle"] == pytest.approx(0x7D * 0.4)
+        assert values["Temp"] == pytest.approx(0x5A - 40)
+
+    def test_encode_decode_roundtrip(self, engine_message):
+        payload = engine_message.encode(
+            {"EngineSpeed": 3000.0, "Throttle": 42.0, "Temp": 90.0}
+        )
+        values = engine_message.decode(payload)
+        assert values["EngineSpeed"] == pytest.approx(3000.0, abs=0.25)
+        assert values["Throttle"] == pytest.approx(42.0, abs=0.4)
+        assert values["Temp"] == pytest.approx(90.0, abs=1.0)
+
+    def test_encode_clamps_to_range(self, engine_message):
+        payload = engine_message.encode({"Throttle": 1e9})
+        assert engine_message.decode(payload)["Throttle"] == pytest.approx(255 * 0.4)
+
+    def test_signal_exceeding_payload_rejected(self):
+        with pytest.raises(TraceFormatError):
+            MessageDef(0x100, "X", 1, (SignalDef("Big", 0, 16),))
+
+    def test_payload_too_short_for_signal(self, engine_message):
+        with pytest.raises(TraceFormatError):
+            engine_message.signal("EngineSpeed").decode(b"\x01")
+
+    def test_unknown_signal(self, engine_message):
+        with pytest.raises(KeyError):
+            engine_message.signal("Boost")
+
+    def test_duplicate_signal_names_rejected(self):
+        with pytest.raises(TraceFormatError):
+            MessageDef(
+                0x100, "X", 4,
+                (SignalDef("A", 0, 4), SignalDef("A", 4, 4)),
+            )
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=60)
+    def test_raw_roundtrip_property(self, raw):
+        signal = SignalDef("S", 3, 16)
+        payload = bytearray(4)
+        signal.encode_into(payload, float(raw))
+        assert signal.extract_raw(bytes(payload)) == raw
+
+
+class TestDatabase:
+    def test_duplicate_ids_rejected(self, engine_message):
+        database = MessageDatabase([engine_message])
+        with pytest.raises(TraceFormatError):
+            database.add(engine_message)
+
+    def test_lookup(self, engine_message):
+        database = MessageDatabase([engine_message])
+        assert 0x1A4 in database
+        assert database.message(0x1A4).name == "EngineData"
+        with pytest.raises(KeyError):
+            database.message(0x999 & 0x7FF)
+
+    def test_decode_record_unknown_id_is_empty(self, engine_message):
+        database = MessageDatabase([engine_message])
+        assert database.decode_record(0x555, b"\x00") == {}
+
+    def test_text_roundtrip(self, engine_message):
+        database = MessageDatabase([engine_message])
+        clone = MessageDatabase.loads(database.dumps())
+        assert len(clone) == 1
+        message = clone.message(0x1A4)
+        assert message.name == "EngineData"
+        assert message.signal("Temp").offset == -40.0
+        assert message.signal("Temp").unit == "C"
+
+    def test_file_roundtrip(self, engine_message, tmp_path):
+        database = MessageDatabase([engine_message])
+        path = tmp_path / "vehicle.mdb"
+        database.save(path)
+        assert len(MessageDatabase.load(path)) == 1
+
+    def test_loads_rejects_sig_before_msg(self):
+        with pytest.raises(TraceFormatError):
+            MessageDatabase.loads("SIG X 0 8 1 0 -\n")
+
+    def test_loads_rejects_unknown_directive(self):
+        with pytest.raises(TraceFormatError):
+            MessageDatabase.loads("FOO bar\n")
+
+    def test_loads_skips_comments(self):
+        database = MessageDatabase.loads("# comment\n\nMSG 1A4 X 8\n")
+        assert len(database) == 1
+
+
+class TestCatalogDatabase:
+    def test_covers_whole_catalog(self, catalog):
+        database = database_for_catalog(catalog)
+        assert len(database) == len(catalog)
+        for entry in catalog:
+            assert entry.can_id in database
+
+    def test_decodes_simulated_payloads(self, catalog):
+        """Signals decode cleanly from the traffic generators' payloads."""
+        from repro.vehicle.traffic import simulate_drive
+
+        database = database_for_catalog(catalog)
+        trace = simulate_drive(1.0, scenario="city", seed=5, catalog=catalog)
+        decoded = 0
+        for record in list(trace)[:500]:
+            values = database.decode_record(record.can_id, record.data)
+            if values:
+                decoded += 1
+                assert all(isinstance(v, float) for v in values.values())
+        assert decoded > 400

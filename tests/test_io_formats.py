@@ -1,0 +1,127 @@
+"""candump and CSV log formats (round-trips and error handling)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TraceFormatError
+from repro.io.csvlog import read_csv, write_csv
+from repro.io.log import format_record, parse_line, read_candump, write_candump
+from repro.io.trace import Trace, TraceRecord
+
+record_strategy = st.builds(
+    TraceRecord,
+    timestamp_us=st.integers(min_value=0, max_value=10**12),
+    can_id=st.integers(min_value=0, max_value=0x7FF),
+    data=st.binary(max_size=8),
+    extended=st.just(False),
+    source=st.sampled_from(["", "ECU_A", "mallory"]),
+    is_attack=st.booleans(),
+)
+
+
+def make_trace(records):
+    return Trace(sorted(records, key=lambda r: r.timestamp_us))
+
+
+class TestCandumpLine:
+    def test_format_matches_candump_shape(self):
+        record = TraceRecord(1_500_000, 0x1A4, b"\xDE\xAD", source="ECU_X")
+        line = format_record(record)
+        assert line.startswith("(1.500000) can0 1A4#DEAD")
+        assert "src=ECU_X" in line
+
+    def test_parse_roundtrip(self):
+        record = TraceRecord(42, 0x0F3, b"\x01\x02\x03", source="a", is_attack=True)
+        assert parse_line(format_record(record)) == record
+
+    def test_parse_without_comment(self):
+        record = parse_line("(0.000100) can0 123#AB")
+        assert record.can_id == 0x123
+        assert record.source == ""
+        assert not record.is_attack
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("not a candump line")
+
+    def test_parse_rejects_odd_hex(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("(0.000100) can0 123#ABC")
+
+    @given(record_strategy)
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, record):
+        assert parse_line(format_record(record)) == record
+
+
+class TestCandumpFile:
+    def test_file_roundtrip(self, tmp_path):
+        trace = make_trace(
+            [
+                TraceRecord(0, 0x100, b"\x01", source="A"),
+                TraceRecord(10, 0x200, b"", source="B", is_attack=True),
+            ]
+        )
+        path = tmp_path / "trace.log"
+        write_candump(trace, path)
+        assert read_candump(path) == trace
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.log"
+        path.write_text("# header\n\n(0.000001) can0 100#\n")
+        assert len(read_candump(path)) == 1
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.log"
+        path.write_text("(0.000001) can0 100#\njunk\n")
+        with pytest.raises(TraceFormatError, match="trace.log:2"):
+            read_candump(path)
+
+
+class TestCsv:
+    def test_file_roundtrip(self, tmp_path):
+        trace = make_trace(
+            [
+                TraceRecord(0, 0x100, b"\x01\x02", source="A"),
+                TraceRecord(10, 0x7FF, b"", source="", is_attack=True),
+            ]
+        )
+        path = tmp_path / "trace.csv"
+        write_csv(trace, path)
+        assert read_csv(path) == trace
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_csv(path)
+
+    def test_rejects_dlc_mismatch(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n"
+            "0,100,0,3,AB,src,0\n"
+        )
+        with pytest.raises(TraceFormatError, match="dlc"):
+            read_csv(path)
+
+    def test_rejects_short_row(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n0,100\n"
+        )
+        with pytest.raises(TraceFormatError, match="fields"):
+            read_csv(path)
+
+    @given(st.lists(record_strategy, max_size=20))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, records):
+        import tempfile
+        from pathlib import Path
+
+        trace = make_trace(records)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.csv"
+            write_csv(trace, path)
+            assert read_csv(path) == trace

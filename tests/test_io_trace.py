@@ -1,0 +1,120 @@
+"""Trace container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.io.trace import Trace, TraceRecord
+
+
+def rec(t, can_id=0x100, attack=False, source="a"):
+    return TraceRecord(timestamp_us=t, can_id=can_id, is_attack=attack, source=source)
+
+
+class TestBuilding:
+    def test_append_preserves_order(self):
+        trace = Trace([rec(0), rec(5), rec(5), rec(9)])
+        assert len(trace) == 4
+
+    def test_rejects_out_of_order(self):
+        trace = Trace([rec(10)])
+        with pytest.raises(TraceFormatError):
+            trace.append(rec(5))
+
+    def test_merge_interleaves(self):
+        a = Trace([rec(0), rec(10)])
+        b = Trace([rec(5), rec(15)])
+        merged = Trace.merge(a, b)
+        assert [r.timestamp_us for r in merged] == [0, 5, 10, 15]
+
+    def test_equality(self):
+        assert Trace([rec(0)]) == Trace([rec(0)])
+        assert Trace([rec(0)]) != Trace([rec(1)])
+
+
+class TestProperties:
+    def test_empty_trace(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert trace.duration_us == 0
+        assert trace.message_rate_hz() == 0.0
+
+    def test_duration(self):
+        trace = Trace([rec(100), rec(1100)])
+        assert trace.duration_us == 1000
+
+    def test_attack_count(self):
+        trace = Trace([rec(0), rec(1, attack=True), rec(2, attack=True)])
+        assert trace.attack_count == 2
+
+    def test_message_rate(self):
+        trace = Trace([rec(i * 1000) for i in range(101)])
+        assert trace.message_rate_hz() == pytest.approx(1000.0)
+
+
+class TestVectorised:
+    def test_ids_array(self):
+        trace = Trace([rec(0, 0x10), rec(1, 0x20)])
+        assert trace.ids().tolist() == [0x10, 0x20]
+
+    def test_attack_mask(self):
+        trace = Trace([rec(0), rec(1, attack=True)])
+        assert trace.attack_mask().tolist() == [False, True]
+
+    def test_unique_ids_sorted(self):
+        trace = Trace([rec(0, 0x30), rec(1, 0x10), rec(2, 0x30)])
+        assert trace.unique_ids().tolist() == [0x10, 0x30]
+
+    def test_unique_ids_empty(self):
+        assert Trace().unique_ids().size == 0
+
+
+class TestSlicing:
+    def test_between_is_half_open(self):
+        trace = Trace([rec(0), rec(10), rec(20)])
+        window = trace.between(0, 20)
+        assert [r.timestamp_us for r in window] == [0, 10]
+
+    def test_filter(self):
+        trace = Trace([rec(0, 0x10), rec(1, 0x20)])
+        assert len(trace.filter(lambda r: r.can_id == 0x10)) == 1
+
+    def test_attack_split(self):
+        trace = Trace([rec(0), rec(1, attack=True)])
+        assert len(trace.without_attacks()) == 1
+        assert len(trace.only_attacks()) == 1
+
+    def test_shifted(self):
+        trace = Trace([rec(0), rec(10)]).shifted(100)
+        assert trace.start_us == 100
+
+    def test_getitem_slice_returns_trace(self):
+        trace = Trace([rec(0), rec(1), rec(2)])
+        assert isinstance(trace[1:], Trace)
+        assert len(trace[1:]) == 2
+
+
+class TestWindowing:
+    def test_time_windows_tumble(self):
+        trace = Trace([rec(i * 100) for i in range(20)])
+        windows = list(trace.time_windows(1000))
+        assert len(windows) == 2
+        assert len(windows[0]) == 10
+
+    def test_time_windows_cover_all_records(self):
+        trace = Trace([rec(i * 133) for i in range(50)])
+        windows = list(trace.time_windows(1000))
+        assert sum(len(w) for w in windows) == 50
+
+    def test_time_windows_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(Trace([rec(0)]).time_windows(0))
+
+    def test_count_windows(self):
+        trace = Trace([rec(i) for i in range(10)])
+        windows = list(trace.count_windows(3))
+        assert [len(w) for w in windows] == [3, 3, 3, 1]
+
+    def test_id_histogram(self):
+        trace = Trace([rec(0, 0x10), rec(1, 0x10), rec(2, 0x20)])
+        assert trace.id_histogram() == {0x10: 2, 0x20: 1}

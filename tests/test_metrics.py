@@ -1,0 +1,160 @@
+"""Evaluation metrics."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.metrics.confusion import ConfusionMatrix, window_confusion
+from repro.metrics.cost import bitslice_cost, compare_costs
+from repro.metrics.latency import detection_latency_us
+from repro.metrics.rates import (
+    detection_rate,
+    expected_injected,
+    hit_rate,
+    injection_rate,
+)
+
+
+class FakeWindow:
+    def __init__(self, judged=True, alarm=False, attacks=0, start=0, end=1000):
+        self.judged = judged
+        self.alarm = alarm
+        self.n_attack_messages = attacks
+        self.t_start_us = start
+        self.t_end_us = end
+
+
+class TestInjectionRate:
+    def test_basic(self):
+        assert injection_rate(3, 4) == 0.75
+
+    def test_zero_attempts(self):
+        assert injection_rate(0, 0) == 0.0
+
+    def test_wins_cannot_exceed_attempts(self):
+        with pytest.raises(ReproError):
+            injection_rate(5, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            injection_rate(-1, 4)
+
+
+class TestDetectionRate:
+    def test_weighted_by_messages(self):
+        windows = [
+            FakeWindow(alarm=True, attacks=30),
+            FakeWindow(alarm=False, attacks=10),
+        ]
+        assert detection_rate(windows) == 0.75
+
+    def test_ignores_unjudged(self):
+        windows = [
+            FakeWindow(alarm=True, attacks=10),
+            FakeWindow(judged=False, alarm=False, attacks=100),
+        ]
+        assert detection_rate(windows) == 1.0
+
+    def test_no_attacks_gives_zero(self):
+        assert detection_rate([FakeWindow()]) == 0.0
+
+
+class TestHitRate:
+    def test_full_hit(self):
+        assert hit_rate([1, 2, 3], {2}) == 1.0
+
+    def test_partial(self):
+        assert hit_rate([1, 2], {2, 9}) == 0.5
+
+    def test_miss(self):
+        assert hit_rate([1, 2], {5}) == 0.0
+
+    def test_requires_truth(self):
+        with pytest.raises(ReproError):
+            hit_rate([1], set())
+
+
+class TestExpectedInjected:
+    def test_formula(self):
+        # Nm = Ir x f x T0 (the paper's equation).
+        assert expected_injected(0.8, 50.0, 10.0) == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            expected_injected(1.5, 50.0, 10.0)
+        with pytest.raises(ReproError):
+            expected_injected(0.5, -1.0, 10.0)
+
+
+class TestConfusion:
+    def test_counts(self):
+        windows = [
+            FakeWindow(alarm=True, attacks=5),    # TP
+            FakeWindow(alarm=True, attacks=0),    # FP
+            FakeWindow(alarm=False, attacks=5),   # FN
+            FakeWindow(alarm=False, attacks=0),   # TN
+            FakeWindow(judged=False, alarm=True, attacks=5),  # skipped
+        ]
+        matrix = window_confusion(windows)
+        assert (matrix.tp, matrix.fp, matrix.fn, matrix.tn) == (1, 1, 1, 1)
+
+    def test_derived_scores(self):
+        matrix = ConfusionMatrix(tp=8, fp=2, fn=2, tn=88)
+        assert matrix.precision == 0.8
+        assert matrix.recall == 0.8
+        assert matrix.f1 == pytest.approx(0.8)
+        assert matrix.false_positive_rate == pytest.approx(2 / 90)
+        assert matrix.accuracy == pytest.approx(0.96)
+
+    def test_degenerate_scores_are_zero(self):
+        empty = ConfusionMatrix()
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+        assert empty.accuracy == 0.0
+
+    def test_addition(self):
+        a = ConfusionMatrix(tp=1, fp=2, fn=3, tn=4)
+        b = ConfusionMatrix(tp=10, fp=20, fn=30, tn=40)
+        combined = a + b
+        assert combined.tp == 11
+        assert combined.total == 110
+
+
+class TestLatency:
+    def test_same_window_latency(self):
+        windows = [
+            FakeWindow(attacks=0, start=0, end=1000),
+            FakeWindow(alarm=True, attacks=5, start=1000, end=2000),
+        ]
+        assert detection_latency_us(windows) == 1000
+
+    def test_delayed_alarm(self):
+        windows = [
+            FakeWindow(attacks=5, start=0, end=1000),
+            FakeWindow(alarm=True, attacks=5, start=1000, end=2000),
+        ]
+        assert detection_latency_us(windows) == 2000
+
+    def test_no_alarm_returns_none(self):
+        assert detection_latency_us([FakeWindow(attacks=5)]) is None
+
+    def test_no_attack_returns_none(self):
+        assert detection_latency_us([FakeWindow(alarm=True)]) is None
+
+
+class TestCostModels:
+    def test_bitslice_constant_memory(self):
+        assert bitslice_cost().memory_slots == 11
+
+    def test_comparison_ordering(self):
+        """The paper's claim: 11 slots vs hundreds for the alternatives."""
+        models = {m.name: m for m in compare_costs(n_ids=223)}
+        ours = models["bit-entropy (this paper)"]
+        for name, model in models.items():
+            if name != ours.name:
+                assert model.memory_slots > 10 * ours.memory_slots
+
+    def test_as_row_keys(self):
+        row = bitslice_cost().as_row()
+        assert row["scheme"].startswith("bit-entropy")
+        assert row["localizes"] == "yes"

@@ -1,0 +1,124 @@
+"""The synthetic Ford Fusion catalog."""
+
+import numpy as np
+import pytest
+
+from repro.can.constants import MAX_BASE_ID
+from repro.exceptions import BusConfigError
+from repro.vehicle.ids_catalog import (
+    FORD_FUSION_ID_COUNT,
+    CatalogEntry,
+    VehicleCatalog,
+    ford_fusion_catalog,
+)
+
+
+class TestCatalogEntry:
+    def test_periodic_entry(self):
+        entry = CatalogEntry(0x100, "X", "powertrain", "ECM", period_us=10_000)
+        assert entry.is_periodic
+
+    def test_event_entry(self):
+        entry = CatalogEntry(0x100, "X", "body", "BCM", base_rate_hz=0.5, tag="lights")
+        assert not entry.is_periodic
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(BusConfigError):
+            CatalogEntry(0x100, "X", "body", "BCM")
+        with pytest.raises(BusConfigError):
+            CatalogEntry(0x100, "X", "body", "BCM", period_us=1, base_rate_hz=1.0)
+
+    def test_rejects_out_of_range_id(self):
+        with pytest.raises(BusConfigError):
+            CatalogEntry(0x800, "X", "body", "BCM", period_us=1000)
+
+
+class TestVehicleCatalog:
+    def test_rejects_duplicates(self):
+        entry = CatalogEntry(0x100, "X", "body", "BCM", period_us=1000)
+        with pytest.raises(BusConfigError):
+            VehicleCatalog([entry, entry])
+
+    def test_rejects_empty(self):
+        with pytest.raises(BusConfigError):
+            VehicleCatalog([])
+
+    def test_sorted_by_id(self, catalog):
+        ids = catalog.ids
+        assert list(ids) == sorted(ids)
+
+    def test_entry_lookup(self, catalog):
+        can_id = catalog.ids[10]
+        assert catalog.entry(can_id).can_id == can_id
+        with pytest.raises(KeyError):
+            catalog.entry(0x7FE if 0x7FE not in catalog.id_set() else 0x7FD)
+
+
+class TestFordFusionCatalog:
+    def test_exactly_223_ids(self, catalog):
+        assert len(catalog) == FORD_FUSION_ID_COUNT
+
+    def test_coverage_matches_paper(self, catalog):
+        # The paper: 223 IDs = 10.88 % of the 2048-value space.
+        assert catalog.coverage() == pytest.approx(0.1088, abs=0.0005)
+
+    def test_deterministic_in_seed(self):
+        assert ford_fusion_catalog(seed=5).ids == ford_fusion_catalog(seed=5).ids
+
+    def test_different_seeds_differ(self):
+        assert ford_fusion_catalog(seed=1).ids != ford_fusion_catalog(seed=2).ids
+
+    def test_all_ids_in_base_range(self, catalog):
+        assert all(0 <= i <= MAX_BASE_ID for i in catalog.ids)
+
+    def test_clusters_partition_priority_ranges(self, catalog):
+        by_cluster = catalog.by_cluster()
+        assert set(by_cluster) == {
+            "powertrain", "chassis", "body", "comfort", "diagnostics",
+        }
+        powertrain = max(e.can_id for e in by_cluster["powertrain"])
+        chassis = min(e.can_id for e in by_cluster["chassis"])
+        assert powertrain < chassis  # powertrain outranks chassis
+
+    def test_every_entry_has_an_ecu(self, catalog):
+        by_ecu = catalog.by_ecu()
+        assert sum(len(v) for v in by_ecu.values()) == len(catalog)
+        assert all(entries for entries in by_ecu.values())
+
+    def test_period_and_event_split(self, catalog):
+        periodic = catalog.periodic_entries()
+        events = catalog.event_entries()
+        assert len(periodic) + len(events) == len(catalog)
+        assert len(periodic) > len(events)  # periodic traffic dominates
+
+    def test_fastest_periods_at_low_ids_within_cluster(self, catalog):
+        # Priority mirrors importance: within each cluster the fastest
+        # period must not belong to the numerically largest identifiers.
+        for cluster, entries in catalog.by_cluster().items():
+            periodic = [e for e in entries if e.is_periodic]
+            fastest = min(e.period_us for e in periodic)
+            lowest_with_fastest = min(
+                e.can_id for e in periodic if e.period_us == fastest
+            )
+            highest = max(e.can_id for e in periodic)
+            assert lowest_with_fastest <= highest
+
+    def test_nominal_rate_supports_realistic_busload(self, catalog):
+        # ~715 msg/s at ~96 bits/frame ≈ 55 % of a 125 kbit/s bus.
+        rate = catalog.nominal_rate_hz()
+        assert 500 <= rate <= 900
+
+    def test_bit_probabilities_are_skewed(self, catalog):
+        """Traffic-weighted bit probabilities sit away from p = 0.5 on
+        several bits — the property the bit-entropy method needs to
+        respond in first order (H_b is flat at p = 1/2)."""
+        rates = np.asarray(
+            [
+                1e6 / e.period_us if e.is_periodic else e.base_rate_hz
+                for e in catalog
+            ]
+        )
+        ids = np.asarray([e.can_id for e in catalog])
+        bits = (ids[:, None] >> np.arange(10, -1, -1)[None, :]) & 1
+        p = (bits * rates[:, None]).sum(axis=0) / rates.sum()
+        assert (np.abs(p - 0.5) > 0.08).sum() >= 4

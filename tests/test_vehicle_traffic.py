@@ -1,0 +1,144 @@
+"""Vehicle simulation: scenarios, ECU building, traffic statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.vehicle.driving import (
+    STANDARD_SCENARIOS,
+    DrivingScenario,
+    random_scenario,
+    scenario_by_name,
+)
+from repro.vehicle.ecu_profiles import assignments_for, build_ecus
+from repro.vehicle.signals import (
+    rolling_counter,
+    sensor_channel,
+    status_flags,
+    with_checksum,
+)
+from repro.vehicle.traffic import (
+    VehicleSimulation,
+    record_template_windows,
+    simulate_drive,
+)
+
+
+class TestScenarios:
+    def test_lookup(self):
+        assert scenario_by_name("city").name == "city"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ScenarioError):
+            scenario_by_name("warp_drive")
+
+    def test_rate_for_defaults_to_identity(self):
+        scenario = DrivingScenario("x", {"audio": 2.0})
+        assert scenario.rate_for("audio", 1.0) == 2.0
+        assert scenario.rate_for("lights", 1.0) == 1.0
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ScenarioError):
+            DrivingScenario("x", {"audio": -1.0})
+
+    def test_random_scenario_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            scenario = random_scenario(rng)
+            assert all(0.5 <= m <= 2.0 for m in scenario.rate_multipliers.values())
+
+    def test_standard_scenarios_modulate_gently(self):
+        for scenario in STANDARD_SCENARIOS:
+            assert all(0.0 <= m <= 2.0 for m in scenario.rate_multipliers.values())
+
+
+class TestSignals:
+    def test_rolling_counter(self):
+        payload = rolling_counter(2)
+        assert payload(0) == b"\x00\x00"
+        assert payload(257) == b"\x01\x01"
+
+    def test_sensor_channel_shape(self):
+        payload = sensor_channel(dlc=8)
+        assert len(payload(0)) == 8
+        assert payload(0) != payload(50)
+
+    def test_status_flags_toggle_rarely(self):
+        payload = status_flags(dlc=2, toggle_every=10)
+        assert payload(0) == payload(9)
+        assert payload(0) != payload(10)
+
+    def test_checksum_wrapper(self):
+        payload = with_checksum(rolling_counter(4))
+        data = payload(123)
+        expected = 0
+        for byte in data[:-1]:
+            expected ^= byte
+        assert data[-1] == expected
+
+
+class TestBuildEcus:
+    def test_one_node_per_ecu(self, catalog):
+        ecus = build_ecus(catalog, scenario_by_name("city"), seed=0)
+        assert len(ecus) == len(catalog.by_ecu())
+
+    def test_assignments_cover_catalog(self, catalog):
+        assignments = assignments_for(catalog)
+        combined = frozenset().union(*assignments.values())
+        assert combined == catalog.id_set()
+
+    def test_deterministic(self, catalog):
+        a = build_ecus(catalog, scenario_by_name("city"), seed=3)
+        b = build_ecus(catalog, scenario_by_name("city"), seed=3)
+        assert [e.next_release() for e in a] == [e.next_release() for e in b]
+
+
+class TestSimulation:
+    def test_busload_in_calibrated_band(self, catalog):
+        sim = VehicleSimulation(catalog=catalog, scenario="city", seed=1)
+        sim.run(5.0)
+        assert 0.40 <= sim.busload() <= 0.70
+
+    def test_rate_close_to_nominal(self, catalog):
+        trace = simulate_drive(5.0, scenario="city", seed=2, catalog=catalog)
+        assert trace.message_rate_hz() == pytest.approx(
+            catalog.nominal_rate_hz(), rel=0.15
+        )
+
+    def test_only_catalog_ids_on_bus(self, catalog):
+        trace = simulate_drive(3.0, scenario="highway", seed=3, catalog=catalog)
+        assert set(np.unique(trace.ids())) <= set(catalog.id_set())
+
+    def test_no_attacks_in_clean_drive(self, catalog):
+        trace = simulate_drive(2.0, scenario="city", seed=4, catalog=catalog)
+        assert trace.attack_count == 0
+
+    def test_deterministic_in_seed(self, catalog):
+        a = simulate_drive(2.0, scenario="city", seed=5, catalog=catalog)
+        b = simulate_drive(2.0, scenario="city", seed=5, catalog=catalog)
+        assert a == b
+
+    def test_gateway_attachment(self, catalog):
+        sim = VehicleSimulation(catalog=catalog, seed=1, with_gateway=True)
+        sim.run(2.0)
+        assert sim.gateway is not None
+        # Clean traffic through legitimate ECUs raises no gateway alerts.
+        assert sim.gateway.alerts == []
+
+    def test_scenario_accepts_object(self, catalog):
+        scenario = scenario_by_name("rain")
+        sim = VehicleSimulation(catalog=catalog, scenario=scenario, seed=1)
+        assert sim.scenario.name == "rain"
+
+
+class TestTemplateWindows:
+    def test_count_and_duration(self, catalog):
+        windows = record_template_windows(4, 1.0, seed=1, catalog=catalog)
+        assert len(windows) == 4
+        for window in windows:
+            assert window.duration_us <= 1_000_000
+            assert len(window) > 300
+
+    def test_windows_differ(self, catalog):
+        windows = record_template_windows(3, 1.0, seed=1, catalog=catalog)
+        assert windows[0] != windows[1]
