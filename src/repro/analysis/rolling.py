@@ -99,18 +99,10 @@ class RollingWindowStats:
             raise ValueError(f"size must be >= 1, got {size}")
         self.size = size
         self._values: Deque[float] = deque(maxlen=size)
-        self._sum = 0.0
-        self._sum_sq = 0.0
 
     def push(self, value: float) -> None:
         """Account one sample, expiring the oldest when full."""
-        if len(self._values) == self.size:
-            expired = self._values[0]
-            self._sum -= expired
-            self._sum_sq -= expired * expired
         self._values.append(value)
-        self._sum += value
-        self._sum_sq += value * value
 
     def __len__(self) -> int:
         return len(self._values)
@@ -122,18 +114,28 @@ class RollingWindowStats:
 
     @property
     def mean(self) -> float:
-        """Mean of the held samples (0 when empty)."""
-        return self._sum / len(self._values) if self._values else 0.0
+        """Mean of the held samples (0 when empty).
+
+        Computed from the held window on each access (like min/max) —
+        an incrementally maintained running sum accumulates rounding
+        drift over long streams.
+        """
+        return math.fsum(self._values) / len(self._values) if self._values else 0.0
 
     @property
     def variance(self) -> float:
-        """Population variance of the held samples."""
+        """Population variance of the held samples.
+
+        Two exact passes over the held window (the values are stored
+        anyway for expiry) — the running E[x^2] - E[x]^2 form cancels
+        catastrophically when the window mean is large relative to its
+        spread.
+        """
         n = len(self._values)
         if n < 2:
             return 0.0
-        mean = self._sum / n
-        # Guard tiny negative values from floating-point cancellation.
-        return max(0.0, self._sum_sq / n - mean * mean)
+        mean = math.fsum(self._values) / n
+        return math.fsum((v - mean) ** 2 for v in self._values) / n
 
     @property
     def std(self) -> float:

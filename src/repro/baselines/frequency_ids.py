@@ -52,6 +52,10 @@ class FrequencyIDS(BaselineIDS):
         deviation = abs(len(window) - self.mean_count) / self.std_count
         return deviation, deviation > self.band_sigmas
 
+    def _scores_columns(self, ct, grid, seg_starts, seg_ends, judged):
+        scores = np.abs((seg_ends - seg_starts) - self.mean_count) / self.std_count
+        return scores, scores > self.band_sigmas
+
     def memory_slots(self) -> int:
         """One running count plus the two trained band parameters."""
         return 3

@@ -100,6 +100,45 @@ class IntervalIDS(BaselineIDS):
         fraction = anomalous / checked
         return fraction, fraction > self.alarm_fraction
 
+    def _scores_columns(self, ct, grid, seg_starts, seg_ends, judged):
+        # Group records by (window, identifier) keeping time order, diff
+        # consecutive arrivals, and count the compressed intervals — the
+        # exact per-window logic of _judge, vectorised.  The learned-id
+        # lookup goes through searchsorted over the (few hundred) known
+        # identifiers, not a dense table — extended 29-bit ids must not
+        # force a 2^29-slot allocation.
+        n_windows = seg_starts.size
+        win_of_record = np.repeat(np.arange(n_windows), seg_ends - seg_starts)
+        known_ids = np.fromiter(self.nominal_period_us, np.int64)
+        periods = np.fromiter(self.nominal_period_us.values(), float)
+        id_order = np.argsort(known_ids)
+        known_ids, periods = known_ids[id_order], periods[id_order]
+        pos = np.clip(
+            np.searchsorted(known_ids, ct.can_id), 0, known_ids.size - 1
+        )
+        known = known_ids[pos] == ct.can_id
+        win = win_of_record[known]
+        ids = ct.can_id[known]
+        stamps = ct.timestamp_us[known]
+        record_period = periods[pos[known]]
+        order = np.lexsort((np.arange(win.size), ids, win))
+        win, ids, stamps = win[order], ids[order], stamps[order]
+        same_group = (win[1:] == win[:-1]) & (ids[1:] == ids[:-1])
+        pair_window = win[1:][same_group]
+        intervals = (stamps[1:] - stamps[:-1])[same_group]
+        limits = record_period[order][1:][same_group] / self.speedup_factor
+        checked = np.bincount(pair_window, minlength=n_windows)
+        anomalous = np.bincount(
+            pair_window[intervals < limits], minlength=n_windows
+        )
+        scores = np.divide(
+            anomalous,
+            checked,
+            out=np.zeros(n_windows, dtype=float),
+            where=checked > 0,
+        )
+        return scores, scores > self.alarm_fraction
+
     # ------------------------------------------------------------------
     def memory_slots(self) -> int:
         """Nominal period plus last-seen timestamp per learned identifier."""

@@ -78,6 +78,24 @@ class MuterEntropyIDS(BaselineIDS):
         deviation = abs(self._window_entropy(window) - self.mean_entropy)
         return deviation, deviation > self.threshold
 
+    def _scores_columns(self, ct, grid, seg_starts, seg_ends, judged):
+        # Histogram every (window, identifier) pair in one unique() pass,
+        # then accumulate -p log2 p per window.  Equal to the scalar
+        # path up to float summation order.
+        n_windows = seg_starts.size
+        counts_per_window = seg_ends - seg_starts
+        win_of_record = np.repeat(np.arange(n_windows), counts_per_window)
+        span = int(ct.can_id.max()) + 1
+        key = win_of_record * span + ct.can_id
+        uniq, counts = np.unique(key, return_counts=True)
+        uniq_window = uniq // span
+        totals = counts_per_window.astype(float)
+        p = counts / totals[uniq_window]
+        accumulator = np.zeros(n_windows)
+        np.add.at(accumulator, uniq_window, p * np.log2(p))
+        scores = np.abs(-accumulator - self.mean_entropy)
+        return scores, scores > self.threshold
+
     # ------------------------------------------------------------------
     def memory_slots(self) -> int:
         """One counter per distinct identifier observed in training.

@@ -28,6 +28,7 @@ from repro.core.alerts import Alert, AlertSink
 from repro.core.bitprob import BitCounter
 from repro.core.config import IDSConfig
 from repro.core.detector import EntropyDetector, WindowResult
+from repro.core.engine import BatchEntropyEngine, batch_scan
 from repro.core.entropy import binary_entropy, entropy_vector, shannon_entropy
 from repro.core.inference import InferenceEngine, InferenceResult
 from repro.core.pipeline import DetectionReport, IDSPipeline
@@ -38,6 +39,7 @@ from repro.core.template import GoldenTemplate, TemplateBuilder, build_template
 __all__ = [
     "Alert",
     "AlertSink",
+    "BatchEntropyEngine",
     "BitCounter",
     "Blocklist",
     "DetectionReport",
@@ -52,6 +54,7 @@ __all__ = [
     "SlidingEntropyDetector",
     "TemplateBuilder",
     "WindowResult",
+    "batch_scan",
     "binary_entropy",
     "build_template",
     "entropy_vector",

@@ -11,7 +11,7 @@ inferred malicious-identifier candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -19,9 +19,11 @@ from repro.can.constants import SECOND_US
 from repro.core.alerts import Alert, AlertSink
 from repro.core.config import IDSConfig
 from repro.core.detector import EntropyDetector, WindowResult
+from repro.core.engine import BatchEntropyEngine
 from repro.core.inference import InferenceEngine, InferenceResult
 from repro.core.template import GoldenTemplate
 from repro.exceptions import DetectorError
+from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace
 
 
@@ -82,12 +84,22 @@ class DetectionReport:
 
     @property
     def detection_latency_us(self) -> Optional[int]:
-        """Time from the first attacked window start to the first alarm."""
+        """Time from the first attacked window start to the first alarm
+        *at or after* that window.
+
+        Alarms that fired before the attack began are false positives,
+        not detections — counting one would clamp the latency to zero —
+        so the measurement starts at the first attacked window and
+        returns None when no alarm follows it.
+        """
         attacked = self.attack_windows
-        alarmed = self.alarmed_windows
-        if not attacked or not alarmed:
+        if not attacked:
             return None
-        return max(0, alarmed[0].t_end_us - attacked[0].t_start_us)
+        first = attacked[0]
+        for window in self.alarmed_windows:
+            if window.index >= first.index:
+                return window.t_end_us - first.t_start_us
+        return None
 
     def inference_hit_rate(self, true_ids: Sequence[int]) -> float:
         """Hit rate of the inferred candidates against the true IDs."""
@@ -138,8 +150,13 @@ class IDSPipeline:
             else None
         )
 
-    def analyze(self, trace: Trace, infer_k=1) -> DetectionReport:
+    def analyze(self, trace: Union[Trace, ColumnTrace], infer_k=1) -> DetectionReport:
         """Run detection (and inference, when a pool is set) over a trace.
+
+        Recorded captures — either representation — go through the
+        vectorised :class:`~repro.core.engine.BatchEntropyEngine`, which
+        is bit-for-bit equivalent to the streaming detector; live buses
+        use :meth:`streaming_detector` instead.
 
         ``infer_k`` is the number of injected identifiers assumed by the
         inference step (the paper knows it per scenario).  Pass the
@@ -149,8 +166,8 @@ class IDSPipeline:
         if len(trace) == 0:
             raise DetectorError("cannot analyze an empty trace")
         sink = AlertSink()
-        detector = EntropyDetector(self.template, self.config, sink)
-        windows = detector.scan(trace)
+        engine = BatchEntropyEngine(self.template, self.config, sink)
+        windows = engine.scan(trace)
         inference: Optional[InferenceResult] = None
         if self._engine is not None and any(w.alarm for w in windows):
             if infer_k == "auto":

@@ -6,6 +6,7 @@
 :mod:`~repro.experiments.table1`     Table I — detection & inference per scenario
 :mod:`~repro.experiments.stability`  Sec. IV.B — entropy stability across driving
 :mod:`~repro.experiments.cost`       Sec. V.E — cost & capability comparison
+:mod:`~repro.experiments.throughput` Streaming vs batch detection at scale
 ==================  ========================================================
 
 Each module exposes ``run(...)`` returning a structured result object

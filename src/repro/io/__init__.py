@@ -7,11 +7,13 @@ attack labels, a candump-compatible text format, and a Vehicle-Spy-like
 CSV format.
 """
 
+from repro.io.columnar import ColumnTrace
 from repro.io.csvlog import read_csv, write_csv
 from repro.io.log import read_candump, write_candump
 from repro.io.trace import Trace, TraceRecord
 
 __all__ = [
+    "ColumnTrace",
     "Trace",
     "TraceRecord",
     "read_candump",

@@ -1,0 +1,518 @@
+"""Structure-of-arrays trace storage.
+
+:class:`~repro.io.trace.Trace` stores one :class:`~repro.io.trace.TraceRecord`
+object per frame, which is convenient for building captures frame by
+frame but bounds every whole-trace operation by Python interpreter
+overhead.  :class:`ColumnTrace` stores the same capture as parallel
+NumPy columns — one array per field — so slicing is zero-copy, time
+windowing is a ``searchsorted``, and the detection engines can judge
+millions of frames in a handful of vectorised passes.
+
+The two representations are losslessly interconvertible
+(:meth:`ColumnTrace.from_trace` / :meth:`ColumnTrace.to_trace`): payload
+bytes live in one flat ``uint8`` buffer indexed by an offsets array, and
+source names are interned into a string table referenced by per-record
+codes.  The conversion contract and when to use which representation are
+documented in ``ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.can.constants import SECOND_US
+from repro.exceptions import TraceFormatError
+from repro.io.trace import Trace, TraceRecord
+
+__all__ = ["ColumnTrace"]
+
+
+def _as_array(values, dtype) -> np.ndarray:
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim != 1:
+        raise TraceFormatError(f"columns must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def _gather_payload(
+    payload: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Gather per-row byte runs ``payload[starts[r]:starts[r]+lengths[r]]``
+    into one contiguous buffer, fully vectorised (no per-row Python loop)."""
+    total = int(lengths.sum())
+    if not total:
+        return np.empty(0, dtype=np.uint8)
+    out_offsets = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=out_offsets[1:])
+    indices = (
+        np.repeat(starts - out_offsets, lengths) + np.arange(total, dtype=np.int64)
+    )
+    return payload[indices]
+
+
+class ColumnTrace:
+    """A CAN capture as parallel columns.
+
+    Columns (all length ``n`` except ``payload_offsets``, length
+    ``n + 1``):
+
+    * ``timestamp_us`` — ``int64``, non-decreasing frame completion times;
+    * ``can_id`` — ``int64`` identifiers;
+    * ``payload`` / ``payload_offsets`` — flat ``uint8`` buffer; frame
+      ``i``'s data bytes are ``payload[payload_offsets[i]:payload_offsets[i+1]]``;
+    * ``extended`` — ``bool`` frame-format flags;
+    * ``is_attack`` — ``bool`` ground-truth injection labels;
+    * ``source_code`` — ``int32`` indices into :attr:`source_table`, the
+      interned tuple of distinct source names.
+
+    Instances are immutable by convention: operations return new views
+    or new traces, never mutate columns in place.
+    """
+
+    __slots__ = (
+        "timestamp_us",
+        "can_id",
+        "payload",
+        "payload_offsets",
+        "extended",
+        "is_attack",
+        "source_code",
+        "source_table",
+    )
+
+    def __init__(
+        self,
+        timestamp_us,
+        can_id,
+        *,
+        payload=None,
+        payload_offsets=None,
+        extended=None,
+        is_attack=None,
+        source_code=None,
+        source_table: Sequence[str] = ("",),
+        validate: bool = True,
+    ) -> None:
+        self.timestamp_us = _as_array(timestamp_us, np.int64)
+        self.can_id = _as_array(can_id, np.int64)
+        n = self.timestamp_us.size
+        self.payload = (
+            _as_array(payload, np.uint8) if payload is not None
+            else np.empty(0, dtype=np.uint8)
+        )
+        self.payload_offsets = (
+            _as_array(payload_offsets, np.int64) if payload_offsets is not None
+            else np.zeros(n + 1, dtype=np.int64)
+        )
+        self.extended = (
+            _as_array(extended, bool) if extended is not None
+            else np.zeros(n, dtype=bool)
+        )
+        self.is_attack = (
+            _as_array(is_attack, bool) if is_attack is not None
+            else np.zeros(n, dtype=bool)
+        )
+        self.source_code = (
+            _as_array(source_code, np.int32) if source_code is not None
+            else np.zeros(n, dtype=np.int32)
+        )
+        self.source_table: Tuple[str, ...] = tuple(source_table)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n = self.timestamp_us.size
+        for name in ("can_id", "extended", "is_attack", "source_code"):
+            if getattr(self, name).size != n:
+                raise TraceFormatError(
+                    f"column {name!r} has {getattr(self, name).size} rows, "
+                    f"expected {n}"
+                )
+        if self.payload_offsets.size != n + 1:
+            raise TraceFormatError(
+                f"payload_offsets has {self.payload_offsets.size} entries, "
+                f"expected {n + 1}"
+            )
+        if n:
+            if np.any(np.diff(self.timestamp_us) < 0):
+                raise TraceFormatError("timestamps must be non-decreasing")
+            if np.any(np.diff(self.payload_offsets) < 0):
+                raise TraceFormatError("payload_offsets must be non-decreasing")
+            if int(self.payload_offsets[0]) < 0 or int(self.payload_offsets[-1]) > self.payload.size:
+                raise TraceFormatError("payload_offsets exceed the payload buffer")
+            if not self.source_table:
+                raise TraceFormatError("source_table must not be empty")
+            codes = self.source_code
+            if int(codes.min()) < 0 or int(codes.max()) >= len(self.source_table):
+                raise TraceFormatError("source_code out of source_table range")
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Union[Trace, Sequence[TraceRecord]]) -> "ColumnTrace":
+        """Convert a record trace (lossless, one pass)."""
+        records = list(trace) if not isinstance(trace, list) else trace
+        n = len(records)
+        timestamp_us = np.fromiter((r.timestamp_us for r in records), np.int64, n)
+        can_id = np.fromiter((r.can_id for r in records), np.int64, n)
+        extended = np.fromiter((r.extended for r in records), bool, n)
+        is_attack = np.fromiter((r.is_attack for r in records), bool, n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((len(r.data) for r in records), np.int64, n),
+            out=offsets[1:] if n else None,
+        )
+        payload = np.frombuffer(
+            b"".join(r.data for r in records), dtype=np.uint8
+        ).copy() if n else np.empty(0, dtype=np.uint8)
+        intern: Dict[str, int] = {}
+        codes = np.empty(n, dtype=np.int32)
+        for i, record in enumerate(records):
+            code = intern.get(record.source)
+            if code is None:
+                code = intern.setdefault(record.source, len(intern))
+            codes[i] = code
+        table = tuple(intern) if intern else ("",)
+        return cls(
+            timestamp_us,
+            can_id,
+            payload=payload,
+            payload_offsets=offsets,
+            extended=extended,
+            is_attack=is_attack,
+            source_code=codes,
+            source_table=table,
+            validate=False,
+        )
+
+    def to_trace(self) -> Trace:
+        """Convert back to a record trace (lossless inverse of
+        :meth:`from_trace`)."""
+        return Trace(self.iter_records())
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Yield each row as a :class:`TraceRecord` (lazy).
+
+        Only the payload span this trace references is copied out — a
+        zero-copy window slice of a huge capture must not materialise
+        the whole shared buffer just to iterate its few rows.
+        """
+        base = int(self.payload_offsets[0]) if len(self) else 0
+        data = self.payload_bytes().tobytes()
+        for i in range(len(self)):
+            lo = int(self.payload_offsets[i]) - base
+            hi = int(self.payload_offsets[i + 1]) - base
+            yield TraceRecord(
+                timestamp_us=int(self.timestamp_us[i]),
+                can_id=int(self.can_id[i]),
+                data=data[lo:hi],
+                extended=bool(self.extended[i]),
+                source=self.source_table[self.source_code[i]],
+                is_attack=bool(self.is_attack[i]),
+            )
+
+    __iter__ = iter_records
+
+    @classmethod
+    def coerce(cls, trace: Union[Trace, "ColumnTrace"]) -> "ColumnTrace":
+        """Return ``trace`` itself if already columnar, else convert."""
+        return trace if isinstance(trace, cls) else cls.from_trace(trace)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.timestamp_us.size
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            lo, hi, step = index.indices(len(self))
+            if step != 1:
+                raise TraceFormatError("ColumnTrace slices must be contiguous")
+            return self.slice(lo, hi)
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        return self.slice(i, i + 1).to_trace()[0]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnTrace):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return (
+            bool(np.array_equal(self.timestamp_us, other.timestamp_us))
+            and bool(np.array_equal(self.can_id, other.can_id))
+            and bool(np.array_equal(self.dlc, other.dlc))
+            and bool(np.array_equal(self.payload_bytes(), other.payload_bytes()))
+            and bool(np.array_equal(self.extended, other.extended))
+            and bool(np.array_equal(self.is_attack, other.is_attack))
+            # Decoded source comparison last: the intern tables may
+            # order names differently, so compare decoded arrays — but
+            # only after every cheap vectorised check has passed.
+            and bool(
+                np.array_equal(
+                    np.asarray(self.source_table, dtype=object)[self.source_code],
+                    np.asarray(other.source_table, dtype=object)[other.source_code],
+                )
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        span = f"{self.duration_us / SECOND_US:.3f}s" if len(self) else "empty"
+        return f"ColumnTrace({len(self)} records, {span})"
+
+    # ------------------------------------------------------------------
+    # Basic properties (Trace-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def start_us(self) -> int:
+        """Timestamp of the first record (0 for an empty trace)."""
+        return int(self.timestamp_us[0]) if len(self) else 0
+
+    @property
+    def end_us(self) -> int:
+        """Timestamp of the last record (0 for an empty trace)."""
+        return int(self.timestamp_us[-1]) if len(self) else 0
+
+    @property
+    def duration_us(self) -> int:
+        """Time spanned by the records."""
+        return self.end_us - self.start_us
+
+    @property
+    def attack_count(self) -> int:
+        """Number of ground-truth attack records."""
+        return int(np.count_nonzero(self.is_attack))
+
+    @property
+    def dlc(self) -> np.ndarray:
+        """Per-record payload byte counts (derived from the offsets)."""
+        return np.diff(self.payload_offsets)
+
+    def payload_bytes(self) -> np.ndarray:
+        """The payload bytes actually referenced by the offsets.
+
+        Rows are stored contiguously, so this is the single buffer span
+        ``payload[offsets[0]:offsets[-1]]``.
+        """
+        if not len(self):
+            return np.empty(0, dtype=np.uint8)
+        return self.payload[int(self.payload_offsets[0]) : int(self.payload_offsets[-1])]
+
+    def ids(self) -> np.ndarray:
+        """All identifiers (the column itself; treat as read-only)."""
+        return self.can_id
+
+    def timestamps_us(self) -> np.ndarray:
+        """All timestamps (the column itself; treat as read-only)."""
+        return self.timestamp_us
+
+    def attack_mask(self) -> np.ndarray:
+        """Ground-truth attack labels (the column itself)."""
+        return self.is_attack
+
+    def unique_ids(self) -> np.ndarray:
+        """Sorted array of distinct identifiers."""
+        return np.unique(self.can_id) if len(self) else np.empty(0, dtype=np.int64)
+
+    def sources(self) -> List[str]:
+        """Per-record source names (decoded from the intern table)."""
+        return [self.source_table[c] for c in self.source_code]
+
+    # ------------------------------------------------------------------
+    # Slicing and filtering
+    # ------------------------------------------------------------------
+    def slice(self, lo: int, hi: int) -> "ColumnTrace":
+        """Rows ``lo:hi`` as zero-copy column views."""
+        lo = max(0, min(lo, len(self)))
+        hi = max(lo, min(hi, len(self)))
+        return ColumnTrace(
+            self.timestamp_us[lo:hi],
+            self.can_id[lo:hi],
+            payload=self.payload,
+            payload_offsets=self.payload_offsets[lo : hi + 1]
+            if hi > lo
+            else np.zeros(1, dtype=np.int64),
+            extended=self.extended[lo:hi],
+            is_attack=self.is_attack[lo:hi],
+            source_code=self.source_code[lo:hi],
+            source_table=self.source_table,
+            validate=False,
+        )
+
+    def between(self, start_us: int, end_us: int) -> "ColumnTrace":
+        """Records with ``start_us <= timestamp < end_us`` (zero-copy)."""
+        lo = int(np.searchsorted(self.timestamp_us, start_us, side="left"))
+        hi = int(np.searchsorted(self.timestamp_us, end_us, side="left"))
+        return self.slice(lo, hi)
+
+    def take(self, mask_or_indices) -> "ColumnTrace":
+        """Rows selected by a boolean mask or index array (copies)."""
+        indices = np.asarray(mask_or_indices)
+        if indices.dtype == bool:
+            if indices.size != len(self):
+                raise TraceFormatError(
+                    f"boolean mask has {indices.size} entries for a trace of "
+                    f"{len(self)} records"
+                )
+            indices = np.flatnonzero(indices)
+        lengths = self.dlc[indices]
+        new_offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_offsets[1:] if indices.size else None)
+        payload = _gather_payload(
+            self.payload, self.payload_offsets[indices], lengths
+        ) if indices.size else np.empty(0, dtype=np.uint8)
+        return ColumnTrace(
+            self.timestamp_us[indices],
+            self.can_id[indices],
+            payload=payload,
+            payload_offsets=new_offsets,
+            extended=self.extended[indices],
+            is_attack=self.is_attack[indices],
+            source_code=self.source_code[indices],
+            source_table=self.source_table,
+            validate=False,
+        )
+
+    def without_attacks(self) -> "ColumnTrace":
+        """Only the legitimate traffic (by ground truth)."""
+        return self.take(~self.is_attack)
+
+    def only_attacks(self) -> "ColumnTrace":
+        """Only the injected traffic (by ground truth)."""
+        return self.take(self.is_attack)
+
+    def shifted(self, offset_us: int) -> "ColumnTrace":
+        """A copy whose timestamps are moved by ``offset_us``."""
+        return ColumnTrace(
+            self.timestamp_us + np.int64(offset_us),
+            self.can_id,
+            payload=self.payload,
+            payload_offsets=self.payload_offsets,
+            extended=self.extended,
+            is_attack=self.is_attack,
+            source_code=self.source_code,
+            source_table=self.source_table,
+            validate=False,
+        )
+
+    @staticmethod
+    def merge(*traces: "ColumnTrace") -> "ColumnTrace":
+        """Merge time-ordered columnar traces into one (stable sort)."""
+        parts = [t for t in traces if len(t)]
+        if not parts:
+            return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        # Re-intern sources into a shared table.
+        table: Dict[str, int] = {}
+        recoded: List[np.ndarray] = []
+        for part in parts:
+            mapping = np.empty(len(part.source_table), dtype=np.int32)
+            for i, name in enumerate(part.source_table):
+                mapping[i] = table.setdefault(name, len(table))
+            recoded.append(mapping[part.source_code])
+        timestamp_us = np.concatenate([p.timestamp_us for p in parts])
+        order = np.argsort(timestamp_us, kind="stable")
+        lengths = np.concatenate([p.dlc for p in parts])
+        payload_parts = [p.payload_bytes() for p in parts]
+        payload_all = (
+            np.concatenate(payload_parts) if payload_parts else np.empty(0, np.uint8)
+        )
+        # Row start offsets into the concatenated payload buffer.
+        offsets_all = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets_all[1:])
+        starts = offsets_all[:-1][order]
+        lengths_sorted = lengths[order]
+        new_offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths_sorted, out=new_offsets[1:])
+        payload = _gather_payload(payload_all, starts, lengths_sorted)
+        return ColumnTrace(
+            timestamp_us[order],
+            np.concatenate([p.can_id for p in parts])[order],
+            payload=payload,
+            payload_offsets=new_offsets,
+            extended=np.concatenate([p.extended for p in parts])[order],
+            is_attack=np.concatenate([p.is_attack for p in parts])[order],
+            source_code=np.concatenate(recoded)[order],
+            source_table=tuple(table),
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def window_segments(
+        self, window_us: int, *, origin_us: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Tumbling-window segmentation of the record array.
+
+        Returns ``(window_index, seg_starts, seg_ends)`` where
+        ``window_index[j]`` is the grid index (``(t - origin) // window``)
+        of the ``j``-th *non-empty* window and rows
+        ``seg_starts[j]:seg_ends[j]`` are its records.  Empty grid
+        windows simply do not appear — matching how the streaming
+        detector skips silent gaps.
+        """
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        n = len(self)
+        empty = np.empty(0, dtype=np.int64)
+        if n == 0:
+            return empty, empty, empty
+        t0 = self.start_us if origin_us is None else origin_us
+        grid = (self.timestamp_us - np.int64(t0)) // np.int64(window_us)
+        boundaries = np.flatnonzero(np.diff(grid)) + 1
+        seg_starts = np.concatenate(([0], boundaries))
+        seg_ends = np.concatenate((boundaries, [n]))
+        return grid[seg_starts], seg_starts, seg_ends
+
+    def attack_counts(self, seg_starts: np.ndarray) -> np.ndarray:
+        """Ground-truth attack message counts per segment.
+
+        ``seg_starts`` are row starts as returned by
+        :meth:`window_segments`; both detection paths (batch engine and
+        baseline scans) share this accumulation.
+        """
+        if seg_starts.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if not self.is_attack.any():
+            return np.zeros(seg_starts.size, dtype=np.int64)
+        return np.add.reduceat(self.is_attack.astype(np.int64), seg_starts)
+
+    def time_windows(
+        self, window_us: int, *, start_us: Optional[int] = None
+    ) -> Iterator["ColumnTrace"]:
+        """Yield consecutive tumbling time windows (zero-copy slices).
+
+        Mirrors :meth:`Trace.time_windows`: empty windows inside the
+        capture are yielded too, so callers relying on positional window
+        indices see the same sequence.
+        """
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        if not len(self):
+            return
+        t0 = self.start_us if start_us is None else start_us
+        t_end = self.end_us
+        while t0 <= t_end:
+            yield self.between(t0, t0 + window_us)
+            t0 += window_us
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def message_rate_hz(self) -> float:
+        """Average message rate over the trace duration."""
+        if len(self) < 2 or self.duration_us == 0:
+            return 0.0
+        return (len(self) - 1) / (self.duration_us / SECOND_US)
+
+    def id_histogram(self) -> dict:
+        """Mapping of identifier -> occurrence count."""
+        if not len(self):
+            return {}
+        values, counts = np.unique(self.can_id, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}

@@ -13,7 +13,6 @@ arrays, time slicing, merging).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
@@ -69,6 +68,7 @@ class Trace:
 
     def __init__(self, records: Optional[Iterable[TraceRecord]] = None) -> None:
         self._records: List[TraceRecord] = []
+        self._stamps_cache: Optional[np.ndarray] = None
         if records is not None:
             for record in records:
                 self.append(record)
@@ -107,6 +107,7 @@ class Trace:
                 f"{self._records[-1].timestamp_us}us; traces must be time-ordered"
             )
         self._records.append(record)
+        self._stamps_cache = None
 
     @staticmethod
     def merge(*traces: "Trace") -> "Trace":
@@ -154,12 +155,19 @@ class Trace:
         )
 
     def timestamps_us(self) -> np.ndarray:
-        """All timestamps (us) as an ``int64`` array, in time order."""
-        return np.fromiter(
-            (r.timestamp_us for r in self._records),
-            dtype=np.int64,
-            count=len(self._records),
-        )
+        """All timestamps (us) as an ``int64`` array, in time order.
+
+        The array is cached (and invalidated by :meth:`append`) because
+        time slicing and windowing query it repeatedly; treat it as
+        read-only.
+        """
+        if self._stamps_cache is None or len(self._stamps_cache) != len(self._records):
+            self._stamps_cache = np.fromiter(
+                (r.timestamp_us for r in self._records),
+                dtype=np.int64,
+                count=len(self._records),
+            )
+        return self._stamps_cache
 
     def attack_mask(self) -> np.ndarray:
         """Boolean array marking ground-truth attack records."""
@@ -173,14 +181,25 @@ class Trace:
         """Sorted array of distinct identifiers seen in the trace."""
         return np.unique(self.ids()) if self._records else np.empty(0, dtype=np.int64)
 
+    def to_columns(self):
+        """This capture as a :class:`~repro.io.columnar.ColumnTrace`."""
+        from repro.io.columnar import ColumnTrace
+
+        return ColumnTrace.from_trace(self._records)
+
     # ------------------------------------------------------------------
     # Slicing and filtering
     # ------------------------------------------------------------------
     def between(self, start_us: int, end_us: int) -> "Trace":
-        """Records with ``start_us <= timestamp < end_us`` (binary search)."""
-        stamps = [r.timestamp_us for r in self._records]
-        lo = bisect.bisect_left(stamps, start_us)
-        hi = bisect.bisect_left(stamps, end_us)
+        """Records with ``start_us <= timestamp < end_us`` (binary search).
+
+        Runs against the cached timestamp array, so repeated windowing
+        of the same trace costs two ``searchsorted`` calls — not a
+        rebuild of all timestamps per query.
+        """
+        stamps = self.timestamps_us()
+        lo = int(np.searchsorted(stamps, start_us, side="left"))
+        hi = int(np.searchsorted(stamps, end_us, side="left"))
         return Trace(self._records[lo:hi])
 
     def filter(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":

@@ -1,0 +1,138 @@
+"""Streaming/batch parity: the batch engine must be bit-for-bit
+identical to EntropyDetector.scan on every trace, including silent-gap
+and trailing-partial-window edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BatchEntropyEngine,
+    BitCounter,
+    EntropyDetector,
+    IDSConfig,
+    IDSPipeline,
+    TemplateBuilder,
+    batch_scan,
+)
+from repro.core.alerts import AlertSink
+from repro.exceptions import DetectorError
+from repro.io import ColumnTrace, Trace, TraceRecord
+
+#: Tight config so tiny hypothesis traces exercise multiple windows.
+CONFIG = IDSConfig(window_us=1_000, min_window_messages=4)
+
+
+def tiny_template(config=CONFIG):
+    builder = TemplateBuilder(config)
+    builder.add_counter(BitCounter.from_ids([0x100, 0x2A5, 0x0F3, 0x555]))
+    builder.add_counter(BitCounter.from_ids([0x101, 0x2A5, 0x100, 0x7FF]))
+    builder.add_counter(BitCounter.from_ids([0x100, 0x1A5, 0x0F3, 0x3F0]))
+    return builder.build()
+
+
+TEMPLATE = tiny_template()
+
+
+def gap_trace_strategy():
+    """Random traces whose inter-arrival gaps span zero to many windows."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5_000),  # gap to previous, us
+            st.integers(min_value=0, max_value=0x7FF),
+            st.booleans(),
+        ),
+        min_size=0,
+        max_size=60,
+    ).map(
+        lambda steps: Trace(
+            TraceRecord(t, can_id, is_attack=attack)
+            for t, (_, can_id, attack) in zip(
+                np.cumsum([g for g, _, _ in steps]).tolist(), steps
+            )
+        )
+    )
+
+
+def assert_windows_identical(stream, batch):
+    assert len(stream) == len(batch)
+    for s, b in zip(stream, batch):
+        assert s.index == b.index
+        assert s.t_start_us == b.t_start_us
+        assert s.t_end_us == b.t_end_us
+        assert s.n_messages == b.n_messages
+        assert s.n_attack_messages == b.n_attack_messages
+        assert s.judged == b.judged
+        assert s.alarm == b.alarm
+        assert np.array_equal(s.probabilities, b.probabilities)
+        assert np.array_equal(s.entropy, b.entropy)
+        assert np.array_equal(s.deviations, b.deviations)
+        assert np.array_equal(s.violated, b.violated)
+
+
+class TestParity:
+    @settings(max_examples=80, deadline=None)
+    @given(gap_trace_strategy())
+    def test_batch_equals_streaming_on_random_traces(self, trace):
+        stream_sink, batch_sink = AlertSink(), AlertSink()
+        stream = EntropyDetector(TEMPLATE, CONFIG, stream_sink).scan(trace)
+        batch = BatchEntropyEngine(TEMPLATE, CONFIG, batch_sink).scan(trace)
+        assert_windows_identical(stream, batch)
+        assert list(stream_sink.alerts) == list(batch_sink.alerts)
+
+    def test_trailing_partial_window(self):
+        trace = Trace([TraceRecord(t, 0x100) for t in (0, 100, 900, 1000, 1100)])
+        stream = EntropyDetector(TEMPLATE, CONFIG).scan(trace)
+        batch = BatchEntropyEngine(TEMPLATE, CONFIG).scan(trace)
+        assert_windows_identical(stream, batch)
+        assert batch[-1].n_messages == 2  # the partial tail
+        assert batch[-1].t_end_us == 2000  # grid end, past the last record
+
+    def test_silent_gap_skips_windows_without_verdicts(self):
+        trace = Trace(
+            [TraceRecord(t, 0x100) for t in (0, 10, 20, 50_000, 50_010)]
+        )
+        stream = EntropyDetector(TEMPLATE, CONFIG).scan(trace)
+        batch = BatchEntropyEngine(TEMPLATE, CONFIG).scan(trace)
+        assert_windows_identical(stream, batch)
+        assert len(batch) == 2  # 48 empty grid windows emitted nothing
+        assert batch[1].t_start_us == 50_000
+
+    def test_accepts_both_representations(self):
+        trace = Trace([TraceRecord(t * 10, 0x123) for t in range(50)])
+        engine = BatchEntropyEngine(TEMPLATE, CONFIG)
+        assert_windows_identical(engine.scan(trace), engine.scan(trace.to_columns()))
+
+    def test_batch_scan_convenience(self, golden_template, ids_config):
+        trace = Trace([TraceRecord(t * 1000, 0x123) for t in range(100)])
+        windows = batch_scan(trace, golden_template, ids_config)
+        assert_windows_identical(
+            windows, BatchEntropyEngine(golden_template, ids_config).scan(trace)
+        )
+
+
+class TestValidation:
+    def test_empty_trace_yields_no_windows(self):
+        assert BatchEntropyEngine(TEMPLATE, CONFIG).scan(Trace()) == []
+
+    def test_rejects_template_width_mismatch(self):
+        with pytest.raises(DetectorError):
+            BatchEntropyEngine(TEMPLATE, IDSConfig(n_bits=29))
+
+    def test_rejects_oversized_identifier(self):
+        ct = ColumnTrace([0, 1], [0x100, 0x800])
+        with pytest.raises(DetectorError):
+            BatchEntropyEngine(TEMPLATE, CONFIG).scan(ct)
+
+
+class TestPipelineDispatch:
+    def test_analyze_columnar_equals_record(self, golden_template, ids_config, catalog):
+        from repro.vehicle.traffic import simulate_drive
+
+        trace = simulate_drive(5.0, scenario="city", seed=5, catalog=catalog)
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        record_report = pipeline.analyze(trace)
+        column_report = pipeline.analyze(trace.to_columns())
+        assert_windows_identical(record_report.windows, column_report.windows)
+        assert record_report.alerts == column_report.alerts

@@ -120,3 +120,72 @@ class TestStreamingIntegration:
         report = pipeline.analyze(attacked_trace(catalog, attacker))
         assert report.inference is None
         assert report.inference_hit_rate([catalog.ids[60]]) == 0.0
+
+
+class TestDetectionLatencySemantics:
+    """A false positive before the attack must not clamp the latency."""
+
+    @staticmethod
+    def _window(index, t_start, *, alarm, attacks=0, window_us=2_000_000):
+        import numpy as np
+
+        from repro.core import WindowResult
+
+        n_bits = 11
+        violated = np.zeros(n_bits, dtype=bool)
+        if alarm:
+            violated[3] = True
+        return WindowResult(
+            index=index,
+            t_start_us=t_start,
+            t_end_us=t_start + window_us,
+            n_messages=100,
+            n_attack_messages=attacks,
+            probabilities=np.full(n_bits, 0.5),
+            entropy=np.ones(n_bits),
+            deviations=np.where(violated, 0.5, 0.0),
+            violated=violated,
+            judged=True,
+        )
+
+    def test_early_false_positive_does_not_clamp_latency(self):
+        from repro.core import DetectionReport
+
+        w = 2_000_000
+        report = DetectionReport(
+            windows=[
+                self._window(0, 0, alarm=True),               # FP before attack
+                self._window(1, w, alarm=False, attacks=5),   # attack starts
+                self._window(2, 2 * w, alarm=True, attacks=5),  # real detection
+            ],
+            alerts=[],
+            inference=None,
+        )
+        # Latency runs from the first attacked window's start (t = w) to
+        # the end of the first alarm at or after it (t = 3w), not to the
+        # earlier false positive.
+        assert report.detection_latency_us == 2 * w
+
+    def test_no_alarm_after_attack_means_no_latency(self):
+        from repro.core import DetectionReport
+
+        report = DetectionReport(
+            windows=[
+                self._window(0, 0, alarm=True),
+                self._window(1, 2_000_000, alarm=False, attacks=5),
+            ],
+            alerts=[],
+            inference=None,
+        )
+        assert report.detection_latency_us is None
+
+    def test_alarm_in_first_attacked_window_counts(self):
+        from repro.core import DetectionReport
+
+        w = 2_000_000
+        report = DetectionReport(
+            windows=[self._window(0, 0, alarm=True, attacks=5)],
+            alerts=[],
+            inference=None,
+        )
+        assert report.detection_latency_us == w

@@ -1,0 +1,157 @@
+"""ColumnTrace: lossless conversion, zero-copy slicing, Trace parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TraceFormatError
+from repro.io import ColumnTrace, Trace, TraceRecord
+
+record_strategy = st.builds(
+    TraceRecord,
+    timestamp_us=st.integers(min_value=0, max_value=10_000_000),
+    can_id=st.integers(min_value=0, max_value=0x7FF),
+    data=st.binary(max_size=8),
+    extended=st.booleans(),
+    source=st.sampled_from(["", "ecu_a", "ecu_b", "attacker"]),
+    is_attack=st.booleans(),
+)
+
+
+def trace_strategy(min_size=0, max_size=40):
+    return st.lists(record_strategy, min_size=min_size, max_size=max_size).map(
+        lambda records: Trace(sorted(records, key=lambda r: r.timestamp_us))
+    )
+
+
+class TestConversion:
+    @settings(max_examples=60, deadline=None)
+    @given(trace_strategy())
+    def test_round_trip_is_lossless(self, trace):
+        assert ColumnTrace.from_trace(trace).to_trace() == trace
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_strategy())
+    def test_to_columns_matches_from_trace(self, trace):
+        assert trace.to_columns() == ColumnTrace.from_trace(trace)
+
+    def test_empty(self):
+        ct = ColumnTrace.from_trace(Trace())
+        assert len(ct) == 0
+        assert ct.to_trace() == Trace()
+        assert ct.start_us == ct.end_us == ct.duration_us == 0
+        assert ct.attack_count == 0
+        assert list(ct.time_windows(100)) == []
+        assert ct.id_histogram() == {}
+
+    def test_coerce_passes_columnar_through(self):
+        ct = ColumnTrace.from_trace(Trace([TraceRecord(0, 1)]))
+        assert ColumnTrace.coerce(ct) is ct
+        assert ColumnTrace.coerce(Trace([TraceRecord(0, 1)])) == ct
+
+    def test_sources_are_interned(self):
+        trace = Trace(
+            [TraceRecord(i, 1, source="ecu_a" if i % 2 else "ecu_b") for i in range(10)]
+        )
+        ct = trace.to_columns()
+        assert sorted(ct.source_table) == ["ecu_a", "ecu_b"]
+        assert ct.sources() == [r.source for r in trace]
+
+
+class TestAccessors:
+    @settings(max_examples=30, deadline=None)
+    @given(trace_strategy(min_size=1))
+    def test_scalar_properties_match_trace(self, trace):
+        ct = trace.to_columns()
+        assert ct.start_us == trace.start_us
+        assert ct.end_us == trace.end_us
+        assert ct.duration_us == trace.duration_us
+        assert ct.attack_count == trace.attack_count
+        assert ct.message_rate_hz() == trace.message_rate_hz()
+        assert ct.id_histogram() == trace.id_histogram()
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_strategy())
+    def test_array_accessors_match_trace(self, trace):
+        ct = trace.to_columns()
+        assert np.array_equal(ct.ids(), trace.ids())
+        assert np.array_equal(ct.timestamps_us(), trace.timestamps_us())
+        assert np.array_equal(ct.attack_mask(), trace.attack_mask())
+        assert np.array_equal(ct.unique_ids(), trace.unique_ids())
+        assert np.array_equal(ct.dlc, [r.dlc for r in trace])
+
+
+class TestSlicing:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace_strategy(min_size=1),
+        st.integers(min_value=0, max_value=10_000_000),
+        st.integers(min_value=0, max_value=10_000_000),
+    )
+    def test_between_matches_trace(self, trace, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert trace.to_columns().between(lo, hi).to_trace() == trace.between(lo, hi)
+
+    def test_slices_are_views(self):
+        trace = Trace([TraceRecord(i * 10, i + 1, bytes([i])) for i in range(8)])
+        ct = trace.to_columns()
+        window = ct.slice(2, 6)
+        assert window.timestamp_us.base is not None  # a view, not a copy
+        assert window.to_trace() == trace[2:6]
+        assert ct[2:6] == window
+
+    def test_filters_match_trace(self):
+        trace = Trace(
+            [TraceRecord(i, i % 5, is_attack=i % 3 == 0) for i in range(30)]
+        )
+        ct = trace.to_columns()
+        assert ct.only_attacks().to_trace() == trace.only_attacks()
+        assert ct.without_attacks().to_trace() == trace.without_attacks()
+        assert ct.shifted(500).to_trace() == trace.shifted(500)
+
+    def test_merge_matches_trace_merge(self):
+        a = Trace([TraceRecord(i * 7, 1, b"\x01", source="a") for i in range(10)])
+        b = Trace([TraceRecord(i * 11, 2, b"\x02\x03", source="b") for i in range(8)])
+        merged = ColumnTrace.merge(a.to_columns(), b.to_columns())
+        assert merged.to_trace() == Trace.merge(a, b)
+
+
+class TestWindowing:
+    @settings(max_examples=40, deadline=None)
+    @given(trace_strategy(min_size=1), st.integers(min_value=1, max_value=2_000_000))
+    def test_time_windows_match_trace(self, trace, window_us):
+        record_windows = [list(w) for w in trace.time_windows(window_us)]
+        column_windows = [
+            list(w.iter_records()) for w in trace.to_columns().time_windows(window_us)
+        ]
+        assert record_windows == column_windows
+
+    def test_window_segments_skip_empty_windows(self):
+        trace = Trace([TraceRecord(t, 1) for t in (0, 5, 10, 45, 47, 90)])
+        grid, starts, ends = trace.to_columns().window_segments(10)
+        assert list(grid) == [0, 1, 4, 9]
+        assert list(starts) == [0, 2, 3, 5]
+        assert list(ends) == [2, 3, 5, 6]
+
+    def test_window_segments_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            Trace([TraceRecord(0, 1)]).to_columns().window_segments(0)
+
+
+class TestValidation:
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(TraceFormatError):
+            ColumnTrace([5, 1], [1, 2])
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(TraceFormatError):
+            ColumnTrace([1, 2], [1])
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(TraceFormatError):
+            ColumnTrace([1, 2], [1, 2], payload_offsets=[0, 4, 9])
+
+    def test_rejects_bad_source_codes(self):
+        with pytest.raises(TraceFormatError):
+            ColumnTrace([1], [1], source_code=[3], source_table=("",))
