@@ -36,6 +36,35 @@ def save_artifact(name: str, text: str) -> Path:
     return path
 
 
+def append_artifact(name: str, text: str) -> Path:
+    """Append a blank-line-separated section to an artifact.
+
+    The section replaces any previous copy of itself — matched by its
+    first line heading a section — leaving every other section (before
+    or after) untouched, so multi-test artifacts survive partial
+    re-runs in any order.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    header = text.splitlines()[0]
+    sections = []
+    if path.exists():
+        content = path.read_text(encoding="utf-8")
+        sections = [s for s in content.split("\n\n") if s.strip()]
+    replaced = False
+    for i, section in enumerate(sections):
+        if section.lstrip("\n").splitlines()[0] == header:
+            sections[i] = text
+            replaced = True
+            break
+    if not replaced:
+        sections.append(text)
+    path.write_text(
+        "\n\n".join(s.strip("\n") for s in sections) + "\n", encoding="utf-8"
+    )
+    return path
+
+
 def bench_seeds() -> tuple:
     """Seeds used by the campaign benchmarks (env-overridable)."""
     raw = os.environ.get("REPRO_BENCH_SEEDS", "1,2")

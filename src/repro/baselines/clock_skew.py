@@ -113,6 +113,73 @@ class ClockSkewIDS(BaselineIDS):
             worst = max(worst, up, down)
         return worst, worst > self.cusum_threshold
 
+    def _scores_columns(self, ct, grid, seg_starts, seg_ends, judged):
+        # The CUSUM recursion is sequential *within* one (window, id)
+        # stream, so it cannot collapse into prefix sums without
+        # changing float summation order.  Instead, vectorise *across*
+        # streams: group records by (window, id) with time order
+        # preserved, then run the recursion stepwise — step t updates
+        # every stream that still has a t-th innovation, with exactly
+        # the operations (and therefore exactly the floats) _judge
+        # computes one record at a time.  Streams sort by length
+        # descending so the active set is always a prefix.
+        n_windows = seg_starts.size
+        win_of_record = np.repeat(np.arange(n_windows), seg_ends - seg_starts)
+        known_ids = np.fromiter(self.nominal_period_us, np.int64)
+        periods = np.fromiter(self.nominal_period_us.values(), float)
+        stds = np.fromiter(
+            (self.innovation_std_us[i] for i in known_ids.tolist()), float
+        )
+        id_order = np.argsort(known_ids)
+        known_ids = known_ids[id_order]
+        periods, stds = periods[id_order], stds[id_order]
+        pos = np.clip(np.searchsorted(known_ids, ct.can_id), 0, known_ids.size - 1)
+        known = known_ids[pos] == ct.can_id
+        win = win_of_record[known]
+        ids = ct.can_id[known]
+        stamps = ct.timestamp_us[known]
+        pos = pos[known]
+        order = np.lexsort((np.arange(win.size), ids, win))
+        win, ids, stamps, pos = win[order], ids[order], stamps[order], pos[order]
+
+        scores = np.zeros(n_windows, dtype=float)
+        if win.size >= 2:
+            follows = (win[1:] == win[:-1]) & (ids[1:] == ids[:-1])
+            # One innovation per record that follows another of its
+            # stream: exactly _judge's "previous is not None" case.
+            norm = (
+                (stamps[1:] - stamps[:-1]) - periods[pos[1:]]
+            ) / stds[pos[1:]]
+            norm = norm[follows]
+            if norm.size:
+                # Run index of record k is the number of stream breaks
+                # before it; innovations inherit their record's run.
+                run_of = np.cumsum(~follows)
+                stream = run_of[follows]  # non-decreasing per innovation
+                _, starts, lengths = np.unique(
+                    stream, return_index=True, return_counts=True
+                )
+                stream_win = win[1:][follows][starts]
+                by_len = np.argsort(-lengths, kind="stable")
+                starts, lengths = starts[by_len], lengths[by_len]
+                stream_win = stream_win[by_len]
+                up = np.zeros(lengths.size)
+                down = np.zeros(lengths.size)
+                worst = np.zeros(lengths.size)
+                slack = self.drift_slack
+                for t in range(int(lengths[0])):
+                    # Streams still holding a t-th innovation are the
+                    # prefix with length > t.
+                    m = int(np.searchsorted(-lengths, -t, side="left"))
+                    y = norm[starts[:m] + t]
+                    up[:m] = np.maximum(0.0, (up[:m] + y) - slack)
+                    down[:m] = np.maximum(0.0, (down[:m] - y) - slack)
+                    worst[:m] = np.maximum(
+                        worst[:m], np.maximum(up[:m], down[:m])
+                    )
+                np.maximum.at(scores, stream_win, worst)
+        return scores, scores > self.cusum_threshold
+
     # ------------------------------------------------------------------
     def memory_slots(self) -> int:
         """Period, innovation scale and two CUSUM accumulators per ID."""

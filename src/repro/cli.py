@@ -6,6 +6,8 @@ Subcommands mirror the workflow of the paper's evaluation:
 * ``attack``   — record a drive with an injected attack;
 * ``template`` — build a golden template from clean traces;
 * ``detect``   — run the detector (and inference) over a trace;
+* ``scan-archive`` — scan a whole directory of captures, sharded
+  across worker processes;
 * ``fig2`` / ``fig3`` / ``table1`` / ``stability`` / ``cost`` — regenerate
   the paper's artifacts.
 
@@ -15,6 +17,7 @@ Examples::
     repro-ids template --windows 35 --out template.json
     repro-ids attack --attack single --id 0x1A4 --freq 50 --out attack.log
     repro-ids detect --template template.json --trace attack.log --infer
+    repro-ids scan-archive --template template.json --dir captures/ --workers 4
     repro-ids table1 --seeds 1 2
 """
 
@@ -88,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--infer", action="store_true",
                         help="also infer malicious-ID candidates")
     detect.add_argument("--infer-k", type=int, default=1)
+
+    scan_archive = sub.add_parser(
+        "scan-archive",
+        help="scan a directory of captures, sharded across processes",
+    )
+    scan_archive.add_argument("--template", type=Path, required=True)
+    scan_archive.add_argument("--dir", dest="archive_dir", type=Path, required=True,
+                              help="directory of candump/CSV capture files")
+    scan_archive.add_argument("--workers", type=int, default=None,
+                              help="pool size (default: one per core, capped)")
+    scan_archive.add_argument("--recursive", action="store_true",
+                              help="also scan subdirectories")
+    scan_archive.add_argument("--infer", action="store_true",
+                              help="infer malicious-ID candidates per alarmed capture")
+    scan_archive.add_argument("--infer-k", type=int, default=1,
+                              help="injected identifiers assumed per capture")
 
     for name, helptext in [
         ("fig2", "regenerate Fig. 2 (template vs attack)"),
@@ -196,16 +215,41 @@ def _cmd_template(args) -> int:
 
 def _cmd_detect(args) -> int:
     from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
+    from repro.io.archive import load_capture_columns
     from repro.vehicle import ford_fusion_catalog
 
     template = GoldenTemplate.load(args.template)
     config = IDSConfig(alpha=template.alpha)
     pool = ford_fusion_catalog(seed=0).ids if args.infer else None
     pipeline = IDSPipeline(template, config, id_pool=pool)
-    trace = _read_trace(args.trace)
+    trace = load_capture_columns(args.trace)  # columnar-native load
     report = pipeline.analyze(trace, infer_k=args.infer_k)
     print(report.summary())
     return 0 if not report.alarmed_windows else 2
+
+
+def _cmd_scan_archive(args) -> int:
+    from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
+    from repro.io import CaptureArchive
+    from repro.vehicle import ford_fusion_catalog
+
+    template = GoldenTemplate.load(args.template)
+    config = IDSConfig(alpha=template.alpha)
+    pool = ford_fusion_catalog(seed=0).ids if args.infer else None
+    pipeline = IDSPipeline(template, config, id_pool=pool)
+    archive = CaptureArchive(args.archive_dir, recursive=args.recursive)
+    if not len(archive):
+        print(f"no captures found under {args.archive_dir}")
+        return 1
+    report = pipeline.analyze_archive(
+        archive, workers=args.workers, infer_k=args.infer_k
+    )
+    print(report.summary())
+    for path, capture in report.captures:
+        if capture.inference is not None:
+            ids = ", ".join(f"0x{c:03X}" for c in capture.inference.candidates)
+            print(f"{path.name}: inferred candidates (rank order): {ids}")
+    return 0 if not report.alarmed_captures else 2
 
 
 def _cmd_experiment(args) -> int:
@@ -234,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "attack": _cmd_attack,
         "template": _cmd_template,
         "detect": _cmd_detect,
+        "scan-archive": _cmd_scan_archive,
         "fig2": _cmd_experiment,
         "fig3": _cmd_experiment,
         "table1": _cmd_experiment,

@@ -31,26 +31,38 @@ from repro.core.detector import EntropyDetector, WindowResult
 from repro.core.engine import BatchEntropyEngine, batch_scan
 from repro.core.entropy import binary_entropy, entropy_vector, shannon_entropy
 from repro.core.inference import InferenceEngine, InferenceResult
-from repro.core.pipeline import DetectionReport, IDSPipeline
+from repro.core.pipeline import (
+    ArchiveReport,
+    DetectionReport,
+    IDSPipeline,
+    MultiBusReport,
+)
 from repro.core.response import Blocklist, ResponseGate, ResponseOutcome
+from repro.core.ring import FrameRing
+from repro.core.shard import CaptureScan, ShardedScanner
 from repro.core.sliding import SlidingEntropyDetector
 from repro.core.template import GoldenTemplate, TemplateBuilder, build_template
 
 __all__ = [
     "Alert",
     "AlertSink",
+    "ArchiveReport",
     "BatchEntropyEngine",
     "BitCounter",
     "Blocklist",
+    "CaptureScan",
     "DetectionReport",
     "EntropyDetector",
+    "FrameRing",
     "GoldenTemplate",
     "IDSConfig",
     "IDSPipeline",
     "InferenceEngine",
     "InferenceResult",
+    "MultiBusReport",
     "ResponseGate",
     "ResponseOutcome",
+    "ShardedScanner",
     "SlidingEntropyDetector",
     "TemplateBuilder",
     "WindowResult",

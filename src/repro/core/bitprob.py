@@ -53,6 +53,37 @@ def _decomp_chunks(n_bits: int) -> tuple:
     return tuple(chunks)
 
 
+def check_id_range(ids: np.ndarray, n_bits: int) -> None:
+    """Reject identifier arrays with values outside ``n_bits`` bits.
+
+    Shared by every vectorised counting path (batch engine, chunked
+    feed) so their validation — and its error message — cannot diverge
+    from the streaming counter's.
+    """
+    if ids.size and (int(ids.min()) < 0 or (int(ids.max()) >> n_bits)):
+        bad = ids[(ids < 0) | (ids >> n_bits > 0)][0]
+        raise DetectorError(
+            f"identifier 0x{int(bad):X} does not fit in {n_bits} bits"
+        )
+
+
+def window_bit_counts(
+    ids: np.ndarray, seg_starts: np.ndarray, n_bits: int
+) -> np.ndarray:
+    """Per-window, per-bit 1-counts via ``np.add.reduceat``.
+
+    ``seg_starts`` are the window segment row starts (as produced by
+    :meth:`ColumnTrace.window_segments`); returns an
+    ``(n_windows, n_bits)`` int64 matrix, MSB first — exactly the
+    counts ``BitCounter`` would accumulate streaming the same rows.
+    """
+    counts = np.empty((seg_starts.size, n_bits), dtype=np.int64)
+    for bit in range(n_bits):
+        column = (ids >> np.int64(n_bits - 1 - bit)) & np.int64(1)
+        counts[:, bit] = np.add.reduceat(column, seg_starts)
+    return counts
+
+
 class BitCounter:
     """Counts, for each identifier bit, how many messages carried a 1.
 
@@ -118,6 +149,23 @@ class BitCounter:
         bits = (ids[:, None] >> shifts[None, :]) & 1
         self._counts += bits.sum(axis=0)
         self._total += ids.size
+
+    def add_counts(self, counts: np.ndarray, total: int) -> None:
+        """Add precomputed per-bit 1-counts (the batch chunk path).
+
+        ``counts`` must be the ``n_bits``-long int count vector of
+        ``total`` identifiers, e.g. one window segment's
+        ``np.add.reduceat`` column sums.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != self._counts.shape:
+            raise DetectorError(
+                f"expected {self.n_bits} per-bit counts, got shape {counts.shape}"
+            )
+        if total < 0 or (counts.size and (counts.min() < 0 or counts.max() > total)):
+            raise DetectorError("counts must lie in [0, total]")
+        self._counts += counts
+        self._total += int(total)
 
     # ------------------------------------------------------------------
     # Queries

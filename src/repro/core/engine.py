@@ -26,6 +26,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.core.alerts import AlertSink
+from repro.core.bitprob import check_id_range, window_bit_counts
 from repro.core.config import IDSConfig
 from repro.core.detector import WindowResult
 from repro.core.entropy import binary_entropy
@@ -75,20 +76,13 @@ class BatchEntropyEngine:
             return []
         n_bits = self.config.n_bits
         ids = ct.can_id
-        if int(ids.min()) < 0 or (int(ids.max()) >> n_bits):
-            bad = ids[(ids < 0) | (ids >> n_bits > 0)][0]
-            raise DetectorError(
-                f"identifier 0x{int(bad):X} does not fit in {n_bits} bits"
-            )
+        check_id_range(ids, n_bits)
 
         grid, seg_starts, seg_ends = ct.window_segments(self.config.window_us)
         n_windows = grid.size
         t_starts = ct.start_us + grid * np.int64(self.config.window_us)
 
-        counts = np.empty((n_windows, n_bits), dtype=np.int64)
-        for bit in range(n_bits):
-            column = (ids >> np.int64(n_bits - 1 - bit)) & np.int64(1)
-            counts[:, bit] = np.add.reduceat(column, seg_starts)
+        counts = window_bit_counts(ids, seg_starts, n_bits)
         totals = seg_ends - seg_starts
         attacks = ct.attack_counts(seg_starts)
 

@@ -11,7 +11,8 @@ inferred malicious-identifier candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.core.engine import BatchEntropyEngine
 from repro.core.inference import InferenceEngine, InferenceResult
 from repro.core.template import GoldenTemplate
 from repro.exceptions import DetectorError
+from repro.io.archive import CaptureArchive
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace
 
@@ -132,6 +134,132 @@ class DetectionReport:
         return "\n".join(lines)
 
 
+def _pooled_detection_rate(reports) -> float:
+    """The paper's Dr with messages pooled across several reports."""
+    total = detected = 0
+    for report in reports:
+        total += sum(w.n_attack_messages for w in report.judged_windows)
+        detected += sum(w.n_attack_messages for w in report.alarmed_windows)
+    return detected / total if total else 0.0
+
+
+def _pooled_false_positive_rate(reports) -> float:
+    """Alarmed clean windows over all clean windows, pooled."""
+    clean = alarmed = 0
+    for report in reports:
+        windows = report.clean_windows
+        clean += len(windows)
+        alarmed += sum(1 for w in windows if w.alarm)
+    return alarmed / clean if clean else 0.0
+
+
+@dataclass
+class ArchiveReport:
+    """Per-capture detection reports over one archive scan."""
+
+    captures: List[Tuple[Path, DetectionReport]]
+
+    def __len__(self) -> int:
+        return len(self.captures)
+
+    def __iter__(self):
+        return iter(self.captures)
+
+    @property
+    def reports(self) -> List[DetectionReport]:
+        """The per-capture reports, in archive scan order."""
+        return [report for _, report in self.captures]
+
+    @property
+    def alarmed_captures(self) -> List[Path]:
+        """Paths of captures whose scan raised at least one alarm."""
+        return [path for path, report in self.captures if report.alarmed_windows]
+
+    # ------------------------------------------------------------------
+    # Pooled metrics (messages and windows pooled across captures)
+    # ------------------------------------------------------------------
+    @property
+    def detection_rate(self) -> float:
+        """The paper's Dr pooled over every capture's judged windows."""
+        return _pooled_detection_rate(self.reports)
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Alarmed clean windows over all clean windows, pooled."""
+        return _pooled_false_positive_rate(self.reports)
+
+    def summary(self) -> str:
+        """Human-readable digest: one line per capture, then the pool."""
+        lines = []
+        for path, report in self.captures:
+            flag = "ALARM" if report.alarmed_windows else "clean"
+            lines.append(
+                f"{path.name}: {flag}, {len(report.windows)} windows, "
+                f"Dr={report.detection_rate:.1%}, "
+                f"FPR={report.false_positive_rate:.1%}"
+            )
+        lines.append(
+            f"archive: {len(self.captures)} captures, "
+            f"{len(self.alarmed_captures)} alarmed, "
+            f"pooled Dr={self.detection_rate:.1%}, "
+            f"pooled FPR={self.false_positive_rate:.1%}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class MultiBusReport:
+    """Per-bus detection reports plus the fused vehicle-level verdict.
+
+    The paper's method runs one IDS instance per bus segment; the fused
+    verdict is the gateway-level view — the vehicle is under attack
+    when *any* segment's detector alarms.
+    """
+
+    per_bus: Dict[str, DetectionReport]
+
+    @property
+    def buses(self) -> Tuple[str, ...]:
+        """Bus labels, in the order they were analyzed."""
+        return tuple(self.per_bus)
+
+    @property
+    def alarmed_buses(self) -> List[str]:
+        """Buses whose detector raised at least one alarm."""
+        return [b for b, r in self.per_bus.items() if r.alarmed_windows]
+
+    @property
+    def fused_alarm(self) -> bool:
+        """True when any bus segment alarmed."""
+        return bool(self.alarmed_buses)
+
+    @property
+    def detection_rate(self) -> float:
+        """Dr pooled over all buses' judged windows."""
+        return _pooled_detection_rate(self.per_bus.values())
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FPR pooled over all buses' clean windows."""
+        return _pooled_false_positive_rate(self.per_bus.values())
+
+    def summary(self) -> str:
+        """Per-bus digest plus the fused verdict."""
+        lines = []
+        for bus, report in self.per_bus.items():
+            flag = "ALARM" if report.alarmed_windows else "clean"
+            lines.append(
+                f"bus {bus}: {flag}, {len(report.windows)} windows, "
+                f"Dr={report.detection_rate:.1%}, "
+                f"FPR={report.false_positive_rate:.1%}"
+            )
+        lines.append(
+            f"fused verdict: {'ATTACK' if self.fused_alarm else 'clean'} "
+            f"({len(self.alarmed_buses)}/{len(self.per_bus)} buses alarmed)"
+        )
+        return "\n".join(lines)
+
+
 class IDSPipeline:
     """Detector + inference + reporting, batch or streaming."""
 
@@ -149,6 +277,24 @@ class IDSPipeline:
             if self.id_pool
             else None
         )
+
+    def _finish_report(
+        self, windows: List[WindowResult], alerts: List[Alert], infer_k
+    ) -> DetectionReport:
+        """Inference + report assembly shared by every analyze path."""
+        inference: Optional[InferenceResult] = None
+        if self._engine is not None and any(w.alarm for w in windows):
+            if infer_k == "auto":
+                alarmed = [w for w in windows if w.alarm]
+                total = sum(w.n_messages for w in alarmed)
+                combined = sum(
+                    w.probabilities * w.n_messages for w in alarmed
+                ) / total
+                infer_k = self._engine.estimate_k(
+                    combined, total, n_windows=len(alarmed)
+                )
+            inference = self._engine.infer_from_windows(windows, k=infer_k)
+        return DetectionReport(windows=windows, alerts=alerts, inference=inference)
 
     def analyze(self, trace: Union[Trace, ColumnTrace], infer_k=1) -> DetectionReport:
         """Run detection (and inference, when a pool is set) over a trace.
@@ -168,21 +314,72 @@ class IDSPipeline:
         sink = AlertSink()
         engine = BatchEntropyEngine(self.template, self.config, sink)
         windows = engine.scan(trace)
-        inference: Optional[InferenceResult] = None
-        if self._engine is not None and any(w.alarm for w in windows):
-            if infer_k == "auto":
-                alarmed = [w for w in windows if w.alarm]
-                total = sum(w.n_messages for w in alarmed)
-                combined = sum(
-                    w.probabilities * w.n_messages for w in alarmed
-                ) / total
-                infer_k = self._engine.estimate_k(
-                    combined, total, n_windows=len(alarmed)
-                )
-            inference = self._engine.infer_from_windows(windows, k=infer_k)
-        return DetectionReport(
-            windows=windows, alerts=list(sink.alerts), inference=inference
-        )
+        return self._finish_report(windows, list(sink.alerts), infer_k)
+
+    def analyze_archive(
+        self,
+        archive: Union[CaptureArchive, str, Path],
+        workers: Optional[int] = None,
+        infer_k=1,
+    ) -> "ArchiveReport":
+        """Scan a whole capture archive, sharded across processes.
+
+        ``archive`` is a :class:`~repro.io.archive.CaptureArchive` or a
+        directory path.  Detection fans out through
+        :class:`~repro.core.shard.ShardedScanner` (``workers`` pool
+        size; ``None`` picks a default, ``1`` scans inline) and is
+        bit-identical to scanning each capture serially.  Inference
+        runs per capture in the parent process, only for captures that
+        alarmed.
+        """
+        from repro.core.shard import ShardedScanner  # cycle-free import
+
+        if not isinstance(archive, CaptureArchive):
+            archive = CaptureArchive(archive)
+        scanner = ShardedScanner(self.template, self.config, workers=workers)
+        captures = []
+        for scan in scanner.scan_archive(archive):
+            alerts = [w.to_alert() for w in scan.windows if w.alarm]
+            report = self._finish_report(scan.windows, alerts, infer_k)
+            captures.append((scan.path, report))
+        return ArchiveReport(captures=captures)
+
+    def analyze_multibus(
+        self,
+        trace: ColumnTrace,
+        infer_k=1,
+    ) -> MultiBusReport:
+        """Detect per bus segment of a fused multi-bus capture.
+
+        ``trace`` is a bus-tagged :class:`ColumnTrace` — typically the
+        fan-in of per-bus captures via
+        :func:`repro.vehicle.multibus.fuse_bus_traces` or
+        :meth:`DualBusVehicle.run_columns`.  Each bus's records are
+        detected independently (windows, template comparison, inference)
+        exactly as a per-bus IDS deployment would, and the per-bus
+        reports are fused into a :class:`MultiBusReport`.
+        """
+        if not isinstance(trace, ColumnTrace):
+            raise DetectorError(
+                "analyze_multibus needs a bus-tagged ColumnTrace; convert "
+                "record traces and tag them with with_bus() first"
+            )
+        if len(trace) == 0:
+            raise DetectorError("cannot analyze an empty trace")
+        labels = trace.bus_labels()
+        if not labels or "" in labels:
+            # A blank label means some records were never tagged —
+            # either a plain conversion or a merge that mixed tagged
+            # and untagged parts.  Detecting a phantom "" bus would
+            # silently skew the fused verdict, so refuse instead.
+            raise DetectorError(
+                "trace carries untagged records; tag every per-bus capture "
+                "with with_bus() before merging"
+            )
+        per_bus: Dict[str, DetectionReport] = {}
+        for label in labels:
+            per_bus[label] = self.analyze(trace.for_bus(label), infer_k=infer_k)
+        return MultiBusReport(per_bus=per_bus)
 
     def streaming_detector(self, sink: Optional[AlertSink] = None) -> EntropyDetector:
         """A fresh streaming detector sharing this pipeline's template.

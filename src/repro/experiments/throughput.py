@@ -20,13 +20,20 @@ it); the experiment quantifies the cost gap between them.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
 
 from repro.core import BatchEntropyEngine, EntropyDetector, IDSConfig
+from repro.core.shard import ShardedScanner
 from repro.core.template import GoldenTemplate
+from repro.io.archive import CaptureArchive
 from repro.io.columnar import ColumnTrace
+from repro.io.csvlog import read_csv, read_csv_columns, write_csv_columns
+from repro.io.log import read_candump, read_candump_columns, write_candump_columns
 from repro.vehicle.ids_catalog import VehicleCatalog
 from repro.vehicle.traffic import generate_drive_columns
 
@@ -118,3 +125,165 @@ def run(
         streaming_mps=streaming_mps,
         batch_mps=batch_mps,
     )
+
+
+# ----------------------------------------------------------------------
+# Archive-scale benchmarks (loading + sharded scanning)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArchiveThroughputResult:
+    """Measured archive loading and sharded-scan rates."""
+
+    n_captures: int
+    frames_per_capture: int
+    candump_record_fps: float
+    candump_columnar_fps: float
+    csv_record_fps: float
+    csv_columnar_fps: float
+    #: ``(workers, frames_per_second)`` per measured pool size.
+    scan_scaling: Tuple[Tuple[int, float], ...]
+    cpus: int
+
+    @property
+    def total_frames(self) -> int:
+        return self.n_captures * self.frames_per_capture
+
+    @property
+    def candump_load_speedup(self) -> float:
+        """Columnar candump loading over the record round-trip."""
+        return (
+            self.candump_columnar_fps / self.candump_record_fps
+            if self.candump_record_fps
+            else 0.0
+        )
+
+    @property
+    def csv_load_speedup(self) -> float:
+        """Columnar CSV loading over the record round-trip."""
+        return (
+            self.csv_columnar_fps / self.csv_record_fps
+            if self.csv_record_fps
+            else 0.0
+        )
+
+    def scan_speedup(self, workers: int) -> float:
+        """Sharded scan rate at ``workers`` over the 1-worker rate."""
+        rates = dict(self.scan_scaling)
+        if workers not in rates or not rates.get(1):
+            return 0.0
+        return rates[workers] / rates[1]
+
+    def render(self) -> str:
+        """The experiment's artifact table."""
+        lines = [
+            "Archive throughput: columnar-native loading + sharded scanning",
+            f"archive: {self.n_captures} captures x {self.frames_per_capture} "
+            f"frames ({self.total_frames} total)",
+            f"loading (frames/s):   {'record-path':>14} {'columnar':>14} {'speedup':>9}",
+            f"{'candump':>10}           {self.candump_record_fps:>14,.0f} "
+            f"{self.candump_columnar_fps:>14,.0f} {self.candump_load_speedup:>8.1f}x",
+            f"{'csv':>10}           {self.csv_record_fps:>14,.0f} "
+            f"{self.csv_columnar_fps:>14,.0f} {self.csv_load_speedup:>8.1f}x",
+            "sharded scan (load + detect, whole archive):",
+        ]
+        for workers, fps in self.scan_scaling:
+            speedup = self.scan_speedup(workers)
+            lines.append(
+                f"{'workers=' + str(workers):>12} {fps:>14,.0f} frames/s "
+                f"{speedup:>8.1f}x"
+            )
+        lines.append(f"(host exposes {self.cpus} CPU(s); sharding speedup is "
+                     f"bounded by the cores actually available)")
+        return "\n".join(lines)
+
+
+def run_archive(
+    template: GoldenTemplate,
+    config: Optional[IDSConfig] = None,
+    n_captures: int = 6,
+    frames_per_capture: int = 200_000,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 31,
+    scenario: str = "city",
+    catalog: Optional[VehicleCatalog] = None,
+    archive_dir: Optional[str] = None,
+) -> ArchiveThroughputResult:
+    """Measure archive loading and sharded scanning end to end.
+
+    Builds a synthetic archive of ``n_captures`` candump captures (plus
+    one CSV twin of the first capture for the CSV loading comparison),
+    then measures:
+
+    * **loading** — the record round-trip (``read_candump`` +
+      ``to_columns``) against the columnar-native reader, frames/s;
+    * **sharded scanning** — :class:`~repro.core.shard.ShardedScanner`
+      over the whole archive (workers load *and* detect) at each pool
+      size in ``worker_counts``.
+
+    The archive is written under ``archive_dir`` (a temporary directory
+    by default, cleaned up afterwards).
+    """
+    config = config or IDSConfig()
+    cleanup = archive_dir is None
+    tmp = tempfile.mkdtemp(prefix="repro-archive-") if cleanup else archive_dir
+    try:
+        probe = generate_drive_columns(
+            10.0, scenario=scenario, seed=seed, catalog=catalog
+        )
+        rate = max(probe.message_rate_hz(), 1.0)
+        duration_s = frames_per_capture / rate * 1.02 + 1.0
+        archive = CaptureArchive(tmp, patterns=("*.log",))
+        first_capture: Optional[ColumnTrace] = None
+        for i in range(n_captures):
+            capture = generate_drive_columns(
+                duration_s, scenario=scenario, seed=seed + i, catalog=catalog
+            ).slice(0, frames_per_capture)
+            archive.write_capture(f"capture{i:02d}.log", capture)
+            if first_capture is None:
+                first_capture = capture
+        csv_path = Path(tmp) / "capture00.csv"
+        write_csv_columns(first_capture, csv_path)
+        log_path = archive.paths[0]
+        n = len(first_capture)
+
+        start = time.perf_counter()
+        via_records = read_candump(log_path).to_columns()
+        candump_record_fps = n / (time.perf_counter() - start)
+        start = time.perf_counter()
+        native = read_candump_columns(log_path)
+        candump_columnar_fps = n / (time.perf_counter() - start)
+        assert native == via_records  # loading must be bit-identical
+
+        start = time.perf_counter()
+        via_records = read_csv(csv_path).to_columns()
+        csv_record_fps = n / (time.perf_counter() - start)
+        start = time.perf_counter()
+        native = read_csv_columns(csv_path)
+        csv_columnar_fps = n / (time.perf_counter() - start)
+        assert native == via_records
+
+        total = n_captures * frames_per_capture
+        scaling = []
+        for workers in worker_counts:
+            scanner = ShardedScanner(template, config, workers=workers)
+            start = time.perf_counter()
+            scans = scanner.scan_archive(archive)
+            elapsed = time.perf_counter() - start
+            assert len(scans) == n_captures
+            scaling.append((int(workers), total / elapsed))
+        return ArchiveThroughputResult(
+            n_captures=n_captures,
+            frames_per_capture=frames_per_capture,
+            candump_record_fps=candump_record_fps,
+            candump_columnar_fps=candump_columnar_fps,
+            csv_record_fps=csv_record_fps,
+            csv_columnar_fps=csv_columnar_fps,
+            scan_scaling=tuple(scaling),
+            cpus=os.cpu_count() or 1,
+        )
+    finally:
+        if cleanup:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)

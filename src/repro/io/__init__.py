@@ -7,17 +7,37 @@ attack labels, a candump-compatible text format, and a Vehicle-Spy-like
 CSV format.
 """
 
+from repro.io.archive import CaptureArchive
 from repro.io.columnar import ColumnTrace
-from repro.io.csvlog import read_csv, write_csv
-from repro.io.log import read_candump, write_candump
+from repro.io.csvlog import (
+    iter_csv_columns,
+    read_csv,
+    read_csv_columns,
+    write_csv,
+    write_csv_columns,
+)
+from repro.io.log import (
+    iter_candump_columns,
+    read_candump,
+    read_candump_columns,
+    write_candump,
+    write_candump_columns,
+)
 from repro.io.trace import Trace, TraceRecord
 
 __all__ = [
+    "CaptureArchive",
     "ColumnTrace",
     "Trace",
     "TraceRecord",
+    "iter_candump_columns",
+    "iter_csv_columns",
     "read_candump",
+    "read_candump_columns",
     "read_csv",
+    "read_csv_columns",
     "write_candump",
+    "write_candump_columns",
     "write_csv",
+    "write_csv_columns",
 ]

@@ -1,0 +1,190 @@
+"""Capture archives: directories of recorded CAN log files.
+
+The paper evaluates on single captures; the production target (see
+ROADMAP.md) is fleet-sized *archives* — a directory of candump/CSV
+capture files that may collectively be far larger than RAM.
+:class:`CaptureArchive` is the io-layer view of such a directory:
+
+* **enumeration** is deterministic (sorted relative paths), so sharded
+  scans and serial scans agree on capture order;
+* **loading** is lazy and columnar-native — nothing is read until a
+  capture is requested, and each capture parses straight into a
+  :class:`~repro.io.columnar.ColumnTrace` via the vectorised readers;
+* **chunked streaming** (:meth:`iter_chunks`) yields bounded-size
+  column chunks so archives larger than RAM stream through without
+  materialising any single capture.
+
+The archive does not interpret captures (no detection here); the
+scanning layers (:mod:`repro.core.shard`,
+:meth:`repro.core.pipeline.IDSPipeline.analyze_archive`) build on it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import TraceFormatError
+from repro.io.columnar import ColumnTrace
+from repro.io.csvlog import iter_csv_columns, read_csv_columns, write_csv_columns
+from repro.io.log import (
+    iter_candump_columns,
+    read_candump_columns,
+    write_candump_columns,
+)
+
+__all__ = ["CaptureArchive", "load_capture_columns"]
+
+#: File patterns an archive enumerates by default.
+DEFAULT_PATTERNS = ("*.log", "*.csv")
+
+
+def load_capture_columns(path: Union[str, Path]) -> ColumnTrace:
+    """Load one capture file into columns, choosing the reader by suffix.
+
+    ``.csv`` files take the CSV reader; anything else is treated as a
+    candump text log.  This is the module-level loader the shard workers
+    call, so it must stay importable (picklable) by name.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        return read_csv_columns(path)
+    return read_candump_columns(path)
+
+
+def _iter_capture_chunks(
+    path: Path, chunk_frames: int
+) -> Iterator[ColumnTrace]:
+    if path.suffix.lower() == ".csv":
+        return iter_csv_columns(path, chunk_frames)
+    return iter_candump_columns(path, chunk_frames)
+
+
+class CaptureArchive:
+    """A directory of capture files, enumerated deterministically.
+
+    Parameters
+    ----------
+    directory:
+        The archive root.  Must exist.
+    patterns:
+        Glob patterns selecting capture files (default ``*.log`` and
+        ``*.csv``).
+    recursive:
+        Also search subdirectories (``**/pattern``).
+
+    The file list is snapshotted at construction (sorted by relative
+    path) so concurrent writers cannot reorder an ongoing scan.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        patterns: Sequence[str] = DEFAULT_PATTERNS,
+        recursive: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise TraceFormatError(f"archive directory {directory!r} does not exist")
+        self.patterns = tuple(patterns)
+        self.recursive = recursive
+        found = set()
+        for pattern in self.patterns:
+            globber = self.directory.rglob if recursive else self.directory.glob
+            found.update(p for p in globber(pattern) if p.is_file())
+        self._paths: Tuple[Path, ...] = tuple(
+            sorted(found, key=lambda p: p.relative_to(self.directory).as_posix())
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def paths(self) -> Tuple[Path, ...]:
+        """The capture files, in scan order."""
+        return self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CaptureArchive({str(self.directory)!r}, {len(self)} captures)"
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, index: int) -> ColumnTrace:
+        """Load capture ``index`` (in scan order) into columns."""
+        return load_capture_columns(self._paths[index])
+
+    def __iter__(self) -> Iterator[ColumnTrace]:
+        """Yield each capture's columns lazily, in scan order."""
+        for path in self._paths:
+            yield load_capture_columns(path)
+
+    def items(self) -> Iterator[Tuple[Path, ColumnTrace]]:
+        """Yield ``(path, columns)`` pairs lazily, in scan order."""
+        for path in self._paths:
+            yield path, load_capture_columns(path)
+
+    def iter_chunks(
+        self, chunk_frames: int
+    ) -> Iterator[Tuple[Path, ColumnTrace]]:
+        """Stream every capture as bounded-size column chunks.
+
+        Yields ``(path, chunk)`` pairs; each chunk holds at most
+        ``chunk_frames`` frames, so peak memory is bounded by the chunk
+        size regardless of capture or archive size.  Chunks of one
+        capture arrive consecutively and in time order.
+        """
+        for path in self._paths:
+            for chunk in _iter_capture_chunks(path, chunk_frames):
+                yield path, chunk
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def write_capture(
+        self,
+        name: str,
+        trace,
+        fmt: Optional[str] = None,
+    ) -> Path:
+        """Write a capture into the archive directory and index it.
+
+        ``fmt`` is ``"candump"`` or ``"csv"`` (inferred from the name's
+        suffix when omitted).  Accepts either trace representation;
+        returns the file path.  The new file is appended to the scan
+        order snapshot — and must therefore match the archive's
+        patterns, or a freshly constructed archive over the same
+        directory would enumerate a different capture set.
+        """
+        parts = Path(name).parts
+        if not parts or ".." in parts:
+            raise TraceFormatError(f"invalid capture name {name!r}")
+        if len(parts) > 1 and not self.recursive:
+            raise TraceFormatError(
+                f"capture name {name!r} lands in a subdirectory this "
+                f"non-recursive archive would not enumerate"
+            )
+        path = self.directory / name
+        if not any(path.match(pattern) for pattern in self.patterns):
+            raise TraceFormatError(
+                f"capture name {name!r} matches none of the archive "
+                f"patterns {self.patterns}"
+            )
+        ct = ColumnTrace.coerce(trace)
+        if fmt is None:
+            fmt = "csv" if path.suffix.lower() == ".csv" else "candump"
+        if fmt == "csv":
+            write_csv_columns(ct, path)
+        elif fmt == "candump":
+            write_candump_columns(ct, path)
+        else:
+            raise TraceFormatError(f"unknown capture format {fmt!r}")
+        if path not in self._paths:
+            self._paths = tuple(
+                sorted(
+                    self._paths + (path,),
+                    key=lambda p: p.relative_to(self.directory).as_posix(),
+                )
+            )
+        return path

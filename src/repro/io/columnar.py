@@ -65,7 +65,10 @@ class ColumnTrace:
     * ``extended`` — ``bool`` frame-format flags;
     * ``is_attack`` — ``bool`` ground-truth injection labels;
     * ``source_code`` — ``int32`` indices into :attr:`source_table`, the
-      interned tuple of distinct source names.
+      interned tuple of distinct source names;
+    * ``bus_code`` — ``int32`` indices into :attr:`bus_table`, the
+      interned tuple of bus labels (a columnar-only extension for
+      multi-bus fan-in; see :meth:`with_bus`).
 
     Instances are immutable by convention: operations return new views
     or new traces, never mutate columns in place.
@@ -80,6 +83,8 @@ class ColumnTrace:
         "is_attack",
         "source_code",
         "source_table",
+        "bus_code",
+        "bus_table",
     )
 
     def __init__(
@@ -93,6 +98,8 @@ class ColumnTrace:
         is_attack=None,
         source_code=None,
         source_table: Sequence[str] = ("",),
+        bus_code=None,
+        bus_table: Sequence[str] = ("",),
         validate: bool = True,
     ) -> None:
         self.timestamp_us = _as_array(timestamp_us, np.int64)
@@ -119,25 +126,70 @@ class ColumnTrace:
             else np.zeros(n, dtype=np.int32)
         )
         self.source_table: Tuple[str, ...] = tuple(source_table)
+        self.bus_code = (
+            _as_array(bus_code, np.int32) if bus_code is not None
+            else np.zeros(n, dtype=np.int32)
+        )
+        self.bus_table: Tuple[str, ...] = tuple(bus_table)
         if validate:
             self._validate()
 
     def _validate(self) -> None:
+        self._check_layout()
+        if len(self) and np.any(np.diff(self.timestamp_us) < 0):
+            raise TraceFormatError("timestamps must be non-decreasing")
+
+    #: Expected (dtype, ndim) of every per-record column; the layout
+    #: check guards operations (like :meth:`merge`) that would otherwise
+    #: surface malformed inputs as cryptic numpy broadcast errors.
+    _COLUMN_DTYPES = {
+        "timestamp_us": np.dtype(np.int64),
+        "can_id": np.dtype(np.int64),
+        "extended": np.dtype(bool),
+        "is_attack": np.dtype(bool),
+        "source_code": np.dtype(np.int32),
+        "bus_code": np.dtype(np.int32),
+    }
+
+    def _check_layout(self) -> None:
+        """Validate column dtypes, shapes and offset consistency.
+
+        Everything except timestamp monotonicity — cheap enough to run
+        on every merge, raising :class:`TraceFormatError` instead of
+        letting ragged arrays reach a numpy concatenate/broadcast.
+        """
         n = self.timestamp_us.size
-        for name in ("can_id", "extended", "is_attack", "source_code"):
-            if getattr(self, name).size != n:
+        for name, dtype in self._COLUMN_DTYPES.items():
+            column = getattr(self, name)
+            if not isinstance(column, np.ndarray) or column.ndim != 1:
+                raise TraceFormatError(f"column {name!r} must be a 1-D array")
+            if column.dtype != dtype:
                 raise TraceFormatError(
-                    f"column {name!r} has {getattr(self, name).size} rows, "
-                    f"expected {n}"
+                    f"column {name!r} has dtype {column.dtype}, expected {dtype}"
                 )
+            if column.size != n:
+                raise TraceFormatError(
+                    f"column {name!r} has {column.size} rows, expected {n}"
+                )
+        for name in ("payload", "payload_offsets"):
+            buf = getattr(self, name)
+            if not isinstance(buf, np.ndarray) or buf.ndim != 1:
+                raise TraceFormatError(f"column {name!r} must be a 1-D array")
+        if self.payload.dtype != np.dtype(np.uint8):
+            raise TraceFormatError(
+                f"payload has dtype {self.payload.dtype}, expected uint8"
+            )
+        if self.payload_offsets.dtype != np.dtype(np.int64):
+            raise TraceFormatError(
+                f"payload_offsets has dtype {self.payload_offsets.dtype}, "
+                f"expected int64"
+            )
         if self.payload_offsets.size != n + 1:
             raise TraceFormatError(
                 f"payload_offsets has {self.payload_offsets.size} entries, "
                 f"expected {n + 1}"
             )
         if n:
-            if np.any(np.diff(self.timestamp_us) < 0):
-                raise TraceFormatError("timestamps must be non-decreasing")
             if np.any(np.diff(self.payload_offsets) < 0):
                 raise TraceFormatError("payload_offsets must be non-decreasing")
             if int(self.payload_offsets[0]) < 0 or int(self.payload_offsets[-1]) > self.payload.size:
@@ -147,6 +199,11 @@ class ColumnTrace:
             codes = self.source_code
             if int(codes.min()) < 0 or int(codes.max()) >= len(self.source_table):
                 raise TraceFormatError("source_code out of source_table range")
+            if not self.bus_table:
+                raise TraceFormatError("bus_table must not be empty")
+            codes = self.bus_code
+            if int(codes.min()) < 0 or int(codes.max()) >= len(self.bus_table):
+                raise TraceFormatError("bus_code out of bus_table range")
 
     # ------------------------------------------------------------------
     # Conversion
@@ -250,13 +307,19 @@ class ColumnTrace:
             and bool(np.array_equal(self.payload_bytes(), other.payload_bytes()))
             and bool(np.array_equal(self.extended, other.extended))
             and bool(np.array_equal(self.is_attack, other.is_attack))
-            # Decoded source comparison last: the intern tables may
+            # Decoded source/bus comparison last: the intern tables may
             # order names differently, so compare decoded arrays — but
             # only after every cheap vectorised check has passed.
             and bool(
                 np.array_equal(
                     np.asarray(self.source_table, dtype=object)[self.source_code],
                     np.asarray(other.source_table, dtype=object)[other.source_code],
+                )
+            )
+            and bool(
+                np.array_equal(
+                    np.asarray(self.bus_table, dtype=object)[self.bus_code],
+                    np.asarray(other.bus_table, dtype=object)[other.bus_code],
                 )
             )
         )
@@ -324,6 +387,56 @@ class ColumnTrace:
         return [self.source_table[c] for c in self.source_code]
 
     # ------------------------------------------------------------------
+    # Bus tagging (multi-bus fan-in)
+    # ------------------------------------------------------------------
+    def with_bus(self, label: str) -> "ColumnTrace":
+        """A view of this trace with every record tagged as bus ``label``.
+
+        Bus tags are a columnar-layer extension for multi-bus fan-in:
+        they survive slicing, filtering and :meth:`merge` (which
+        re-interns tables from all parts), but :class:`TraceRecord` has
+        no bus field, so :meth:`to_trace` drops them — see the contract
+        notes in ``ARCHITECTURE.md``.
+        """
+        if not label:
+            raise TraceFormatError("bus label must be a non-empty string")
+        return ColumnTrace(
+            self.timestamp_us,
+            self.can_id,
+            payload=self.payload,
+            payload_offsets=self.payload_offsets,
+            extended=self.extended,
+            is_attack=self.is_attack,
+            source_code=self.source_code,
+            source_table=self.source_table,
+            bus_code=np.zeros(len(self), dtype=np.int32),
+            bus_table=(label,),
+            validate=False,
+        )
+
+    def buses(self) -> List[str]:
+        """Per-record bus labels (decoded from the intern table)."""
+        return [self.bus_table[c] for c in self.bus_code]
+
+    def bus_labels(self) -> Tuple[str, ...]:
+        """Distinct bus labels actually referenced, in table order."""
+        if not len(self):
+            return ()
+        present = np.unique(self.bus_code)
+        return tuple(self.bus_table[c] for c in present)
+
+    def for_bus(self, label: str) -> "ColumnTrace":
+        """Only the records captured on bus ``label`` (copies)."""
+        try:
+            code = self.bus_table.index(label)
+        except ValueError:
+            raise TraceFormatError(
+                f"bus {label!r} not present; trace carries "
+                f"{sorted(set(self.bus_table))}"
+            ) from None
+        return self.take(self.bus_code == code)
+
+    # ------------------------------------------------------------------
     # Slicing and filtering
     # ------------------------------------------------------------------
     def slice(self, lo: int, hi: int) -> "ColumnTrace":
@@ -341,6 +454,8 @@ class ColumnTrace:
             is_attack=self.is_attack[lo:hi],
             source_code=self.source_code[lo:hi],
             source_table=self.source_table,
+            bus_code=self.bus_code[lo:hi],
+            bus_table=self.bus_table,
             validate=False,
         )
 
@@ -375,6 +490,8 @@ class ColumnTrace:
             is_attack=self.is_attack[indices],
             source_code=self.source_code[indices],
             source_table=self.source_table,
+            bus_code=self.bus_code[indices],
+            bus_table=self.bus_table,
             validate=False,
         )
 
@@ -397,23 +514,58 @@ class ColumnTrace:
             is_attack=self.is_attack,
             source_code=self.source_code,
             source_table=self.source_table,
+            bus_code=self.bus_code,
+            bus_table=self.bus_table,
             validate=False,
         )
 
     @staticmethod
-    def merge(*traces: "ColumnTrace") -> "ColumnTrace":
-        """Merge time-ordered columnar traces into one (stable sort)."""
-        parts = [t for t in traces if len(t)]
-        if not parts:
-            return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
-        # Re-intern sources into a shared table.
+    def _reintern(parts: Sequence["ColumnTrace"], code_attr: str, table_attr: str):
+        """Re-intern per-part string tables into one shared table.
+
+        Returns ``(recoded_concat, table)`` where ``recoded_concat`` is
+        the concatenated per-record codes remapped into ``table``.
+        """
         table: Dict[str, int] = {}
         recoded: List[np.ndarray] = []
         for part in parts:
-            mapping = np.empty(len(part.source_table), dtype=np.int32)
-            for i, name in enumerate(part.source_table):
+            names = getattr(part, table_attr)
+            mapping = np.empty(len(names), dtype=np.int32)
+            for i, name in enumerate(names):
                 mapping[i] = table.setdefault(name, len(table))
-            recoded.append(mapping[part.source_code])
+            recoded.append(mapping[getattr(part, code_attr)])
+        return np.concatenate(recoded), tuple(table)
+
+    @staticmethod
+    def merge(*traces: "ColumnTrace") -> "ColumnTrace":
+        """Merge time-ordered columnar traces into one (stable sort).
+
+        Source and bus tags survive: each part's intern tables are
+        re-interned into shared ones, so merging per-bus captures tagged
+        via :meth:`with_bus` yields one fused trace whose records still
+        know which bus carried them.
+
+        Raises
+        ------
+        TraceFormatError
+            If any input is not a :class:`ColumnTrace` or carries ragged
+            columns (wrong dtype, dimensionality, length or offsets) —
+            checked up front, so malformed inputs fail with a clear
+            message instead of a numpy broadcast error mid-merge.
+        """
+        for trace in traces:
+            if not isinstance(trace, ColumnTrace):
+                raise TraceFormatError(
+                    f"merge expects ColumnTrace parts, got {type(trace).__name__}"
+                )
+            trace._check_layout()
+        parts = [t for t in traces if len(t)]
+        if not parts:
+            return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        source_code, source_table = ColumnTrace._reintern(
+            parts, "source_code", "source_table"
+        )
+        bus_code, bus_table = ColumnTrace._reintern(parts, "bus_code", "bus_table")
         timestamp_us = np.concatenate([p.timestamp_us for p in parts])
         order = np.argsort(timestamp_us, kind="stable")
         lengths = np.concatenate([p.dlc for p in parts])
@@ -436,8 +588,10 @@ class ColumnTrace:
             payload_offsets=new_offsets,
             extended=np.concatenate([p.extended for p in parts])[order],
             is_attack=np.concatenate([p.is_attack for p in parts])[order],
-            source_code=np.concatenate(recoded)[order],
-            source_table=tuple(table),
+            source_code=source_code[order],
+            source_table=source_table,
+            bus_code=bus_code[order],
+            bus_table=bus_table,
             validate=False,
         )
 

@@ -11,11 +11,17 @@ so traces round-trip losslessly, including the simulator ground truth::
 from __future__ import annotations
 
 import csv
+import sys
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
 
 from repro.exceptions import TraceFormatError
+from repro.io._builder import ColumnBuilder
+from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace, TraceRecord
+from repro.io.vectorparse import parse_csv_bytes
 
 HEADER = ["time_us", "can_id_hex", "extended", "dlc", "data_hex", "source", "is_attack"]
 
@@ -44,11 +50,7 @@ def read_csv(path: Union[str, Path]) -> Trace:
     trace = Trace()
     with open(path, "r", encoding="ascii", newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != HEADER:
-            raise TraceFormatError(
-                f"{path}: unexpected CSV header {header!r}; expected {HEADER!r}"
-            )
+        _check_csv_header(reader, path)
         for lineno, row in enumerate(reader, start=2):
             if not row:
                 continue
@@ -58,6 +60,7 @@ def read_csv(path: Union[str, Path]) -> Trace:
                 )
             try:
                 time_us, id_hex, extended, dlc, data_hex, source, is_attack = row
+                dlc_value = int(dlc)
                 record = TraceRecord(
                     timestamp_us=int(time_us),
                     can_id=int(id_hex, 16),
@@ -68,10 +71,157 @@ def read_csv(path: Union[str, Path]) -> Trace:
                 )
             except ValueError as exc:
                 raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
-            if record.dlc != int(dlc):
+            if record.dlc != dlc_value:
                 raise TraceFormatError(
                     f"{path}:{lineno}: dlc field {dlc} disagrees with payload "
                     f"length {record.dlc}"
                 )
             trace.append(record)
     return trace
+
+
+# ----------------------------------------------------------------------
+# Columnar-native path (no per-frame TraceRecord allocation)
+# ----------------------------------------------------------------------
+
+def _append_csv_row(builder: ColumnBuilder, row, lineno: int, path) -> None:
+    """Validate one CSV row and append its fields to the builder."""
+    if len(row) != len(HEADER):
+        raise TraceFormatError(
+            f"{path}:{lineno}: expected {len(HEADER)} fields, got {len(row)}"
+        )
+    time_us, id_hex, extended, dlc, data_hex, source, is_attack = row
+    try:
+        # Decode the payload exactly as the record path does — fromhex
+        # tolerates whitespace between byte pairs — and hand the builder
+        # the normalised hex.
+        data = bytes.fromhex(data_hex)
+        dlc_value = int(dlc)
+        builder.append(
+            int(time_us),
+            int(id_hex, 16),
+            data.hex(),
+            bool(int(extended)),
+            source,
+            bool(int(is_attack)),
+            lineno,
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+    if len(data) != dlc_value:
+        raise TraceFormatError(
+            f"{path}:{lineno}: dlc field {dlc} disagrees with payload "
+            f"length {len(data)}"
+        )
+
+
+def _check_csv_header(reader, path) -> None:
+    header = next(reader, None)
+    if header != HEADER:
+        raise TraceFormatError(
+            f"{path}: unexpected CSV header {header!r}; expected {HEADER!r}"
+        )
+
+
+def iter_csv_columns(
+    path: Union[str, Path], chunk_frames: int
+) -> Iterator[ColumnTrace]:
+    """Stream a CSV trace as :class:`ColumnTrace` chunks.
+
+    Yields consecutive chunks of at most ``chunk_frames`` frames
+    (bounded memory for captures larger than RAM); monotonicity is
+    enforced across chunk boundaries.
+    """
+    if chunk_frames <= 0:
+        raise TraceFormatError(
+            f"chunk_frames must be positive, got {chunk_frames}"
+        )
+    last_timestamp: Optional[int] = None
+    builder = ColumnBuilder()
+    with open(path, "r", encoding="ascii", newline="") as handle:
+        reader = csv.reader(handle)
+        _check_csv_header(reader, path)
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            _append_csv_row(builder, row, lineno, path)
+            if len(builder) >= chunk_frames:
+                chunk = builder.build(path, last_timestamp)
+                last_timestamp = chunk.end_us
+                builder = ColumnBuilder()
+                yield chunk
+    if len(builder):
+        yield builder.build(path, last_timestamp)
+
+
+def _read_csv_columns_robust(path: Union[str, Path]) -> ColumnTrace:
+    """Row-by-row columnar read with per-row diagnostics.
+
+    The fallback for :func:`read_csv_columns` when the bulk fast path
+    cannot digest the file (quoted fields, ragged rows, bad values):
+    the full ``csv`` module parses each row (as one unbounded chunk of
+    the chunked reader) and errors carry line numbers.
+    """
+    for chunk in iter_csv_columns(path, chunk_frames=sys.maxsize):
+        return chunk
+    return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+
+
+#: The header as the vector parser expects it on the first line.
+_HEADER_BYTES = ",".join(HEADER).encode("ascii")
+
+
+def read_csv_columns(path: Union[str, Path]) -> ColumnTrace:
+    """Read a CSV trace straight into a :class:`ColumnTrace`.
+
+    Bit-identical to ``ColumnTrace.from_trace(read_csv(path))`` —
+    including the ground-truth ``source``/``is_attack`` fields — without
+    allocating a :class:`TraceRecord` per row: the whole file loads as
+    one byte buffer and
+    :func:`repro.io.vectorparse.parse_csv_bytes` extracts every column
+    with vectorised passes.  Files the vector parser cannot digest
+    (quoting, ragged rows) fall back to the full ``csv``-module path
+    and its per-row diagnostics.
+    """
+    with open(path, "rb") as handle:
+        buf = np.frombuffer(handle.read(), dtype=np.uint8)
+    cols = parse_csv_bytes(buf, _HEADER_BYTES)
+    if cols is None:
+        return _read_csv_columns_robust(path)
+    if not cols:
+        return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+    try:
+        return ColumnTrace(**cols)
+    except TraceFormatError:
+        # Re-parse for an error message naming the offending row.
+        return _read_csv_columns_robust(path)
+
+
+def write_csv_columns(ct: ColumnTrace, path: Union[str, Path]) -> None:
+    """Write a :class:`ColumnTrace` as CSV with the module header.
+
+    Byte-identical to ``write_csv(ct.to_trace(), path)`` but renders
+    straight from the columns (bus tags are columnar-only metadata and
+    are not written).
+    """
+    n = len(ct)
+    base = int(ct.payload_offsets[0]) if n else 0
+    hex_all = ct.payload_bytes().tobytes().hex().upper()
+    offsets = ((ct.payload_offsets - base) * 2).tolist()
+    dlc = ct.dlc.tolist()
+    with open(path, "w", encoding="ascii", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        writer.writerows(
+            (t, f"{i:X}", int(e), d, hex_all[offsets[k]:offsets[k + 1]], s, int(a))
+            for k, (t, i, e, d, s, a) in enumerate(
+                zip(
+                    ct.timestamp_us.tolist(),
+                    ct.can_id.tolist(),
+                    ct.extended.tolist(),
+                    dlc,
+                    ct.sources(),
+                    ct.is_attack.tolist(),
+                )
+            )
+        )

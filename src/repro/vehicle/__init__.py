@@ -24,7 +24,7 @@ from repro.vehicle.driving import (
 )
 from repro.vehicle.ecu_profiles import build_ecus
 from repro.vehicle.ids_catalog import CatalogEntry, VehicleCatalog, ford_fusion_catalog
-from repro.vehicle.multibus import BridgeNode, DualBusVehicle
+from repro.vehicle.multibus import BridgeNode, DualBusVehicle, fuse_bus_traces
 from repro.vehicle.traffic import VehicleSimulation, simulate_drive
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "CatalogEntry",
     "DrivingScenario",
     "DualBusVehicle",
+    "fuse_bus_traces",
     "STANDARD_SCENARIOS",
     "VehicleCatalog",
     "VehicleSimulation",

@@ -26,6 +26,7 @@ from repro.can.constants import BAUD_HS_CAN, BAUD_MS_CAN, SECOND_US
 from repro.can.frame import CANFrame
 from repro.can.node import Node
 from repro.exceptions import BusConfigError, NodeStateError
+from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace, TraceRecord
 from repro.vehicle.driving import DrivingScenario, scenario_by_name
 from repro.vehicle.ecu_profiles import build_ecus
@@ -162,9 +163,44 @@ class DualBusVehicle:
             elapsed += step
         return self.hs_bus.trace, self.ms_bus.trace
 
+    def run_columns(self, duration_s: float) -> ColumnTrace:
+        """Run both buses and return the fused, bus-tagged capture.
+
+        Convenience over :meth:`run` +
+        :func:`fuse_bus_traces`: the high-speed capture is tagged
+        ``"high_speed"``, the middle-speed one ``"middle_speed"``, and
+        the merge interleaves them in time order while every record
+        keeps its bus label — the input
+        :meth:`~repro.core.pipeline.IDSPipeline.analyze_multibus`
+        expects.
+        """
+        hs, ms = self.run(duration_s)
+        return fuse_bus_traces(high_speed=hs, middle_speed=ms)
+
     def busloads(self) -> Dict[str, float]:
         """Busload per segment."""
         return {
             "high_speed": self.hs_bus.stats.busload(self.hs_bus.now_us),
             "middle_speed": self.ms_bus.stats.busload(self.ms_bus.now_us),
         }
+
+
+def fuse_bus_traces(**captures) -> ColumnTrace:
+    """Fan per-bus captures into one bus-tagged columnar trace.
+
+    Keyword names become bus labels::
+
+        fused = fuse_bus_traces(high_speed=hs_trace, middle_speed=ms_trace)
+
+    Accepts either trace representation per bus; records merge in time
+    order (stable across buses) and each keeps its bus label, so
+    detection layers can judge every segment independently and fuse the
+    verdicts (see ``IDSPipeline.analyze_multibus``).
+    """
+    if not captures:
+        raise BusConfigError("fuse_bus_traces needs at least one capture")
+    tagged = [
+        ColumnTrace.coerce(trace).with_bus(label)
+        for label, trace in captures.items()
+    ]
+    return ColumnTrace.merge(*tagged)

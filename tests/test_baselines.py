@@ -169,8 +169,8 @@ class TestFrequency:
 
 class TestColumnarParity:
     """scan over a ColumnTrace must reproduce the record-trace verdicts
-    (vectorised paths for frequency/muter/interval, fallback for
-    clock-skew)."""
+    (vectorised paths for all four schemes, including the clock-skew
+    CUSUM)."""
 
     @pytest.mark.parametrize("name", [c.name for c in ALL_BASELINES])
     @pytest.mark.parametrize("which", ["attack", "clean"])
@@ -190,6 +190,16 @@ class TestColumnarParity:
             assert r.judged == c.judged
             assert r.alarm == c.alarm
             assert r.score == pytest.approx(c.score, rel=1e-9, abs=1e-12)
+
+    def test_clock_skew_columnar_scores_exact(self, fitted, attack_trace):
+        """The vectorised CUSUM replays the recursion in the same float
+        order as the per-record path, so scores match *exactly* — not
+        just approximately."""
+        record_verdicts = fitted[ClockSkewIDS.name].scan(attack_trace)
+        column_verdicts = fitted[ClockSkewIDS.name].scan(attack_trace.to_columns())
+        assert [v.score for v in record_verdicts] == [
+            v.score for v in column_verdicts
+        ]
 
     def test_scan_columns_before_fit_rejected(self, clean_trace):
         with pytest.raises(DetectorError):

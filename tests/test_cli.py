@@ -87,3 +87,37 @@ class TestWorkflow:
              "--attack-duration", "2", "--out", str(out)]
         ) == 0
         assert "MultiIDAttacker" in capsys.readouterr().out
+
+
+class TestScanArchive:
+    """scan-archive: template + directory of captures -> sharded report."""
+
+    def test_archive_workflow(self, tmp_path, capsys):
+        template_path = tmp_path / "template.json"
+        archive_dir = tmp_path / "captures"
+        archive_dir.mkdir()
+        assert main(["template", "--windows", "6", "--out", str(template_path)]) == 0
+        for i, suffix in enumerate(["log", "csv"]):
+            assert main(
+                ["simulate", "--duration", "4", "--seed", str(10 + i),
+                 "--out", str(archive_dir / f"drive{i}.{suffix}")]
+            ) == 0
+        capsys.readouterr()
+        code = main(
+            ["scan-archive", "--template", str(template_path),
+             "--dir", str(archive_dir), "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert "archive: 2 captures" in out
+        assert code in (0, 2)
+
+    def test_empty_archive_dir_exits_one(self, tmp_path, capsys):
+        template_path = tmp_path / "template.json"
+        main(["template", "--windows", "6", "--out", str(template_path)])
+        empty = tmp_path / "none"
+        empty.mkdir()
+        capsys.readouterr()
+        assert main(
+            ["scan-archive", "--template", str(template_path), "--dir", str(empty)]
+        ) == 1
+        assert "no captures" in capsys.readouterr().out

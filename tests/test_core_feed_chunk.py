@@ -1,0 +1,209 @@
+"""Chunked streaming: feed_chunk/FrameRing parity with per-record feed().
+
+The contract: any interleaving of ``feed_chunk`` calls (including via a
+drained :class:`FrameRing`) and single-record ``feed`` calls emits the
+identical WindowResult sequence the pure per-record path emits — same
+windows, counts, probabilities, verdicts, alerts, indices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BitCounter,
+    EntropyDetector,
+    FrameRing,
+    IDSConfig,
+    TemplateBuilder,
+)
+from repro.core.alerts import AlertSink
+from repro.exceptions import DetectorError
+from repro.io import ColumnTrace, Trace, TraceRecord
+
+#: Tight config so tiny traces exercise multiple windows and gaps.
+CONFIG = IDSConfig(window_us=1_000, min_window_messages=4)
+
+
+def tiny_template(config=CONFIG):
+    builder = TemplateBuilder(config)
+    builder.add_counter(BitCounter.from_ids([0x100, 0x2A5, 0x0F3, 0x555]))
+    builder.add_counter(BitCounter.from_ids([0x101, 0x2A5, 0x100, 0x7FF]))
+    builder.add_counter(BitCounter.from_ids([0x100, 0x1A5, 0x0F3, 0x3F0]))
+    return builder.build()
+
+
+TEMPLATE = tiny_template()
+
+
+def gap_trace_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5_000),  # gap to previous, us
+            st.integers(min_value=0, max_value=0x7FF),
+            st.booleans(),
+        ),
+        min_size=0,
+        max_size=60,
+    ).map(
+        lambda steps: Trace(
+            TraceRecord(t, can_id, is_attack=attack)
+            for t, (_, can_id, attack) in zip(
+                np.cumsum([g for g, _, _ in steps]).tolist(), steps
+            )
+        )
+    )
+
+
+def assert_windows_identical(stream, chunked):
+    assert len(stream) == len(chunked)
+    for s, c in zip(stream, chunked):
+        assert s.index == c.index
+        assert s.t_start_us == c.t_start_us and s.t_end_us == c.t_end_us
+        assert s.n_messages == c.n_messages
+        assert s.n_attack_messages == c.n_attack_messages
+        assert np.array_equal(s.probabilities, c.probabilities)
+        assert np.array_equal(s.entropy, c.entropy)
+        assert np.array_equal(s.deviations, c.deviations)
+        assert np.array_equal(s.violated, c.violated)
+        assert s.judged == c.judged
+
+
+def drain_with(detector, trace, plan):
+    """Feed ``trace`` through detector per ``plan`` (chunk sizes; 0 means
+    a single-record feed()), returning all emitted windows."""
+    ct = trace.to_columns()
+    out = []
+    i = 0
+    p = 0
+    while i < len(ct):
+        step = plan[p % len(plan)]
+        p += 1
+        if step == 0:
+            result = detector.feed(ct[i])
+            i += 1
+            if result is not None:
+                out.append(result)
+        else:
+            out.extend(detector.feed_chunk(ct.slice(i, i + step)))
+            i += step
+    final = detector.flush()
+    if final is not None:
+        out.append(final)
+    return out
+
+
+class TestFeedChunkParity:
+    @settings(max_examples=120, deadline=None)
+    @given(trace=gap_trace_strategy(), data=st.data())
+    def test_random_interleavings_match_streaming(self, trace, data):
+        plan = data.draw(
+            st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=8)
+        )
+        reference = EntropyDetector(TEMPLATE, CONFIG).scan(trace)
+        chunked = drain_with(EntropyDetector(TEMPLATE, CONFIG), trace, plan)
+        assert_windows_identical(reference, chunked)
+
+    def test_single_chunk_matches_scan(self):
+        trace = Trace(
+            TraceRecord(i * 137, (i * 7) % 0x800, is_attack=i % 5 == 0)
+            for i in range(200)
+        )
+        detector = EntropyDetector(TEMPLATE, CONFIG)
+        out = detector.feed_chunk(trace.to_columns())
+        final = detector.flush()
+        if final is not None:
+            out.append(final)
+        assert_windows_identical(EntropyDetector(TEMPLATE, CONFIG).scan(trace), out)
+
+    def test_alerts_emitted_once_per_alarm(self):
+        trace = Trace(TraceRecord(i * 10, 0x7FF) for i in range(300))
+        sink_stream = AlertSink()
+        EntropyDetector(TEMPLATE, CONFIG, sink_stream).scan(trace)
+        sink_chunk = AlertSink()
+        detector = EntropyDetector(TEMPLATE, CONFIG, sink_chunk)
+        detector.feed_chunk(trace.to_columns())
+        detector.flush()
+        assert len(sink_chunk.alerts) == len(sink_stream.alerts)
+
+    def test_empty_chunk_is_noop(self):
+        detector = EntropyDetector(TEMPLATE, CONFIG)
+        assert detector.feed_chunk(Trace().to_columns()) == []
+
+    def test_out_of_order_chunk_rejected(self):
+        detector = EntropyDetector(TEMPLATE, CONFIG)
+        detector.feed(TraceRecord(5_000, 0x100))
+        with pytest.raises(DetectorError, match="time order"):
+            detector.feed_chunk(
+                Trace([TraceRecord(1_000, 0x100)]).to_columns()
+            )
+
+    def test_unsorted_chunk_rejected(self):
+        """An unsorted chunk (constructible via validate=False views)
+        must raise like per-record feeding would, not emit garbage."""
+        detector = EntropyDetector(TEMPLATE, CONFIG)
+        chunk = ColumnTrace(
+            np.asarray([5_000, 1_000], np.int64),
+            np.asarray([0x100, 0x101], np.int64),
+            validate=False,
+        )
+        with pytest.raises(DetectorError, match="non-decreasing"):
+            detector.feed_chunk(chunk)
+
+    def test_oversized_identifier_rejected(self):
+        detector = EntropyDetector(TEMPLATE, CONFIG)
+        chunk = ColumnTrace(
+            np.asarray([0], np.int64), np.asarray([0x800], np.int64)
+        )
+        with pytest.raises(DetectorError, match="does not fit"):
+            detector.feed_chunk(chunk)
+
+
+class TestFrameRing:
+    def test_ring_batched_stream_matches_scan(self):
+        trace = Trace(
+            TraceRecord(i * 97, (i * 13) % 0x800, is_attack=i % 7 == 0)
+            for i in range(500)
+        )
+        ring = FrameRing(capacity=16)
+        detector = EntropyDetector(TEMPLATE, CONFIG)
+        out = []
+        for record in trace:
+            if ring.push_record(record):
+                out.extend(detector.feed_chunk(ring.drain()))
+        out.extend(detector.feed_chunk(ring.drain()))
+        final = detector.flush()
+        if final is not None:
+            out.append(final)
+        assert_windows_identical(EntropyDetector(TEMPLATE, CONFIG).scan(trace), out)
+
+    def test_push_reports_full_and_overflow_raises(self):
+        ring = FrameRing(capacity=2)
+        assert ring.push(0, 1) is False
+        assert ring.push(1, 2) is True
+        assert ring.is_full
+        with pytest.raises(DetectorError, match="full"):
+            ring.push(2, 3)
+        assert len(ring.drain()) == 2
+        assert len(ring) == 0
+
+    def test_out_of_order_push_rejected(self):
+        ring = FrameRing(capacity=4)
+        ring.push(100, 1)
+        with pytest.raises(DetectorError, match="time order"):
+            ring.push(50, 1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(DetectorError):
+            FrameRing(capacity=0)
+
+    def test_drain_returns_columns_and_resets(self):
+        ring = FrameRing(capacity=8)
+        ring.push(10, 0x100, True)
+        ring.push(20, 0x200, False)
+        chunk = ring.drain()
+        assert chunk.timestamp_us.tolist() == [10, 20]
+        assert chunk.can_id.tolist() == [0x100, 0x200]
+        assert chunk.is_attack.tolist() == [True, False]
+        assert len(ring) == 0 and not ring.is_full

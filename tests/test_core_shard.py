@@ -1,0 +1,162 @@
+"""Sharded archive scanning: determinism, serial parity, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.baselines import FrequencyIDS
+from repro.core import (
+    BatchEntropyEngine,
+    IDSPipeline,
+    ShardedScanner,
+)
+from repro.core.shard import default_workers
+from repro.exceptions import DetectorError
+from repro.io import CaptureArchive
+from repro.io.archive import load_capture_columns
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import record_template_windows, simulate_drive
+
+
+@pytest.fixture(scope="module")
+def archive_dir(tmp_path_factory, catalog):
+    """Six small captures, one with an injected attack, mixed formats."""
+    directory = tmp_path_factory.mktemp("archive")
+    archive = CaptureArchive(directory)
+    for i in range(6):
+        if i == 3:
+            sim = VehicleSimulation(catalog=catalog, scenario="city", seed=40 + i)
+            sim.add_node(
+                SingleIDAttacker(
+                    can_id=catalog.ids[60], frequency_hz=100.0,
+                    start_s=1.0, duration_s=5.0, seed=i,
+                )
+            )
+            trace = sim.run(7.0)
+        else:
+            trace = simulate_drive(7.0, seed=40 + i, catalog=catalog)
+        archive.write_capture(f"cap{i}.{'csv' if i % 2 else 'log'}", trace)
+    return directory
+
+
+def assert_windows_identical(a, b):
+    assert len(a) == len(b)
+    for s, t in zip(a, b):
+        assert s.index == t.index
+        assert s.t_start_us == t.t_start_us and s.t_end_us == t.t_end_us
+        assert s.n_messages == t.n_messages
+        assert s.n_attack_messages == t.n_attack_messages
+        assert np.array_equal(s.probabilities, t.probabilities)
+        assert np.array_equal(s.entropy, t.entropy)
+        assert np.array_equal(s.deviations, t.deviations)
+        assert np.array_equal(s.violated, t.violated)
+        assert s.judged == t.judged
+
+
+class TestShardedScanner:
+    def test_one_and_four_workers_identical(
+        self, golden_template, ids_config, archive_dir
+    ):
+        """The determinism satellite: results must not depend on the
+        pool size, bit for bit."""
+        archive = CaptureArchive(archive_dir)
+        serial = ShardedScanner(
+            golden_template, ids_config, workers=1
+        ).scan_archive(archive)
+        sharded = ShardedScanner(
+            golden_template, ids_config, workers=4
+        ).scan_archive(archive)
+        assert [s.path for s in serial] == [s.path for s in sharded]
+        for a, b in zip(serial, sharded):
+            assert_windows_identical(a.windows, b.windows)
+
+    def test_matches_plain_engine_scan(
+        self, golden_template, ids_config, archive_dir
+    ):
+        archive = CaptureArchive(archive_dir)
+        scans = ShardedScanner(
+            golden_template, ids_config, workers=2
+        ).scan_archive(archive)
+        engine = BatchEntropyEngine(golden_template, ids_config)
+        for scan in scans:
+            assert_windows_identical(
+                scan.windows, engine.scan(load_capture_columns(scan.path))
+            )
+
+    def test_accepts_path_lists(self, golden_template, ids_config, archive_dir):
+        paths = sorted(archive_dir.glob("*.log"))
+        scans = ShardedScanner(
+            golden_template, ids_config, workers=2
+        ).scan_archive(paths)
+        assert [s.path for s in scans] == paths
+
+    def test_empty_archive(self, golden_template, ids_config, tmp_path):
+        assert ShardedScanner(golden_template, ids_config).scan_archive(
+            CaptureArchive(tmp_path)
+        ) == []
+
+    def test_alarmed_capture_flagged(
+        self, golden_template, ids_config, archive_dir
+    ):
+        scans = ShardedScanner(
+            golden_template, ids_config, workers=2
+        ).scan_archive(CaptureArchive(archive_dir))
+        alarmed = [s.path.name for s in scans if s.alarmed]
+        assert alarmed == ["cap3.csv"]
+
+    def test_rejects_bad_workers(self, golden_template, ids_config):
+        with pytest.raises(DetectorError):
+            ShardedScanner(golden_template, ids_config, workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestBaselineSharding:
+    def test_baseline_verdicts_match_serial(
+        self, catalog, archive_dir, golden_template, ids_config
+    ):
+        clean = record_template_windows(6, 2.0, seed=21, catalog=catalog)
+        baseline = FrequencyIDS(window_us=ids_config.window_us).fit(clean)
+        archive = CaptureArchive(archive_dir)
+        scanner = ShardedScanner(golden_template, ids_config, workers=2)
+        sharded = scanner.scan_archive_baseline(baseline, archive)
+        assert len(sharded) == len(archive)
+        for path, verdicts in zip(archive.paths, sharded):
+            assert verdicts == baseline.scan(load_capture_columns(path))
+
+    def test_unfitted_baseline_rejected(
+        self, golden_template, ids_config, archive_dir
+    ):
+        scanner = ShardedScanner(golden_template, ids_config, workers=1)
+        with pytest.raises(DetectorError):
+            scanner.scan_archive_baseline(
+                FrequencyIDS(), CaptureArchive(archive_dir)
+            )
+
+
+class TestAnalyzeArchive:
+    def test_report_structure_and_metrics(
+        self, golden_template, ids_config, catalog, archive_dir
+    ):
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        report = pipeline.analyze_archive(archive_dir, workers=2)
+        assert len(report) == 6
+        assert [p.name for p in report.alarmed_captures] == ["cap3.csv"]
+        assert report.detection_rate > 0.9
+        assert report.false_positive_rate == 0.0
+        attacked = dict(report.captures)[
+            [p for p, _ in report.captures if p.name == "cap3.csv"][0]
+        ]
+        assert attacked.inference is not None  # alarm + pool -> inference
+        summary = report.summary()
+        assert "cap3.csv: ALARM" in summary and "6 captures" in summary
+
+    def test_accepts_archive_object(
+        self, golden_template, ids_config, archive_dir
+    ):
+        pipeline = IDSPipeline(golden_template, ids_config)
+        report = pipeline.analyze_archive(
+            CaptureArchive(archive_dir), workers=1
+        )
+        assert len(report.reports) == 6

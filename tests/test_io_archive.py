@@ -1,0 +1,301 @@
+"""Columnar-native IO and capture archives.
+
+The contract under test: files written by the *record* writers load
+bit-identically through the *columnar* readers (including the
+ground-truth comments), the columnar writers emit byte-identical files,
+chunked readers stream the same frames in bounded pieces, and
+:class:`CaptureArchive` enumerates deterministically and loads lazily.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.io import (
+    CaptureArchive,
+    ColumnTrace,
+    Trace,
+    TraceRecord,
+    iter_candump_columns,
+    iter_csv_columns,
+    read_candump,
+    read_candump_columns,
+    read_csv,
+    read_csv_columns,
+    write_candump,
+    write_candump_columns,
+    write_csv,
+    write_csv_columns,
+)
+
+
+def sample_trace(n=400, seed=0, with_attacks=True):
+    rng = np.random.default_rng(seed)
+    t = 0
+    records = []
+    for k in range(n):
+        t += int(rng.integers(0, 3000))
+        extended = bool(rng.random() < 0.1)
+        records.append(
+            TraceRecord(
+                timestamp_us=t,
+                can_id=int(rng.integers(0, 1 << 29 if extended else 0x800)),
+                data=bytes(rng.integers(0, 256, int(rng.integers(0, 9)))),
+                extended=extended,
+                source=["ECU_DDM", "ECU_ECM", "", "gw"][int(rng.integers(0, 4))],
+                is_attack=with_attacks and bool(rng.random() < 0.2),
+            )
+        )
+    return Trace(records)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return sample_trace()
+
+
+class TestColumnarRoundTrips:
+    """Record-written files must load bit-identically via the columnar
+    readers — the satellite contract of the archive subsystem."""
+
+    def test_candump_record_file_loads_columnar(self, trace, tmp_path):
+        path = tmp_path / "t.log"
+        write_candump(trace, path)
+        assert read_candump_columns(path) == ColumnTrace.from_trace(trace)
+
+    def test_csv_record_file_loads_columnar(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(trace, path)
+        assert read_csv_columns(path) == ColumnTrace.from_trace(trace)
+
+    def test_ground_truth_survives(self, trace, tmp_path):
+        path = tmp_path / "t.log"
+        write_candump(trace, path)
+        ct = read_candump_columns(path)
+        assert ct.sources() == [r.source for r in trace]
+        assert ct.attack_mask().tolist() == [r.is_attack for r in trace]
+
+    def test_columnar_writers_byte_identical(self, trace, tmp_path):
+        ct = trace.to_columns()
+        write_candump(trace, tmp_path / "rec.log")
+        write_candump_columns(ct, tmp_path / "col.log")
+        assert (tmp_path / "rec.log").read_bytes() == (tmp_path / "col.log").read_bytes()
+        write_csv(trace, tmp_path / "rec.csv")
+        write_csv_columns(ct, tmp_path / "col.csv")
+        assert (tmp_path / "rec.csv").read_bytes() == (tmp_path / "col.csv").read_bytes()
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        write_candump_columns(
+            ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64)),
+            tmp_path / "e.log",
+        )
+        assert len(read_candump_columns(tmp_path / "e.log")) == 0
+        write_csv([], tmp_path / "e.csv")
+        assert len(read_csv_columns(tmp_path / "e.csv")) == 0
+
+    def test_plain_candump_without_ground_truth(self, tmp_path):
+        path = tmp_path / "plain.log"
+        path.write_text(
+            "(0.000100) can0 1A4#DEAD\n(0.000200) vcan0 18DB33F1#01020304\n"
+        )
+        ct = read_candump_columns(path)
+        assert ct == read_candump(path).to_columns()
+        assert ct.extended.tolist() == [False, True]
+        assert ct.sources() == ["", ""]
+
+    def test_commented_candump_matches_record_reader(self, tmp_path):
+        path = tmp_path / "c.log"
+        path.write_text(
+            "# comment line\n\n"
+            "(0.000100) can0 1A4#DEAD ; src=a attack=0\n"
+            "(0.000200) can0 0F3# ; src=- attack=1\n"
+        )
+        assert read_candump_columns(path) == read_candump(path).to_columns()
+
+    def test_quoted_csv_matches_record_reader(self, tmp_path):
+        path = tmp_path / "q.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n"
+            '100,1A4,0,2,DEAD,"we,ird",0\n',
+        )
+        assert read_csv_columns(path) == read_csv(path).to_columns()
+
+    def test_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "n.log"
+        path.write_text("(0.000100) can0 1A4#DEAD ; src=a attack=0")
+        assert len(read_candump_columns(path)) == 1
+
+
+class TestColumnarReaderErrors:
+    def test_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("(0.000100) can0 1A4#DE\nnot a line\n")
+        with pytest.raises(TraceFormatError, match=r"bad\.log:2"):
+            read_candump_columns(path)
+
+    def test_backwards_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "mono.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n"
+            "100,1A4,0,0,,x,0\n50,1A4,0,0,,x,0\n"
+        )
+        with pytest.raises(TraceFormatError, match="time-ordered"):
+            read_csv_columns(path)
+
+    def test_dlc_disagreement_rejected(self, tmp_path):
+        path = tmp_path / "dlc.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n"
+            "100,1A4,0,3,DEAD,x,0\n"
+        )
+        with pytest.raises(TraceFormatError, match="disagrees"):
+            read_csv_columns(path)
+
+    def test_non_numeric_dlc_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "dlcnan.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n"
+            "100,1A4,0,xx,DEAD,x,0\n"
+        )
+        with pytest.raises(TraceFormatError, match=r"dlcnan\.csv:2"):
+            read_csv_columns(path)
+        with pytest.raises(TraceFormatError, match=r"dlcnan\.csv:2"):
+            read_csv(path)
+
+    def test_bad_payload_hex_rejected(self, tmp_path):
+        path = tmp_path / "hex.log"
+        path.write_text("(0.000100) can0 1A4#DEAZ ; src=a attack=0\n")
+        with pytest.raises(TraceFormatError):
+            read_candump_columns(path)
+
+    def test_bad_csv_header_rejected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("wrong,header\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_csv_columns(path)
+
+    def test_0x_prefixed_id_rejected_like_record_reader(self, tmp_path):
+        """int(, 16) accepts '0x' prefixes; the strict format does not —
+        both readers must agree."""
+        path = tmp_path / "0x.log"
+        path.write_text("(1.000000) can0 0x1A4#1122\n")
+        with pytest.raises(TraceFormatError):
+            read_candump(path)
+        with pytest.raises(TraceFormatError):
+            read_candump_columns(path)
+
+    def test_spaced_payload_hex_accepted_like_record_reader(self, tmp_path):
+        """bytes.fromhex tolerates whitespace between byte pairs, so the
+        columnar CSV reader must too."""
+        path = tmp_path / "sp.csv"
+        path.write_text(
+            "time_us,can_id_hex,extended,dlc,data_hex,source,is_attack\n"
+            "1000,1A4,0,2,11 22,ecu,0\n"
+        )
+        assert read_csv_columns(path) == read_csv(path).to_columns()
+
+
+class TestChunkedReaders:
+    @pytest.mark.parametrize("chunk_frames", [1, 7, 100, 10_000])
+    def test_candump_chunks_reassemble(self, trace, tmp_path, chunk_frames):
+        path = tmp_path / "t.log"
+        write_candump(trace, path)
+        chunks = list(iter_candump_columns(path, chunk_frames))
+        assert all(len(c) <= chunk_frames for c in chunks)
+        assert ColumnTrace.merge(*chunks) == trace.to_columns()
+
+    def test_csv_chunks_reassemble(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(trace, path)
+        chunks = list(iter_csv_columns(path, 64))
+        assert all(len(c) <= 64 for c in chunks)
+        assert ColumnTrace.merge(*chunks) == trace.to_columns()
+
+    def test_chunk_boundary_monotonicity_enforced(self, tmp_path):
+        path = tmp_path / "m.log"
+        path.write_text(
+            "(0.000300) can0 1A4# ; src=a attack=0\n"
+            "(0.000100) can0 1A4# ; src=a attack=0\n"
+        )
+        with pytest.raises(TraceFormatError, match="time-ordered"):
+            list(iter_candump_columns(path, 1))
+
+    def test_rejects_nonpositive_chunk(self, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            list(iter_candump_columns(path, 0))
+
+
+class TestCaptureArchive:
+    @pytest.fixture()
+    def archive_dir(self, trace, tmp_path):
+        write_candump(trace[:100], tmp_path / "b.log")
+        write_csv(trace[100:220], tmp_path / "a.csv")
+        write_candump(trace[220:], tmp_path / "c.log")
+        (tmp_path / "notes.txt").write_text("not a capture")
+        return tmp_path
+
+    def test_enumeration_is_sorted_and_filtered(self, archive_dir):
+        archive = CaptureArchive(archive_dir)
+        assert [p.name for p in archive.paths] == ["a.csv", "b.log", "c.log"]
+        assert len(archive) == 3
+
+    def test_lazy_loading_matches_record_readers(self, archive_dir, trace):
+        archive = CaptureArchive(archive_dir)
+        loaded = list(archive)
+        assert loaded[0] == ColumnTrace.from_trace(trace[100:220])
+        assert loaded[1] == ColumnTrace.from_trace(trace[:100])
+        assert archive.load(2) == ColumnTrace.from_trace(trace[220:])
+
+    def test_items_pairs_paths(self, archive_dir):
+        archive = CaptureArchive(archive_dir)
+        for path, ct in archive.items():
+            assert path in archive.paths
+            assert len(ct) > 0
+
+    def test_iter_chunks_bounded(self, archive_dir, trace):
+        archive = CaptureArchive(archive_dir)
+        per_file = {}
+        for path, chunk in archive.iter_chunks(32):
+            assert len(chunk) <= 32
+            per_file.setdefault(path, []).append(chunk)
+        assert set(per_file) == set(archive.paths)
+        reassembled = ColumnTrace.merge(*per_file[archive.paths[1]])
+        assert reassembled == ColumnTrace.from_trace(trace[:100])
+
+    def test_write_capture_appends_in_order(self, tmp_path, trace):
+        archive = CaptureArchive(tmp_path)
+        assert len(archive) == 0
+        archive.write_capture("z.log", trace[:10])
+        archive.write_capture("a.csv", trace[:10])
+        assert [p.name for p in archive.paths] == ["a.csv", "z.log"]
+        assert archive.load(1) == ColumnTrace.from_trace(trace[:10])
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            CaptureArchive(tmp_path / "nope")
+
+    def test_write_capture_must_match_patterns(self, tmp_path, trace):
+        archive = CaptureArchive(tmp_path, patterns=("*.log",))
+        with pytest.raises(TraceFormatError, match="patterns"):
+            archive.write_capture("x.csv", trace[:5])
+
+    def test_write_capture_subdir_needs_recursive(self, tmp_path, trace):
+        flat = CaptureArchive(tmp_path)
+        with pytest.raises(TraceFormatError, match="subdirectory"):
+            flat.write_capture("sub/x.log", trace[:5])
+        with pytest.raises(TraceFormatError, match="invalid"):
+            flat.write_capture("../x.log", trace[:5])
+        deep = CaptureArchive(tmp_path, recursive=True)
+        (tmp_path / "sub").mkdir()
+        deep.write_capture("sub/x.log", trace[:5])
+        assert [p.name for p in CaptureArchive(tmp_path, recursive=True).paths] == ["x.log"]
+
+    def test_recursive_enumeration(self, tmp_path, trace):
+        (tmp_path / "sub").mkdir()
+        write_candump(trace[:10], tmp_path / "sub" / "deep.log")
+        write_candump(trace[:10], tmp_path / "top.log")
+        assert len(CaptureArchive(tmp_path)) == 1
+        archive = CaptureArchive(tmp_path, recursive=True)
+        assert [p.name for p in archive.paths] == ["deep.log", "top.log"]

@@ -155,3 +155,110 @@ class TestValidation:
     def test_rejects_bad_source_codes(self):
         with pytest.raises(TraceFormatError):
             ColumnTrace([1], [1], source_code=[3], source_table=("",))
+
+
+class TestBusTagging:
+    """The multi-bus fan-in extension: per-record bus labels that
+    survive slicing, filtering and merging (and are dropped, documented,
+    by to_trace)."""
+
+    def make(self, n=10, offset=0):
+        return Trace(
+            TraceRecord(offset + i * 100, 0x100 + i % 4, source=f"s{i % 2}")
+            for i in range(n)
+        ).to_columns()
+
+    def test_with_bus_tags_every_record(self):
+        tagged = self.make().with_bus("ms")
+        assert tagged.bus_labels() == ("ms",)
+        assert tagged.buses() == ["ms"] * 10
+
+    def test_untagged_default_is_blank(self):
+        ct = self.make()
+        assert ct.bus_table == ("",)
+        assert ct.bus_labels() == ("",)
+
+    def test_empty_bus_label_rejected(self):
+        with pytest.raises(TraceFormatError):
+            self.make().with_bus("")
+
+    def test_merge_preserves_labels(self):
+        fused = ColumnTrace.merge(
+            self.make(offset=0).with_bus("hs"),
+            self.make(offset=50).with_bus("ms"),
+        )
+        assert sorted(fused.bus_labels()) == ["hs", "ms"]
+        assert len(fused.for_bus("hs")) == 10
+        assert fused.for_bus("ms") == self.make(offset=50).with_bus("ms")
+
+    def test_for_bus_unknown_label_rejected(self):
+        with pytest.raises(TraceFormatError, match="not present"):
+            self.make().with_bus("hs").for_bus("ms")
+
+    def test_slices_and_takes_keep_tags(self):
+        fused = ColumnTrace.merge(
+            self.make(offset=0).with_bus("hs"),
+            self.make(offset=50).with_bus("ms"),
+        )
+        window = fused.slice(3, 12)
+        assert set(window.buses()) <= {"hs", "ms"}
+        picked = fused.take(np.arange(0, len(fused), 2))
+        assert len(picked.buses()) == len(picked)
+
+    def test_equality_compares_decoded_labels(self):
+        a = self.make().with_bus("hs")
+        b = self.make().with_bus("ms")
+        assert a != b
+        assert a == self.make().with_bus("hs")
+
+    def test_to_trace_drops_tags(self):
+        tagged = self.make().with_bus("hs")
+        assert tagged.to_trace() == self.make().to_trace()
+
+
+class TestMergeValidation:
+    """merge must reject malformed parts with TraceFormatError, never a
+    numpy broadcast error."""
+
+    def make(self):
+        return Trace(
+            TraceRecord(i * 10, 0x100, data=b"ab") for i in range(5)
+        ).to_columns()
+
+    def test_rejects_non_columntrace(self):
+        with pytest.raises(TraceFormatError, match="ColumnTrace"):
+            ColumnTrace.merge(self.make(), "nope")
+
+    def test_rejects_ragged_columns(self):
+        good = self.make()
+        ragged = ColumnTrace(
+            good.timestamp_us, good.can_id[:2], validate=False
+        )
+        with pytest.raises(TraceFormatError, match="rows"):
+            ColumnTrace.merge(good, ragged)
+
+    def test_rejects_wrong_dtype(self):
+        good = self.make()
+        bad = ColumnTrace(good.timestamp_us, good.can_id, validate=False)
+        bad.can_id = bad.can_id.astype(np.float64)
+        with pytest.raises(TraceFormatError, match="dtype"):
+            ColumnTrace.merge(good, bad)
+
+    def test_rejects_bad_offsets_shape(self):
+        good = self.make()
+        bad = ColumnTrace(
+            good.timestamp_us,
+            good.can_id,
+            payload=good.payload,
+            payload_offsets=good.payload_offsets[:-2],
+            validate=False,
+        )
+        with pytest.raises(TraceFormatError, match="payload_offsets"):
+            ColumnTrace.merge(good, bad)
+
+    def test_rejects_two_dimensional_column(self):
+        good = self.make()
+        bad = ColumnTrace(good.timestamp_us, good.can_id, validate=False)
+        bad.is_attack = np.zeros((len(good), 2), dtype=bool)
+        with pytest.raises(TraceFormatError, match="1-D"):
+            ColumnTrace.merge(good, bad)
