@@ -1,0 +1,47 @@
+"""Fleet-scale incremental scanning: the ledger must pay for itself.
+
+The archive benchmarks measure how fast a cold scan runs; these measure
+how much of that work the fleet ledger *avoids* on repeat runs — the
+daily-fleet-monitoring deployment — while asserting the incremental
+report is bit-identical to a cold re-scan (correctness is part of the
+claim, not a separate test).
+"""
+
+import os
+
+from conftest import save_artifact
+from repro.experiments import fleet as fleet_experiment
+
+#: Sizing knobs (kept modest by default; scale up via the environment
+#: for fleet-regime measurements).
+FLEET_VEHICLES = int(os.environ.get("REPRO_BENCH_FLEET_VEHICLES", "2"))
+FLEET_CAPTURES = int(os.environ.get("REPRO_BENCH_FLEET_CAPTURES", "3"))
+FLEET_FRAMES = int(os.environ.get("REPRO_BENCH_FLEET_FRAMES", "60000"))
+
+
+class TestFleetIncrementalScan:
+    def test_bench_fleet_watch_mode(self, setup):
+        """Cold vs warm vs incremental passes over a synthetic fleet
+        store; the artifact table lands in results/fleet.txt."""
+        result = fleet_experiment.run(
+            setup.template,
+            setup.config,
+            n_vehicles=FLEET_VEHICLES,
+            captures_per_vehicle=FLEET_CAPTURES,
+            frames_per_capture=FLEET_FRAMES,
+            workers=1,
+            catalog=setup.catalog,
+        )
+        save_artifact("fleet", result.render())
+        # Bit-identical incremental results are the subsystem's headline
+        # guarantee — a perf number without it is meaningless.
+        assert result.parity_ok, result.render()
+        # The incremental pass must only have scanned the appended
+        # captures (one per vehicle); everything else comes back cached.
+        assert result.incremental_scanned == FLEET_VEHICLES, result.render()
+        assert result.incremental_cached == FLEET_VEHICLES * FLEET_CAPTURES
+        # A fully-cached pass skips all detection work; even with the
+        # fingerprinting cost it must comfortably beat the cold scan.
+        # (Pure-speed ratio, but IO-bound either way — safe on 1 CPU.)
+        assert result.warm_speedup > 1.0, result.render()
+        assert result.alarmed_vehicles == FLEET_VEHICLES, result.render()

@@ -8,6 +8,10 @@ Subcommands mirror the workflow of the paper's evaluation:
 * ``detect``   — run the detector (and inference) over a trace;
 * ``scan-archive`` — scan a whole directory of captures, sharded
   across worker processes;
+* ``fleet``    — the persistent fleet store: ``add`` captures per
+  vehicle, ``train`` per-vehicle golden templates, ``scan``
+  incrementally against each vehicle's scan ledger, inspect
+  ``status``, and aggregate a drift ``report``;
 * ``fig2`` / ``fig3`` / ``table1`` / ``stability`` / ``cost`` — regenerate
   the paper's artifacts.
 
@@ -18,6 +22,10 @@ Examples::
     repro-ids attack --attack single --id 0x1A4 --freq 50 --out attack.log
     repro-ids detect --template template.json --trace attack.log --infer
     repro-ids scan-archive --template template.json --dir captures/ --workers 4
+    repro-ids fleet add --store fleet/ --vehicle car-a --trace drive.log
+    repro-ids fleet train --store fleet/ --vehicle car-a
+    repro-ids fleet scan --store fleet/
+    repro-ids fleet report --store fleet/ --out fleet-report.txt
     repro-ids table1 --seeds 1 2
 """
 
@@ -107,6 +115,64 @@ def build_parser() -> argparse.ArgumentParser:
                               help="infer malicious-ID candidates per alarmed capture")
     scan_archive.add_argument("--infer-k", type=int, default=1,
                               help="injected identifiers assumed per capture")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="persistent fleet store: incremental scans and drift analytics",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_add = fleet_sub.add_parser(
+        "add", help="import a capture file into a vehicle's archive"
+    )
+    fleet_add.add_argument("--store", type=Path, required=True,
+                           help="fleet store root directory")
+    fleet_add.add_argument("--vehicle", required=True, help="vehicle id")
+    fleet_add.add_argument("--trace", type=Path, required=True,
+                           help="capture file to import (candump/CSV, .gz ok)")
+    fleet_add.add_argument("--name", default=None,
+                           help="capture name in the archive (default: file name)")
+    fleet_add.add_argument("--overwrite", action="store_true",
+                           help="replace an existing capture of the same name")
+
+    fleet_train = fleet_sub.add_parser(
+        "train",
+        help="train a vehicle's golden template from its stored captures",
+    )
+    fleet_train.add_argument("--store", type=Path, required=True)
+    fleet_train.add_argument("--vehicle", required=True)
+    fleet_train.add_argument("--window-s", type=_positive_float, default=2.0)
+    fleet_train.add_argument("--alpha", type=_positive_float, default=3.0)
+
+    fleet_scan = fleet_sub.add_parser(
+        "scan",
+        help="incrementally scan every vehicle against its scan ledger",
+    )
+    fleet_report = fleet_sub.add_parser(
+        "report",
+        help="aggregate per-vehicle drift series and pooled fleet metrics",
+    )
+    for cmd in (fleet_scan, fleet_report):
+        cmd.add_argument("--store", type=Path, required=True)
+        cmd.add_argument("--template", type=Path, default=None,
+                         help="fallback template for vehicles without one stored")
+        cmd.add_argument("--window-s", type=_positive_float, default=None,
+                         help="detection window (default: the window the "
+                              "stored templates were trained with)")
+        cmd.add_argument("--workers", type=int, default=None,
+                         help="pool size (default: one per core, capped)")
+        cmd.add_argument("--infer", action="store_true",
+                         help="infer malicious-ID candidates per alarmed capture")
+        cmd.add_argument("--infer-k", type=int, default=1)
+    fleet_report.add_argument("--out", type=Path, default=None,
+                              help="also write the report text to this file")
+    fleet_report.add_argument("--json", dest="json_out", type=Path, default=None,
+                              help="also write the structured report as JSON")
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="list vehicles, captures, templates and ledgers"
+    )
+    fleet_status.add_argument("--store", type=Path, required=True)
 
     for name, helptext in [
         ("fig2", "regenerate Fig. 2 (template vs attack)"),
@@ -252,6 +318,229 @@ def _cmd_scan_archive(args) -> int:
     return 0 if not report.alarmed_captures else 2
 
 
+def _fleet_window_us(args, store):
+    """Resolve the detection window and enforce it matches training.
+
+    A template only judges correctly at its training window, so:
+    explicit ``--window-s`` wins but must agree with every recorded
+    training window; otherwise the recorded windows decide (and must
+    agree with each other); 2 s (the config default) when nothing is
+    recorded.  Returns None, message printed, on a mismatch.
+    """
+    recorded = {}
+    for vehicle_id in store.vehicles():
+        window = store.template_window_us(vehicle_id)
+        if window is not None:
+            recorded[vehicle_id] = window
+    if args.window_s is not None:
+        window_us = int(args.window_s * 1e6)
+    elif recorded:
+        if len(set(recorded.values())) > 1:
+            print(
+                "stored templates were trained with different windows ("
+                + ", ".join(f"{v}={w / 1e6:g}s" for v, w in sorted(recorded.items()))
+                + "); re-train consistently or pass --window-s explicitly"
+            )
+            return None
+        window_us = next(iter(recorded.values()))
+    else:
+        window_us = 2_000_000
+    mismatched = [
+        f"{v} (trained at {w / 1e6:g}s)"
+        for v, w in sorted(recorded.items())
+        if w != window_us
+    ]
+    if mismatched:
+        print(
+            f"detection window {window_us / 1e6:g}s does not match training "
+            "for: " + ", ".join(mismatched)
+        )
+        return None
+    return window_us
+
+
+def _fleet_pipeline(args, store):
+    """Build the fallback pipeline ``analyze_fleet`` hangs off.
+
+    ``--template`` is the explicit fallback for vehicles without a
+    stored template.  Without it, *every* vehicle must have its own
+    stored template — silently judging one vehicle's traffic (and
+    drift) against another vehicle's baseline would defeat the
+    per-vehicle premise — and the first stored template merely seeds
+    the pipeline object (``analyze_fleet`` always prefers each
+    vehicle's own).  Returns None, message printed, on misconfiguration.
+    """
+    from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
+    from repro.vehicle import ford_fusion_catalog
+
+    window_us = _fleet_window_us(args, store)
+    if window_us is None:
+        return None
+    template = None
+    if args.template is not None:
+        template = GoldenTemplate.load(args.template)
+    else:
+        missing = [v for v in store.vehicles() if not store.has_template(v)]
+        if missing:
+            print(
+                "no template for vehicle(s) " + ", ".join(missing) + ": "
+                "train them (repro-ids fleet train) or pass --template "
+                "as an explicit fallback"
+            )
+            return None
+        for vehicle_id in store.vehicles():
+            template = store.load_template(vehicle_id)
+            break
+    if template is None:
+        print(
+            "no template available: the store has no vehicles; "
+            "add captures and train, or pass --template"
+        )
+        return None
+    config = IDSConfig(alpha=template.alpha, window_us=window_us)
+    pool = ford_fusion_catalog(seed=0).ids if args.infer else None
+    return IDSPipeline(template, config, id_pool=pool)
+
+
+def _cmd_fleet(args) -> int:
+    from repro.exceptions import TraceFormatError
+    from repro.fleet import FleetStore
+
+    store = FleetStore(args.store)
+
+    if args.fleet_command == "add":
+        from repro.io.archive import load_capture_columns
+
+        capture = load_capture_columns(args.trace)
+        name = args.name or args.trace.name
+        try:
+            path = store.add_capture(
+                args.vehicle, name, capture, overwrite=args.overwrite
+            )
+        except TraceFormatError as exc:
+            print(str(exc))
+            return 1
+        print(f"added {len(capture)} frames as {args.vehicle}/{path.name}")
+        return 0
+
+    if args.fleet_command == "train":
+        from repro.core import IDSConfig, TemplateBuilder
+
+        if not store.has_vehicle(args.vehicle):
+            print(f"vehicle {args.vehicle!r} has no captures to train from")
+            return 1
+        archive = store.archive(args.vehicle)
+        if not len(archive):
+            print(f"vehicle {args.vehicle!r} has no captures to train from")
+            return 1
+        config = IDSConfig(alpha=args.alpha, window_us=int(args.window_s * 1e6))
+        builder = TemplateBuilder(config)
+        # Archives legitimately contain attacked captures (that is what
+        # the scanner is for); the builder's ground-truth exclusion
+        # keeps them out of the template.
+        for columns in archive:
+            builder.add_trace_windows(columns, exclude_attacked=True)
+        excluded = builder.excluded_attacked
+        if builder.n_windows < 2:
+            print(
+                f"vehicle {args.vehicle!r} has {builder.n_windows} clean "
+                f"window(s) ({excluded} attacked excluded); need >= 2"
+            )
+            return 1
+        template = builder.build()
+        path = store.save_template(
+            args.vehicle, template, window_us=config.window_us
+        )
+        suffix = f" ({excluded} attacked windows excluded)" if excluded else ""
+        print(
+            f"template for {args.vehicle} from {template.n_windows} clean "
+            f"windows over {len(archive)} captures{suffix} written to {path}"
+        )
+        return 0
+
+    if args.fleet_command == "status":
+        import json as _json
+
+        if not store.root.is_dir():
+            # Surface a typo'd --store path instead of reporting a
+            # healthy empty store (construction is side-effect-free).
+            print(f"no fleet store at {store.root}")
+            return 1
+        vehicles = store.vehicles()
+        if not vehicles:
+            print(f"empty fleet store at {store.root}")
+            return 0
+        for vehicle_id in vehicles:
+            archive = store.archive(vehicle_id)
+            template = "yes" if store.has_template(vehicle_id) else "no"
+            # File count only — status must not crash on (or pay for
+            # parsing) a corrupt template the way a real load would.
+            n_bus = len(store.bus_template_files(vehicle_id))
+            ledger_path = store.ledger_path(vehicle_id)
+            entries = "-"
+            if ledger_path.is_file():
+                try:
+                    entries = str(
+                        len(_json.loads(ledger_path.read_text())["entries"])
+                    )
+                except (ValueError, KeyError, TypeError):
+                    # TypeError covers a scalar root / null entries —
+                    # as corrupt as unparseable JSON for status purposes.
+                    entries = "corrupt"
+            print(
+                f"{vehicle_id}: {len(archive)} captures, template={template}, "
+                f"bus templates={n_bus}, ledger entries={entries}"
+            )
+        return 0
+
+    # scan / report
+    if not store.root.is_dir():
+        # Same guard status has: a typo'd path must not report an
+        # all-clean (empty) fleet with exit 0.
+        print(f"no fleet store at {store.root}")
+        return 1
+    if not store.vehicles():
+        print(f"fleet store at {store.root} has no vehicles")
+        return 1
+    from repro.exceptions import TemplateError
+
+    try:
+        pipeline = _fleet_pipeline(args, store)
+        if pipeline is None:
+            return 1
+        report = pipeline.analyze_fleet(
+            store, workers=args.workers, infer_k=args.infer_k
+        )
+    except TemplateError as exc:
+        # Corrupt or unreadable per-vehicle template: diagnose, don't
+        # traceback (the same courtesy every other corruption path gets).
+        print(str(exc))
+        return 1
+
+    if args.fleet_command == "scan":
+        for vehicle_id, watch in report.watch.items():
+            print(f"{vehicle_id}: {watch.summary()}")
+        alarmed = report.alarmed_vehicles
+        if alarmed:
+            print(f"alarmed vehicles: {', '.join(alarmed)}")
+        return 2 if alarmed else 0
+
+    # fleet report
+    text = report.summary()
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.out}")
+    if args.json_out is not None:
+        import json as _json
+
+        args.json_out.write_text(
+            _json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"JSON report written to {args.json_out}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import fig2, fig3, stability, table1
     from repro.experiments import cost as cost_experiment
@@ -279,6 +568,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "template": _cmd_template,
         "detect": _cmd_detect,
         "scan-archive": _cmd_scan_archive,
+        "fleet": _cmd_fleet,
         "fig2": _cmd_experiment,
         "fig3": _cmd_experiment,
         "table1": _cmd_experiment,

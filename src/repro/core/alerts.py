@@ -36,6 +36,27 @@ class Alert:
         """Alert time in seconds."""
         return self.timestamp_us / SECOND_US
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (lossless, see the ledger)."""
+        return {
+            "timestamp_us": int(self.timestamp_us),
+            "window_index": int(self.window_index),
+            "violated_bits": [int(b) for b in self.violated_bits],
+            "deviations": [float(d) for d in self.deviations],
+            "n_messages": int(self.n_messages),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Alert":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            timestamp_us=int(payload["timestamp_us"]),
+            window_index=int(payload["window_index"]),
+            violated_bits=tuple(int(b) for b in payload["violated_bits"]),
+            deviations=tuple(float(d) for d in payload["deviations"]),
+            n_messages=int(payload["n_messages"]),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         bits = ", ".join(
             f"bit {b} ({d:+.4f})" for b, d in zip(self.violated_bits, self.deviations)

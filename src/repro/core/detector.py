@@ -73,6 +73,49 @@ class WindowResult:
             n_messages=self.n_messages,
         )
 
+    # ------------------------------------------------------------------
+    # Serialisation (the fleet ledger persists scan results)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation.
+
+        Lossless: JSON floats round-trip ``float64`` exactly (shortest
+        repr), so ``from_dict(to_dict())`` reproduces every array bit
+        for bit — the fleet ledger relies on this to make cached scan
+        results indistinguishable from fresh ones.
+        """
+        return {
+            "index": int(self.index),
+            "t_start_us": int(self.t_start_us),
+            "t_end_us": int(self.t_end_us),
+            "n_messages": int(self.n_messages),
+            "n_attack_messages": int(self.n_attack_messages),
+            "probabilities": [float(v) for v in self.probabilities],
+            "entropy": [float(v) for v in self.entropy],
+            "deviations": [float(v) for v in self.deviations],
+            "violated": [bool(v) for v in self.violated],
+            "judged": bool(self.judged),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WindowResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                index=int(payload["index"]),
+                t_start_us=int(payload["t_start_us"]),
+                t_end_us=int(payload["t_end_us"]),
+                n_messages=int(payload["n_messages"]),
+                n_attack_messages=int(payload["n_attack_messages"]),
+                probabilities=np.asarray(payload["probabilities"], dtype=float),
+                entropy=np.asarray(payload["entropy"], dtype=float),
+                deviations=np.asarray(payload["deviations"], dtype=float),
+                violated=np.asarray(payload["violated"], dtype=bool),
+                judged=bool(payload["judged"]),
+            )
+        except KeyError as exc:
+            raise DetectorError(f"window dict missing field {exc}") from exc
+
 
 class EntropyDetector:
     """Tumbling-window, per-bit entropy detector."""

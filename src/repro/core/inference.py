@@ -79,6 +79,38 @@ class InferenceResult:
             raise InferenceError("hit_rate needs a non-empty truth set")
         return len(truth.intersection(self.candidates)) / len(truth)
 
+    # ------------------------------------------------------------------
+    # Serialisation (the fleet ledger persists scan results)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (lossless float round trip)."""
+        return {
+            "candidates": [int(c) for c in self.candidates],
+            # JSON object keys are strings; from_dict restores the ints.
+            "constraints": {str(b): int(v) for b, v in self.constraints.items()},
+            "injected_fraction": float(self.injected_fraction),
+            "composition": [float(v) for v in self.composition],
+            "best_set": [int(c) for c in self.best_set],
+            "member_shares": [float(s) for s in self.member_shares],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InferenceResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                candidates=tuple(int(c) for c in payload["candidates"]),
+                constraints={
+                    int(b): int(v) for b, v in payload["constraints"].items()
+                },
+                injected_fraction=float(payload["injected_fraction"]),
+                composition=np.asarray(payload["composition"], dtype=float),
+                best_set=tuple(int(c) for c in payload["best_set"]),
+                member_shares=tuple(float(s) for s in payload["member_shares"]),
+            )
+        except KeyError as exc:
+            raise InferenceError(f"inference dict missing field {exc}") from exc
+
 
 class InferenceEngine:
     """Rank-selection inference over a known identifier pool."""

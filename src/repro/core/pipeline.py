@@ -10,9 +10,9 @@ inferred malicious-identifier candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -133,6 +133,38 @@ class DetectionReport:
                 lines.append(f"bit constraints: {bits}")
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    # Serialisation (the fleet ledger persists scan results)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation.
+
+        Lossless: every window, alert and inference field survives the
+        round trip bit for bit (JSON floats are shortest-repr exact), so
+        a report replayed from the fleet ledger is indistinguishable
+        from one produced by a fresh scan.
+        """
+        return {
+            "windows": [w.to_dict() for w in self.windows],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "inference": None if self.inference is None else self.inference.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DetectionReport":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            windows = [WindowResult.from_dict(w) for w in payload["windows"]]
+            alerts = [Alert.from_dict(a) for a in payload["alerts"]]
+            inference = payload["inference"]
+        except KeyError as exc:
+            raise DetectorError(f"report dict missing field {exc}") from exc
+        return cls(
+            windows=windows,
+            alerts=alerts,
+            inference=None if inference is None else InferenceResult.from_dict(inference),
+        )
+
 
 def _pooled_detection_rate(reports) -> float:
     """The paper's Dr with messages pooled across several reports."""
@@ -206,6 +238,25 @@ class ArchiveReport:
         )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (paths as POSIX strings)."""
+        return {
+            "captures": [
+                {"path": Path(path).as_posix(), "report": report.to_dict()}
+                for path, report in self.captures
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArchiveReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            captures=[
+                (Path(entry["path"]), DetectionReport.from_dict(entry["report"]))
+                for entry in payload["captures"]
+            ]
+        )
+
 
 @dataclass
 class MultiBusReport:
@@ -214,9 +265,16 @@ class MultiBusReport:
     The paper's method runs one IDS instance per bus segment; the fused
     verdict is the gateway-level view — the vehicle is under attack
     when *any* segment's detector alarms.
+
+    ``templates`` records which golden template judged each bus (the
+    pipeline's own unless a per-bus mapping was passed to
+    :meth:`IDSPipeline.analyze_multibus`), so callers can persist the
+    exact per-bus training state next to the fused verdict (see
+    :class:`repro.fleet.store.FleetStore`).
     """
 
     per_bus: Dict[str, DetectionReport]
+    templates: Dict[str, GoldenTemplate] = field(default_factory=dict)
 
     @property
     def buses(self) -> Tuple[str, ...]:
@@ -348,6 +406,7 @@ class IDSPipeline:
         self,
         trace: ColumnTrace,
         infer_k=1,
+        templates: Optional[Mapping[str, GoldenTemplate]] = None,
     ) -> MultiBusReport:
         """Detect per bus segment of a fused multi-bus capture.
 
@@ -358,6 +417,14 @@ class IDSPipeline:
         detected independently (windows, template comparison, inference)
         exactly as a per-bus IDS deployment would, and the per-bus
         reports are fused into a :class:`MultiBusReport`.
+
+        ``templates`` optionally maps bus label -> the golden template
+        trained on that bus (see
+        :func:`repro.vehicle.multibus.build_bus_templates`); buses
+        absent from the mapping fall back to the pipeline's own
+        template.  The mapping actually used — one entry per analyzed
+        bus — comes back on ``MultiBusReport.templates`` so it can be
+        persisted next to the fused verdict.
         """
         if not isinstance(trace, ColumnTrace):
             raise DetectorError(
@@ -376,10 +443,53 @@ class IDSPipeline:
                 "trace carries untagged records; tag every per-bus capture "
                 "with with_bus() before merging"
             )
+        templates = dict(templates or {})
+        unknown = set(templates) - set(labels)
+        if unknown:
+            raise DetectorError(
+                "per-bus template mapping names buses absent from the "
+                "trace: " + ", ".join(sorted(unknown))
+            )
         per_bus: Dict[str, DetectionReport] = {}
+        used: Dict[str, GoldenTemplate] = {}
         for label in labels:
-            per_bus[label] = self.analyze(trace.for_bus(label), infer_k=infer_k)
-        return MultiBusReport(per_bus=per_bus)
+            template = templates.get(label)
+            segment = (
+                self
+                if template is None or template is self.template
+                else IDSPipeline(template, self.config, self.id_pool)
+            )
+            per_bus[label] = segment.analyze(trace.for_bus(label), infer_k=infer_k)
+            used[label] = segment.template
+        return MultiBusReport(per_bus=per_bus, templates=used)
+
+    def analyze_fleet(
+        self,
+        store,
+        workers: Optional[int] = None,
+        infer_k=1,
+        **drift_kwargs,
+    ):
+        """Incrementally scan a whole fleet store and aggregate drift.
+
+        ``store`` is a :class:`repro.fleet.store.FleetStore` (or its
+        root directory).  Every vehicle's capture archive is scanned
+        *incrementally* — captures whose fingerprint already sits in the
+        vehicle's scan ledger replay their persisted report instead of
+        being re-scanned — using the vehicle's own golden template when
+        one is stored (this pipeline's template otherwise).  Per-capture
+        reports aggregate time-ordered into a
+        :class:`repro.fleet.drift.FleetReport` with pooled
+        detection/FPR, per-bit entropy drift series and CUSUM drift
+        alarms; ``drift_kwargs`` pass through to
+        :func:`repro.fleet.drift.analyze_fleet` (``drift_slack``,
+        ``drift_limit``).
+        """
+        from repro.fleet.drift import analyze_fleet  # cycle-free import
+
+        return analyze_fleet(
+            store, self, workers=workers, infer_k=infer_k, **drift_kwargs
+        )
 
     def streaming_detector(self, sink: Optional[AlertSink] = None) -> EntropyDetector:
         """A fresh streaming detector sharing this pipeline's template.

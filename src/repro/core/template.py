@@ -153,6 +153,8 @@ class TemplateBuilder:
         self._entropies: List[np.ndarray] = []
         self._probabilities: List[np.ndarray] = []
         self._counts: List[int] = []
+        #: Windows dropped by ``exclude_attacked`` (ground truth), total.
+        self.excluded_attacked = 0
 
     # ------------------------------------------------------------------
     @property
@@ -182,14 +184,23 @@ class TemplateBuilder:
         counter.update_many(trace.ids())
         self.add_counter(counter)
 
-    def add_trace_windows(self, trace: Trace) -> int:
+    def add_trace_windows(self, trace: Trace, exclude_attacked: bool = False) -> int:
         """Split a long trace into config windows and add each; returns count.
 
         Windows below ``min_window_messages`` (trace edges) are skipped.
+        With ``exclude_attacked``, windows containing ground-truth attack
+        messages are skipped too (counted in ``excluded_attacked``) —
+        the golden template must see only clean traffic, and training on
+        injected traffic inflates the entropy ranges (and therefore the
+        thresholds) until the template under-detects the very attacks it
+        ingested.  Either trace representation works.
         """
         added = 0
         for window in trace.time_windows(self.config.window_us):
             if len(window) < self.config.min_window_messages:
+                continue
+            if exclude_attacked and window.attack_count > 0:
+                self.excluded_attacked += 1
                 continue
             self.add_trace(window)
             added += 1

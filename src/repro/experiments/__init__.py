@@ -7,6 +7,7 @@
 :mod:`~repro.experiments.stability`  Sec. IV.B — entropy stability across driving
 :mod:`~repro.experiments.cost`       Sec. V.E — cost & capability comparison
 :mod:`~repro.experiments.throughput` Streaming vs batch detection at scale
+:mod:`~repro.experiments.fleet`      Incremental fleet scanning vs cold scans
 ==================  ========================================================
 
 Each module exposes ``run(...)`` returning a structured result object

@@ -1,0 +1,175 @@
+"""The persistent scan ledger: capture fingerprint -> cached report.
+
+One-shot archive scanning re-reads and re-judges every capture on every
+run; a fleet deployment scans the same months of captures daily with
+only a handful of new files.  :class:`ScanLedger` is the persistence
+layer that makes re-scans incremental: a JSON file mapping each
+capture's *relative path* to its content fingerprint
+(:func:`repro.io.fingerprint.fingerprint_file`) and the serialized
+:class:`~repro.core.pipeline.DetectionReport` of its last scan.
+
+Correctness properties:
+
+* **keyed by content, not name** — an appended/replaced capture misses
+  (fingerprint mismatch) and re-scans;
+* **keyed by detection context** — the ledger stores a ``context`` key
+  derived from the template, config and inference settings; a retrained
+  template invalidates every entry at load time;
+* **crash-safe** — :func:`atomic_write_text` writes a temp file in the
+  same directory and ``os.replace``\\ s it over the ledger, so a killed
+  watch run leaves either the old ledger or the new one, never a
+  truncated hybrid; a ledger that *is* corrupt (partial write by a
+  foreign tool, disk fault) is detected at load and rebuilt from
+  scratch rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+__all__ = ["ScanLedger", "atomic_write_text"]
+
+#: On-disk schema version; bump on incompatible layout changes.
+LEDGER_VERSION = 1
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lands in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename — atomic on POSIX.  On
+    any failure the temp file is removed and the destination is left
+    untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="ascii") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ScanLedger:
+    """JSON-on-disk cache of per-capture scan results.
+
+    Parameters
+    ----------
+    path:
+        The ledger file.  Missing is fine (fresh ledger); unreadable or
+        corrupt content is *detected* and the ledger rebuilds empty
+        (``rebuilt`` is set so callers can report it).
+    context:
+        Opaque string identifying the detection context (template +
+        config + inference settings; see
+        :func:`repro.fleet.watch.detection_context`).  A ledger written
+        under a different context loads empty — cached verdicts from an
+        old template must never answer for a new one.
+
+    ``hits`` / ``misses`` count :meth:`get` outcomes since construction,
+    so incremental scans can assert exactly how much work the ledger
+    saved (the watch tests do).  ``rebuilt`` is True whenever the file
+    existed but loaded empty; ``rebuild_reason`` says why —
+    ``"corrupt"`` (torn/foreign file: worth an operator's attention) or
+    ``"context-changed"`` (retrained template or new settings: routine)
+    — so the two cases stay distinguishable in scan output.
+    """
+
+    def __init__(self, path: Union[str, Path], context: str = "") -> None:
+        self.path = Path(path)
+        self.context = context
+        self.rebuild_reason: Optional[str] = None
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        self._load()
+
+    @property
+    def rebuilt(self) -> bool:
+        """True when an existing ledger file could not be used."""
+        return self.rebuild_reason is not None
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="ascii"))
+            if not isinstance(payload, dict):
+                raise ValueError("ledger root is not an object")
+            if payload.get("version") != LEDGER_VERSION:
+                raise ValueError("ledger schema version mismatch")
+            entries = payload["entries"]
+            if not isinstance(entries, dict) or any(
+                not isinstance(e, dict) or "fingerprint" not in e or "report" not in e
+                for e in entries.values()
+            ):
+                raise ValueError("ledger entries malformed")
+        except (ValueError, KeyError, OSError):
+            # Truncated/corrupt/foreign file: rebuild rather than trust.
+            self.rebuild_reason = "corrupt"
+            return
+        if payload.get("context") != self.context:
+            # Valid file, different detection context (e.g. retrained
+            # template): every cached verdict is stale.
+            self.rebuild_reason = "context-changed"
+            return
+        self._entries = entries
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, rel_path: str) -> bool:
+        return rel_path in self._entries
+
+    def keys(self) -> Iterable[str]:
+        """The ledgered capture paths (relative, POSIX separators)."""
+        return self._entries.keys()
+
+    def get(self, rel_path: str, fingerprint: str) -> Optional[dict]:
+        """The cached report dict for a capture, or None on miss.
+
+        A hit requires both the path *and* the content fingerprint to
+        match; a re-recorded capture under the same name misses.
+        """
+        entry = self._entries.get(rel_path)
+        if entry is not None and entry["fingerprint"] == fingerprint:
+            self.hits += 1
+            return entry["report"]
+        self.misses += 1
+        return None
+
+    def put(self, rel_path: str, fingerprint: str, report: dict) -> None:
+        """Record (or replace) a capture's scan result."""
+        self._entries[rel_path] = {"fingerprint": fingerprint, "report": report}
+
+    def prune(self, keep: Iterable[str]) -> int:
+        """Drop entries for captures no longer in the archive."""
+        keep_set = set(keep)
+        stale = [k for k in self._entries if k not in keep_set]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Persist the ledger atomically (crash leaves old or new file)."""
+        payload = {
+            "version": LEDGER_VERSION,
+            "context": self.context,
+            "entries": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, json.dumps(payload))

@@ -7,8 +7,9 @@ attack labels, a candump-compatible text format, and a Vehicle-Spy-like
 CSV format.
 """
 
-from repro.io.archive import CaptureArchive
+from repro.io.archive import CaptureArchive, capture_suffix
 from repro.io.columnar import ColumnTrace
+from repro.io.fingerprint import fingerprint_bytes, fingerprint_file
 from repro.io.csvlog import (
     iter_csv_columns,
     read_csv,
@@ -30,6 +31,9 @@ __all__ = [
     "ColumnTrace",
     "Trace",
     "TraceRecord",
+    "capture_suffix",
+    "fingerprint_bytes",
+    "fingerprint_file",
     "iter_candump_columns",
     "iter_csv_columns",
     "read_candump",

@@ -1,0 +1,45 @@
+"""Transparent gzip handling shared by the log readers/writers.
+
+Fleet archives keep months of captures; candump logs compress ~10x, so
+the IO layer reads and writes ``*.gz`` twins of both text formats
+transparently (ROADMAP "richer archive formats").  Compression is a
+property of the *file name* — ``drive.log.gz`` is a gzipped candump
+log, ``drive.csv.gz`` a gzipped CSV trace — and every reader produces
+results identical to reading the uncompressed file.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+
+def is_gzip_path(path: Union[str, Path]) -> bool:
+    """True when the file name marks gzip compression (``.gz``)."""
+    return Path(path).suffix.lower() == ".gz"
+
+
+def open_text(path: Union[str, Path], mode: str):
+    """Open a log file for text IO, decompressing/compressing ``.gz``.
+
+    ``mode`` is ``"r"`` or ``"w"``; encoding is always ASCII (both log
+    formats are) and newline handling matches the plain ``open`` call
+    the CSV writer needs (``newline=""``).
+    """
+    if is_gzip_path(path):
+        return gzip.open(path, mode + "t", encoding="ascii", newline="")
+    return open(path, mode, encoding="ascii", newline="")
+
+
+def read_bytes(path: Union[str, Path]) -> bytes:
+    """Read a whole log file as bytes, decompressing ``.gz``.
+
+    The vectorised parsers consume one flat byte buffer; gzipped
+    captures simply decompress into that buffer first.
+    """
+    if is_gzip_path(path):
+        with gzip.open(path, "rb") as handle:
+            return handle.read()
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -33,21 +33,35 @@ from repro.io.log import (
     write_candump_columns,
 )
 
-__all__ = ["CaptureArchive", "load_capture_columns"]
+__all__ = ["CaptureArchive", "capture_suffix", "load_capture_columns"]
 
-#: File patterns an archive enumerates by default.
-DEFAULT_PATTERNS = ("*.log", "*.csv")
+#: File patterns an archive enumerates by default (gzipped twins of
+#: both text formats included; the readers decompress transparently).
+DEFAULT_PATTERNS = ("*.log", "*.csv", "*.log.gz", "*.csv.gz")
+
+
+def capture_suffix(path: Union[str, Path]) -> str:
+    """The format-determining suffix, looking through ``.gz``.
+
+    ``drive.log`` and ``drive.log.gz`` are both ``".log"``; compression
+    is an IO-layer property, not a format.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".gz":
+        path = path.with_suffix("")
+    return path.suffix.lower()
 
 
 def load_capture_columns(path: Union[str, Path]) -> ColumnTrace:
     """Load one capture file into columns, choosing the reader by suffix.
 
-    ``.csv`` files take the CSV reader; anything else is treated as a
-    candump text log.  This is the module-level loader the shard workers
-    call, so it must stay importable (picklable) by name.
+    ``.csv`` (or ``.csv.gz``) files take the CSV reader; anything else
+    is treated as a candump text log.  This is the module-level loader
+    the shard workers call, so it must stay importable (picklable) by
+    name.
     """
     path = Path(path)
-    if path.suffix.lower() == ".csv":
+    if capture_suffix(path) == ".csv":
         return read_csv_columns(path)
     return read_candump_columns(path)
 
@@ -55,7 +69,7 @@ def load_capture_columns(path: Union[str, Path]) -> ColumnTrace:
 def _iter_capture_chunks(
     path: Path, chunk_frames: int
 ) -> Iterator[ColumnTrace]:
-    if path.suffix.lower() == ".csv":
+    if capture_suffix(path) == ".csv":
         return iter_csv_columns(path, chunk_frames)
     return iter_candump_columns(path, chunk_frames)
 
@@ -68,8 +82,8 @@ class CaptureArchive:
     directory:
         The archive root.  Must exist.
     patterns:
-        Glob patterns selecting capture files (default ``*.log`` and
-        ``*.csv``).
+        Glob patterns selecting capture files (default ``*.log``,
+        ``*.csv`` and their gzipped ``.gz`` twins).
     recursive:
         Also search subdirectories (``**/pattern``).
 
@@ -92,6 +106,12 @@ class CaptureArchive:
         for pattern in self.patterns:
             globber = self.directory.rglob if recursive else self.directory.glob
             found.update(p for p in globber(pattern) if p.is_file())
+        # Compression is an IO property, not a different capture: when a
+        # gzipped file sits next to its uncompressed twin (gzip -k), the
+        # pair is ONE capture — enumerate only the plain file so scans
+        # and pooled metrics never double-count a drive.
+        found -= {p for p in found
+                  if p.suffix.lower() == ".gz" and p.with_suffix("") in found}
         self._paths: Tuple[Path, ...] = tuple(
             sorted(found, key=lambda p: p.relative_to(self.directory).as_posix())
         )
@@ -171,9 +191,21 @@ class CaptureArchive:
                 f"capture name {name!r} matches none of the archive "
                 f"patterns {self.patterns}"
             )
+        twin = (
+            path.with_suffix("")
+            if path.suffix.lower() == ".gz"
+            else path.with_name(path.name + ".gz")
+        )
+        if twin in self._paths:
+            # One capture, one enumerated file: a plain/gzip twin would
+            # be dropped (or shadow this one) on the next enumeration.
+            raise TraceFormatError(
+                f"capture name {name!r} is the compression twin of "
+                f"already-indexed {twin.name!r}"
+            )
         ct = ColumnTrace.coerce(trace)
         if fmt is None:
-            fmt = "csv" if path.suffix.lower() == ".csv" else "candump"
+            fmt = "csv" if capture_suffix(path) == ".csv" else "candump"
         if fmt == "csv":
             write_csv_columns(ct, path)
         elif fmt == "candump":

@@ -6,6 +6,10 @@ so traces round-trip losslessly, including the simulator ground truth::
 
     time_us,can_id_hex,extended,dlc,data_hex,source,is_attack
     12345,1A4,0,4,DEADBEEF,ECU_Powertrain,0
+
+Files named ``*.gz`` are read and written gzip-compressed,
+transparently: every reader produces results identical to reading the
+uncompressed file.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import numpy as np
 
 from repro.exceptions import TraceFormatError
 from repro.io._builder import ColumnBuilder
+from repro.io._gz import open_text, read_bytes
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace, TraceRecord
 from repro.io.vectorparse import parse_csv_bytes
@@ -28,7 +33,7 @@ HEADER = ["time_us", "can_id_hex", "extended", "dlc", "data_hex", "source", "is_
 
 def write_csv(trace: Iterable[TraceRecord], path: Union[str, Path]) -> None:
     """Write a trace to ``path`` as CSV with the module header."""
-    with open(path, "w", encoding="ascii", newline="") as handle:
+    with open_text(path, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(HEADER)
         for record in trace:
@@ -48,7 +53,7 @@ def write_csv(trace: Iterable[TraceRecord], path: Union[str, Path]) -> None:
 def read_csv(path: Union[str, Path]) -> Trace:
     """Read a CSV trace written by :func:`write_csv`."""
     trace = Trace()
-    with open(path, "r", encoding="ascii", newline="") as handle:
+    with open_text(path, "r") as handle:
         reader = csv.reader(handle)
         _check_csv_header(reader, path)
         for lineno, row in enumerate(reader, start=2):
@@ -138,7 +143,7 @@ def iter_csv_columns(
         )
     last_timestamp: Optional[int] = None
     builder = ColumnBuilder()
-    with open(path, "r", encoding="ascii", newline="") as handle:
+    with open_text(path, "r") as handle:
         reader = csv.reader(handle)
         _check_csv_header(reader, path)
         for lineno, row in enumerate(reader, start=2):
@@ -181,10 +186,10 @@ def read_csv_columns(path: Union[str, Path]) -> ColumnTrace:
     :func:`repro.io.vectorparse.parse_csv_bytes` extracts every column
     with vectorised passes.  Files the vector parser cannot digest
     (quoting, ragged rows) fall back to the full ``csv``-module path
-    and its per-row diagnostics.
+    and its per-row diagnostics.  ``.gz`` files decompress into the
+    byte buffer first and take the same vectorised path.
     """
-    with open(path, "rb") as handle:
-        buf = np.frombuffer(handle.read(), dtype=np.uint8)
+    buf = np.frombuffer(read_bytes(path), dtype=np.uint8)
     cols = parse_csv_bytes(buf, _HEADER_BYTES)
     if cols is None:
         return _read_csv_columns_robust(path)
@@ -209,7 +214,7 @@ def write_csv_columns(ct: ColumnTrace, path: Union[str, Path]) -> None:
     hex_all = ct.payload_bytes().tobytes().hex().upper()
     offsets = ((ct.payload_offsets - base) * 2).tolist()
     dlc = ct.dlc.tolist()
-    with open(path, "w", encoding="ascii", newline="") as handle:
+    with open_text(path, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(HEADER)
         writer.writerows(

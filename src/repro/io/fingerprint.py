@@ -1,0 +1,49 @@
+"""Content fingerprints for capture files.
+
+The fleet layer's scan ledger (:mod:`repro.fleet.ledger`) keys cached
+scan results by *what was scanned*, not just the file name: a capture
+that is appended to, truncated or replaced must re-scan even though its
+path is unchanged.  A fingerprint is a compact string combining the file
+size with a BLAKE2b content digest, so collisions are out of the
+question at fleet scale while fingerprinting stays IO-bound (one
+sequential read, no parsing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Union
+
+__all__ = ["fingerprint_bytes", "fingerprint_file"]
+
+#: Digest size in bytes; 16 (128 bits) is far beyond fleet-scale needs.
+_DIGEST_SIZE = 16
+
+#: Read granularity for the streaming file hash.
+_CHUNK_BYTES = 1 << 20
+
+
+def fingerprint_bytes(data: bytes) -> str:
+    """Fingerprint an in-memory byte string (``blake2b:<hex>:<size>``)."""
+    digest = hashlib.blake2b(data, digest_size=_DIGEST_SIZE).hexdigest()
+    return f"blake2b:{digest}:{len(data)}"
+
+
+def fingerprint_file(path: Union[str, Path]) -> str:
+    """Fingerprint a file's content without loading it whole.
+
+    Reads sequentially in bounded chunks, so fingerprinting an archive
+    never needs more memory than one chunk regardless of capture size.
+    The result matches :func:`fingerprint_bytes` of the file's content.
+    """
+    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK_BYTES)
+            if not chunk:
+                break
+            hasher.update(chunk)
+            size += len(chunk)
+    return f"blake2b:{hasher.hexdigest()}:{size}"

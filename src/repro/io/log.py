@@ -9,6 +9,10 @@ simulator clock exactly.  Two optional trailing comment fields carry the
 simulator's ground truth so traces can round-trip losslessly::
 
     (0.012345) can0 1A4#DEADBEEF ; src=ECU_Powertrain attack=0
+
+Files named ``*.gz`` are read and written gzip-compressed,
+transparently: every reader produces results identical to reading the
+uncompressed file.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import numpy as np
 from repro.can.constants import MAX_BASE_ID, SECOND_US
 from repro.exceptions import TraceFormatError
 from repro.io._builder import ColumnBuilder
+from repro.io._gz import open_text, read_bytes
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace, TraceRecord
 from repro.io.vectorparse import parse_candump_bytes
@@ -78,8 +83,8 @@ def write_candump(
     path: Union[str, Path],
     iface: str = "can0",
 ) -> None:
-    """Write a trace to ``path`` in candump format."""
-    with open(path, "w", encoding="ascii") as handle:
+    """Write a trace to ``path`` in candump format (gzipped for ``.gz``)."""
+    with open_text(path, "w") as handle:
         for record in trace:
             handle.write(format_record(record, iface))
             handle.write("\n")
@@ -91,7 +96,7 @@ def read_candump(path: Union[str, Path]) -> Trace:
     Blank lines and lines starting with ``#`` are skipped.
     """
     trace = Trace()
-    with open(path, "r", encoding="ascii") as handle:
+    with open_text(path, "r") as handle:
         for lineno, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
@@ -195,7 +200,7 @@ def iter_candump_columns(
         )
     last_timestamp: Optional[int] = None
     builder = ColumnBuilder()
-    with open(path, "r", encoding="ascii") as handle:
+    with open_text(path, "r") as handle:
         for lineno, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
@@ -235,10 +240,10 @@ def read_candump_columns(path: Union[str, Path]) -> ColumnTrace:
     digest (comments, unusual spacing) re-parse line by line; either
     way the result is identical to ``read_candump(path).to_columns()``.
     An order of magnitude faster than loading via records (the archive
-    throughput experiment measures it).
+    throughput experiment measures it).  ``.gz`` files decompress into
+    the byte buffer first and take the same vectorised path.
     """
-    with open(path, "rb") as handle:
-        buf = np.frombuffer(handle.read(), dtype=np.uint8)
+    buf = np.frombuffer(read_bytes(path), dtype=np.uint8)
     cols = parse_candump_bytes(buf)
     if cols is None:
         return _read_candump_columns_robust(path)
@@ -269,7 +274,7 @@ def write_candump_columns(
     ext = ct.extended.tolist()
     att = ct.is_attack.tolist()
     sources = ct.sources()
-    with open(path, "w", encoding="ascii") as handle:
+    with open_text(path, "w") as handle:
         lines = []
         for i in range(n):
             secs, usecs = divmod(times[i], SECOND_US)

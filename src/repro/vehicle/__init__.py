@@ -24,7 +24,12 @@ from repro.vehicle.driving import (
 )
 from repro.vehicle.ecu_profiles import build_ecus
 from repro.vehicle.ids_catalog import CatalogEntry, VehicleCatalog, ford_fusion_catalog
-from repro.vehicle.multibus import BridgeNode, DualBusVehicle, fuse_bus_traces
+from repro.vehicle.multibus import (
+    BridgeNode,
+    DualBusVehicle,
+    build_bus_templates,
+    fuse_bus_traces,
+)
 from repro.vehicle.traffic import VehicleSimulation, simulate_drive
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "STANDARD_SCENARIOS",
     "VehicleCatalog",
     "VehicleSimulation",
+    "build_bus_templates",
     "build_ecus",
     "ford_fusion_catalog",
     "random_scenario",

@@ -185,6 +185,45 @@ class DualBusVehicle:
         }
 
 
+def build_bus_templates(
+    trace: ColumnTrace, config=None, exclude_attacked: bool = True
+) -> dict:
+    """Train one golden template per bus of a clean, bus-tagged capture.
+
+    The paper runs one IDS instance per bus segment, which means one
+    golden template per segment; this trains all of them from a single
+    fused clean capture (e.g. :meth:`DualBusVehicle.run_columns`) by
+    splitting each bus's records into config windows.  Windows carrying
+    ground-truth attack messages are excluded by default — training on
+    injected traffic inflates the thresholds until the template
+    under-detects exactly those attacks.  Returns a
+    ``{bus label: GoldenTemplate}`` mapping ready for
+    :meth:`IDSPipeline.analyze_multibus`'s ``templates`` argument and
+    :meth:`repro.fleet.store.FleetStore.save_bus_templates`.
+    """
+    from repro.core.template import TemplateBuilder  # cycle-free import
+
+    if not isinstance(trace, ColumnTrace):
+        raise BusConfigError(
+            "build_bus_templates needs a bus-tagged ColumnTrace; tag "
+            "per-bus captures with with_bus() and merge them first"
+        )
+    labels = trace.bus_labels()
+    if not labels or "" in labels:
+        raise BusConfigError(
+            "trace carries untagged records; tag every per-bus capture "
+            "with with_bus() before training"
+        )
+    templates = {}
+    for label in labels:
+        builder = TemplateBuilder(config)
+        builder.add_trace_windows(
+            trace.for_bus(label), exclude_attacked=exclude_attacked
+        )
+        templates[label] = builder.build()
+    return templates
+
+
 def fuse_bus_traces(**captures) -> ColumnTrace:
     """Fan per-bus captures into one bus-tagged columnar trace.
 

@@ -121,3 +121,208 @@ class TestScanArchive:
             ["scan-archive", "--template", str(template_path), "--dir", str(empty)]
         ) == 1
         assert "no captures" in capsys.readouterr().out
+
+
+class TestFleet:
+    """fleet add -> train -> scan -> (append) -> scan -> status/report."""
+
+    def test_full_fleet_workflow(self, tmp_path, capsys):
+        store = tmp_path / "fleet"
+        traces = tmp_path / "traces"
+        traces.mkdir()
+        # Two vehicles, two clean drives each.
+        for v, vid in enumerate(("car-a", "car-b")):
+            for i in range(2):
+                path = traces / f"{vid}-d{i}.log"
+                assert main(
+                    ["simulate", "--duration", "5", "--seed", str(20 + 10 * v + i),
+                     "--out", str(path)]
+                ) == 0
+                assert main(
+                    ["fleet", "add", "--store", str(store), "--vehicle", vid,
+                     "--trace", str(path), "--name", f"d{i}.log"]
+                ) == 0
+            assert main(
+                ["fleet", "train", "--store", str(store), "--vehicle", vid]
+            ) == 0
+        capsys.readouterr()
+
+        # First scan is cold and clean.
+        assert main(["fleet", "scan", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 scanned, 0 cached" in out
+
+        # Append an attack capture to one vehicle; only it re-scans.
+        attack = traces / "attack.log"
+        assert main(
+            ["attack", "--attack", "single", "--freq", "100", "--duration", "8",
+             "--attack-duration", "5", "--out", str(attack)]
+        ) == 0
+        assert main(
+            ["fleet", "add", "--store", str(store), "--vehicle", "car-b",
+             "--trace", str(attack)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["fleet", "scan", "--store", str(store)]) == 2
+        out = capsys.readouterr().out
+        assert "car-a: 2 captures: 0 scanned, 2 cached" in out
+        assert "car-b: 3 captures: 1 scanned, 2 cached" in out
+        assert "alarmed vehicles: car-b" in out
+
+        # Status and report (the acceptance-criterion aggregation:
+        # 2 vehicles x >= 2 captures with drift series + pooled metrics).
+        assert main(["fleet", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "car-a: 2 captures, template=yes" in out
+        assert "ledger entries=2" in out
+
+        report_path = tmp_path / "fleet-report.txt"
+        json_path = tmp_path / "fleet-report.json"
+        assert main(
+            ["fleet", "report", "--store", str(store),
+             "--out", str(report_path), "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 vehicles, 5 captures, 1 alarmed" in out
+        assert "pooled Dr=" in out and "drift" in out
+        assert report_path.read_text().startswith("car-a:")
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["pooled"]["n_vehicles"] == 2
+        assert payload["vehicles"]["car-b"]["detection_rate"] > 0.5
+        assert len(payload["vehicles"]["car-a"]["drift"]["deviations"]) == 2
+
+    def test_window_mismatch_refused(self, tmp_path, capsys):
+        """Scanning at a different window than training must error,
+        not silently judge with shifted entropy baselines."""
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "6", "--out", str(trace)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(trace)])
+        main(["fleet", "train", "--store", str(store), "--vehicle", "car-a",
+              "--window-s", "1.0"])
+        capsys.readouterr()
+        # Explicit mismatching window: refused.
+        assert main(
+            ["fleet", "scan", "--store", str(store), "--window-s", "2.0"]
+        ) == 1
+        assert "does not match training" in capsys.readouterr().out
+        # No flag: the recorded training window is used automatically.
+        assert main(["fleet", "scan", "--store", str(store)]) in (0, 2)
+
+    def test_status_on_missing_store_exits_one(self, tmp_path, capsys):
+        missing = tmp_path / "typo"
+        assert main(["fleet", "status", "--store", str(missing)]) == 1
+        assert "no fleet store" in capsys.readouterr().out
+        assert not missing.exists()  # read-only command left no litter
+
+    def test_scan_on_missing_store_exits_one_even_with_template(
+        self, tmp_path, capsys
+    ):
+        """A typo'd --store must never report an all-clean fleet."""
+        template_path = tmp_path / "t.json"
+        main(["template", "--windows", "6", "--out", str(template_path)])
+        missing = tmp_path / "typo"
+        capsys.readouterr()
+        assert main(
+            ["fleet", "scan", "--store", str(missing),
+             "--template", str(template_path)]
+        ) == 1
+        assert "no fleet store" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_corrupt_template_diagnosed_not_traceback(self, tmp_path, capsys):
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "5", "--out", str(trace)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(trace)])
+        main(["fleet", "train", "--store", str(store), "--vehicle", "car-a"])
+        (store / "vehicles" / "car-a" / "template.json").write_text("{ torn")
+        capsys.readouterr()
+        assert main(["fleet", "scan", "--store", str(store)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_status_reports_corrupt_ledger_instead_of_crashing(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "4", "--out", str(trace)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(trace)])
+        # Scalar JSON root: parses fine, is structurally garbage.
+        (store / "vehicles" / "car-a" / "ledger.json").write_text("null")
+        capsys.readouterr()
+        assert main(["fleet", "status", "--store", str(store)]) == 0
+        assert "ledger entries=corrupt" in capsys.readouterr().out
+
+    def test_train_without_captures_exits_one(self, tmp_path, capsys):
+        store = tmp_path / "fleet"
+        assert main(
+            ["fleet", "train", "--store", str(store), "--vehicle", "car-x"]
+        ) == 1
+        assert "no captures" in capsys.readouterr().out
+
+    def test_scan_without_any_template_exits_one(self, tmp_path, capsys):
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "4", "--out", str(trace)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["fleet", "scan", "--store", str(store)]) == 1
+        assert "no template for vehicle(s) car-a" in capsys.readouterr().out
+
+    def test_untemplated_vehicle_errors_instead_of_borrowing(
+        self, tmp_path, capsys
+    ):
+        """A vehicle without its own template must not be silently
+        judged against another vehicle's baseline."""
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "5", "--out", str(trace)])
+        for vid in ("car-a", "car-z"):
+            main(["fleet", "add", "--store", str(store), "--vehicle", vid,
+                  "--trace", str(trace)])
+        main(["fleet", "train", "--store", str(store), "--vehicle", "car-a"])
+        capsys.readouterr()
+        assert main(["fleet", "scan", "--store", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "no template for vehicle(s) car-z" in out
+        # An explicit fallback makes the same scan legitimate.
+        template_path = tmp_path / "fallback.json"
+        main(["template", "--windows", "6", "--out", str(template_path)])
+        capsys.readouterr()
+        assert main(
+            ["fleet", "scan", "--store", str(store),
+             "--template", str(template_path)]
+        ) in (0, 2)
+
+    def test_train_excludes_attacked_windows(self, tmp_path, capsys):
+        """Training data is cleaned by ground truth: attacked windows
+        must not inflate the template's entropy ranges."""
+        store = tmp_path / "fleet"
+        clean = tmp_path / "clean.log"
+        attack = tmp_path / "attack.log"
+        main(["simulate", "--duration", "6", "--seed", "21", "--out", str(clean)])
+        main(["attack", "--attack", "single", "--freq", "100", "--duration", "8",
+              "--attack-duration", "6", "--seed", "21", "--out", str(attack)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(clean)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(attack)])
+        capsys.readouterr()
+        assert main(
+            ["fleet", "train", "--store", str(store), "--vehicle", "car-a"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attacked windows excluded" in out
+        # The attack capture is 8s long with ~6s attacked: at least two
+        # of its windows must have been dropped.
+        import re
+
+        excluded = int(re.search(r"\((\d+) attacked windows excluded\)", out).group(1))
+        assert excluded >= 2

@@ -1,0 +1,135 @@
+"""Report serialisation: dict round trips must be lossless.
+
+The fleet ledger replays persisted reports in place of fresh scans, so
+``from_dict(json.loads(json.dumps(to_dict())))`` must reproduce every
+field *bit for bit* — float equality here is exact equality, not
+approximation (JSON floats are shortest-repr round trips of float64).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.core import (
+    Alert,
+    ArchiveReport,
+    DetectionReport,
+    IDSPipeline,
+    InferenceResult,
+    WindowResult,
+)
+from repro.exceptions import DetectorError
+from repro.vehicle import VehicleSimulation
+
+
+@pytest.fixture(scope="module")
+def attack_report(golden_template, ids_config, catalog):
+    """A report with judged windows, alarms, alerts and inference."""
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=5)
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0,
+            start_s=1.0, duration_s=5.0, seed=5,
+        )
+    )
+    trace = sim.run(8.0)
+    pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+    return pipeline.analyze(trace.to_columns())
+
+
+def roundtrip(payload):
+    """Through actual JSON text, exactly as the ledger stores it."""
+    return json.loads(json.dumps(payload))
+
+
+def assert_window_identical(a: WindowResult, b: WindowResult):
+    assert a.index == b.index
+    assert a.t_start_us == b.t_start_us and a.t_end_us == b.t_end_us
+    assert a.n_messages == b.n_messages
+    assert a.n_attack_messages == b.n_attack_messages
+    assert np.array_equal(a.probabilities, b.probabilities)
+    assert np.array_equal(a.entropy, b.entropy)
+    assert np.array_equal(a.deviations, b.deviations)
+    assert np.array_equal(a.violated, b.violated)
+    assert a.judged == b.judged
+    assert a.probabilities.dtype == b.probabilities.dtype
+    assert a.violated.dtype == b.violated.dtype
+
+
+class TestWindowResultRoundTrip:
+    def test_every_window_bit_identical(self, attack_report):
+        assert attack_report.windows  # non-trivial input
+        for window in attack_report.windows:
+            clone = WindowResult.from_dict(roundtrip(window.to_dict()))
+            assert_window_identical(window, clone)
+            assert clone.alarm == window.alarm
+
+    def test_missing_field_rejected(self, attack_report):
+        payload = attack_report.windows[0].to_dict()
+        del payload["entropy"]
+        with pytest.raises(DetectorError):
+            WindowResult.from_dict(payload)
+
+
+class TestAlertAndInferenceRoundTrip:
+    def test_alert_identical(self, attack_report):
+        assert attack_report.alerts
+        for alert in attack_report.alerts:
+            clone = Alert.from_dict(roundtrip(alert.to_dict()))
+            assert clone == alert  # frozen dataclass of scalars/tuples
+
+    def test_inference_identical(self, attack_report):
+        inference = attack_report.inference
+        assert inference is not None
+        clone = InferenceResult.from_dict(roundtrip(inference.to_dict()))
+        assert clone.candidates == inference.candidates
+        # JSON stringifies int keys; they must come back as ints.
+        assert clone.constraints == inference.constraints
+        assert all(isinstance(k, int) for k in clone.constraints)
+        assert clone.injected_fraction == inference.injected_fraction
+        assert np.array_equal(clone.composition, inference.composition)
+        assert clone.best_set == inference.best_set
+        assert clone.member_shares == inference.member_shares
+
+
+class TestDetectionReportRoundTrip:
+    def test_report_bit_identical(self, attack_report):
+        clone = DetectionReport.from_dict(roundtrip(attack_report.to_dict()))
+        for a, b in zip(attack_report.windows, clone.windows):
+            assert_window_identical(a, b)
+        assert clone.alerts == attack_report.alerts
+        # Every derived metric must therefore agree exactly.
+        assert clone.detection_rate == attack_report.detection_rate
+        assert clone.false_positive_rate == attack_report.false_positive_rate
+        assert clone.detection_latency_us == attack_report.detection_latency_us
+        assert clone.summary() == attack_report.summary()
+        # And the dicts themselves are a fixed point.
+        assert clone.to_dict() == attack_report.to_dict()
+
+    def test_none_inference_survives(self, golden_template, ids_config, catalog):
+        from repro.vehicle.traffic import simulate_drive
+
+        trace = simulate_drive(5.0, seed=9, catalog=catalog)
+        report = IDSPipeline(golden_template, ids_config).analyze(
+            trace.to_columns()
+        )
+        assert report.inference is None
+        clone = DetectionReport.from_dict(roundtrip(report.to_dict()))
+        assert clone.inference is None
+        assert clone.to_dict() == report.to_dict()
+
+
+class TestArchiveReportRoundTrip:
+    def test_paths_and_reports_survive(self, attack_report, tmp_path):
+        original = ArchiveReport(
+            captures=[
+                (tmp_path / "a.log", attack_report),
+                (tmp_path / "b.log", attack_report),
+            ]
+        )
+        clone = ArchiveReport.from_dict(roundtrip(original.to_dict()))
+        assert [p for p, _ in clone.captures] == [p for p, _ in original.captures]
+        assert clone.detection_rate == original.detection_rate
+        assert clone.to_dict() == original.to_dict()

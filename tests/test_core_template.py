@@ -71,6 +71,32 @@ class TestBuilder:
         added = builder.add_trace_windows(long_trace)
         assert added == builder.n_windows >= 2
 
+    def test_add_trace_windows_excludes_attacked(self):
+        """Ground-truth attacked windows are kept out of the template on
+        request — training on injections would inflate the thresholds."""
+        config = small_config(window_us=1_000_000)
+        records = [
+            TraceRecord(
+                timestamp_us=i * 1000,
+                can_id=(0x100 + i) % 0x7FF,
+                # The second 1 s window carries injected traffic.
+                is_attack=1_000_000 <= i * 1000 < 2_000_000,
+            )
+            for i in range(3000)
+        ]
+        trace = Trace(records)
+        clean_only = TemplateBuilder(config)
+        added = clean_only.add_trace_windows(trace, exclude_attacked=True)
+        assert clean_only.excluded_attacked == 1
+        everything = TemplateBuilder(config)
+        assert everything.add_trace_windows(trace) == added + 1
+        assert everything.excluded_attacked == 0
+        # Works identically on the columnar representation.
+        columnar = TemplateBuilder(config)
+        columnar.add_trace_windows(trace.to_columns(), exclude_attacked=True)
+        assert columnar.excluded_attacked == 1
+        assert columnar.n_windows == added
+
 
 class TestTemplateApi:
     def test_deviations_signed(self, golden_template):

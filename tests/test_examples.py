@@ -36,6 +36,7 @@ def test_examples_directory_complete():
         "attack_campaign.py",
         "malicious_id_inference.py",
         "baseline_comparison.py",
+        "fleet_monitoring.py",
         "live_monitoring.py",
         "response_blocking.py",
     } <= names
@@ -67,6 +68,14 @@ def test_response_blocking(capsys):
     out = capsys.readouterr().out
     assert "suppression" in out
     assert "attack frames reaching the vehicle" in out
+
+
+def test_fleet_monitoring(capsys):
+    run_example("fleet_monitoring.py")
+    out = capsys.readouterr().out
+    assert "cold scan" in out
+    assert "0 scanned, 2 cached" in out  # warm pass fully ledger-served
+    assert "fleet verdict: car-b under attack" in out
 
 
 @pytest.mark.slow

@@ -1,0 +1,270 @@
+"""Fleet drift analytics: aggregation, pooled metrics, CUSUM alarms."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.core import DetectionReport, IDSPipeline, WindowResult
+from repro.exceptions import DetectorError
+from repro.fleet import FleetStore, aggregate_vehicle, analyze_fleet
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import simulate_drive
+
+
+def clean_window(index, template, offset_thresholds):
+    """A judged, clean, non-alarming window whose entropy sits
+    ``offset_thresholds`` per-bit thresholds above the template mean."""
+    n_bits = template.n_bits
+    entropy = template.mean_entropy + offset_thresholds * template.thresholds
+    return WindowResult(
+        index=index,
+        t_start_us=index * 2_000_000,
+        t_end_us=(index + 1) * 2_000_000,
+        n_messages=100,
+        n_attack_messages=0,
+        probabilities=np.full(n_bits, 0.5),
+        entropy=entropy,
+        deviations=entropy - template.mean_entropy,
+        violated=np.zeros(n_bits, dtype=bool),
+        judged=True,
+    )
+
+
+def report_with_offset(template, offset, n_windows=4):
+    windows = [clean_window(i, template, offset) for i in range(n_windows)]
+    return DetectionReport(windows=windows, alerts=[], inference=None)
+
+
+class TestCUSUMDrift:
+    def test_steady_vehicle_never_alarms(self, golden_template):
+        captures = [
+            (f"cap{i}.log", report_with_offset(golden_template, 0.0))
+            for i in range(20)
+        ]
+        drift = aggregate_vehicle("car-a", captures, golden_template)
+        assert not drift.drift_alarm
+        assert drift.drift_score == 0.0
+        assert drift.drift_bits == ()
+        assert drift.first_drift_capture is None
+
+    def test_subthreshold_shift_accumulates_to_alarm(self, golden_template):
+        """The CUSUM property: a persistent 0.8-threshold shift never
+        alarms any single window, but must flag the vehicle."""
+        captures = [
+            (f"cap{i}.log", report_with_offset(golden_template, 0.8))
+            for i in range(6)
+        ]
+        for _, report in captures:
+            assert not report.alarmed_windows  # below window thresholds
+        drift = aggregate_vehicle(
+            "car-a", captures, golden_template, drift_slack=0.5, drift_limit=1.0
+        )
+        assert drift.drift_alarm
+        assert drift.drift_bits == tuple(range(1, golden_template.n_bits + 1))
+        # 0.8 - 0.5 slack = 0.3/capture; crosses 1.0 at the 4th capture.
+        assert drift.first_drift_capture == "cap3.log"
+
+    def test_negative_drift_caught_too(self, golden_template):
+        captures = [
+            (f"cap{i}.log", report_with_offset(golden_template, -0.8))
+            for i in range(6)
+        ]
+        drift = aggregate_vehicle(
+            "car-a", captures, golden_template, drift_slack=0.5, drift_limit=1.0
+        )
+        assert drift.drift_alarm
+        assert drift.cusum_neg.max() > drift.cusum_pos.max()
+
+    def test_slack_filters_noise(self, golden_template):
+        """Shifts below the slack never accumulate, however long."""
+        captures = [
+            (f"cap{i}.log", report_with_offset(golden_template, 0.4))
+            for i in range(50)
+        ]
+        drift = aggregate_vehicle(
+            "car-a", captures, golden_template, drift_slack=0.5, drift_limit=1.0
+        )
+        assert not drift.drift_alarm
+
+    def test_time_ordering_not_name_ordering(self, golden_template):
+        """Captures aggregate by first-window time, not input order."""
+        early = report_with_offset(golden_template, 0.0)
+        late = DetectionReport(
+            windows=[clean_window(100, golden_template, 0.0)],
+            alerts=[],
+            inference=None,
+        )
+        drift = aggregate_vehicle(
+            "car-a", [("zz_early.log", early), ("aa_late.log", late)],
+            golden_template,
+        )
+        assert drift.capture_names == ["zz_early.log", "aa_late.log"]
+
+    def test_tied_starts_order_names_naturally(self, golden_template):
+        """Capture-relative logs all start near t=0, so the name
+        carries the chronology — drive9 must precede drive10."""
+        captures = [
+            (name, report_with_offset(golden_template, 0.0))
+            for name in ("drive10.log", "drive9.log", "drive2.log")
+        ]
+        drift = aggregate_vehicle("car-a", captures, golden_template)
+        assert drift.capture_names == [
+            "drive2.log", "drive9.log", "drive10.log",
+        ]
+
+    def test_all_attack_capture_contributes_no_drift_point(self, golden_template):
+        windows = [clean_window(0, golden_template, 0.0)]
+        attacked = WindowResult(
+            index=0, t_start_us=0, t_end_us=2_000_000, n_messages=100,
+            n_attack_messages=10,
+            probabilities=np.full(golden_template.n_bits, 0.5),
+            entropy=golden_template.mean_entropy.copy(),
+            deviations=np.zeros(golden_template.n_bits),
+            violated=np.zeros(golden_template.n_bits, dtype=bool),
+            judged=True,
+        )
+        captures = [
+            ("clean.log", DetectionReport(windows=windows, alerts=[], inference=None)),
+            ("attack.log", DetectionReport(windows=[attacked], alerts=[], inference=None)),
+        ]
+        drift = aggregate_vehicle("car-a", captures, golden_template)
+        assert drift.drift_names == ["clean.log"]
+        assert drift.deviations.shape[0] == 1
+
+    def test_zero_threshold_bit_never_poisons_cusum(self, golden_template):
+        """A zero per-bit threshold (threshold_floor=0 + constant bit)
+        must not turn the CUSUM into NaN and silently disable the
+        alarm; a zero-range bit that moves must still drift."""
+        import dataclasses
+
+        thresholds = golden_template.thresholds.copy()
+        thresholds[0] = 0.0
+        template = dataclasses.replace(golden_template, thresholds=thresholds)
+        steady = [
+            (f"cap{i}.log", report_with_offset(template, 0.0)) for i in range(5)
+        ]
+        drift = aggregate_vehicle("car-a", steady, template)
+        assert np.isfinite(drift.drift_score)
+        assert not drift.drift_alarm
+        # Now move bit 1 (zero training range) by a little: instant drift.
+        moved = []
+        for i in range(3):
+            report = report_with_offset(template, 0.0)
+            for w in report.windows:
+                w.entropy[0] += 1e-3
+                w.deviations[0] += 1e-3
+            moved.append((f"cap{i}.log", report))
+        drift = aggregate_vehicle(
+            "car-a", moved, template, drift_slack=0.5, drift_limit=1.0
+        )
+        assert drift.drift_alarm and 1 in drift.drift_bits
+
+    def test_rejects_bad_parameters(self, golden_template):
+        with pytest.raises(DetectorError):
+            aggregate_vehicle("v", [], golden_template, drift_slack=-1.0)
+        with pytest.raises(DetectorError):
+            aggregate_vehicle("v", [], golden_template, drift_limit=0.0)
+
+
+@pytest.fixture()
+def fleet_store(tmp_path, catalog, golden_template):
+    """Two vehicles x two captures (one attacked), templates stored."""
+    store = FleetStore(tmp_path / "fleet")
+    for v, vid in enumerate(("car-a", "car-b")):
+        store.add_capture(
+            vid, "d0.log", simulate_drive(6.0, seed=80 + v, catalog=catalog)
+        )
+        if vid == "car-b":
+            sim = VehicleSimulation(catalog=catalog, scenario="city", seed=90)
+            sim.add_node(
+                SingleIDAttacker(
+                    can_id=catalog.ids[60], frequency_hz=100.0,
+                    start_s=1.0, duration_s=4.0, seed=9,
+                )
+            )
+            store.add_capture(vid, "d1.log", sim.run(6.0))
+        else:
+            store.add_capture(
+                vid, "d1.log", simulate_drive(6.0, seed=85, catalog=catalog)
+            )
+        store.save_template(vid, golden_template)
+    return store
+
+
+class TestAnalyzeFleet:
+    def test_fleet_aggregation_matches_per_capture_reports(
+        self, fleet_store, golden_template, ids_config, catalog
+    ):
+        """The acceptance criterion: >= 2 vehicles x >= 2 captures with
+        drift series and pooled Dr/FPR matching the per-capture reports."""
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        report = analyze_fleet(fleet_store, pipeline, workers=1)
+        assert report.vehicle_ids == ("car-a", "car-b")
+        assert report.n_captures == 4
+
+        # Pooled metrics must match recomputing from per-capture reports.
+        for vid, vehicle in report.vehicles.items():
+            assert len(vehicle.capture_names) == 2
+            assert len(vehicle.drift_names) >= 1  # drift series present
+            judged = [w for r in vehicle.reports for w in r.judged_windows]
+            attacked = sum(w.n_attack_messages for w in judged)
+            detected = sum(
+                w.n_attack_messages for r in vehicle.reports
+                for w in r.alarmed_windows
+            )
+            expected_dr = detected / attacked if attacked else 0.0
+            assert vehicle.detection_rate == expected_dr
+            clean = [w for w in judged if w.n_attack_messages == 0]
+            expected_fpr = (
+                sum(1 for w in clean if w.alarm) / len(clean) if clean else 0.0
+            )
+            assert vehicle.false_positive_rate == expected_fpr
+
+        assert report.alarmed_vehicles == ["car-b"]
+        assert report.vehicles["car-b"].detection_rate > 0.9
+        assert report.detection_rate == report.vehicles["car-b"].detection_rate
+        summary = report.summary()
+        assert "fleet: 2 vehicles, 4 captures" in summary
+
+    def test_to_dict_is_json_compatible(self, fleet_store, golden_template,
+                                        ids_config, catalog):
+        import json
+
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        report = analyze_fleet(fleet_store, pipeline, workers=1)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["pooled"]["n_vehicles"] == 2
+        assert payload["vehicles"]["car-b"]["alarmed_captures"] == ["d1.log"]
+        assert len(payload["vehicles"]["car-a"]["drift"]["deviations"]) >= 1
+
+    def test_retraining_one_vehicle_keeps_others_cached(
+        self, fleet_store, golden_template, ids_config, catalog
+    ):
+        """Retraining car-a (even with different training knobs) must
+        not cold-invalidate car-b's ledger."""
+        from repro.core import build_template
+        from repro.vehicle.traffic import record_template_windows
+
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        analyze_fleet(fleet_store, pipeline, workers=1)
+        retrained = build_template(
+            record_template_windows(
+                ids_config.template_windows, 2.0, seed=12, catalog=catalog
+            ),
+            ids_config.with_(alpha=5.0),
+        )
+        fleet_store.save_template("car-a", retrained)
+        report = analyze_fleet(fleet_store, pipeline, workers=1)
+        assert len(report.watch["car-a"].scanned) == 2  # its context changed
+        assert report.watch["car-b"].fully_cached  # untouched vehicle
+
+    def test_second_pass_cached_and_identical(
+        self, fleet_store, golden_template, ids_config, catalog
+    ):
+        pipeline = IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+        first = analyze_fleet(fleet_store, pipeline, workers=1)
+        second = analyze_fleet(fleet_store, pipeline, workers=1)
+        assert all(w.fully_cached for w in second.watch.values())
+        assert {k: v.to_dict() for k, v in first.vehicles.items()} == {
+            k: v.to_dict() for k, v in second.vehicles.items()
+        }

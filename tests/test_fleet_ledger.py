@@ -1,0 +1,136 @@
+"""The scan ledger: caching semantics, atomicity, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.fleet.ledger import ScanLedger, atomic_write_text
+from repro.io.fingerprint import fingerprint_bytes, fingerprint_file
+
+REPORT = {"windows": [], "alerts": [], "inference": None}
+
+
+class TestFingerprint:
+    def test_file_matches_bytes(self, tmp_path):
+        path = tmp_path / "cap.log"
+        path.write_bytes(b"(1.000000) can0 1A4#\n")
+        assert fingerprint_file(path) == fingerprint_bytes(path.read_bytes())
+
+    def test_content_sensitivity(self, tmp_path):
+        path = tmp_path / "cap.log"
+        path.write_bytes(b"aaa")
+        first = fingerprint_file(path)
+        path.write_bytes(b"aab")
+        assert fingerprint_file(path) != first
+        # Same content, different name: same fingerprint (path is not
+        # part of the content key; the ledger keys by path separately).
+        other = tmp_path / "other.log"
+        other.write_bytes(b"aab")
+        assert fingerprint_file(other) == fingerprint_file(path)
+
+    def test_size_embedded(self):
+        assert fingerprint_bytes(b"xyz").endswith(":3")
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_no_temp_litter(self, tmp_path):
+        atomic_write_text(tmp_path / "ledger.json", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["ledger.json"]
+
+    def test_failure_leaves_destination_untouched(self, tmp_path):
+        """A write that dies mid-flight must not touch the old file or
+        leave a temp file behind (the crash-safety satellite)."""
+        path = tmp_path / "ledger.json"
+        path.write_text("original")
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # handle.write rejects it
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["ledger.json"]
+
+
+class TestScanLedger:
+    def test_hit_requires_path_and_fingerprint(self, tmp_path):
+        ledger = ScanLedger(tmp_path / "ledger.json", context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        assert ledger.get("a.log", "fp1") == REPORT
+        assert ledger.get("a.log", "fp2") is None  # content changed
+        assert ledger.get("b.log", "fp1") is None  # unknown path
+        assert ledger.hits == 1 and ledger.misses == 2
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = ScanLedger(path, context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.save()
+        reloaded = ScanLedger(path, context="ctx")
+        assert not reloaded.rebuilt
+        assert reloaded.get("a.log", "fp1") == REPORT
+
+    def test_context_mismatch_rebuilds(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = ScanLedger(path, context="template-v1")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.save()
+        stale = ScanLedger(path, context="template-v2")
+        assert stale.rebuilt
+        assert stale.rebuild_reason == "context-changed"
+        assert stale.get("a.log", "fp1") is None
+
+    def test_truncated_file_detected_and_rebuilt(self, tmp_path):
+        """The crash-recovery satellite: a torn ledger must never be
+        trusted — it loads empty (flagged) and the next save repairs it."""
+        path = tmp_path / "ledger.json"
+        ledger = ScanLedger(path, context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.save()
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # torn write
+        recovered = ScanLedger(path, context="ctx")
+        assert recovered.rebuilt
+        assert recovered.rebuild_reason == "corrupt"  # not routine invalidation
+        assert len(recovered) == 0
+        recovered.put("a.log", "fp1", REPORT)
+        recovered.save()
+        assert not ScanLedger(path, context="ctx").rebuilt
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "[]",  # wrong root type
+            '{"version": 99, "context": "ctx", "entries": {}}',
+            '{"version": 1, "context": "ctx", "entries": []}',
+            '{"version": 1, "context": "ctx", "entries": {"a": {"fingerprint": "x"}}}',
+            "",  # empty file
+        ],
+    )
+    def test_malformed_payloads_rebuild(self, tmp_path, payload):
+        path = tmp_path / "ledger.json"
+        path.write_text(payload)
+        assert ScanLedger(path, context="ctx").rebuilt
+
+    def test_prune(self, tmp_path):
+        ledger = ScanLedger(tmp_path / "ledger.json", context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.put("b.log", "fp2", REPORT)
+        assert ledger.prune(["a.log"]) == 1
+        assert "b.log" not in ledger
+        assert list(ledger.keys()) == ["a.log"]
+
+    def test_missing_file_is_fresh_not_rebuilt(self, tmp_path):
+        ledger = ScanLedger(tmp_path / "absent.json", context="ctx")
+        assert not ledger.rebuilt and ledger.rebuild_reason is None
+        assert len(ledger) == 0
+
+    def test_save_is_atomic_on_disk(self, tmp_path):
+        path = tmp_path / "deep" / "ledger.json"
+        ledger = ScanLedger(path, context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.save()  # creates the parent directory too
+        assert json.loads(path.read_text())["entries"]["a.log"]["fingerprint"] == "fp1"
+        assert [p.name for p in path.parent.iterdir()] == ["ledger.json"]

@@ -1,0 +1,155 @@
+"""FleetStore: on-disk layout, template persistence, atomicity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TemplateError, TraceFormatError
+from repro.fleet import FleetStore
+from repro.vehicle.traffic import simulate_drive
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FleetStore(tmp_path / "fleet")
+
+
+class TestVehicles:
+    def test_construction_is_side_effect_free(self, tmp_path):
+        """Read-only commands must never materialise a typo'd store."""
+        store = FleetStore(tmp_path / "typo")
+        assert store.vehicles() == []
+        assert len(store) == 0
+        assert not (tmp_path / "typo").exists()
+        with pytest.raises(TraceFormatError, match="does not exist"):
+            store.archive("car-a")
+        assert not (tmp_path / "typo").exists()
+
+    def test_add_and_enumerate_sorted(self, store):
+        store.add_vehicle("car-b")
+        store.add_vehicle("car-a")
+        assert store.vehicles() == ["car-a", "car-b"]
+        assert len(store) == 2
+        assert store.has_vehicle("car-a") and not store.has_vehicle("car-c")
+
+    def test_add_vehicle_idempotent(self, store):
+        assert store.add_vehicle("car-a") == store.add_vehicle("car-a")
+
+    @pytest.mark.parametrize("bad", ["", "../evil", "a/b", ".hidden", "-x"])
+    def test_invalid_vehicle_ids_rejected(self, store, bad):
+        with pytest.raises(TraceFormatError):
+            store.add_vehicle(bad)
+
+
+class TestCaptures:
+    def test_add_capture_and_archive(self, store, catalog):
+        trace = simulate_drive(4.0, seed=3, catalog=catalog)
+        path = store.add_capture("car-a", "d0.log", trace)
+        assert path.parent == store.captures_dir("car-a")
+        archive = store.archive("car-a")
+        assert [p.name for p in archive.paths] == ["d0.log"]
+        assert archive.load(0) == trace.to_columns()
+
+    def test_name_collision_refused_without_overwrite(self, store, catalog):
+        """The store is the vehicle's persistent history; replacing a
+        capture must be an explicit decision."""
+        first = simulate_drive(3.0, seed=5, catalog=catalog)
+        second = simulate_drive(3.0, seed=6, catalog=catalog)
+        store.add_capture("car-a", "d0.log", first)
+        with pytest.raises(TraceFormatError, match="overwrite"):
+            store.add_capture("car-a", "d0.log", second)
+        assert store.archive("car-a").load(0) == first.to_columns()
+        store.add_capture("car-a", "d0.log", second, overwrite=True)
+        assert store.archive("car-a").load(0) == second.to_columns()
+
+    def test_gzip_capture_enumerated(self, store, catalog):
+        trace = simulate_drive(3.0, seed=4, catalog=catalog)
+        store.add_capture("car-a", "d0.log.gz", trace)
+        archive = store.archive("car-a")
+        assert [p.name for p in archive.paths] == ["d0.log.gz"]
+        assert archive.load(0) == trace.to_columns()
+
+
+class TestTemplates:
+    def test_save_load_round_trip(self, store, golden_template):
+        store.save_template("car-a", golden_template)
+        assert store.has_template("car-a")
+        loaded = store.load_template("car-a")
+        assert np.array_equal(loaded.mean_entropy, golden_template.mean_entropy)
+        assert np.array_equal(loaded.thresholds, golden_template.thresholds)
+
+    def test_missing_template_raises(self, store):
+        store.add_vehicle("car-a")
+        with pytest.raises(TemplateError):
+            store.load_template("car-a")
+
+    def test_training_window_recorded_and_readable(self, store, golden_template):
+        """The training window rides inside template.json (ignored by
+        the plain loader) so scan commands can refuse a mismatch."""
+        store.save_template("car-a", golden_template, window_us=1_000_000)
+        assert store.template_window_us("car-a") == 1_000_000
+        loaded = store.load_template("car-a")  # extra key is harmless
+        assert np.array_equal(loaded.mean_entropy, golden_template.mean_entropy)
+        store.save_template("car-b", golden_template)  # window unrecorded
+        assert store.template_window_us("car-b") is None
+        assert store.template_window_us("car-c") is None  # no template
+
+    @pytest.mark.parametrize("payload", ["{ torn", "null"])
+    def test_corrupt_template_raises_template_error(
+        self, store, golden_template, payload
+    ):
+        """One diagnosable exception type, never a raw JSON traceback."""
+        store.save_template("car-a", golden_template, window_us=2_000_000)
+        store.template_path("car-a").write_text(payload)
+        with pytest.raises(TemplateError, match="corrupt"):
+            store.template_window_us("car-a")
+        with pytest.raises(TemplateError, match="corrupt|missing"):
+            store.load_template("car-a")
+
+    def test_template_write_is_atomic(self, store, golden_template):
+        """No temp-file litter and valid JSON after every save (the
+        crash-safety satellite extends to template writes)."""
+        store.save_template("car-a", golden_template)
+        store.save_template("car-a", golden_template)
+        directory = store.vehicle_dir("car-a")
+        names = {p.name for p in directory.iterdir()}
+        assert names == {"captures", "template.json"}
+        json.loads(store.template_path("car-a").read_text())
+
+
+class TestBusTemplates:
+    def test_per_bus_round_trip(self, store, golden_template):
+        mapping = {
+            "high_speed": golden_template,
+            "middle_speed": golden_template,
+        }
+        paths = store.save_bus_templates("car-a", mapping)
+        assert set(paths) == set(mapping)
+        assert all(p.is_file() for p in paths.values())
+        loaded = store.load_bus_templates("car-a")
+        assert set(loaded) == {"high_speed", "middle_speed"}
+        for template in loaded.values():
+            assert np.array_equal(
+                template.mean_entropy, golden_template.mean_entropy
+            )
+
+    def test_label_round_trips_through_payload(self, store, golden_template):
+        """Labels that need filename escaping still round-trip exactly
+        (the label lives inside the file, not in its name)."""
+        store.save_bus_templates("car-a", {"body/comfort bus": golden_template})
+        assert list(store.load_bus_templates("car-a")) == ["body/comfort bus"]
+
+    def test_empty_without_saves(self, store):
+        store.add_vehicle("car-a")
+        assert store.load_bus_templates("car-a") == {}
+        assert store.bus_template_files("car-a") == []
+
+    def test_file_count_survives_corrupt_template(self, store, golden_template):
+        """The cheap probe keeps working when a template file is torn
+        (fleet status relies on it); the real loader is rightly strict."""
+        paths = store.save_bus_templates("car-a", {"high_speed": golden_template})
+        paths["high_speed"].write_text("{ torn")
+        assert len(store.bus_template_files("car-a")) == 1
+        with pytest.raises(Exception):
+            store.load_bus_templates("car-a")

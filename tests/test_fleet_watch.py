@@ -1,0 +1,180 @@
+"""Incremental watch scans: bit-identical to cold scans, minimal work.
+
+The acceptance bar for the fleet subsystem: after appending captures to
+an archive, a watch scan must (a) re-scan *only* the new captures —
+asserted via ledger hit/miss counts — and (b) assemble an
+``ArchiveReport`` bit-identical to a cold full scan of the same
+archive, at 1 and N workers.  (Multiprocess *perf* is never asserted —
+the container may expose one CPU — only equality.)
+"""
+
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.core import IDSPipeline
+from repro.fleet.watch import detection_context, watch_scan
+from repro.io import CaptureArchive
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import simulate_drive
+
+
+def make_capture(catalog, seed, attacked=False, duration_s=6.0):
+    if not attacked:
+        return simulate_drive(duration_s, seed=seed, catalog=catalog)
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=seed)
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0,
+            start_s=1.0, duration_s=4.0, seed=seed,
+        )
+    )
+    return sim.run(duration_s)
+
+
+@pytest.fixture()
+def archive_dir(tmp_path, catalog):
+    directory = tmp_path / "captures"
+    directory.mkdir()
+    archive = CaptureArchive(directory)
+    for i in range(3):
+        archive.write_capture(
+            f"cap{i}.log", make_capture(catalog, 60 + i, attacked=(i == 1))
+        )
+    return directory
+
+
+def assert_reports_identical(a, b):
+    """Field-exact equality of two ArchiveReports (dicts are lossless)."""
+    assert [p for p, _ in a.captures] == [p for p, _ in b.captures]
+    assert a.to_dict() == b.to_dict()
+
+
+@pytest.fixture()
+def pipeline(golden_template, ids_config, catalog):
+    return IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+
+
+class TestWatchScan:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_incremental_equals_cold_scan(
+        self, pipeline, archive_dir, tmp_path, catalog, workers
+    ):
+        """The headline guarantee, at 1 and N workers."""
+        ledger = tmp_path / "ledger.json"
+        first = watch_scan(pipeline, archive_dir, ledger, workers=workers)
+        assert len(first.scanned) == 3 and not first.cached
+        assert first.ledger.misses == 3 and first.ledger.hits == 0
+
+        # Append two captures (one attacked) and re-scan incrementally.
+        archive = CaptureArchive(archive_dir)
+        archive.write_capture("cap3.log", make_capture(catalog, 70))
+        archive.write_capture(
+            "cap4.csv", make_capture(catalog, 71, attacked=True)
+        )
+        second = watch_scan(pipeline, archive, ledger, workers=workers)
+        assert [p.name for p in second.scanned] == ["cap3.log", "cap4.csv"]
+        assert [p.name for p in second.cached] == ["cap0.log", "cap1.log", "cap2.log"]
+        assert second.ledger.hits == 3 and second.ledger.misses == 2
+
+        cold = pipeline.analyze_archive(
+            CaptureArchive(archive_dir), workers=workers
+        )
+        assert_reports_identical(second.report, cold)
+        # The attacked captures alarm identically through either path.
+        assert [p.name for p in second.report.alarmed_captures] == [
+            "cap1.log", "cap4.csv",
+        ]
+
+    def test_fully_cached_second_pass(self, pipeline, archive_dir, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        first = watch_scan(pipeline, archive_dir, ledger)
+        second = watch_scan(pipeline, archive_dir, ledger)
+        assert second.fully_cached
+        assert second.ledger.hits == 3 and second.ledger.misses == 0
+        assert_reports_identical(second.report, first.report)
+
+    def test_changed_capture_rescans(
+        self, pipeline, archive_dir, tmp_path, catalog
+    ):
+        """Replacing a capture's bytes under the same name must miss."""
+        ledger = tmp_path / "ledger.json"
+        watch_scan(pipeline, archive_dir, ledger)
+        CaptureArchive(archive_dir).write_capture(
+            "cap0.log", make_capture(catalog, 99)
+        )
+        result = watch_scan(pipeline, archive_dir, ledger)
+        assert [p.name for p in result.scanned] == ["cap0.log"]
+        cold = pipeline.analyze_archive(CaptureArchive(archive_dir), workers=1)
+        assert_reports_identical(result.report, cold)
+
+    def test_removed_capture_pruned(self, pipeline, archive_dir, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        watch_scan(pipeline, archive_dir, ledger)
+        (archive_dir / "cap2.log").unlink()
+        result = watch_scan(pipeline, archive_dir, ledger)
+        assert result.pruned == 1
+        assert len(result.report) == 2
+        assert result.fully_cached
+
+    def test_template_change_invalidates_ledger(
+        self, pipeline, archive_dir, tmp_path, ids_config, catalog
+    ):
+        """A retrained template must cold-scan everything: stale
+        verdicts answering for a new template would be silent corruption."""
+        from repro.core import build_template
+        from repro.vehicle.traffic import record_template_windows
+
+        ledger = tmp_path / "ledger.json"
+        watch_scan(pipeline, archive_dir, ledger)
+        other_template = build_template(
+            record_template_windows(
+                ids_config.template_windows, 2.0, seed=8, catalog=catalog
+            ),
+            ids_config,
+        )
+        retrained = IDSPipeline(other_template, ids_config, id_pool=catalog.ids)
+        result = watch_scan(retrained, archive_dir, ledger)
+        assert result.ledger.rebuilt
+        assert len(result.scanned) == 3 and not result.cached
+
+    def test_malformed_cached_report_rescans(
+        self, pipeline, archive_dir, tmp_path
+    ):
+        """An entry whose report payload is garbage (foreign writer,
+        schema drift) must demote to a miss and re-scan, not crash."""
+        import json
+
+        ledger_path = tmp_path / "ledger.json"
+        watch_scan(pipeline, archive_dir, ledger_path)
+        payload = json.loads(ledger_path.read_text())
+        victim = sorted(payload["entries"])[0]
+        payload["entries"][victim]["report"] = {"bogus": 1}
+        ledger_path.write_text(json.dumps(payload))
+        result = watch_scan(pipeline, archive_dir, ledger_path)
+        assert [p.name for p in result.scanned] == [victim]
+        assert result.ledger.hits == 2 and result.ledger.misses == 1
+        cold = pipeline.analyze_archive(CaptureArchive(archive_dir), workers=1)
+        assert_reports_identical(result.report, cold)
+        # The repaired entry persists: the next pass is fully cached.
+        assert watch_scan(pipeline, archive_dir, ledger_path).fully_cached
+
+    def test_infer_k_changes_context(self, golden_template, ids_config, catalog):
+        base = detection_context(golden_template, ids_config, catalog.ids, 1)
+        assert detection_context(golden_template, ids_config, catalog.ids, 2) != base
+        assert detection_context(golden_template, ids_config, None, 1) != base
+        assert detection_context(
+            golden_template, ids_config.with_(window_us=1_000_000),
+            catalog.ids, 1,
+        ) != base
+        # Training-time-only knobs must NOT invalidate: their effect is
+        # baked into the template, and hashing them would cold-scan
+        # every vehicle when an unrelated one retrains.
+        assert detection_context(
+            golden_template, ids_config.with_(alpha=5.0), catalog.ids, 1
+        ) == base
+        assert detection_context(
+            golden_template, ids_config.with_(threshold_floor=0.0),
+            catalog.ids, 1,
+        ) == base
+        # Deterministic across processes (no hash randomisation).
+        assert detection_context(golden_template, ids_config, catalog.ids, 1) == base

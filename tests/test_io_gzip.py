@@ -1,0 +1,124 @@
+"""Transparent gzip support across the log IO layer.
+
+Every reader must produce results identical to reading the
+uncompressed twin; archives enumerate ``.gz`` captures next to plain
+ones (the ROADMAP "richer archive formats" satellite).
+"""
+
+import gzip
+
+import pytest
+
+from repro.io import (
+    CaptureArchive,
+    iter_candump_columns,
+    iter_csv_columns,
+    read_candump,
+    read_candump_columns,
+    read_csv,
+    read_csv_columns,
+    write_candump,
+    write_candump_columns,
+    write_csv_columns,
+)
+from repro.io.archive import capture_suffix, load_capture_columns
+from repro.vehicle.traffic import simulate_drive
+
+
+@pytest.fixture(scope="module")
+def drive(catalog):
+    return simulate_drive(4.0, seed=17, catalog=catalog)
+
+
+@pytest.fixture(scope="module")
+def gz_pair(tmp_path_factory, drive):
+    """The same capture as plain and externally-gzipped candump files."""
+    directory = tmp_path_factory.mktemp("gz")
+    plain = directory / "drive.log"
+    write_candump(drive, plain)
+    gzipped = directory / "drive.log.gz"
+    gzipped.write_bytes(gzip.compress(plain.read_bytes()))
+    return plain, gzipped
+
+
+class TestCandumpGzip:
+    def test_record_reader_identical(self, gz_pair):
+        plain, gzipped = gz_pair
+        assert read_candump(gzipped) == read_candump(plain)
+
+    def test_columnar_reader_identical(self, gz_pair):
+        plain, gzipped = gz_pair
+        assert read_candump_columns(gzipped) == read_candump_columns(plain)
+
+    def test_chunked_reader_identical(self, gz_pair):
+        plain, gzipped = gz_pair
+        plain_chunks = list(iter_candump_columns(plain, 500))
+        gz_chunks = list(iter_candump_columns(gzipped, 500))
+        assert len(plain_chunks) == len(gz_chunks) > 1
+        for a, b in zip(plain_chunks, gz_chunks):
+            assert a == b
+
+    def test_write_read_round_trip(self, tmp_path, drive):
+        columns = drive.to_columns()
+        path = tmp_path / "out.log.gz"
+        write_candump_columns(columns, path)
+        # Actually compressed on disk (gzip magic), smaller than text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_candump_columns(path) == columns
+
+
+class TestCsvGzip:
+    def test_round_trip_and_parity(self, tmp_path, drive):
+        columns = drive.to_columns()
+        plain = tmp_path / "out.csv"
+        gzipped = tmp_path / "out.csv.gz"
+        write_csv_columns(columns, plain)
+        write_csv_columns(columns, gzipped)
+        assert read_csv_columns(gzipped) == read_csv_columns(plain) == columns
+        assert read_csv(gzipped) == read_csv(plain)
+        assert [c for c in iter_csv_columns(gzipped, 300)] == [
+            c for c in iter_csv_columns(plain, 300)
+        ]
+
+
+class TestArchiveGzip:
+    def test_suffix_dispatch(self):
+        assert capture_suffix("a.log") == ".log"
+        assert capture_suffix("a.log.gz") == ".log"
+        assert capture_suffix("a.csv.GZ") == ".csv"
+        assert capture_suffix("a.CSV") == ".csv"
+
+    def test_archive_enumerates_and_loads_gz(self, tmp_path, drive):
+        columns = drive.to_columns()
+        archive = CaptureArchive(tmp_path)
+        archive.write_capture("a.log", columns)
+        archive.write_capture("b.log.gz", columns)
+        archive.write_capture("c.csv.gz", columns)
+        names = [p.name for p in CaptureArchive(tmp_path).paths]
+        assert names == ["a.log", "b.log.gz", "c.csv.gz"]
+        for path in CaptureArchive(tmp_path).paths:
+            assert load_capture_columns(path) == columns
+
+    def test_plain_gz_twins_enumerate_once(self, tmp_path, drive, gz_pair):
+        """`gzip -k` twins are ONE capture: enumerating both would
+        double-count the drive in scans and pooled metrics."""
+        import shutil
+
+        plain, gzipped = gz_pair
+        shutil.copy(plain, tmp_path / "drive.log")
+        shutil.copy(gzipped, tmp_path / "drive.log.gz")
+        archive = CaptureArchive(tmp_path)
+        assert [p.name for p in archive.paths] == ["drive.log"]
+        # And writing the twin of an indexed capture is refused.
+        from repro.exceptions import TraceFormatError
+
+        with pytest.raises(TraceFormatError, match="twin"):
+            archive.write_capture("drive.log.gz", drive.to_columns())
+
+    def test_iter_chunks_through_gz(self, tmp_path, drive):
+        columns = drive.to_columns()
+        archive = CaptureArchive(tmp_path)
+        archive.write_capture("a.log.gz", columns)
+        chunks = [c for _, c in archive.iter_chunks(400)]
+        total = sum(len(c) for c in chunks)
+        assert total == len(columns)

@@ -189,3 +189,96 @@ class TestMultiBusFanIn:
         mixed = ColumnTrace.merge(ms.with_bus("middle_speed"), untagged)
         with pytest.raises(DetectorError, match="untagged"):
             pipeline.analyze_multibus(mixed)
+
+
+class TestPerBusTemplates:
+    """The per-bus template satellite: train all buses in one call,
+    analyze with the mapping, persist one file per (vehicle, bus)."""
+
+    @pytest.fixture(scope="class")
+    def fused(self):
+        return DualBusVehicle(seed=7).run_columns(5.0)
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        from repro.core import IDSConfig
+
+        return IDSConfig(template_windows=2, min_window_messages=30)
+
+    @pytest.fixture(scope="class")
+    def bus_templates(self, fused, config):
+        from repro.vehicle.multibus import build_bus_templates
+
+        return build_bus_templates(fused, config)
+
+    def test_build_bus_templates_one_per_bus(self, fused, config, bus_templates):
+        assert set(bus_templates) == {"high_speed", "middle_speed"}
+        # Each template matches a hand-trained one for its segment.
+        from repro.core import TemplateBuilder
+
+        for label, template in bus_templates.items():
+            builder = TemplateBuilder(config)
+            builder.add_trace_windows(fused.for_bus(label))
+            manual = builder.build()
+            assert np.array_equal(template.mean_entropy, manual.mean_entropy)
+            assert np.array_equal(template.thresholds, manual.thresholds)
+
+    def test_build_rejects_untagged(self, fused, config):
+        from repro.vehicle.multibus import build_bus_templates
+
+        with pytest.raises(BusConfigError):
+            build_bus_templates(fused.to_trace().to_columns(), config)
+        with pytest.raises(BusConfigError):
+            build_bus_templates(fused.to_trace(), config)
+
+    def test_analyze_multibus_uses_and_returns_mapping(
+        self, fused, config, bus_templates
+    ):
+        from repro.core import IDSPipeline
+
+        pipeline = IDSPipeline(bus_templates["middle_speed"], config)
+        report = pipeline.analyze_multibus(fused, templates=bus_templates)
+        assert set(report.templates) == {"high_speed", "middle_speed"}
+        assert report.templates["high_speed"] is bus_templates["high_speed"]
+        # Per-bus verdicts match analyzing each segment with its own
+        # template directly.
+        for label in report.buses:
+            direct = IDSPipeline(bus_templates[label], config).analyze(
+                fused.for_bus(label)
+            )
+            assert direct.to_dict() == report.per_bus[label].to_dict()
+        # Without a mapping, every bus is judged by the pipeline's own
+        # template and the report says so.
+        fallback = pipeline.analyze_multibus(fused)
+        assert all(
+            t is pipeline.template for t in fallback.templates.values()
+        )
+
+    def test_unknown_bus_in_mapping_rejected(self, fused, config, bus_templates):
+        from repro.core import IDSPipeline
+        from repro.exceptions import DetectorError
+
+        pipeline = IDSPipeline(bus_templates["middle_speed"], config)
+        bad = dict(bus_templates)
+        bad["body"] = bus_templates["middle_speed"]
+        with pytest.raises(DetectorError, match="body"):
+            pipeline.analyze_multibus(fused, templates=bad)
+
+    def test_store_persists_report_templates(
+        self, fused, config, bus_templates, tmp_path
+    ):
+        """The end-to-end satellite flow: analyze -> persist the
+        report's mapping -> reload -> identical verdicts, no hand
+        training."""
+        from repro.core import IDSPipeline
+        from repro.fleet import FleetStore
+
+        pipeline = IDSPipeline(bus_templates["middle_speed"], config)
+        report = pipeline.analyze_multibus(fused, templates=bus_templates)
+        store = FleetStore(tmp_path / "fleet")
+        store.save_bus_templates("car-a", report.templates)
+        reloaded = store.load_bus_templates("car-a")
+        assert set(reloaded) == set(report.templates)
+        again = pipeline.analyze_multibus(fused, templates=reloaded)
+        for label in report.buses:
+            assert again.per_bus[label].to_dict() == report.per_bus[label].to_dict()
