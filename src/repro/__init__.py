@@ -34,6 +34,16 @@ laptop, with no vehicle hardware:
     ID-distribution entropy IDS, the Song et al. message-interval IDS, a
     simplified clock-skew IDS and a naive frequency monitor.
 
+``repro.runtime``
+    Pluggable execution backends for archive-scale scans: serial,
+    process pool, and a filesystem work queue served by ``repro-ids
+    worker`` processes on any host sharing the directory.
+
+``repro.fleet``
+    Persistent fleet monitoring: per-vehicle stores and scan ledgers,
+    incremental watch scans, the long-running watch daemon, CUSUM
+    entropy-drift analytics and drift-triggered retraining.
+
 ``repro.experiments``
     One runner per table/figure in the paper's evaluation section.
 

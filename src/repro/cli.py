@@ -6,12 +6,17 @@ Subcommands mirror the workflow of the paper's evaluation:
 * ``attack``   — record a drive with an injected attack;
 * ``template`` — build a golden template from clean traces;
 * ``detect``   — run the detector (and inference) over a trace;
-* ``scan-archive`` — scan a whole directory of captures, sharded
-  across worker processes;
+* ``scan-archive`` — scan a whole directory of captures over a chosen
+  executor backend (``--executor serial|pool|queue``);
+* ``worker``   — serve a shared work-queue directory: claim shard
+  tasks posted by ``--executor queue`` coordinators (on any host
+  sharing the directory), run them, upload results;
 * ``fleet``    — the persistent fleet store: ``add`` captures per
   vehicle, ``train`` per-vehicle golden templates, ``scan``
-  incrementally against each vehicle's scan ledger, inspect
-  ``status``, and aggregate a drift ``report``;
+  incrementally against each vehicle's scan ledger, ``watch`` as a
+  long-running daemon (with drift-triggered retraining), ``prune``
+  stale ledger entries, inspect ``status``, and aggregate a drift
+  ``report``;
 * ``fig2`` / ``fig3`` / ``table1`` / ``stability`` / ``cost`` — regenerate
   the paper's artifacts.
 
@@ -22,9 +27,13 @@ Examples::
     repro-ids attack --attack single --id 0x1A4 --freq 50 --out attack.log
     repro-ids detect --template template.json --trace attack.log --infer
     repro-ids scan-archive --template template.json --dir captures/ --workers 4
+    repro-ids worker --queue /shared/q --max-idle 60
+    repro-ids scan-archive --template template.json --dir captures/ \\
+        --executor queue --queue-dir /shared/q
     repro-ids fleet add --store fleet/ --vehicle car-a --trace drive.log
     repro-ids fleet train --store fleet/ --vehicle car-a
     repro-ids fleet scan --store fleet/
+    repro-ids fleet watch --store fleet/ --interval 60
     repro-ids fleet report --store fleet/ --out fleet-report.txt
     repro-ids table1 --seeds 1 2
 """
@@ -51,6 +60,24 @@ def _can_id(text: str) -> int:
     if not 0 <= value <= 0x7FF:
         raise argparse.ArgumentTypeError(f"identifier {text} out of 11-bit range")
     return value
+
+
+def _add_executor_args(cmd) -> None:
+    """The runtime-backend flags every scanning command shares."""
+    cmd.add_argument("--workers", type=int, default=None,
+                     help="pool size (default: one per core, capped)")
+    cmd.add_argument("--executor", choices=["serial", "pool", "queue"],
+                     default=None,
+                     help="execution backend (default: pool; all backends "
+                          "produce bit-identical reports)")
+    cmd.add_argument("--queue-dir", type=Path, default=None,
+                     help="shared queue directory (required with "
+                          "--executor queue; serve it with repro-ids worker)")
+    cmd.add_argument("--queue-no-drain", action="store_true",
+                     help="forbid the coordinator from executing its own "
+                          "queue tasks: every task must be served by a "
+                          "worker (bounded timeout instead of degrading "
+                          "to a local scan)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,19 +129,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     scan_archive = sub.add_parser(
         "scan-archive",
-        help="scan a directory of captures, sharded across processes",
+        help="scan a directory of captures over an executor backend",
     )
     scan_archive.add_argument("--template", type=Path, required=True)
     scan_archive.add_argument("--dir", dest="archive_dir", type=Path, required=True,
                               help="directory of candump/CSV capture files")
-    scan_archive.add_argument("--workers", type=int, default=None,
-                              help="pool size (default: one per core, capped)")
     scan_archive.add_argument("--recursive", action="store_true",
                               help="also scan subdirectories")
     scan_archive.add_argument("--infer", action="store_true",
                               help="infer malicious-ID candidates per alarmed capture")
     scan_archive.add_argument("--infer-k", type=int, default=1,
                               help="injected identifiers assumed per capture")
+    scan_archive.add_argument("--json", dest="json_out", type=Path, default=None,
+                              help="also write the full report as JSON")
+    _add_executor_args(scan_archive)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a work-queue directory (claim and run shard tasks)",
+    )
+    worker.add_argument("--queue", type=Path, required=True,
+                        help="queue directory shared with the coordinator(s)")
+    worker.add_argument("--poll", type=_positive_float, default=0.2,
+                        help="seconds between polls of an empty queue")
+    worker.add_argument("--max-idle", type=_positive_float, default=None,
+                        help="exit after this long with no tasks (default: serve forever)")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after executing this many tasks")
+    worker.add_argument("--stop-file", type=Path, default=None,
+                        help="extra stop-file path besides <queue>/stop")
 
     fleet = sub.add_parser(
         "fleet",
@@ -152,22 +195,46 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="aggregate per-vehicle drift series and pooled fleet metrics",
     )
-    for cmd in (fleet_scan, fleet_report):
+    fleet_watch = fleet_sub.add_parser(
+        "watch",
+        help="long-running watch daemon: poll, scan incrementally, "
+             "retrain drifting vehicles",
+    )
+    for cmd in (fleet_scan, fleet_report, fleet_watch):
         cmd.add_argument("--store", type=Path, required=True)
         cmd.add_argument("--template", type=Path, default=None,
                          help="fallback template for vehicles without one stored")
         cmd.add_argument("--window-s", type=_positive_float, default=None,
                          help="detection window (default: the window the "
                               "stored templates were trained with)")
-        cmd.add_argument("--workers", type=int, default=None,
-                         help="pool size (default: one per core, capped)")
         cmd.add_argument("--infer", action="store_true",
                          help="infer malicious-ID candidates per alarmed capture")
         cmd.add_argument("--infer-k", type=int, default=1)
+        _add_executor_args(cmd)
     fleet_report.add_argument("--out", type=Path, default=None,
                               help="also write the report text to this file")
     fleet_report.add_argument("--json", dest="json_out", type=Path, default=None,
                               help="also write the structured report as JSON")
+    fleet_watch.add_argument("--interval", type=_positive_float, default=30.0,
+                             help="base seconds between cycles (idle cycles "
+                                  "back off from here)")
+    fleet_watch.add_argument("--max-interval", type=_positive_float, default=None,
+                             help="backoff ceiling (default: 16x the interval)")
+    fleet_watch.add_argument("--cycles", type=int, default=None,
+                             help="stop after this many cycles (default: "
+                                  "run until SIGTERM/stop file)")
+    fleet_watch.add_argument("--stop-file", type=Path, default=None,
+                             help="touch this file to stop the daemon gracefully")
+    fleet_watch.add_argument("--no-retrain", action="store_true",
+                             help="report drift but never re-baseline")
+    fleet_watch.add_argument("--retrain-captures", type=int, default=None,
+                             help="recent captures per re-baseline (default: all)")
+
+    fleet_prune = fleet_sub.add_parser(
+        "prune",
+        help="drop ledger entries whose capture files left the archive",
+    )
+    fleet_prune.add_argument("--store", type=Path, required=True)
 
     fleet_status = fleet_sub.add_parser(
         "status", help="list vehicles, captures, templates and ledgers"
@@ -294,8 +361,21 @@ def _cmd_detect(args) -> int:
     return 0 if not report.alarmed_windows else 2
 
 
+def _cli_executor(args):
+    """Resolve the --executor/--queue-dir flags into an Executor (or None)."""
+    from repro.runtime import resolve_executor
+
+    return resolve_executor(
+        args.executor,
+        workers=args.workers,
+        queue_dir=args.queue_dir,
+        queue_drain=not args.queue_no_drain,
+    )
+
+
 def _cmd_scan_archive(args) -> int:
     from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
+    from repro.exceptions import DetectorError
     from repro.io import CaptureArchive
     from repro.vehicle import ford_fusion_catalog
 
@@ -307,15 +387,47 @@ def _cmd_scan_archive(args) -> int:
     if not len(archive):
         print(f"no captures found under {args.archive_dir}")
         return 1
-    report = pipeline.analyze_archive(
-        archive, workers=args.workers, infer_k=args.infer_k
-    )
+    try:
+        executor = _cli_executor(args)
+        report = pipeline.analyze_archive(
+            archive, workers=args.workers, infer_k=args.infer_k,
+            executor=executor,
+        )
+    except DetectorError as exc:
+        print(str(exc))
+        return 1
     print(report.summary())
     for path, capture in report.captures:
         if capture.inference is not None:
             ids = ", ".join(f"0x{c:03X}" for c in capture.inference.candidates)
             print(f"{path.name}: inferred candidates (rank order): {ids}")
+    if args.json_out is not None:
+        import json as _json
+
+        args.json_out.write_text(
+            _json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"JSON report written to {args.json_out}")
     return 0 if not report.alarmed_captures else 2
+
+
+def _cmd_worker(args) -> int:
+    import os
+
+    from repro.runtime import run_worker
+
+    print(f"worker serving {args.queue} (pid {os.getpid()})")
+    stats = run_worker(
+        args.queue,
+        poll_s=args.poll,
+        max_idle_s=args.max_idle,
+        max_tasks=args.max_tasks,
+        stop_file=args.stop_file,
+        handle_signals=True,
+        log=print,
+    )
+    print(f"worker done: {stats.summary()}")
+    return 0
 
 
 def _fleet_window_us(args, store):
@@ -458,6 +570,20 @@ def _cmd_fleet(args) -> int:
         )
         return 0
 
+    if args.fleet_command == "prune":
+        if not store.root.is_dir():
+            print(f"no fleet store at {store.root}")
+            return 1
+        pruned = store.compact_ledgers()
+        for vehicle_id, count in pruned.items():
+            if count:
+                print(f"{vehicle_id}: pruned {count} stale ledger entries")
+        print(
+            f"pruned {sum(pruned.values())} entries across "
+            f"{len(store.vehicles())} vehicles"
+        )
+        return 0
+
     if args.fleet_command == "status":
         import json as _json
 
@@ -493,7 +619,7 @@ def _cmd_fleet(args) -> int:
             )
         return 0
 
-    # scan / report
+    # scan / report / watch
     if not store.root.is_dir():
         # Same guard status has: a typo'd path must not report an
         # all-clean (empty) fleet with exit 0.
@@ -502,18 +628,51 @@ def _cmd_fleet(args) -> int:
     if not store.vehicles():
         print(f"fleet store at {store.root} has no vehicles")
         return 1
-    from repro.exceptions import TemplateError
+    from repro.exceptions import DetectorError, TemplateError
+
+    if args.fleet_command == "watch":
+        from repro.fleet.daemon import WatchDaemon
+
+        try:
+            pipeline = _fleet_pipeline(args, store)
+            if pipeline is None:
+                return 1
+            daemon = WatchDaemon(
+                store,
+                pipeline,
+                interval_s=args.interval,
+                max_interval_s=args.max_interval,
+                retrain=not args.no_retrain,
+                retrain_captures=args.retrain_captures,
+                stop_file=args.stop_file,
+                executor=_cli_executor(args),
+                workers=args.workers,
+                infer_k=args.infer_k,
+                log=print,
+            )
+            daemon.install_signal_handlers()
+            daemon.run(max_cycles=args.cycles)
+        except (TemplateError, DetectorError) as exc:
+            print(str(exc))
+            return 1
+        return 0
 
     try:
         pipeline = _fleet_pipeline(args, store)
         if pipeline is None:
             return 1
         report = pipeline.analyze_fleet(
-            store, workers=args.workers, infer_k=args.infer_k
+            store, workers=args.workers, infer_k=args.infer_k,
+            executor=_cli_executor(args),
         )
     except TemplateError as exc:
         # Corrupt or unreadable per-vehicle template: diagnose, don't
         # traceback (the same courtesy every other corruption path gets).
+        print(str(exc))
+        return 1
+    except DetectorError as exc:
+        # Misconfigured runtime backend (e.g. --executor queue without
+        # --queue-dir): same diagnose-don't-traceback courtesy.
         print(str(exc))
         return 1
 
@@ -568,6 +727,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "template": _cmd_template,
         "detect": _cmd_detect,
         "scan-archive": _cmd_scan_archive,
+        "worker": _cmd_worker,
         "fleet": _cmd_fleet,
         "fig2": _cmd_experiment,
         "fig3": _cmd_experiment,

@@ -379,22 +379,29 @@ class IDSPipeline:
         archive: Union[CaptureArchive, str, Path],
         workers: Optional[int] = None,
         infer_k=1,
+        executor=None,
     ) -> "ArchiveReport":
-        """Scan a whole capture archive, sharded across processes.
+        """Scan a whole capture archive, sharded across an executor.
 
         ``archive`` is a :class:`~repro.io.archive.CaptureArchive` or a
         directory path.  Detection fans out through
-        :class:`~repro.core.shard.ShardedScanner` (``workers`` pool
-        size; ``None`` picks a default, ``1`` scans inline) and is
-        bit-identical to scanning each capture serially.  Inference
-        runs per capture in the parent process, only for captures that
-        alarmed.
+        :class:`~repro.core.shard.ShardedScanner` — by default a
+        process pool (``workers`` pool size; ``None`` picks a default,
+        ``1`` scans inline), or any
+        :class:`~repro.runtime.base.Executor` passed as ``executor``
+        (e.g. a :class:`~repro.runtime.queue.WorkQueueExecutor` served
+        by ``repro-ids worker`` processes on other hosts).  Every
+        backend is bit-identical to scanning each capture serially.
+        Inference runs per capture in the parent process, only for
+        captures that alarmed.
         """
         from repro.core.shard import ShardedScanner  # cycle-free import
 
         if not isinstance(archive, CaptureArchive):
             archive = CaptureArchive(archive)
-        scanner = ShardedScanner(self.template, self.config, workers=workers)
+        scanner = ShardedScanner(
+            self.template, self.config, workers=workers, executor=executor
+        )
         captures = []
         for scan in scanner.scan_archive(archive):
             alerts = [w.to_alert() for w in scan.windows if w.alarm]
@@ -468,6 +475,7 @@ class IDSPipeline:
         store,
         workers: Optional[int] = None,
         infer_k=1,
+        executor=None,
         **drift_kwargs,
     ):
         """Incrementally scan a whole fleet store and aggregate drift.
@@ -477,7 +485,10 @@ class IDSPipeline:
         *incrementally* — captures whose fingerprint already sits in the
         vehicle's scan ledger replay their persisted report instead of
         being re-scanned — using the vehicle's own golden template when
-        one is stored (this pipeline's template otherwise).  Per-capture
+        one is stored (this pipeline's template otherwise).  Fresh
+        captures fan out through ``executor`` (any
+        :class:`~repro.runtime.base.Executor`; the default pool honours
+        ``workers`` as in :meth:`analyze_archive`).  Per-capture
         reports aggregate time-ordered into a
         :class:`repro.fleet.drift.FleetReport` with pooled
         detection/FPR, per-bit entropy drift series and CUSUM drift
@@ -488,7 +499,12 @@ class IDSPipeline:
         from repro.fleet.drift import analyze_fleet  # cycle-free import
 
         return analyze_fleet(
-            store, self, workers=workers, infer_k=infer_k, **drift_kwargs
+            store,
+            self,
+            workers=workers,
+            infer_k=infer_k,
+            executor=executor,
+            **drift_kwargs,
         )
 
     def streaming_detector(self, sink: Optional[AlertSink] = None) -> EntropyDetector:

@@ -1,22 +1,27 @@
-"""Multiprocess sharded scanning of capture archives.
+"""Sharded scanning of capture archives over pluggable executors.
 
-One capture archive, many CPU cores: :class:`ShardedScanner` fans the
-vectorised :class:`~repro.core.engine.BatchEntropyEngine` (or a fitted
-baseline's ``scan``) across a ``multiprocessing`` pool, one task per
-capture file.  Workers load their capture themselves through the
-columnar readers — only a *path* crosses the process boundary on the
-way in, and only the window verdicts come back — so sharding adds no
-serialisation of bulk frame data.
+One capture archive, many execution slots: :class:`ShardedScanner`
+describes the per-capture work as a :class:`~repro.runtime.base.ScanSpec`
+(the vectorised :class:`~repro.core.engine.BatchEntropyEngine`, or a
+fitted baseline's ``scan``) and fans it out through a
+:class:`~repro.runtime.base.Executor` backend — in-process
+(:class:`~repro.runtime.serial.SerialExecutor`), one host's cores
+(:class:`~repro.runtime.pool.PoolExecutor`, the default), or many hosts
+sharing a queue directory
+(:class:`~repro.runtime.queue.WorkQueueExecutor`).  Workers load their
+capture themselves through the columnar readers — only a *path* crosses
+the execution boundary on the way in, and only the window verdicts come
+back — so sharding adds no serialisation of bulk frame data.
 
-Guarantees:
+Guarantees, regardless of backend:
 
 * **Deterministic ordering** — results come back in the archive's scan
-  order (sorted relative paths) regardless of which worker finished
-  first.
-* **Bit-identical to serial** — each worker runs exactly the code the
-  serial scan runs on exactly the bytes the serial scan reads; the
-  shard test suite asserts equality of every window field between
-  ``workers=1`` and ``workers=4``.
+  order (sorted relative paths) no matter which worker finished first.
+* **Bit-identical to serial** — every backend runs exactly the code the
+  serial scan runs on exactly the bytes the serial scan reads (the
+  queue backend's transport is the fleet ledger's lossless report
+  protocol); ``tests/test_runtime_executors.py`` asserts equality of
+  every window field across all backends and worker counts.
 
 ``workers=1`` (or a single-capture archive) runs inline without a pool,
 which is also the fallback wherever ``multiprocessing`` is unavailable
@@ -25,54 +30,20 @@ or undesirable (tests, notebooks, already-forked servers).
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.baselines.base import BaselineIDS, BaselineVerdict
-from repro.core.alerts import AlertSink
 from repro.core.config import IDSConfig
 from repro.core.detector import WindowResult
-from repro.core.engine import BatchEntropyEngine
 from repro.core.template import GoldenTemplate
 from repro.exceptions import DetectorError
-from repro.io.archive import CaptureArchive, load_capture_columns
+from repro.io.archive import CaptureArchive
+from repro.runtime.base import BaselineScanSpec, EntropyScanSpec, Executor
+from repro.runtime.pool import PoolExecutor, default_workers
 
-__all__ = ["CaptureScan", "ShardedScanner"]
-
-#: Worker-process state installed by the pool initializer.  With the
-#: ``fork`` start method this is inherited for free; with ``spawn`` the
-#: initializer arguments are pickled once per worker, not per task.
-_WORKER: dict = {}
-
-
-def _init_entropy_worker(template: GoldenTemplate, config: IDSConfig) -> None:
-    _WORKER["engine"] = BatchEntropyEngine(template, config, AlertSink())
-
-
-def _scan_entropy(path: str) -> List[WindowResult]:
-    return _WORKER["engine"].scan(load_capture_columns(path))
-
-
-def _init_baseline_worker(baseline: BaselineIDS) -> None:
-    _WORKER["baseline"] = baseline
-
-
-def _scan_baseline(path: str) -> List[BaselineVerdict]:
-    return _WORKER["baseline"].scan(load_capture_columns(path))
-
-
-def _pool_context():
-    """Prefer ``fork`` (cheap, inherits the template) where available."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
-def default_workers() -> int:
-    """Worker count when none is given: one per core, capped at 8."""
-    return max(1, min(os.cpu_count() or 1, 8))
+__all__ = ["CaptureScan", "ShardedScanner", "default_workers"]
 
 
 @dataclass(frozen=True)
@@ -89,16 +60,21 @@ class CaptureScan:
 
 
 class ShardedScanner:
-    """Fan a batch scan across processes, one capture per task.
+    """Fan a batch scan across an executor backend, one capture per task.
 
     Parameters
     ----------
     template, config:
-        Exactly the arguments :class:`BatchEntropyEngine` takes; the
-        scanner builds one engine per worker process.
+        Exactly the arguments :class:`BatchEntropyEngine` takes; each
+        execution slot builds one engine from them.
     workers:
-        Pool size.  ``1`` scans inline (no pool).  Defaults to
-        :func:`default_workers`.
+        Pool size for the default executor.  ``1`` scans inline (no
+        pool).  Defaults to :func:`default_workers`.  Ignored when an
+        explicit ``executor`` is given.
+    executor:
+        Any :class:`~repro.runtime.base.Executor`; ``None`` builds a
+        :class:`~repro.runtime.pool.PoolExecutor` from ``workers`` (the
+        historical behaviour).
     """
 
     def __init__(
@@ -106,6 +82,7 @@ class ShardedScanner:
         template: GoldenTemplate,
         config: Optional[IDSConfig] = None,
         workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.template = template
         self.config = config or IDSConfig()
@@ -114,9 +91,14 @@ class ShardedScanner:
                 f"template monitors {template.n_bits} bits, config expects "
                 f"{self.config.n_bits}"
             )
-        self.workers = default_workers() if workers is None else int(workers)
-        if self.workers < 1:
-            raise DetectorError(f"workers must be >= 1, got {workers}")
+        if executor is None:
+            # PoolExecutor validates workers (>= 1) and runs inline when
+            # the effective worker count is 1.
+            executor = PoolExecutor(workers=workers)
+            self.workers = executor.workers
+        else:
+            self.workers = getattr(executor, "workers", 1)
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def _resolve_paths(
@@ -125,20 +107,6 @@ class ShardedScanner:
         if isinstance(archive, CaptureArchive):
             return list(archive.paths)
         return [Path(p) for p in archive]
-
-    def _fan_out(self, paths: List[Path], initializer, initargs, task):
-        n_workers = min(self.workers, len(paths))
-        if n_workers <= 1:
-            initializer(*initargs)
-            try:
-                return [task(str(p)) for p in paths]
-            finally:
-                _WORKER.clear()
-        ctx = _pool_context()
-        with ctx.Pool(n_workers, initializer=initializer, initargs=initargs) as pool:
-            # map() preserves task order, so results are deterministic
-            # no matter which worker finishes first.
-            return pool.map(task, [str(p) for p in paths], chunksize=1)
 
     # ------------------------------------------------------------------
     def scan_archive(
@@ -153,8 +121,8 @@ class ShardedScanner:
         paths = self._resolve_paths(archive)
         if not paths:
             return []
-        results = self._fan_out(
-            paths, _init_entropy_worker, (self.template, self.config), _scan_entropy
+        results = self.executor.run(
+            EntropyScanSpec(self.template, self.config), paths
         )
         return [CaptureScan(p, w) for p, w in zip(paths, results)]
 
@@ -166,13 +134,12 @@ class ShardedScanner:
         """Fan a fitted baseline's ``scan`` across the archive.
 
         The baseline (with its fitted state) is shipped to each worker
-        once; per-capture verdict lists come back in scan order.
+        once; per-capture verdict lists come back in scan order.  Not
+        supported by the work-queue backend (a fitted baseline object
+        is picklable but not portable across hosts).
         """
-        if not baseline._fitted:
-            raise DetectorError(f"{baseline.name}: scan before fit")
         paths = self._resolve_paths(archive)
+        spec = BaselineScanSpec(baseline)
         if not paths:
             return []
-        return self._fan_out(
-            paths, _init_baseline_worker, (baseline,), _scan_baseline
-        )
+        return self.executor.run(spec, paths)

@@ -8,6 +8,7 @@
 :mod:`~repro.experiments.cost`       Sec. V.E — cost & capability comparison
 :mod:`~repro.experiments.throughput` Streaming vs batch detection at scale
 :mod:`~repro.experiments.fleet`      Incremental fleet scanning vs cold scans
+:mod:`~repro.experiments.runtime`    Executor backends (serial/pool/queue) sized
 ==================  ========================================================
 
 Each module exposes ``run(...)`` returning a structured result object

@@ -1,0 +1,179 @@
+"""Runtime experiment: executor backends over a fleet-scale archive.
+
+The runtime layer's pitch is that the execution backend is a pure
+deployment choice: serial, process pool and filesystem work queue all
+produce **bit-identical** reports, differing only in where the work
+runs.  This experiment makes both halves measurable: it builds a
+synthetic archive of dozens of vehicle-drives, scans it once per
+backend, asserts full-report parity, and reports the per-backend
+throughput (plus the queue protocol's overhead — every task and result
+crosses the filesystem as JSON, which is the price of crossing hosts
+with no broker).
+
+The queue backend is measured twice: *drained* (coordinator executes
+its own tasks — the zero-worker degenerate case, isolating pure
+protocol overhead) and *served* (a background worker thread claims
+tasks concurrently, the deployment shape).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core import IDSConfig, IDSPipeline
+from repro.core.template import GoldenTemplate
+from repro.io.archive import CaptureArchive
+from repro.runtime import (
+    PoolExecutor,
+    SerialExecutor,
+    WorkQueueExecutor,
+    default_workers,
+    run_worker,
+)
+from repro.vehicle.ids_catalog import VehicleCatalog
+from repro.vehicle.traffic import generate_drive_columns
+
+#: Default sizing: dozens of drives, small enough for CI smoke.
+DEFAULT_CAPTURES = 24
+DEFAULT_FRAMES = 12_000
+
+
+@dataclass(frozen=True)
+class RuntimeExperimentResult:
+    """Per-backend timings over one synthetic archive."""
+
+    n_captures: int
+    frames_per_capture: int
+    total_frames: int
+    pool_workers: int
+    serial_s: float
+    pool_s: float
+    queue_drained_s: float
+    queue_served_s: float
+    parity_ok: bool
+
+    def _fps(self, seconds: float) -> float:
+        return self.total_frames / seconds if seconds else 0.0
+
+    def render(self) -> str:
+        """The experiment's artifact table (a results/throughput.txt
+        section)."""
+        rows = [
+            ("serial", self.serial_s),
+            (f"pool({self.pool_workers})", self.pool_s),
+            ("queue drained", self.queue_drained_s),
+            ("queue +worker", self.queue_served_s),
+        ]
+        lines = [
+            "Runtime executors: one archive, three backends",
+            f"archive: {self.n_captures} captures x {self.frames_per_capture}"
+            f" frames ({self.total_frames} total)",
+            f"{'backend':>14} {'seconds':>10} {'vs serial':>10} {'frames/s':>12}",
+        ]
+        for name, seconds in rows:
+            ratio = self.serial_s / seconds if seconds else 0.0
+            lines.append(
+                f"{name:>14} {seconds:>10.3f} {ratio:>9.2f}x "
+                f"{self._fps(seconds):>12,.0f}"
+            )
+        lines.append(
+            "reports bit-identical across all backends: "
+            f"{'yes' if self.parity_ok else 'NO'}"
+        )
+        return "\n".join(lines)
+
+
+def run(
+    template: GoldenTemplate,
+    config: Optional[IDSConfig] = None,
+    n_captures: int = DEFAULT_CAPTURES,
+    frames_per_capture: int = DEFAULT_FRAMES,
+    workers: Optional[int] = None,
+    seed: int = 43,
+    scenario: str = "city",
+    catalog: Optional[VehicleCatalog] = None,
+    archive_dir: Optional[str] = None,
+) -> RuntimeExperimentResult:
+    """Build a synthetic archive and scan it once per backend.
+
+    The archive is written under ``archive_dir`` (a temporary directory
+    by default, cleaned up afterwards).  ``workers`` sizes the pool
+    backend (default :func:`default_workers`).
+    """
+    config = config or IDSConfig()
+    workers = default_workers() if workers is None else int(workers)
+    cleanup = archive_dir is None
+    tmp = tempfile.mkdtemp(prefix="repro-runtime-") if cleanup else archive_dir
+    try:
+        probe = generate_drive_columns(
+            10.0, scenario=scenario, seed=seed, catalog=catalog
+        )
+        rate = max(probe.message_rate_hz(), 1.0)
+        duration_s = frames_per_capture / rate * 1.02 + 1.0
+        archive = CaptureArchive(tmp, patterns=("*.log",))
+        total_frames = 0
+        for i in range(n_captures):
+            capture = generate_drive_columns(
+                duration_s, scenario=scenario, seed=seed + i, catalog=catalog
+            ).slice(0, frames_per_capture)
+            archive.write_capture(f"drive{i:02d}.log", capture)
+            total_frames += len(capture)
+
+        pipeline = IDSPipeline(template, config)
+
+        start = time.perf_counter()
+        serial = pipeline.analyze_archive(archive, executor=SerialExecutor())
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pooled = pipeline.analyze_archive(
+            archive, executor=PoolExecutor(workers=workers)
+        )
+        pool_s = time.perf_counter() - start
+
+        queue_dir = f"{tmp}/.queue-drained"
+        start = time.perf_counter()
+        drained = pipeline.analyze_archive(
+            archive, executor=WorkQueueExecutor(queue_dir, timeout_s=600.0)
+        )
+        queue_drained_s = time.perf_counter() - start
+
+        served_dir = f"{tmp}/.queue-served"
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(queue_dir=served_dir, poll_s=0.01, max_idle_s=60.0),
+            daemon=True,
+        )
+        worker.start()
+        start = time.perf_counter()
+        served = pipeline.analyze_archive(
+            archive, executor=WorkQueueExecutor(served_dir, timeout_s=600.0)
+        )
+        queue_served_s = time.perf_counter() - start
+        (Path(served_dir) / "stop").touch()
+        worker.join(timeout=120)
+
+        reference = serial.to_dict()
+        parity_ok = all(
+            report.to_dict() == reference for report in (pooled, drained, served)
+        )
+        return RuntimeExperimentResult(
+            n_captures=n_captures,
+            frames_per_capture=frames_per_capture,
+            total_frames=total_frames,
+            pool_workers=workers,
+            serial_s=serial_s,
+            pool_s=pool_s,
+            queue_drained_s=queue_drained_s,
+            queue_served_s=queue_served_s,
+            parity_ok=parity_ok,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,298 @@
+"""The long-running fleet watch daemon: ``repro-ids fleet watch``.
+
+One-shot ``fleet scan`` calls answer "what is the fleet's state right
+now?"; a deployment wants the question asked *continuously*.
+:class:`WatchDaemon` is that loop, built so that every piece of real
+work happens in code that already exists and is already parity-tested:
+
+* each **cycle** compacts every vehicle's ledger
+  (:meth:`ScanLedger.compact` — entries for rotated-out captures are
+  dropped before they accumulate), runs the incremental
+  :func:`~repro.fleet.drift.analyze_fleet` pass over the store (only
+  new/changed captures pay for detection; any runtime executor
+  backend), and emits one status line;
+* a **drift alarm** closes the monitoring loop: the drifting vehicle is
+  re-baselined through :func:`~repro.fleet.retrain.retrain_vehicle`
+  (recent clean captures, attacked windows excluded, retrain event
+  logged) and the ledger context hash cold-rescans it — and only it —
+  on the next cycle;
+* **idle cycles back off**: the polling interval doubles (configurable)
+  up to a ceiling while nothing changes and snaps back to the base
+  interval the moment a cycle finds work, so a quiet fleet costs almost
+  nothing and a busy one is watched closely;
+* **shutdown is graceful and crash-safe**: SIGTERM/SIGINT (when
+  installed), a stop file, or ``max_cycles`` all stop the loop at the
+  next safe point; and because every ledger/template write in the
+  stack is atomic, even a SIGKILL mid-cycle leaves on-disk state a
+  cold start replays bit-identically (asserted by
+  ``tests/test_fleet_daemon.py``).
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.core.pipeline import IDSPipeline
+from repro.exceptions import TemplateError
+from repro.fleet.drift import (
+    DEFAULT_DRIFT_LIMIT,
+    DEFAULT_DRIFT_SLACK,
+    FleetReport,
+)
+from repro.fleet.retrain import retrain_vehicle, should_retrain
+from repro.fleet.store import FleetStore
+
+__all__ = ["CycleResult", "WatchDaemon"]
+
+
+@dataclass
+class CycleResult:
+    """What one daemon cycle observed and did."""
+
+    index: int
+    report: FleetReport
+    #: Vehicles re-baselined this cycle (drift alarm + new clean data).
+    retrained: List[str] = field(default_factory=list)
+    #: Vehicles whose drift alarmed but retraining was skipped/failed.
+    retrain_skipped: List[str] = field(default_factory=list)
+    #: Ledger entries dropped by the pre-scan compaction.
+    compacted: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def scanned(self) -> int:
+        """Captures actually re-scanned this cycle."""
+        return sum(len(w.scanned) for w in self.report.watch.values())
+
+    @property
+    def cached(self) -> int:
+        """Captures answered from ledgers this cycle."""
+        return sum(len(w.cached) for w in self.report.watch.values())
+
+    @property
+    def did_work(self) -> bool:
+        """True when the cycle scanned, retrained or compacted anything."""
+        return bool(self.scanned or self.retrained or self.compacted)
+
+    def status_line(self) -> str:
+        """The daemon's one-line-per-cycle operator digest."""
+        line = (
+            f"cycle {self.index}: {len(self.report.vehicles)} vehicles, "
+            f"{self.scanned} scanned, {self.cached} cached, "
+            f"{len(self.report.alarmed_vehicles)} alarmed, "
+            f"{len(self.report.drifting_vehicles)} drifting"
+        )
+        if self.compacted:
+            line += f", {self.compacted} ledger entries pruned"
+        if self.retrained:
+            line += f", retrained {', '.join(self.retrained)}"
+        if self.retrain_skipped:
+            line += f", retrain skipped for {', '.join(self.retrain_skipped)}"
+        return line + f" ({self.duration_s:.2f}s)"
+
+
+class WatchDaemon:
+    """Poll a fleet store, scan incrementally, retrain on drift.
+
+    Parameters
+    ----------
+    store, pipeline:
+        As :meth:`IDSPipeline.analyze_fleet` — per-vehicle templates are
+        preferred, the pipeline is the fallback/config carrier.
+    interval_s / max_interval_s / backoff:
+        Base polling interval, the ceiling it backs off towards while
+        idle, and the multiplier per idle cycle.  Any cycle that does
+        work resets the interval to ``interval_s``.
+    retrain:
+        Re-baseline drifting vehicles (on by default).  Retraining uses
+        the pipeline's config and the vehicle's ``retrain_captures``
+        most recent captures.
+    retrain_captures:
+        How many recent captures feed a re-baseline (``None``: all).
+    stop_file:
+        Path polled every cycle *and* during sleeps; its existence
+        requests a graceful stop (the cross-host analogue of SIGTERM).
+    executor / workers / infer_k / drift_slack / drift_limit:
+        Forwarded to :func:`~repro.fleet.drift.analyze_fleet`.
+    log:
+        Per-cycle status sink (``print`` for the CLI; tests capture).
+    """
+
+    def __init__(
+        self,
+        store: Union[FleetStore, str, Path],
+        pipeline: IDSPipeline,
+        interval_s: float = 30.0,
+        max_interval_s: Optional[float] = None,
+        backoff: float = 2.0,
+        retrain: bool = True,
+        retrain_captures: Optional[int] = None,
+        stop_file: Union[str, Path, None] = None,
+        executor=None,
+        workers: Optional[int] = None,
+        infer_k=1,
+        drift_slack: float = DEFAULT_DRIFT_SLACK,
+        drift_limit: float = DEFAULT_DRIFT_LIMIT,
+        log: Optional[Callable[[str], None]] = print,
+    ) -> None:
+        self.store = store if isinstance(store, FleetStore) else FleetStore(store)
+        self.pipeline = pipeline
+        if interval_s <= 0 or backoff < 1.0:
+            raise ValueError("interval_s must be > 0 and backoff >= 1")
+        self.interval_s = float(interval_s)
+        self.max_interval_s = (
+            float(max_interval_s) if max_interval_s is not None
+            else self.interval_s * 16
+        )
+        self.backoff = float(backoff)
+        self.retrain = bool(retrain)
+        self.retrain_captures = retrain_captures
+        self.stop_file = Path(stop_file) if stop_file is not None else None
+        self.executor = executor
+        self.workers = workers
+        self.infer_k = infer_k
+        self.drift_slack = drift_slack
+        self.drift_limit = drift_limit
+        self.log = log or (lambda line: None)
+        self.cycles: List[CycleResult] = []
+        self._stop_reason: Optional[str] = None
+        self._previous_handlers: dict = {}
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """Why the daemon stopped (None while running)."""
+        return self._stop_reason
+
+    def request_stop(self, reason: str = "requested") -> None:
+        """Ask the loop to exit at the next safe point (thread-safe)."""
+        if self._stop_reason is None:
+            self._stop_reason = reason
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into :meth:`request_stop` (main thread).
+
+        The previous dispositions are saved and restored when
+        :meth:`run` returns: a daemon embedded in a larger process (the
+        CLI test harness, a notebook) must not leave its handlers
+        behind — most insidiously, a forked pool worker inheriting this
+        handler would shrug off ``Pool.terminate()`` and hang the pool
+        shutdown.
+        """
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous = signal.signal(
+                sig,
+                lambda signum, frame: self.request_stop(
+                    signal.Signals(signum).name
+                ),
+            )
+            self._previous_handlers.setdefault(sig, previous)
+
+    def _restore_signal_handlers(self) -> None:
+        while self._previous_handlers:
+            sig, handler = self._previous_handlers.popitem()
+            signal.signal(sig, handler)
+
+    def _stop_requested(self) -> bool:
+        if self._stop_reason is None and self.stop_file is not None:
+            if self.stop_file.exists():
+                self._stop_reason = f"stop file {self.stop_file}"
+        return self._stop_reason is not None
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> CycleResult:
+        """Run one compact + scan + retrain cycle and log its status."""
+        start = time.perf_counter()
+        compacted = sum(self.store.compact_ledgers().values())
+        report = self.pipeline.analyze_fleet(
+            self.store,
+            workers=self.workers,
+            infer_k=self.infer_k,
+            executor=self.executor,
+            drift_slack=self.drift_slack,
+            drift_limit=self.drift_limit,
+        )
+        retrained: List[str] = []
+        skipped: List[str] = []
+        if self.retrain:
+            for vehicle_id in report.drifting_vehicles:
+                if not should_retrain(
+                    self.store, vehicle_id, self.retrain_captures
+                ):
+                    skipped.append(vehicle_id)
+                    continue
+                try:
+                    retrain_vehicle(
+                        self.store,
+                        vehicle_id,
+                        self.pipeline.config,
+                        max_captures=self.retrain_captures,
+                        reason="drift",
+                    )
+                except TemplateError as exc:
+                    # Not enough clean traffic to re-baseline (vehicle
+                    # under sustained attack): keep the old template and
+                    # surface the skip rather than training on poison.
+                    skipped.append(vehicle_id)
+                    self.log(f"retrain failed for {vehicle_id}: {exc}")
+                else:
+                    retrained.append(vehicle_id)
+        cycle = CycleResult(
+            index=len(self.cycles),
+            report=report,
+            retrained=retrained,
+            retrain_skipped=skipped,
+            compacted=compacted,
+            duration_s=time.perf_counter() - start,
+        )
+        self.cycles.append(cycle)
+        self.log(cycle.status_line())
+        return cycle
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def _sleep(self, seconds: float) -> None:
+        """Sleep in short slices so stop requests land promptly."""
+        deadline = time.monotonic() + seconds
+        while not self._stop_requested():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(0.1, remaining))
+
+    def run(self, max_cycles: Optional[int] = None) -> List[CycleResult]:
+        """Cycle until stopped; returns every cycle's result.
+
+        ``max_cycles`` bounds the loop (tests, one-shot cron use);
+        ``None`` runs until :meth:`request_stop`, a signal (after
+        :meth:`install_signal_handlers`) or the stop file.
+        """
+        interval = self.interval_s
+        try:
+            while not self._stop_requested():
+                cycle = self.run_cycle()
+                if max_cycles is not None and len(self.cycles) >= max_cycles:
+                    self._stop_reason = f"max cycles {max_cycles}"
+                    break
+                if cycle.did_work:
+                    interval = self.interval_s
+                else:
+                    interval = min(interval * self.backoff, self.max_interval_s)
+                if self._stop_requested():
+                    break
+                prefix = "idle; " if not cycle.did_work else ""
+                self.log(f"{prefix}next cycle in {interval:g}s")
+                self._sleep(interval)
+        finally:
+            self._restore_signal_handlers()
+        self.log(f"watch daemon stopped ({self._stop_reason})")
+        return self.cycles

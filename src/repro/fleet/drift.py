@@ -345,13 +345,16 @@ def analyze_fleet(
     infer_k=1,
     drift_slack: float = DEFAULT_DRIFT_SLACK,
     drift_limit: float = DEFAULT_DRIFT_LIMIT,
+    executor=None,
 ) -> FleetReport:
     """Incrementally scan every vehicle and aggregate fleet analytics.
 
     Each vehicle scans against its *own* stored golden template when the
     store has one (``pipeline``'s template otherwise) through
     :func:`repro.fleet.watch.watch_scan`, so repeat runs only pay for
-    new or changed captures.  Drift aggregates against the same template
+    new or changed captures — fresh captures fan out through
+    ``executor`` (any :class:`~repro.runtime.base.Executor`; default
+    pool per ``workers``).  Drift aggregates against the same template
     the scan used.
     """
     if not isinstance(store, FleetStore):
@@ -373,6 +376,7 @@ def analyze_fleet(
             store.ledger_path(vehicle_id),
             workers=workers,
             infer_k=infer_k,
+            executor=executor,
         )
         watch[vehicle_id] = result
         vehicles[vehicle_id] = aggregate_vehicle(

@@ -26,39 +26,15 @@ Correctness properties:
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
+
+from repro.io.atomic import atomic_write_text
 
 __all__ = ["ScanLedger", "atomic_write_text"]
 
 #: On-disk schema version; bump on incompatible layout changes.
 LEDGER_VERSION = 1
-
-
-def atomic_write_text(path: Union[str, Path], text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
-
-    The temp file lands in the destination directory so the final
-    ``os.replace`` is a same-filesystem rename — atomic on POSIX.  On
-    any failure the temp file is removed and the destination is left
-    untouched.
-    """
-    path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="ascii") as handle:
-            handle.write(text)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 
 class ScanLedger:
@@ -75,7 +51,12 @@ class ScanLedger:
         config + inference settings; see
         :func:`repro.fleet.watch.detection_context`).  A ledger written
         under a different context loads empty — cached verdicts from an
-        old template must never answer for a new one.
+        old template must never answer for a new one.  Pass ``None`` to
+        *adopt* whatever context the file already carries: maintenance
+        operations (:meth:`compact`, ``repro-ids fleet prune``) work on
+        a ledger without knowing the template that produced it, and must
+        never wipe its entries just because they cannot recompute the
+        context hash.
 
     ``hits`` / ``misses`` count :meth:`get` outcomes since construction,
     so incremental scans can assert exactly how much work the ledger
@@ -86,7 +67,9 @@ class ScanLedger:
     — so the two cases stay distinguishable in scan output.
     """
 
-    def __init__(self, path: Union[str, Path], context: str = "") -> None:
+    def __init__(
+        self, path: Union[str, Path], context: Optional[str] = ""
+    ) -> None:
         self.path = Path(path)
         self.context = context
         self.rebuild_reason: Optional[str] = None
@@ -94,6 +77,10 @@ class ScanLedger:
         self.misses = 0
         self._entries: Dict[str, dict] = {}
         self._load()
+        if self.context is None:
+            # Adoption mode found no usable file: behave like a fresh
+            # ledger under the empty context.
+            self.context = ""
 
     @property
     def rebuilt(self) -> bool:
@@ -120,7 +107,11 @@ class ScanLedger:
             # Truncated/corrupt/foreign file: rebuild rather than trust.
             self.rebuild_reason = "corrupt"
             return
-        if payload.get("context") != self.context:
+        if self.context is None:
+            # Adoption mode (maintenance tools): keep the file's own
+            # context so a later save never silently re-keys the ledger.
+            self.context = str(payload.get("context", ""))
+        elif payload.get("context") != self.context:
             # Valid file, different detection context (e.g. retrained
             # template): every cached verdict is stale.
             self.rebuild_reason = "context-changed"
@@ -162,6 +153,31 @@ class ScanLedger:
         for key in stale:
             del self._entries[key]
         return len(stale)
+
+    def compact(self, archive) -> int:
+        """Drop entries whose capture files left ``archive``, and save.
+
+        ``archive`` is a :class:`~repro.io.archive.CaptureArchive` (or a
+        directory path).  Watch scans prune as a side effect, but a
+        vehicle whose captures are rotated out between scans would grow
+        its ledger forever; this is the standalone maintenance pass
+        (``repro-ids fleet prune``, and each watch-daemon cycle).  The
+        ledger is only rewritten when something was actually pruned, so
+        compacting a corrupt file never destroys evidence by saving the
+        rebuilt-empty state over it.  Returns the number of entries
+        dropped.
+        """
+        from repro.io.archive import CaptureArchive  # cycle-free import
+
+        if not isinstance(archive, CaptureArchive):
+            archive = CaptureArchive(archive)
+        keep = [
+            p.relative_to(archive.directory).as_posix() for p in archive.paths
+        ]
+        pruned = self.prune(keep)
+        if pruned:
+            self.save()
+        return pruned
 
     # ------------------------------------------------------------------
     def save(self) -> None:

@@ -1,0 +1,175 @@
+"""Drift-triggered re-baselining of a vehicle's golden template.
+
+The drift CUSUM (:mod:`repro.fleet.drift`) answers *"is this vehicle's
+clean traffic still the traffic its template was trained on?"* — and
+when the answer is no, the right response is not an alarm storm but a
+**re-baseline**: rebuild the template from the vehicle's *recent* clean
+traffic and judge future drives against reality instead of history.
+
+:func:`retrain_vehicle` is that response, closed-loop safe:
+
+* training reuses the fleet-train path —
+  :meth:`TemplateBuilder.add_trace_windows` with
+  ``exclude_attacked=True`` — so ground-truth-attacked windows can
+  never launder an ongoing injection into the new baseline;
+* the new template is persisted atomically through the store, and the
+  ledger's **context hash** does the invalidation: the next scan of
+  this vehicle (and only this vehicle) is forcibly cold, re-judging
+  every capture against the new baseline;
+* every re-baseline appends an event to the vehicle's retrain log
+  (:meth:`FleetStore.append_retrain_event`): when, why, from which
+  captures, replacing which template digest — a fleet operator can
+  audit exactly which verdicts were produced under which baseline.
+
+:func:`should_retrain` is the watch daemon's idempotence guard: a drift
+alarm with *no new clean captures since the last re-baseline* would
+rebuild the same template from the same bytes, so the daemon skips it
+instead of looping — one drift episode, one retrain event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.config import IDSConfig
+from repro.core.template import GoldenTemplate, TemplateBuilder
+from repro.exceptions import TemplateError
+from repro.fleet.store import FleetStore
+from repro.io.archive import load_capture_columns
+from repro.io.fingerprint import fingerprint_file
+
+__all__ = [
+    "retrain_vehicle",
+    "should_retrain",
+    "template_digest",
+    "training_captures",
+]
+
+
+def template_digest(template: GoldenTemplate) -> str:
+    """Short content digest identifying a template in retrain events."""
+    blob = json.dumps(template.to_dict(), sort_keys=True).encode("ascii")
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+
+def _natural_key(name: str):
+    from repro.fleet.drift import _natural_name_key  # one ordering, one home
+
+    return _natural_name_key(name)
+
+
+def training_captures(
+    store: FleetStore, vehicle_id: str, max_captures: Optional[int] = None
+) -> List[Path]:
+    """The vehicle's most recent ``max_captures`` capture files.
+
+    "Recent" follows the fleet's chronology convention (numeric-aware
+    name ordering — the same order the drift CUSUM aggregates in), so a
+    template retrained after drift learns from the traffic that
+    *caused* the drift, not from the pre-drift history that the stale
+    template already describes.  ``None`` trains from everything.
+    """
+    paths = sorted(
+        store.archive(vehicle_id).paths, key=lambda p: _natural_key(p.name)
+    )
+    if max_captures is not None and max_captures > 0:
+        paths = paths[-max_captures:]
+    return paths
+
+
+def should_retrain(
+    store: FleetStore, vehicle_id: str, max_captures: Optional[int] = None
+) -> bool:
+    """False when the last retrain already used exactly these *bytes*.
+
+    Retraining is deterministic in its inputs: same captures, same
+    config → same template → same ledger context.  Re-running it would
+    burn a template rebuild per cycle while changing nothing, so the
+    daemon consults this guard before acting on a persistent drift
+    alarm.  Inputs are compared by name *and* content fingerprint — a
+    capture re-recorded in place (``add_capture(overwrite=True)``) is
+    new data even though its name is not, and must re-enable
+    retraining.  Events written before fingerprints were recorded fall
+    back to name comparison.
+    """
+    events = store.retrain_events(vehicle_id)
+    if not events:
+        return True
+    last = events[-1]
+    planned = training_captures(store, vehicle_id, max_captures)
+    if last.get("captures") != [p.name for p in planned]:
+        return True
+    recorded = last.get("fingerprints")
+    if recorded is None:
+        return False  # legacy event: names matched, nothing else known
+    return recorded != [fingerprint_file(p) for p in planned]
+
+
+def retrain_vehicle(
+    store: Union[FleetStore, str, Path],
+    vehicle_id: str,
+    config: Optional[IDSConfig] = None,
+    max_captures: Optional[int] = None,
+    reason: str = "drift",
+) -> GoldenTemplate:
+    """Rebuild a vehicle's golden template from its recent clean traffic.
+
+    Loads the vehicle's most recent ``max_captures`` captures, trains a
+    fresh template from their clean windows (ground-truth-attacked
+    windows excluded), persists it (atomic write; the recorded training
+    window rides along), and appends a retrain event to the vehicle's
+    log.  Raises :class:`TemplateError` when fewer than two clean
+    windows exist — a vehicle under sustained attack keeps its old
+    baseline rather than training on poisoned traffic.
+
+    The caller's next scan picks the invalidation up for free: the new
+    template changes the detection context hash, so the vehicle's scan
+    ledger rebuilds and every capture cold-rescans against the new
+    baseline — and no other vehicle's ledger is touched.
+    """
+    if not isinstance(store, FleetStore):
+        store = FleetStore(store)
+    config = config or IDSConfig()
+    paths = training_captures(store, vehicle_id, max_captures)
+    if not paths:
+        raise TemplateError(
+            f"vehicle {vehicle_id!r} has no captures to retrain from"
+        )
+    builder = TemplateBuilder(config)
+    for path in paths:
+        builder.add_trace_windows(
+            load_capture_columns(path), exclude_attacked=True
+        )
+    if builder.n_windows < 2:
+        raise TemplateError(
+            f"vehicle {vehicle_id!r} has {builder.n_windows} clean window(s) "
+            f"({builder.excluded_attacked} attacked excluded) in its recent "
+            f"captures; need >= 2 to re-baseline"
+        )
+    old_digest = (
+        template_digest(store.load_template(vehicle_id))
+        if store.has_template(vehicle_id)
+        else None
+    )
+    template = builder.build()
+    store.save_template(vehicle_id, template, window_us=config.window_us)
+    store.append_retrain_event(
+        vehicle_id,
+        {
+            "time": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "vehicle": vehicle_id,
+            "reason": reason,
+            "captures": [p.name for p in paths],
+            "fingerprints": [fingerprint_file(p) for p in paths],
+            "n_windows": template.n_windows,
+            "excluded_attacked": builder.excluded_attacked,
+            "window_us": config.window_us,
+            "old_template": old_digest,
+            "new_template": template_digest(template),
+        },
+    )
+    return template

@@ -289,3 +289,63 @@ class FleetStore:
     def ledger_path(self, vehicle_id: str) -> Path:
         """Where the vehicle's scan ledger lives."""
         return self.vehicle_dir(vehicle_id) / "ledger.json"
+
+    def compact_ledgers(self) -> Dict[str, int]:
+        """Compact every vehicle's ledger against its current archive.
+
+        The shared maintenance pass behind ``repro-ids fleet prune`` and
+        each watch-daemon cycle: entries whose capture files left the
+        archive are dropped (:meth:`ScanLedger.compact` — loaded in
+        context-adoption mode, so unknown detection contexts are never
+        wiped).  Returns pruned-entry counts per vehicle that had a
+        ledger.
+        """
+        from repro.fleet.ledger import ScanLedger  # cycle-free import
+
+        pruned: Dict[str, int] = {}
+        for vehicle_id in self.vehicles():
+            path = self.ledger_path(vehicle_id)
+            if not path.is_file():
+                continue
+            ledger = ScanLedger(path, context=None)
+            pruned[vehicle_id] = ledger.compact(self.archive(vehicle_id))
+        return pruned
+
+    # ------------------------------------------------------------------
+    # Retrain event log
+    # ------------------------------------------------------------------
+    def retrain_log_path(self, vehicle_id: str) -> Path:
+        """Where the vehicle's retrain event log lives (JSON lines)."""
+        return self.vehicle_dir(vehicle_id) / "retrain-log.jsonl"
+
+    def append_retrain_event(self, vehicle_id: str, event: Mapping) -> Path:
+        """Record one re-baselining of a vehicle's golden template.
+
+        The log is append-only JSON lines — every re-baseline in a
+        vehicle's life stays auditable (when, why, from which captures,
+        replacing which template).  A line is one self-contained event,
+        so a torn final line (crash mid-append) costs that event only;
+        :meth:`retrain_events` skips it.
+        """
+        self.add_vehicle(vehicle_id)
+        path = self.retrain_log_path(vehicle_id)
+        with path.open("a", encoding="ascii") as handle:
+            handle.write(json.dumps(dict(event), sort_keys=True) + "\n")
+        return path
+
+    def retrain_events(self, vehicle_id: str) -> List[dict]:
+        """The vehicle's retrain events, oldest first (torn lines skipped)."""
+        path = self.retrain_log_path(vehicle_id)
+        if not path.is_file():
+            return []
+        events: List[dict] = []
+        for line in path.read_text(encoding="ascii").splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn/foreign line: skip, keep the rest
+            if isinstance(event, dict):
+                events.append(event)
+        return events

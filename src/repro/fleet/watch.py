@@ -115,15 +115,17 @@ def watch_scan(
     ledger_path: Union[str, Path],
     workers: Optional[int] = None,
     infer_k=1,
+    executor=None,
 ) -> WatchResult:
     """Scan an archive incrementally, updating its ledger.
 
     Captures whose relative path *and* content fingerprint match a
     ledger entry replay the persisted report; everything else fans out
-    through :class:`ShardedScanner` (``workers`` as in
-    :meth:`IDSPipeline.analyze_archive`) and lands in the ledger for
-    next time.  Entries for captures no longer present are pruned, and
-    the ledger is saved atomically before returning.
+    through :class:`ShardedScanner` (``workers`` and ``executor`` as in
+    :meth:`IDSPipeline.analyze_archive` — any runtime backend, same
+    bit-identical result) and lands in the ledger for next time.
+    Entries for captures no longer present are pruned, and the ledger
+    is saved atomically before returning.
     """
     if not isinstance(archive, CaptureArchive):
         archive = CaptureArchive(archive)
@@ -159,7 +161,10 @@ def watch_scan(
 
     scanned_paths = [archive.paths[i] for i in stale]
     if stale:
-        scanner = ShardedScanner(pipeline.template, pipeline.config, workers=workers)
+        scanner = ShardedScanner(
+            pipeline.template, pipeline.config, workers=workers,
+            executor=executor,
+        )
         for i, scan in zip(stale, scanner.scan_archive(scanned_paths)):
             alerts = [w.to_alert() for w in scan.windows if w.alarm]
             # _finish_report is the same inference + assembly step

@@ -1,0 +1,57 @@
+"""Runtime layer: pluggable execution backends for archive-scale scans.
+
+Every scan path (cold ``analyze_archive``, incremental ``watch_scan``,
+fleet-wide ``analyze_fleet``) funnels through one per-capture shard
+task; this package owns *how* those tasks execute:
+
+* :class:`~repro.runtime.base.Executor` — the protocol: submit tasks,
+  collect order-stable results;
+* :class:`~repro.runtime.serial.SerialExecutor` — inline reference
+  backend;
+* :class:`~repro.runtime.pool.PoolExecutor` — one host's cores via a
+  ``multiprocessing`` pool;
+* :class:`~repro.runtime.queue.WorkQueueExecutor` — many hosts via a
+  shared filesystem queue directory served by ``repro-ids worker``
+  processes (:func:`~repro.runtime.worker.run_worker`).
+
+All backends are bit-identical for any spec and worker count
+(``tests/test_runtime_executors.py``); the choice is purely a
+deployment decision, surfaced as ``--executor serial|pool|queue`` on
+the CLI and ``executor=`` on the pipeline entry points.
+"""
+
+from repro.runtime.base import (
+    BaselineScanSpec,
+    EntropyScanSpec,
+    Executor,
+    ScanSpec,
+    resolve_executor,
+    spec_from_payload,
+)
+from repro.runtime.pool import PoolExecutor, default_workers
+from repro.runtime.queue import (
+    WorkQueueExecutor,
+    claim_next_task,
+    execute_claimed_task,
+    queue_dirs,
+)
+from repro.runtime.serial import SerialExecutor
+from repro.runtime.worker import WorkerStats, run_worker
+
+__all__ = [
+    "BaselineScanSpec",
+    "EntropyScanSpec",
+    "Executor",
+    "PoolExecutor",
+    "ScanSpec",
+    "SerialExecutor",
+    "WorkQueueExecutor",
+    "WorkerStats",
+    "claim_next_task",
+    "default_workers",
+    "execute_claimed_task",
+    "queue_dirs",
+    "resolve_executor",
+    "run_worker",
+    "spec_from_payload",
+]

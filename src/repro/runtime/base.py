@@ -1,0 +1,240 @@
+"""The execution protocol behind every archive-scale scan.
+
+Every scan path in the repository — cold ``analyze_archive``,
+incremental ``watch_scan``, fleet-wide ``analyze_fleet`` — reduces to
+the same *shard task*: given a detection context and a capture file
+path, load the capture through the columnar readers and return the
+per-window verdicts.  :class:`Executor` is the protocol over that task:
+
+* :meth:`Executor.run` takes a :class:`ScanSpec` (the per-capture work
+  description) and a sequence of capture paths, and returns one result
+  per path **in input order**, no matter which backend ran which task
+  when — order stability is what makes every backend bit-identical to
+  a serial scan.
+
+Three backends implement it:
+
+* :class:`~repro.runtime.serial.SerialExecutor` — one process, one
+  loop; the reference semantics;
+* :class:`~repro.runtime.pool.PoolExecutor` — the ``multiprocessing``
+  pool extracted from the original ``ShardedScanner``;
+* :class:`~repro.runtime.queue.WorkQueueExecutor` — a filesystem work
+  queue; independent ``repro-ids worker`` processes (on this host or
+  any host sharing the directory) claim tasks via atomic rename and
+  upload ledger-protocol result dicts.
+
+A :class:`ScanSpec` describes the work one capture needs.
+:class:`EntropyScanSpec` (the paper's detector) is additionally
+*portable*: it serialises to a JSON payload so the work-queue backend
+can ship it to workers that share nothing but a directory.
+:class:`BaselineScanSpec` carries a fitted baseline object — picklable
+(serial/pool) but not portable, which the queue backend refuses
+explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.baselines.base import BaselineIDS, BaselineVerdict
+from repro.core.alerts import AlertSink
+from repro.core.config import IDSConfig
+from repro.core.detector import WindowResult
+from repro.core.engine import BatchEntropyEngine
+from repro.core.template import GoldenTemplate
+from repro.exceptions import DetectorError
+from repro.io.archive import load_capture_columns
+
+__all__ = [
+    "BaselineScanSpec",
+    "EntropyScanSpec",
+    "Executor",
+    "ScanSpec",
+    "resolve_executor",
+    "spec_from_payload",
+]
+
+#: Work-queue task payload schema version; bump on incompatible changes.
+SPEC_VERSION = 1
+
+
+class ScanSpec(ABC):
+    """Description of the work one capture path needs.
+
+    A spec is *stateless work context*: :meth:`make_scanner` builds the
+    actual per-process scanner (engine or fitted baseline) exactly once
+    per worker, and the returned callable maps ``path -> result``.
+    Specs must be picklable (the pool backend ships them to workers via
+    the pool initializer) and results must round-trip unchanged through
+    whatever transport the executor uses.
+    """
+
+    #: True when the spec serialises to JSON (:meth:`to_payload`) and
+    #: can therefore cross host boundaries through the work queue.
+    portable = False
+
+    @abstractmethod
+    def make_scanner(self) -> Callable[[str], list]:
+        """Build the per-process ``path -> result`` callable."""
+
+    def to_payload(self) -> dict:
+        """JSON task payload for the work-queue backend."""
+        raise DetectorError(
+            f"{type(self).__name__} cannot be shipped through a work "
+            f"queue; use the serial or pool executor"
+        )
+
+    def encode_result(self, result: list) -> list:
+        """Serialise one task's result for transport (portable specs)."""
+        raise DetectorError(
+            f"{type(self).__name__} results cannot cross a work queue"
+        )
+
+    def decode_result(self, payload: list) -> list:
+        """Inverse of :meth:`encode_result`."""
+        raise DetectorError(
+            f"{type(self).__name__} results cannot cross a work queue"
+        )
+
+
+@dataclass(frozen=True)
+class EntropyScanSpec(ScanSpec):
+    """The paper's detector over one capture: ``BatchEntropyEngine.scan``.
+
+    Results are ``List[WindowResult]`` — exactly what the serial scan
+    produces, and (via the lossless ``WindowResult`` dict round trip)
+    exactly what a remote worker uploads.
+    """
+
+    template: GoldenTemplate
+    config: IDSConfig
+
+    portable = True
+
+    def make_scanner(self) -> Callable[[str], List[WindowResult]]:
+        engine = BatchEntropyEngine(self.template, self.config, AlertSink())
+        return lambda path: engine.scan(load_capture_columns(path))
+
+    def to_payload(self) -> dict:
+        return {
+            "version": SPEC_VERSION,
+            "kind": "entropy",
+            "template": self.template.to_dict(),
+            "config": {
+                "n_bits": self.config.n_bits,
+                "window_us": self.config.window_us,
+                "min_window_messages": self.config.min_window_messages,
+                "alpha": self.config.alpha,
+            },
+        }
+
+    def encode_result(self, result: List[WindowResult]) -> list:
+        # The ledger protocol: WindowResult dicts round-trip bit-exactly
+        # (JSON floats are shortest-repr float64), so an uploaded result
+        # is indistinguishable from a locally computed one.
+        return [w.to_dict() for w in result]
+
+    def decode_result(self, payload: list) -> List[WindowResult]:
+        return [WindowResult.from_dict(w) for w in payload]
+
+
+@dataclass(frozen=True)
+class BaselineScanSpec(ScanSpec):
+    """A fitted baseline's ``scan`` over one capture."""
+
+    baseline: BaselineIDS
+
+    def __post_init__(self) -> None:
+        if not self.baseline._fitted:
+            raise DetectorError(f"{self.baseline.name}: scan before fit")
+
+    def make_scanner(self) -> Callable[[str], List[BaselineVerdict]]:
+        baseline = self.baseline
+        return lambda path: baseline.scan(load_capture_columns(path))
+
+
+def spec_from_payload(payload: dict) -> EntropyScanSpec:
+    """Rebuild a portable spec from its work-queue JSON payload."""
+    try:
+        if payload["version"] != SPEC_VERSION:
+            raise DetectorError(
+                f"task spec version {payload['version']!r} not supported"
+            )
+        kind = payload["kind"]
+        if kind != "entropy":
+            raise DetectorError(f"unknown task spec kind {kind!r}")
+        template = GoldenTemplate.from_dict(payload["template"])
+        config = IDSConfig(
+            alpha=float(payload["config"]["alpha"]),
+            n_bits=int(payload["config"]["n_bits"]),
+            window_us=int(payload["config"]["window_us"]),
+            min_window_messages=int(payload["config"]["min_window_messages"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DetectorError(f"malformed task spec payload: {exc}") from exc
+    return EntropyScanSpec(template, config)
+
+
+class Executor(ABC):
+    """Submit per-capture shard tasks, collect order-stable results.
+
+    The single correctness contract every backend must honour: for any
+    spec and path sequence, ``run`` returns ``[scan(paths[0]),
+    scan(paths[1]), ...]`` — the exact results a fresh serial loop would
+    produce, in input order.  The parity suite
+    (``tests/test_runtime_executors.py``) asserts this bit for bit
+    across all backends at several worker counts.
+    """
+
+    @abstractmethod
+    def run(self, spec: ScanSpec, paths: Sequence[Union[str, Path]]) -> List[list]:
+        """Execute the spec over every path; results in input order."""
+
+    def describe(self) -> str:
+        """Short human-readable backend name for status lines."""
+        return type(self).__name__
+
+
+def resolve_executor(
+    executor: Union[str, Executor, None],
+    workers: Optional[int] = None,
+    queue_dir: Union[str, Path, None] = None,
+    queue_drain: bool = True,
+) -> Optional["Executor"]:
+    """Turn a CLI-style executor choice into an :class:`Executor`.
+
+    ``executor`` may be an instance (returned as-is), one of the names
+    ``"serial"`` / ``"pool"`` / ``"queue"``, or ``None`` (returns
+    ``None`` — callers fall back to their default pool behaviour, which
+    keeps the historical ``workers=`` semantics intact).  ``"queue"``
+    requires ``queue_dir``; ``queue_drain=False`` (CLI:
+    ``--queue-no-drain``) forbids the coordinator from executing its
+    own tasks — every task must be served by a worker, with a bounded
+    timeout so a worker-less queue errors instead of hanging.
+    """
+    if executor is None or isinstance(executor, Executor):
+        return executor
+    from repro.runtime.pool import PoolExecutor
+    from repro.runtime.queue import WorkQueueExecutor
+    from repro.runtime.serial import SerialExecutor
+
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "pool":
+        return PoolExecutor(workers=workers)
+    if executor == "queue":
+        if queue_dir is None:
+            raise DetectorError(
+                "the queue executor needs a queue directory (--queue-dir)"
+            )
+        return WorkQueueExecutor(
+            queue_dir,
+            coordinator_drains=queue_drain,
+            timeout_s=None if queue_drain else 600.0,
+        )
+    raise DetectorError(
+        f"unknown executor {executor!r}; expected serial, pool or queue"
+    )

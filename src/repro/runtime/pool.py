@@ -1,0 +1,103 @@
+"""The multiprocessing executor (extracted from ``ShardedScanner``).
+
+One capture archive, many CPU cores: the pool backend fans shard tasks
+across a ``multiprocessing`` pool, one task per capture.  Workers build
+their scanner once (pool initializer) and receive only *paths* per
+task — captures are loaded inside the worker through the columnar
+readers, so no bulk frame data crosses the process boundary.
+
+``pool.map`` preserves task order, so results are deterministic no
+matter which worker finishes first; a single worker (or a single task)
+runs inline without a pool, which is also the fallback wherever
+``multiprocessing`` is unavailable or undesirable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.exceptions import DetectorError
+from repro.runtime.base import Executor, ScanSpec
+
+__all__ = ["PoolExecutor", "default_workers"]
+
+#: Worker-process state installed by the pool initializer.  With the
+#: ``fork`` start method this is inherited for free; with ``spawn`` the
+#: initializer argument (the spec) is pickled once per worker, not per
+#: task.
+_WORKER: dict = {}
+
+
+def _init_worker(spec: ScanSpec) -> None:
+    _WORKER["scan"] = spec.make_scanner()
+
+
+def _init_pool_worker(spec: ScanSpec) -> None:
+    # A forked worker inherits the parent's signal handlers.  If the
+    # parent is a daemon (``fleet watch`` installs a graceful SIGTERM
+    # handler), an inheriting worker would *survive* the pool's own
+    # ``terminate()`` — the handler just sets a flag on the parent's
+    # daemon object — and ``Pool.__exit__`` would then wait on it
+    # forever.  Pool workers are disposable by design: restore default
+    # dispositions so terminate means terminate.  (Only here, never in
+    # the inline path, which runs in the coordinator's own process.)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    _init_worker(spec)
+
+
+def _run_task(path: str) -> list:
+    return _WORKER["scan"](path)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits the spec) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def default_workers() -> int:
+    """Worker count when none is given: one per core, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class PoolExecutor(Executor):
+    """Fan shard tasks across a process pool, one capture per task.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` runs inline (no pool).  Defaults to
+        :func:`default_workers`.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise DetectorError(f"workers must be >= 1, got {workers}")
+
+    def run(
+        self, spec: ScanSpec, paths: Sequence[Union[str, Path]]
+    ) -> List[list]:
+        names = [str(p) for p in paths]
+        n_workers = min(self.workers, len(names))
+        if n_workers <= 1:
+            _init_worker(spec)
+            try:
+                return [_run_task(p) for p in names]
+            finally:
+                _WORKER.clear()
+        ctx = _pool_context()
+        with ctx.Pool(
+            n_workers, initializer=_init_pool_worker, initargs=(spec,)
+        ) as pool:
+            # map() preserves task order, so results are deterministic
+            # no matter which worker finished first.
+            return pool.map(_run_task, names, chunksize=1)
+
+    def describe(self) -> str:
+        return f"pool({self.workers})"

@@ -1,0 +1,372 @@
+"""The filesystem work-queue executor: scans that span hosts.
+
+The pool backend scales to one machine's cores; a fleet-sized archive
+wants more.  :class:`WorkQueueExecutor` spills each shard task as a
+small JSON spec into a *queue directory* — any filesystem the
+coordinator and its workers share (local disk, NFS, a mounted bucket).
+Independent ``repro-ids worker`` processes, launchable on any host that
+mounts the directory, claim tasks and upload results; the coordinator
+collects and reorders.  No sockets, no broker, no new dependency — the
+only primitives are atomic rename (claiming) and atomic write
+(publishing), both POSIX guarantees.
+
+Queue directory layout::
+
+    <queue>/
+      tasks/     posted task specs, awaiting a claimant
+      claimed/   tasks being executed (claim = rename tasks/x -> claimed/x)
+      results/   uploaded result dicts, named after their task
+      failed/    malformed task files quarantined by workers
+      stop       (optional) tells every worker to exit after its task
+
+The claim protocol: a worker picks the oldest task file and
+``os.rename``\\ s it into ``claimed/``.  Rename is atomic, so exactly
+one claimant wins; the losers get ``FileNotFoundError`` and move on.
+Results are written with :func:`repro.io.atomic.atomic_write_text`, so
+a visible result file is always complete.  Task results use the fleet
+ledger's serialisation protocol (``WindowResult.to_dict``, bit-exact
+float round trips), which is what makes a queue scan **bit-identical**
+to a serial scan of the same archive.
+
+The coordinator *also drains the queue itself* while waiting (on by
+default): with zero workers a queue scan degrades to a serial scan
+instead of hanging, and with busy workers the coordinator's cycles are
+not wasted.  Claimed tasks whose worker died are re-posted after
+``stale_claim_s`` (mtime-based), so a killed worker delays a scan, it
+never wedges one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import DetectorError
+from repro.io.atomic import atomic_write_text
+from repro.runtime.base import Executor, ScanSpec, spec_from_payload
+
+__all__ = [
+    "WorkQueueExecutor",
+    "claim_next_task",
+    "execute_claimed_task",
+    "queue_dirs",
+]
+
+#: Queue-dir protocol version, stamped into every task file.
+QUEUE_VERSION = 1
+
+#: Name of the file that tells workers to exit (coordinator-independent
+#: shutdown; see ``repro-ids worker --stop-file``).
+STOP_FILENAME = "stop"
+
+
+def queue_dirs(queue_dir: Union[str, Path]) -> Tuple[Path, Path, Path, Path]:
+    """Create (idempotently) and return the queue's subdirectories."""
+    root = Path(queue_dir)
+    dirs = (root / "tasks", root / "claimed", root / "results", root / "failed")
+    for d in dirs:
+        d.mkdir(parents=True, exist_ok=True)
+    return dirs
+
+
+def _task_name(job: str, index: int) -> str:
+    return f"{job}-{index:06d}.json"
+
+
+def _index_of(name: str) -> int:
+    return int(name.rsplit("-", 1)[1].split(".", 1)[0])
+
+
+def claim_next_task(
+    queue_dir: Union[str, Path], job: Optional[str] = None
+) -> Optional[Path]:
+    """Claim the oldest pending task via atomic rename; None when idle.
+
+    ``job`` restricts claiming to one coordinator's tasks (the
+    coordinator's own drain loop uses this so it never executes another
+    scan's work while its own is pending).
+    """
+    tasks, claimed, _, _ = queue_dirs(queue_dir)
+    pattern = f"{job}-*.json" if job else "*.json"
+    for path in sorted(tasks.glob(pattern)):
+        target = claimed / path.name
+        try:
+            os.rename(path, target)
+        except FileNotFoundError:
+            continue  # another claimant won the rename race
+        try:
+            # rename preserves the posting mtime; stamp the claim time,
+            # or a task that merely *queued* longer than stale_claim_s
+            # would look instantly stale and be reposted mid-execution.
+            os.utime(target)
+        except OSError:
+            pass
+        return target
+    return None
+
+
+def execute_claimed_task(
+    claimed_path: Path, scanners: Optional[Dict[str, object]] = None
+) -> bool:
+    """Run one claimed task file and publish its result.
+
+    ``scanners`` caches built scanners keyed by the canonical spec
+    payload, so a worker draining a whole archive builds its engine
+    once, exactly like a pool worker.  Returns True when a result
+    (success *or* recorded failure) was published; False when the task
+    file itself was malformed and quarantined into ``failed/`` — a
+    foreign or torn task must not crash a fleet's shared worker.
+
+    A scan failure (unreadable capture, template mismatch) publishes an
+    *error result* instead of raising: the coordinator is the process
+    with a human attached, so errors surface there, and the queue never
+    wedges on a poison task.
+    """
+    queue_root = claimed_path.parent.parent
+    _, _, results, failed = queue_dirs(queue_root)
+    try:
+        task = json.loads(claimed_path.read_text(encoding="ascii"))
+        if task["version"] != QUEUE_VERSION:
+            raise ValueError(f"queue protocol version {task['version']!r}")
+        spec_payload = task["spec"]
+        capture = task["path"]
+        name = _task_name(task["job"], int(task["index"]))
+    except (ValueError, KeyError, TypeError, OSError):
+        target = failed / claimed_path.name
+        try:
+            os.replace(claimed_path, target)
+        except OSError:
+            pass
+        return False
+
+    key = json.dumps(spec_payload, sort_keys=True)
+    outcome: dict
+    try:
+        spec = spec_from_payload(spec_payload)
+        if scanners is not None and key in scanners:
+            scan = scanners[key]
+        else:
+            scan = spec.make_scanner()
+            if scanners is not None:
+                scanners[key] = scan
+        result = scan(capture)
+        outcome = {
+            "version": QUEUE_VERSION,
+            "job": task["job"],
+            "index": int(task["index"]),
+            "result": spec.encode_result(result),
+        }
+    except Exception as exc:  # noqa: BLE001 - published, not swallowed
+        outcome = {
+            "version": QUEUE_VERSION,
+            "job": task["job"],
+            "index": int(task["index"]),
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    atomic_write_text(results / name, json.dumps(outcome))
+    try:
+        claimed_path.unlink()
+    except OSError:
+        pass
+    return True
+
+
+class WorkQueueExecutor(Executor):
+    """Distribute shard tasks through a shared queue directory.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared directory (created if missing).  Workers are started
+        independently: ``repro-ids worker --queue <dir>`` on any host
+        mounting it.
+    poll_s:
+        Coordinator sleep between collection sweeps when it has nothing
+        to drain itself.
+    timeout_s:
+        Give up (``DetectorError``) when no new result has arrived for
+        this long.  ``None`` waits forever — safe with
+        ``coordinator_drains`` (progress is then guaranteed even with
+        zero workers).
+    coordinator_drains:
+        When True (default) the coordinator claims and executes its own
+        pending tasks while waiting, so workers accelerate a scan but
+        are never required for one — including on failure: a worker's
+        *error result* (missing mount on its host, transient IO fault)
+        is retried locally instead of aborting the scan, and only a
+        local failure (the capture really is bad) propagates.  With
+        False, an error result raises immediately.
+    stale_claim_s:
+        Claimed tasks older than this are re-posted for another worker
+        (crash recovery).  The scan stays correct either way: duplicate
+        results of a deterministic task are byte-identical, and the
+        coordinator takes whichever arrives.
+    orphan_ttl_s:
+        At job start the coordinator sweeps ``results/`` and ``failed/``
+        files older than this (leftovers of SIGKILLed coordinators or
+        workers that finished after their job's cleanup), so a
+        long-lived shared queue directory cannot leak files without
+        bound.
+    """
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        poll_s: float = 0.05,
+        timeout_s: Optional[float] = None,
+        coordinator_drains: bool = True,
+        stale_claim_s: float = 300.0,
+        orphan_ttl_s: float = 86400.0,
+    ) -> None:
+        self.queue_dir = Path(queue_dir)
+        if poll_s <= 0 or stale_claim_s <= 0 or orphan_ttl_s <= 0:
+            raise DetectorError(
+                "poll_s, stale_claim_s and orphan_ttl_s must be positive"
+            )
+        self.poll_s = float(poll_s)
+        self.timeout_s = timeout_s
+        self.coordinator_drains = bool(coordinator_drains)
+        self.stale_claim_s = float(stale_claim_s)
+        self.orphan_ttl_s = float(orphan_ttl_s)
+
+    # ------------------------------------------------------------------
+    def _sweep_orphans(self) -> None:
+        """Drop result/failed files no live job can still be collecting."""
+        _, _, results, failed = queue_dirs(self.queue_dir)
+        cutoff = time.time() - self.orphan_ttl_s
+        for directory in (results, failed):
+            for path in directory.glob("*.json"):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                except OSError:
+                    continue  # another sweeper won, or the file is live
+
+    def _post(self, spec: ScanSpec, paths: Sequence[str]) -> str:
+        self._sweep_orphans()
+        tasks, _, _, _ = queue_dirs(self.queue_dir)
+        job = uuid.uuid4().hex[:12]
+        payload = spec.to_payload()
+        for index, path in enumerate(paths):
+            task = {
+                "version": QUEUE_VERSION,
+                "job": job,
+                "index": index,
+                "path": str(Path(path).resolve()),
+                "spec": payload,
+            }
+            atomic_write_text(tasks / _task_name(job, index), json.dumps(task))
+        return job
+
+    def _repost_stale_claims(self, job: str) -> None:
+        tasks, claimed, _, _ = queue_dirs(self.queue_dir)
+        cutoff = time.time() - self.stale_claim_s
+        for path in claimed.glob(f"{job}-*.json"):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                os.rename(path, tasks / path.name)
+            except OSError:
+                continue  # the worker finished (or another reposter won)
+
+    def _cleanup(self, job: str) -> None:
+        # failed/ is deliberately spared: when run() raises over a
+        # quarantined task it points the operator at that directory, so
+        # the evidence must outlive the job (the orphan TTL sweeps it).
+        tasks, claimed, results, _ = queue_dirs(self.queue_dir)
+        for d in (tasks, claimed, results):
+            for path in d.glob(f"{job}-*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def run(
+        self, spec: ScanSpec, paths: Sequence[Union[str, Path]]
+    ) -> List[list]:
+        if not spec.portable:
+            raise DetectorError(
+                f"{type(spec).__name__} cannot be shipped through a work "
+                f"queue; use the serial or pool executor"
+            )
+        names = [str(p) for p in paths]
+        if not names:
+            return []
+        job = self._post(spec, names)
+        _, _, results_dir, failed_dir = queue_dirs(self.queue_dir)
+        collected: Dict[int, list] = {}
+        scanners: Dict[str, object] = {}
+        local_scan = None
+        last_progress = time.monotonic()
+        try:
+            while len(collected) < len(names):
+                progressed = False
+                for path in sorted(results_dir.glob(f"{job}-*.json")):
+                    index = _index_of(path.name)
+                    if index in collected:
+                        continue
+                    outcome = json.loads(path.read_text(encoding="ascii"))
+                    if "error" in outcome:
+                        if not self.coordinator_drains:
+                            raise DetectorError(
+                                f"worker failed scanning {names[index]}: "
+                                f"{outcome['error']}"
+                            )
+                        # Workers accelerate a scan, they must never be
+                        # *required* for one: a remote failure (missing
+                        # mount on another host, transient IO fault)
+                        # degrades to local execution.  A capture that is
+                        # genuinely bad fails here too — with the true
+                        # local exception instead of a relayed string.
+                        if local_scan is None:
+                            local_scan = spec.make_scanner()
+                        collected[index] = local_scan(names[index])
+                    else:
+                        collected[index] = spec.decode_result(
+                            outcome["result"]
+                        )
+                    progressed = True
+                quarantined = sorted(failed_dir.glob(f"{job}-*.json"))
+                if quarantined:
+                    # A worker could not even parse one of this job's
+                    # task files (transient IO fault, protocol-version
+                    # skew after a rolling upgrade).  No result will
+                    # ever arrive for it, so waiting — even with
+                    # coordinator draining — would hang; surface it.
+                    raise DetectorError(
+                        f"worker quarantined task(s) "
+                        f"{', '.join(p.name for p in quarantined)} under "
+                        f"{failed_dir}; check the queue's worker versions"
+                    )
+                if len(collected) >= len(names):
+                    break
+                if self.coordinator_drains:
+                    claimed = claim_next_task(self.queue_dir, job)
+                    if claimed is not None:
+                        execute_claimed_task(claimed, scanners)
+                        progressed = True
+                if progressed:
+                    last_progress = time.monotonic()
+                    continue
+                self._repost_stale_claims(job)
+                if (
+                    self.timeout_s is not None
+                    and time.monotonic() - last_progress > self.timeout_s
+                ):
+                    raise DetectorError(
+                        f"work queue {self.queue_dir} made no progress for "
+                        f"{self.timeout_s:g}s with {len(names) - len(collected)}"
+                        f" of {len(names)} tasks outstanding"
+                    )
+                time.sleep(self.poll_s)
+        finally:
+            self._cleanup(job)
+        return [collected[i] for i in range(len(names))]
+
+    def describe(self) -> str:
+        return f"queue({self.queue_dir})"

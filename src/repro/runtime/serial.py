@@ -1,0 +1,30 @@
+"""The reference executor: one process, one loop.
+
+Every other backend is validated against this one — a
+:class:`SerialExecutor` run *defines* the correct result of a spec over
+a path list.  It is also the right backend for tests, notebooks,
+already-forked servers and single-capture scans, where pool setup costs
+more than it saves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.runtime.base import Executor, ScanSpec
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Run every task inline, in input order."""
+
+    def run(
+        self, spec: ScanSpec, paths: Sequence[Union[str, Path]]
+    ) -> List[list]:
+        scan = spec.make_scanner()
+        return [scan(str(p)) for p in paths]
+
+    def describe(self) -> str:
+        return "serial"

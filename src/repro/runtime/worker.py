@@ -1,0 +1,134 @@
+"""The long-running queue worker behind ``repro-ids worker``.
+
+A worker is the queue's unit of horizontal scale: point any number of
+them — on this host or any host sharing the queue directory — at the
+same queue and every coordinator's scans speed up.  The loop is
+deliberately boring: claim the oldest task (atomic rename), execute it,
+publish the result, repeat; sleep briefly when the queue is empty.
+
+Shutdown is cooperative and triple-redundant: a ``stop`` file in the
+queue directory (reaches every worker on every host), SIGTERM/SIGINT
+(reaches this process), or ``max_idle_s`` of continuous emptiness
+(lets CI workers drain a queue and exit on their own).  A worker always
+finishes its in-flight task before exiting — results are atomic, so a
+shutdown mid-fleet never publishes a torn verdict.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.runtime.queue import (
+    STOP_FILENAME,
+    claim_next_task,
+    execute_claimed_task,
+    queue_dirs,
+)
+
+__all__ = ["WorkerStats", "run_worker"]
+
+
+class WorkerStats:
+    """What one worker run accomplished (returned by :func:`run_worker`)."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+        self.quarantined = 0
+        self.stop_reason: Optional[str] = None
+
+    def summary(self) -> str:
+        extra = f", {self.quarantined} quarantined" if self.quarantined else ""
+        return (
+            f"{self.executed} tasks executed{extra} "
+            f"(stopped: {self.stop_reason or 'n/a'})"
+        )
+
+
+def run_worker(
+    queue_dir: Union[str, Path],
+    poll_s: float = 0.2,
+    max_idle_s: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+    stop_file: Union[str, Path, None] = None,
+    handle_signals: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> WorkerStats:
+    """Serve a queue directory until told to stop.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared queue directory (created if missing).
+    poll_s:
+        Sleep between polls of an empty queue.
+    max_idle_s:
+        Exit after this long with no claimable task (``None``: serve
+        forever).  Idle time resets on every executed task.
+    max_tasks:
+        Exit after executing this many tasks (useful in tests).
+    stop_file:
+        Extra stop-file path to watch besides ``<queue>/stop``.
+    handle_signals:
+        Install SIGTERM/SIGINT handlers that request a graceful stop
+        (main thread only — the CLI turns this on, library callers
+        running workers in threads leave it off).
+    log:
+        Optional per-event logger (one line per executed task).
+    """
+    queue_dir = Path(queue_dir)
+    queue_dirs(queue_dir)
+    stop_files = [queue_dir / STOP_FILENAME]
+    if stop_file is not None:
+        stop_files.append(Path(stop_file))
+
+    stats = WorkerStats()
+    stop_requested = []
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal timing
+        stop_requested.append(signal.Signals(signum).name)
+
+    previous = {}
+    if handle_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _request_stop)
+    scanners: dict = {}
+    idle_since = time.monotonic()
+    try:
+        while True:
+            if stop_requested:
+                stats.stop_reason = stop_requested[0]
+                break
+            hit = next((f for f in stop_files if f.exists()), None)
+            if hit is not None:
+                stats.stop_reason = f"stop file {hit}"
+                break
+            claimed = claim_next_task(queue_dir)
+            if claimed is None:
+                if (
+                    max_idle_s is not None
+                    and time.monotonic() - idle_since >= max_idle_s
+                ):
+                    stats.stop_reason = f"idle {max_idle_s:g}s"
+                    break
+                time.sleep(poll_s)
+                continue
+            name = claimed.name
+            if execute_claimed_task(claimed, scanners):
+                stats.executed += 1
+                if log is not None:
+                    log(f"worker: executed {name}")
+            else:
+                stats.quarantined += 1
+                if log is not None:
+                    log(f"worker: quarantined malformed task {name}")
+            idle_since = time.monotonic()
+            if max_tasks is not None and stats.executed >= max_tasks:
+                stats.stop_reason = f"max tasks {max_tasks}"
+                break
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return stats

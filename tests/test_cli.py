@@ -326,3 +326,121 @@ class TestFleet:
 
         excluded = int(re.search(r"\((\d+) attacked windows excluded\)", out).group(1))
         assert excluded >= 2
+
+
+class TestRuntimeCli:
+    """--executor plumbing, the worker command, watch and prune."""
+
+    def build_archive(self, tmp_path):
+        template_path = tmp_path / "template.json"
+        archive_dir = tmp_path / "captures"
+        archive_dir.mkdir()
+        main(["template", "--windows", "6", "--out", str(template_path)])
+        main(["simulate", "--duration", "4", "--seed", "11",
+              "--out", str(archive_dir / "d0.log")])
+        main(["attack", "--attack", "single", "--duration", "6", "--seed", "13",
+              "--out", str(archive_dir / "a0.log")])
+        return template_path, archive_dir
+
+    def test_scan_archive_queue_equals_serial(self, tmp_path, capsys):
+        """The distributed-smoke assertion, in-process: a queue scan
+        (coordinator-drained) writes the same JSON report as serial."""
+        template_path, archive_dir = self.build_archive(tmp_path)
+        serial_json = tmp_path / "serial.json"
+        queue_json = tmp_path / "queue.json"
+        capsys.readouterr()
+        assert main(
+            ["scan-archive", "--template", str(template_path),
+             "--dir", str(archive_dir), "--executor", "serial",
+             "--json", str(serial_json)]
+        ) == 2  # the attack capture alarms
+        assert main(
+            ["scan-archive", "--template", str(template_path),
+             "--dir", str(archive_dir), "--executor", "queue",
+             "--queue-dir", str(tmp_path / "q"), "--json", str(queue_json)]
+        ) == 2
+        assert serial_json.read_text() == queue_json.read_text()
+
+    def test_queue_without_dir_diagnosed(self, tmp_path, capsys):
+        template_path, archive_dir = self.build_archive(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["scan-archive", "--template", str(template_path),
+             "--dir", str(archive_dir), "--executor", "queue"]
+        ) == 1
+        assert "queue directory" in capsys.readouterr().out
+
+    def test_worker_drains_posted_tasks(self, tmp_path, capsys):
+        """Post tasks by hand, then let the worker command drain them."""
+        from repro.core import GoldenTemplate, IDSConfig
+        from repro.runtime import EntropyScanSpec, WorkQueueExecutor
+
+        template_path, archive_dir = self.build_archive(tmp_path)
+        queue = tmp_path / "q"
+        template = GoldenTemplate.load(template_path)
+        spec = EntropyScanSpec(template, IDSConfig(alpha=template.alpha))
+        WorkQueueExecutor(queue)._post(spec, [str(archive_dir / "d0.log")])
+        capsys.readouterr()
+        assert main(
+            ["worker", "--queue", str(queue), "--max-tasks", "1",
+             "--poll", "0.01"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 tasks executed" in out
+        assert list((queue / "results").glob("*.json"))  # result uploaded
+
+    def test_worker_stop_file(self, tmp_path, capsys):
+        queue = tmp_path / "q"
+        queue.mkdir()
+        (queue / "stop").touch()
+        assert main(["worker", "--queue", str(queue), "--poll", "0.01"]) == 0
+        assert "stop file" in capsys.readouterr().out
+
+    def build_store(self, tmp_path):
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "5", "--seed", "31", "--out", str(trace)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(trace)])
+        main(["fleet", "train", "--store", str(store), "--vehicle", "car-a"])
+        return store
+
+    def test_fleet_watch_bounded_cycles(self, tmp_path, capsys):
+        import signal
+
+        store = self.build_store(tmp_path)
+        capsys.readouterr()
+        before = {
+            sig: signal.getsignal(sig)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        assert main(
+            ["fleet", "watch", "--store", str(store), "--interval", "0.01",
+             "--cycles", "2", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycle 0: 1 vehicles, 1 scanned, 0 cached" in out
+        assert "cycle 1: 1 vehicles, 0 scanned, 1 cached" in out
+        assert "watch daemon stopped (max cycles 2)" in out
+        # The daemon's handlers must not outlive it: a leaked SIGTERM
+        # handler would be inherited by later forked pool workers, which
+        # would then ignore Pool.terminate() and hang the pool shutdown.
+        for sig, handler in before.items():
+            assert signal.getsignal(sig) is handler
+
+    def test_fleet_prune_drops_departed_captures(self, tmp_path, capsys):
+        store = self.build_store(tmp_path)
+        assert main(["fleet", "scan", "--store", str(store)]) == 0
+        # Rotate the capture out from under the ledger.
+        capture = store / "vehicles" / "car-a" / "captures"
+        for path in capture.iterdir():
+            path.unlink()
+        capsys.readouterr()
+        assert main(["fleet", "prune", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "car-a: pruned 1 stale ledger entries" in out
+        assert "pruned 1 entries across 1 vehicles" in out
+
+    def test_fleet_prune_missing_store(self, tmp_path, capsys):
+        assert main(["fleet", "prune", "--store", str(tmp_path / "typo")]) == 1
+        assert "no fleet store" in capsys.readouterr().out

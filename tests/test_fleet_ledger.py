@@ -134,3 +134,67 @@ class TestScanLedger:
         ledger.save()  # creates the parent directory too
         assert json.loads(path.read_text())["entries"]["a.log"]["fingerprint"] == "fp1"
         assert [p.name for p in path.parent.iterdir()] == ["ledger.json"]
+
+
+class TestContextAdoption:
+    """``context=None``: maintenance loads that must not wipe entries."""
+
+    def test_adopts_stored_context_and_keeps_entries(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        original = ScanLedger(path, context="ctx-v1")
+        original.put("a.log", "fp1", REPORT)
+        original.save()
+        adopted = ScanLedger(path, context=None)
+        assert adopted.context == "ctx-v1"
+        assert not adopted.rebuilt and "a.log" in adopted
+        # A save under the adopted context stays readable by the owner.
+        adopted.save()
+        assert "a.log" in ScanLedger(path, context="ctx-v1")
+
+    def test_missing_file_adopts_empty_context(self, tmp_path):
+        ledger = ScanLedger(tmp_path / "absent.json", context=None)
+        assert ledger.context == "" and len(ledger) == 0
+
+
+class TestCompact:
+    def make_archive(self, tmp_path, names):
+        directory = tmp_path / "captures"
+        directory.mkdir(exist_ok=True)
+        for name in names:
+            (directory / name).write_text("(0.000000) can0 123#00\n")
+        return directory
+
+    def test_drops_only_departed_captures(self, tmp_path):
+        archive_dir = self.make_archive(tmp_path, ["a.log", "b.log"])
+        path = tmp_path / "ledger.json"
+        ledger = ScanLedger(path, context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.put("b.log", "fp2", REPORT)
+        ledger.put("gone.log", "fp3", REPORT)
+        ledger.save()
+        compacting = ScanLedger(path, context=None)
+        assert compacting.compact(archive_dir) == 1
+        # Saved: a fresh owner load sees the compacted entry set.
+        reloaded = ScanLedger(path, context="ctx")
+        assert sorted(reloaded.keys()) == ["a.log", "b.log"]
+
+    def test_nothing_to_prune_leaves_file_untouched(self, tmp_path):
+        archive_dir = self.make_archive(tmp_path, ["a.log"])
+        path = tmp_path / "ledger.json"
+        ledger = ScanLedger(path, context="ctx")
+        ledger.put("a.log", "fp1", REPORT)
+        ledger.save()
+        before = path.stat().st_mtime_ns
+        assert ScanLedger(path, context=None).compact(archive_dir) == 0
+        assert path.stat().st_mtime_ns == before  # no rewrite
+
+    def test_corrupt_ledger_not_overwritten(self, tmp_path):
+        """Compacting a corrupt file must preserve the evidence, not
+        save a rebuilt-empty ledger over it."""
+        archive_dir = self.make_archive(tmp_path, ["a.log"])
+        path = tmp_path / "ledger.json"
+        path.write_text("{torn")
+        ledger = ScanLedger(path, context=None)
+        assert ledger.rebuilt
+        assert ledger.compact(archive_dir) == 0
+        assert path.read_text() == "{torn"

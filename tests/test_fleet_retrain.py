@@ -1,0 +1,193 @@
+"""Drift-triggered retraining: rebuild, log, invalidate — safely.
+
+The re-baselining contract: a retrain learns only from clean windows of
+the vehicle's *recent* captures, records an auditable event, and lets
+the ledger context hash cold-rescan exactly that vehicle.
+"""
+
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.core import IDSPipeline
+from repro.exceptions import TemplateError
+from repro.fleet import (
+    FleetStore,
+    retrain_vehicle,
+    should_retrain,
+    template_digest,
+    watch_scan,
+)
+from repro.fleet.retrain import training_captures
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import simulate_drive
+
+
+def attacked_capture(catalog, seed, duration_s=6.0):
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=seed)
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=100.0,
+            start_s=0.5, duration_s=duration_s - 1.0, seed=seed,
+        )
+    )
+    return sim.run(duration_s)
+
+
+@pytest.fixture()
+def store(tmp_path, catalog):
+    """One vehicle: two clean drives plus one attacked drive."""
+    store = FleetStore(tmp_path / "fleet")
+    store.add_capture(
+        "car-a", "drive1.log", simulate_drive(6.0, seed=101, catalog=catalog)
+    )
+    store.add_capture(
+        "car-a", "drive2.log", simulate_drive(6.0, seed=102, catalog=catalog)
+    )
+    store.add_capture("car-a", "drive3.log", attacked_capture(catalog, 103))
+    return store
+
+
+class TestRetrainVehicle:
+    def test_rebuilds_from_clean_windows_and_logs_event(
+        self, store, ids_config
+    ):
+        template = retrain_vehicle(store, "car-a", ids_config)
+        assert store.has_template("car-a")
+        assert template.n_windows >= 2
+        events = store.retrain_events("car-a")
+        assert len(events) == 1
+        event = events[0]
+        assert event["vehicle"] == "car-a"
+        assert event["reason"] == "drift"
+        assert event["captures"] == ["drive1.log", "drive2.log", "drive3.log"]
+        assert event["excluded_attacked"] > 0  # drive3's windows kept out
+        assert event["old_template"] is None
+        assert event["new_template"] == template_digest(template)
+        assert event["window_us"] == ids_config.window_us
+        # The recorded training window survives in template.json.
+        assert store.template_window_us("car-a") == ids_config.window_us
+
+    def test_second_retrain_links_old_digest(self, store, ids_config, catalog):
+        first = retrain_vehicle(store, "car-a", ids_config)
+        store.add_capture(
+            "car-a", "drive4.log",
+            simulate_drive(6.0, seed=104, catalog=catalog),
+        )
+        retrain_vehicle(store, "car-a", ids_config)
+        events = store.retrain_events("car-a")
+        assert len(events) == 2
+        assert events[1]["old_template"] == template_digest(first)
+
+    def test_recent_captures_selected_naturally(self, store, ids_config, catalog):
+        """max_captures takes the chronologically newest, with numeric-
+        aware ordering (drive9 < drive10)."""
+        for name, seed in [("drive9.log", 109), ("drive10.log", 110)]:
+            store.add_capture(
+                "car-a", name, simulate_drive(6.0, seed=seed, catalog=catalog)
+            )
+        recent = training_captures(store, "car-a", max_captures=2)
+        assert [p.name for p in recent] == ["drive9.log", "drive10.log"]
+        retrain_vehicle(store, "car-a", ids_config, max_captures=2)
+        assert store.retrain_events("car-a")[-1]["captures"] == [
+            "drive9.log", "drive10.log",
+        ]
+
+    def test_all_attacked_vehicle_refuses(self, tmp_path, catalog, ids_config):
+        """A vehicle under sustained attack keeps its old baseline: a
+        template must never train on poisoned traffic."""
+        store = FleetStore(tmp_path / "fleet")
+        store.add_capture("car-x", "a1.log", attacked_capture(catalog, 120))
+        with pytest.raises(TemplateError, match="clean window"):
+            retrain_vehicle(store, "car-x", ids_config)
+        assert not store.has_template("car-x")
+        assert store.retrain_events("car-x") == []
+
+    def test_no_captures_refuses(self, tmp_path, ids_config):
+        store = FleetStore(tmp_path / "fleet")
+        store.add_vehicle("car-y")
+        with pytest.raises(TemplateError, match="no captures"):
+            retrain_vehicle(store, "car-y", ids_config)
+
+
+class TestShouldRetrain:
+    def test_guard_blocks_identical_rerun(self, store, ids_config, catalog):
+        assert should_retrain(store, "car-a")
+        retrain_vehicle(store, "car-a", ids_config)
+        # Same captures, same config -> same template: pointless rerun.
+        assert not should_retrain(store, "car-a")
+        store.add_capture(
+            "car-a", "drive4.log",
+            simulate_drive(6.0, seed=104, catalog=catalog),
+        )
+        assert should_retrain(store, "car-a")
+
+    def test_overwritten_capture_reenables_retraining(
+        self, store, ids_config, catalog
+    ):
+        """Re-recording a capture in place keeps its name but changes
+        its bytes — that is new data the guard must not mask."""
+        retrain_vehicle(store, "car-a", ids_config)
+        assert not should_retrain(store, "car-a")
+        store.add_capture(
+            "car-a", "drive2.log",
+            simulate_drive(6.0, seed=142, catalog=catalog),
+            overwrite=True,
+        )
+        assert should_retrain(store, "car-a")
+
+    def test_legacy_event_without_fingerprints_compares_names(
+        self, store, ids_config
+    ):
+        retrain_vehicle(store, "car-a", ids_config)
+        # Strip the fingerprints, as an event from an older version.
+        import json
+
+        path = store.retrain_log_path("car-a")
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        del events[-1]["fingerprints"]
+        path.write_text(
+            "".join(json.dumps(e) + "\n" for e in events), encoding="ascii"
+        )
+        assert not should_retrain(store, "car-a")  # names still match
+
+
+class TestLedgerInvalidation:
+    def test_retrain_forces_cold_rescan_of_that_vehicle(
+        self, store, ids_config, catalog
+    ):
+        """The closing of the loop: new template -> new context hash ->
+        the vehicle's ledger rebuilds, and only its own."""
+        retrain_vehicle(store, "car-a", ids_config)
+        template = store.load_template("car-a")
+        pipeline = IDSPipeline(template, ids_config, id_pool=catalog.ids)
+        first = watch_scan(
+            pipeline, store.archive("car-a"), store.ledger_path("car-a")
+        )
+        assert len(first.scanned) == 3
+        assert watch_scan(
+            pipeline, store.archive("car-a"), store.ledger_path("car-a")
+        ).fully_cached
+
+        store.add_capture(
+            "car-a", "drive4.log",
+            simulate_drive(6.0, seed=105, catalog=catalog),
+        )
+        retrained = retrain_vehicle(store, "car-a", ids_config)
+        assert template_digest(retrained) != template_digest(template)
+        new_pipeline = IDSPipeline(
+            store.load_template("car-a"), ids_config, id_pool=catalog.ids
+        )
+        result = watch_scan(
+            new_pipeline, store.archive("car-a"), store.ledger_path("car-a")
+        )
+        assert result.ledger.rebuilt
+        assert result.ledger.rebuild_reason == "context-changed"
+        assert len(result.scanned) == 4  # everything re-judged
+
+    def test_torn_log_line_skipped(self, store, ids_config):
+        retrain_vehicle(store, "car-a", ids_config)
+        path = store.retrain_log_path("car-a")
+        with path.open("a", encoding="ascii") as handle:
+            handle.write('{"vehicle": "car-a", "rea')  # crash mid-append
+        events = store.retrain_events("car-a")
+        assert len(events) == 1  # the torn line costs itself only

@@ -1,0 +1,115 @@
+"""Columnar ``.npz`` export: the lossless binary trace format.
+
+Unlike the text log formats, the npz export must preserve *everything*
+— including bus tags (which candump/CSV drop) and ground-truth attack
+labels — field-exact through a round trip, from both contiguous traces
+and zero-copy slices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SingleIDAttacker
+from repro.exceptions import TraceFormatError
+from repro.io.columnar import ColumnTrace
+from repro.vehicle import VehicleSimulation
+from repro.vehicle.traffic import simulate_drive
+
+
+@pytest.fixture()
+def tagged_trace(catalog):
+    """An attacked capture, converted to columns and bus-tagged."""
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=17)
+    sim.add_node(
+        SingleIDAttacker(
+            can_id=catalog.ids[60], frequency_hz=80.0,
+            start_s=1.0, duration_s=3.0, seed=17,
+        )
+    )
+    return ColumnTrace.from_trace(sim.run(5.0)).with_bus("high_speed")
+
+
+def assert_field_exact(a: ColumnTrace, b: ColumnTrace) -> None:
+    assert np.array_equal(a.timestamp_us, b.timestamp_us)
+    assert np.array_equal(a.can_id, b.can_id)
+    assert np.array_equal(a.dlc, b.dlc)
+    assert np.array_equal(a.payload_bytes(), b.payload_bytes())
+    assert np.array_equal(a.extended, b.extended)
+    assert np.array_equal(a.is_attack, b.is_attack)
+    assert a.sources() == b.sources()
+    assert a.buses() == b.buses()
+
+
+class TestNpzRoundTrip:
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_lossless_round_trip(self, tagged_trace, tmp_path, compressed):
+        """The satellite's acceptance bar: bus labels and ground truth
+        included, bit for bit, compressed or not."""
+        path = tmp_path / "capture.npz"
+        tagged_trace.save_npz(path, compressed=compressed)
+        loaded = ColumnTrace.load_npz(path)
+        assert_field_exact(tagged_trace, loaded)
+        assert loaded == tagged_trace  # the decoded-equality contract
+        assert loaded.bus_labels() == ("high_speed",)
+        assert loaded.attack_count == tagged_trace.attack_count > 0
+
+    def test_round_trip_of_zero_copy_slice(self, tagged_trace, tmp_path):
+        """Slices share the parent's payload buffer with nonzero
+        offsets; the export must rebase, not leak the whole buffer."""
+        window = tagged_trace.between(
+            tagged_trace.start_us + 1_000_000, tagged_trace.start_us + 3_000_000
+        )
+        assert len(window) and int(window.payload_offsets[0]) > 0
+        path = tmp_path / "window.npz"
+        window.save_npz(path)
+        loaded = ColumnTrace.load_npz(path)
+        assert_field_exact(window, loaded)
+        assert loaded.payload.size == int(window.dlc.sum())
+
+    def test_suffixless_path_round_trips(self, tagged_trace, tmp_path):
+        """np.savez silently appends '.npz' to bare names; the export
+        must write exactly the path the caller asked for."""
+        path = tmp_path / "capture"  # no suffix
+        tagged_trace.save_npz(path)
+        assert path.exists()
+        assert ColumnTrace.load_npz(path) == tagged_trace
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        empty = ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        path = tmp_path / "empty.npz"
+        empty.save_npz(path)
+        loaded = ColumnTrace.load_npz(path)
+        assert len(loaded) == 0 and loaded == empty
+
+    def test_record_trace_survives_via_npz(self, catalog, tmp_path):
+        """Record -> columns -> npz -> columns -> record equality."""
+        trace = simulate_drive(4.0, seed=23, catalog=catalog)
+        path = tmp_path / "drive.npz"
+        ColumnTrace.from_trace(trace).save_npz(path)
+        assert ColumnTrace.load_npz(path).to_trace() == trace
+
+    def test_corrupt_file_diagnosed(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(TraceFormatError, match="not a columnar npz"):
+            ColumnTrace.load_npz(path)
+
+    def test_version_mismatch_rejected(self, tagged_trace, tmp_path):
+        import zipfile
+
+        path = tmp_path / "capture.npz"
+        tagged_trace.save_npz(path)
+        # Rewrite the version member to a future schema number.
+        bumped = tmp_path / "future.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(bumped, "w") as dst:
+            for name in src.namelist():
+                if name == "version.npy":
+                    import io
+
+                    buffer = io.BytesIO()
+                    np.save(buffer, np.int64(99))
+                    dst.writestr(name, buffer.getvalue())
+                else:
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(TraceFormatError, match="version 99"):
+            ColumnTrace.load_npz(bumped)

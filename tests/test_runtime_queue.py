@@ -1,0 +1,290 @@
+"""Work-queue protocol details: claiming, recovery, poison tasks.
+
+The parity suite proves a healthy queue is bit-identical to a serial
+scan; this suite proves the queue *stays* healthy when the world
+misbehaves — racing claimants, dead workers, malformed or failing
+tasks, stop requests.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import IDSPipeline
+from repro.exceptions import DetectorError
+from repro.runtime import (
+    EntropyScanSpec,
+    WorkQueueExecutor,
+    claim_next_task,
+    execute_claimed_task,
+    queue_dirs,
+    run_worker,
+)
+from repro.vehicle.traffic import simulate_drive
+
+
+@pytest.fixture()
+def capture_path(tmp_path, catalog):
+    from repro.io import write_candump
+
+    path = tmp_path / "drive.log"
+    write_candump(simulate_drive(5.0, seed=31, catalog=catalog), path)
+    return path
+
+
+@pytest.fixture()
+def spec(golden_template, ids_config):
+    return EntropyScanSpec(golden_template, ids_config)
+
+
+def post_tasks(queue_dir, spec, paths):
+    """Post tasks without collecting (exercises the claim side alone)."""
+    executor = WorkQueueExecutor(queue_dir)
+    return executor._post(spec, [str(p) for p in paths])
+
+
+class TestClaimProtocol:
+    def test_exactly_one_claimant_wins(self, tmp_path, spec, capture_path):
+        queue = tmp_path / "queue"
+        post_tasks(queue, spec, [capture_path])
+        first = claim_next_task(queue)
+        second = claim_next_task(queue)
+        assert first is not None and first.parent.name == "claimed"
+        assert second is None  # the task left tasks/ atomically
+
+    def test_claims_oldest_task_first(self, tmp_path, spec, capture_path):
+        queue = tmp_path / "queue"
+        job = post_tasks(queue, spec, [capture_path, capture_path])
+        assert claim_next_task(queue).name == f"{job}-000000.json"
+        assert claim_next_task(queue).name == f"{job}-000001.json"
+
+    def test_job_filter_ignores_other_jobs(self, tmp_path, spec, capture_path):
+        queue = tmp_path / "queue"
+        post_tasks(queue, spec, [capture_path])
+        assert claim_next_task(queue, job="deadbeef") is None
+        assert claim_next_task(queue) is not None
+
+    def test_executed_task_round_trips_result(
+        self, tmp_path, spec, capture_path, golden_template, ids_config
+    ):
+        queue = tmp_path / "queue"
+        job = post_tasks(queue, spec, [capture_path])
+        claimed = claim_next_task(queue)
+        assert execute_claimed_task(claimed, {})
+        _, _, results, _ = queue_dirs(queue)
+        outcome = json.loads(
+            (results / f"{job}-000000.json").read_text()
+        )
+        from repro.io.archive import load_capture_columns
+
+        windows = spec.decode_result(outcome["result"])
+        expected = IDSPipeline(golden_template, ids_config).analyze(
+            load_capture_columns(capture_path)
+        )
+        assert [w.to_dict() for w in windows] == [
+            w.to_dict() for w in expected.windows
+        ]
+        assert not claimed.exists()  # consumed
+
+
+class TestFailureModes:
+    def test_malformed_task_quarantined(self, tmp_path):
+        queue = tmp_path / "queue"
+        tasks, claimed_dir, _, failed = queue_dirs(queue)
+        (tasks / "bogus-000000.json").write_text("{not json", encoding="ascii")
+        claimed = claim_next_task(queue)
+        assert not execute_claimed_task(claimed, {})
+        assert [p.name for p in failed.iterdir()] == ["bogus-000000.json"]
+
+    def test_worker_survives_poison_task(self, tmp_path, spec, capture_path):
+        """A malformed task must be quarantined, and the real work after
+        it must still complete."""
+        queue = tmp_path / "queue"
+        tasks, _, _, failed = queue_dirs(queue)
+        (tasks / "aaaa-000000.json").write_text("torn", encoding="ascii")
+        post_tasks(queue, spec, [capture_path])
+        stats = run_worker(queue, poll_s=0.01, max_idle_s=0.1)
+        assert stats.executed == 1 and stats.quarantined == 1
+        assert len(list(failed.iterdir())) == 1
+
+    def test_scan_error_degrades_to_local_execution(
+        self, tmp_path, spec, capture_path
+    ):
+        """A worker's error result must not abort a drainable scan: the
+        coordinator retries the task locally (e.g. the worker's host is
+        missing a mount) and only a local failure propagates."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(queue, timeout_s=60.0, poll_s=0.01)
+        job = executor._post(spec, [str(capture_path)])
+        _, _, results, _ = queue_dirs(queue)
+        # Simulate a remote worker that could not read the capture.
+        (results / f"{job}-000000.json").write_text(
+            json.dumps({"version": 1, "job": job, "index": 0,
+                        "error": "OSError: no such mount"}),
+            encoding="ascii",
+        )
+        # Re-enter the collect loop without re-posting: the error result
+        # is already waiting and answers before any draining happens.
+        executor._post = lambda *a, **k: job
+        result = executor.run(spec, [capture_path])
+        assert len(result) == 1 and result[0]  # locally re-executed
+
+    def test_scan_error_raises_when_draining_forbidden(
+        self, tmp_path, spec, capture_path
+    ):
+        """Without coordinator draining there is no local fallback: an
+        error result surfaces instead of hanging."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(
+            queue, timeout_s=60.0, poll_s=0.01, coordinator_drains=False
+        )
+        job = executor._post(spec, [str(capture_path)])
+        _, _, results, _ = queue_dirs(queue)
+        (results / f"{job}-000000.json").write_text(
+            json.dumps({"version": 1, "job": job, "index": 0,
+                        "error": "OSError: no such mount"}),
+            encoding="ascii",
+        )
+        executor._post = lambda *a, **k: job
+        with pytest.raises(DetectorError, match="worker failed scanning"):
+            executor.run(spec, [capture_path])
+
+    def test_truly_bad_capture_fails_with_local_exception(self, tmp_path, spec):
+        """A capture that is genuinely unreadable fails the local retry
+        too — with the real exception, not a relayed string."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(queue, timeout_s=60.0, poll_s=0.01)
+        with pytest.raises(Exception) as excinfo:
+            executor.run(spec, [tmp_path / "missing.log"])
+        assert not isinstance(excinfo.value, DetectorError)  # the true error
+
+    def test_claim_restamps_mtime(self, tmp_path, spec, capture_path):
+        """A task that queued for ages must get the full stale_claim_s
+        grace from the moment it is claimed, not from posting."""
+        queue = tmp_path / "queue"
+        job = post_tasks(queue, spec, [capture_path])
+        tasks, _, _, _ = queue_dirs(queue)
+        old = time.time() - 3600
+        posted = tasks / f"{job}-000000.json"
+        os.utime(posted, (old, old))
+        claimed = claim_next_task(queue)
+        assert time.time() - claimed.stat().st_mtime < 60
+
+    def test_stale_claim_reposted_and_completed(
+        self, tmp_path, spec, capture_path
+    ):
+        """A claim whose worker died (old mtime, no result) goes back to
+        tasks/ and the scan still completes."""
+        queue = tmp_path / "queue"
+        job = post_tasks(queue, spec, [capture_path])
+        claimed = claim_next_task(queue)
+        stale = time.time() - 3600
+        os.utime(claimed, (stale, stale))
+        executor = WorkQueueExecutor(
+            queue, timeout_s=60.0, stale_claim_s=1.0, poll_s=0.01
+        )
+        # Collect the *already posted* job by re-posting nothing: run a
+        # fresh scan over the same path; the stale claim from the dead
+        # job is irrelevant to it and gets cleaned by its own job scope.
+        result = executor.run(spec, [capture_path])
+        assert len(result) == 1 and result[0]
+        # Now drain the orphaned job directly: repost + drain by hand.
+        executor._repost_stale_claims(job)
+        reclaimed = claim_next_task(queue, job)
+        assert reclaimed is not None and execute_claimed_task(reclaimed, {})
+
+    def test_quarantined_own_task_raises_instead_of_hanging(
+        self, tmp_path, spec, capture_path
+    ):
+        """If one of THIS job's task files is unparseable (torn by an IO
+        fault, foreign protocol version), no result will ever arrive for
+        it — the coordinator must raise, not wait forever."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(queue, timeout_s=60.0, poll_s=0.01)
+        job = executor._post(spec, [str(capture_path)])
+        tasks, _, _, _ = queue_dirs(queue)
+        (tasks / f"{job}-000000.json").write_text("{torn", encoding="ascii")
+        # Re-enter the collect loop the way run() does, without re-posting.
+        original_post = executor._post
+        executor._post = lambda *a, **k: job
+        try:
+            with pytest.raises(DetectorError, match="quarantined task"):
+                executor.run(spec, [capture_path])
+        finally:
+            executor._post = original_post
+        # The error message points the operator at failed/; cleanup must
+        # preserve that evidence (the orphan TTL sweeps it eventually).
+        _, _, _, failed = queue_dirs(queue)
+        assert [p.name for p in failed.glob("*.json")] == [
+            f"{job}-000000.json"
+        ]
+
+    def test_foreign_quarantine_does_not_kill_a_job(
+        self, tmp_path, spec, capture_path
+    ):
+        """Another job's poison task in failed/ is not this job's error."""
+        queue = tmp_path / "queue"
+        _, _, _, failed = queue_dirs(queue)
+        (failed / "feedface-000000.json").write_text("junk", encoding="ascii")
+        executor = WorkQueueExecutor(queue, timeout_s=60.0)
+        assert len(executor.run(spec, [capture_path])) == 1
+        assert (failed / "feedface-000000.json").exists()  # untouched
+
+    def test_orphaned_files_swept_at_job_start(
+        self, tmp_path, spec, capture_path
+    ):
+        """Leftovers of dead jobs (SIGKILLed coordinator, late worker)
+        age out instead of accumulating forever."""
+        queue = tmp_path / "queue"
+        _, _, results, failed = queue_dirs(queue)
+        old = time.time() - 7200
+        for path in (results / "dead-000000.json", failed / "dead-000001.json"):
+            path.write_text("{}", encoding="ascii")
+            os.utime(path, (old, old))
+        fresh = results / "live-000000.json"
+        fresh.write_text("{}", encoding="ascii")
+        executor = WorkQueueExecutor(queue, timeout_s=60.0, orphan_ttl_s=3600.0)
+        executor.run(spec, [capture_path])
+        assert not (results / "dead-000000.json").exists()
+        assert not (failed / "dead-000001.json").exists()
+        assert fresh.exists()  # younger than the TTL: maybe still live
+
+    def test_timeout_without_progress(self, tmp_path, spec, capture_path):
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(
+            queue, coordinator_drains=False, timeout_s=0.3, poll_s=0.02
+        )
+        with pytest.raises(DetectorError, match="no progress"):
+            executor.run(spec, [capture_path])
+
+    def test_empty_path_list(self, tmp_path, spec):
+        assert WorkQueueExecutor(tmp_path / "q").run(spec, []) == []
+
+    def test_queue_cleaned_after_run(self, tmp_path, spec, capture_path):
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(queue, timeout_s=60.0)
+        executor.run(spec, [capture_path, capture_path])
+        for d in queue_dirs(queue):
+            assert list(d.glob("*.json")) == [], d
+
+
+class TestWorkerLoop:
+    def test_stop_file_stops_worker(self, tmp_path):
+        queue = tmp_path / "queue"
+        queue_dirs(queue)
+        (queue / "stop").touch()
+        stats = run_worker(queue, poll_s=0.01)
+        assert stats.executed == 0 and "stop file" in stats.stop_reason
+
+    def test_max_tasks_bounds_worker(self, tmp_path, spec, capture_path):
+        queue = tmp_path / "queue"
+        post_tasks(queue, spec, [capture_path, capture_path])
+        stats = run_worker(queue, poll_s=0.01, max_tasks=1)
+        assert stats.executed == 1 and "max tasks" in stats.stop_reason
+
+    def test_idle_timeout_stops_worker(self, tmp_path):
+        queue = tmp_path / "queue"
+        stats = run_worker(queue, poll_s=0.01, max_idle_s=0.05)
+        assert stats.executed == 0 and "idle" in stats.stop_reason
