@@ -1,11 +1,11 @@
-"""Runtime executor benchmark: serial vs pool vs work queue.
+"""Runtime executor benchmark: serial vs pool vs work queue vs net.
 
-Sizes the three execution backends over dozens of generated
+Sizes the four execution backends over dozens of generated
 vehicle-drives and appends the table to ``results/throughput.txt``.
 Parity (bit-identical reports across backends) is asserted always;
 speedup assertions are gated on ``os.cpu_count() > 1`` — the CI
 container may expose a single CPU, where a pool cannot win and the
-queue's JSON transport is pure overhead, so the 1-CPU run checks
+queue/net JSON transports are pure overhead, so the 1-CPU run checks
 correctness only.
 """
 
@@ -34,6 +34,15 @@ class TestRuntimeExecutors:
         # guarantee — a perf number without it is meaningless.
         assert result.parity_ok, result.render()
         assert result.total_frames == RUNTIME_CAPTURES * RUNTIME_FRAMES
+        # Every backend actually ran (a zero timing means a scan was
+        # skipped, which would make the parity assertion vacuous).
+        assert min(
+            result.serial_s,
+            result.pool_s,
+            result.queue_drained_s,
+            result.queue_served_s,
+            result.net_served_s,
+        ) > 0, result.render()
         if (os.cpu_count() or 1) > 1:
             # With real cores the pool must at least roughly keep up
             # with serial (it usually wins; allow scheduling noise).

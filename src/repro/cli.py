@@ -7,10 +7,13 @@ Subcommands mirror the workflow of the paper's evaluation:
 * ``template`` — build a golden template from clean traces;
 * ``detect``   — run the detector (and inference) over a trace;
 * ``scan-archive`` — scan a whole directory of captures over a chosen
-  executor backend (``--executor serial|pool|queue``);
-* ``worker``   — serve a shared work-queue directory: claim shard
-  tasks posted by ``--executor queue`` coordinators (on any host
-  sharing the directory), run them, upload results;
+  executor backend (``--executor serial|pool|queue|net``);
+* ``serve``    — run the scan-fabric TCP coordinator: accept jobs from
+  ``--executor net`` scans and feed them to connected workers (no
+  shared disk required);
+* ``worker``   — serve shard tasks: either a shared work-queue
+  directory (``--queue DIR``, filesystem fabric) or a running
+  coordinator (``--connect HOST:PORT``, network fabric);
 * ``fleet``    — the persistent fleet store: ``add`` captures per
   vehicle, ``train`` per-vehicle golden templates, ``scan``
   incrementally against each vehicle's scan ledger, ``watch`` as a
@@ -30,6 +33,10 @@ Examples::
     repro-ids worker --queue /shared/q --max-idle 60
     repro-ids scan-archive --template template.json --dir captures/ \\
         --executor queue --queue-dir /shared/q
+    repro-ids serve --port 7341
+    repro-ids worker --connect coordinator-host:7341
+    repro-ids scan-archive --template template.json --dir captures/ \\
+        --executor net --connect coordinator-host:7341
     repro-ids fleet add --store fleet/ --vehicle car-a --trace drive.log
     repro-ids fleet train --store fleet/ --vehicle car-a
     repro-ids fleet scan --store fleet/
@@ -66,18 +73,24 @@ def _add_executor_args(cmd) -> None:
     """The runtime-backend flags every scanning command shares."""
     cmd.add_argument("--workers", type=int, default=None,
                      help="pool size (default: one per core, capped)")
-    cmd.add_argument("--executor", choices=["serial", "pool", "queue"],
+    cmd.add_argument("--executor", choices=["serial", "pool", "queue", "net"],
                      default=None,
                      help="execution backend (default: pool; all backends "
                           "produce bit-identical reports)")
     cmd.add_argument("--queue-dir", type=Path, default=None,
                      help="shared queue directory (required with "
-                          "--executor queue; serve it with repro-ids worker)")
-    cmd.add_argument("--queue-no-drain", action="store_true",
+                          "--executor queue; serve it with "
+                          "repro-ids worker --queue)")
+    cmd.add_argument("--connect", default=None, metavar="HOST:PORT",
+                     help="scan coordinator address (required with "
+                          "--executor net; start one with repro-ids serve, "
+                          "serve it with repro-ids worker --connect)")
+    cmd.add_argument("--no-drain", "--queue-no-drain",
+                     dest="queue_no_drain", action="store_true",
                      help="forbid the coordinator from executing its own "
-                          "queue tasks: every task must be served by a "
-                          "worker (bounded timeout instead of degrading "
-                          "to a local scan)")
+                          "tasks: every task must be served by a worker "
+                          "(bounded timeout instead of degrading to a "
+                          "local scan)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,20 +157,39 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also write the full report as JSON")
     _add_executor_args(scan_archive)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the scan-fabric TCP coordinator (jobs from --executor "
+             "net scans, tasks to --connect workers; no shared disk)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: pick a free one and "
+                            "print it)")
+    serve.add_argument("--lease", type=_positive_float, default=300.0,
+                       help="claim lease seconds: a worker silent this "
+                            "long has its tasks re-posted")
+
     worker = sub.add_parser(
         "worker",
-        help="serve a work-queue directory (claim and run shard tasks)",
+        help="claim and run shard tasks from a queue directory "
+             "(--queue) or a scan coordinator (--connect)",
     )
-    worker.add_argument("--queue", type=Path, required=True,
+    worker.add_argument("--queue", type=Path, default=None,
                         help="queue directory shared with the coordinator(s)")
+    worker.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="scan coordinator to serve over TCP "
+                             "(a running repro-ids serve)")
     worker.add_argument("--poll", type=_positive_float, default=0.2,
-                        help="seconds between polls of an empty queue")
+                        help="seconds between polls of an idle fabric")
     worker.add_argument("--max-idle", type=_positive_float, default=None,
                         help="exit after this long with no tasks (default: serve forever)")
     worker.add_argument("--max-tasks", type=int, default=None,
                         help="exit after executing this many tasks")
     worker.add_argument("--stop-file", type=Path, default=None,
-                        help="extra stop-file path besides <queue>/stop")
+                        help="extra stop-file path besides <queue>/stop "
+                             "(filesystem fabric only)")
 
     fleet = sub.add_parser(
         "fleet",
@@ -240,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="list vehicles, captures, templates and ledgers"
     )
     fleet_status.add_argument("--store", type=Path, required=True)
+    fleet_status.add_argument("--json", dest="json_stream", action="store_true",
+                              help="emit one JSON object per vehicle "
+                                   "(machine-readable status stream)")
 
     for name, helptext in [
         ("fig2", "regenerate Fig. 2 (template vs attack)"),
@@ -362,14 +397,38 @@ def _cmd_detect(args) -> int:
 
 
 def _cli_executor(args):
-    """Resolve the --executor/--queue-dir flags into an Executor (or None)."""
+    """Resolve the executor flags into an Executor (or None).
+
+    Flag *mismatches* — a transport flag aimed at the wrong backend —
+    are configuration errors and exit immediately with a clear message
+    (SystemExit, not a traceback); a *missing* required flag surfaces
+    as a DetectorError for the command's normal diagnose-and-return-1
+    path.
+    """
     from repro.runtime import resolve_executor
 
+    backend = args.executor or "pool (the default)"
+    if args.queue_dir is not None and args.executor != "queue":
+        raise SystemExit(
+            f"repro-ids: error: --queue-dir only applies to --executor "
+            f"queue, not --executor {backend}"
+        )
+    if args.connect is not None and args.executor != "net":
+        raise SystemExit(
+            f"repro-ids: error: --connect only applies to --executor "
+            f"net, not --executor {backend}"
+        )
+    if args.queue_no_drain and args.executor not in ("queue", "net"):
+        raise SystemExit(
+            f"repro-ids: error: --no-drain only applies to --executor "
+            f"queue or net, not --executor {backend}"
+        )
     return resolve_executor(
         args.executor,
         workers=args.workers,
         queue_dir=args.queue_dir,
         queue_drain=not args.queue_no_drain,
+        connect=args.connect,
     )
 
 
@@ -411,8 +470,68 @@ def _cmd_scan_archive(args) -> int:
     return 0 if not report.alarmed_captures else 2
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.runtime.net import serve as serve_fabric
+
+    def _log(line: str) -> None:
+        print(line, flush=True)
+
+    def _ready(server) -> None:
+        # Parsed by scripts (and the CI smoke job) to learn the bound
+        # port when --port 0 asked for a free one.
+        print(f"serving on {server.host}:{server.port}", flush=True)
+
+    asyncio.run(
+        serve_fabric(
+            host=args.host,
+            port=args.port,
+            lease_s=args.lease,
+            log=_log,
+            handle_signals=True,
+            ready=_ready,
+        )
+    )
+    print("coordinator drained")
+    return 0
+
+
 def _cmd_worker(args) -> int:
     import os
+
+    from repro.exceptions import DetectorError
+
+    if (args.queue is None) == (args.connect is None):
+        raise SystemExit(
+            "repro-ids: error: worker needs exactly one fabric: "
+            "--queue DIR (filesystem) or --connect HOST:PORT (network)"
+        )
+    if args.connect is not None:
+        if args.stop_file is not None:
+            raise SystemExit(
+                "repro-ids: error: --stop-file only applies to --queue "
+                "workers; stop a --connect worker by draining the "
+                "coordinator (SIGTERM to repro-ids serve) or SIGTERM"
+            )
+        from repro.runtime import run_net_worker
+
+        print(f"worker connecting to {args.connect} (pid {os.getpid()})",
+              flush=True)
+        try:
+            stats = run_net_worker(
+                args.connect,
+                poll_s=args.poll,
+                max_idle_s=args.max_idle,
+                max_tasks=args.max_tasks,
+                handle_signals=True,
+                log=lambda line: print(line, flush=True),
+            )
+        except DetectorError as exc:
+            print(str(exc))
+            return 1
+        print(f"worker done: {stats.summary()}")
+        return 0
 
     from repro.runtime import run_worker
 
@@ -593,30 +712,46 @@ def _cmd_fleet(args) -> int:
             print(f"no fleet store at {store.root}")
             return 1
         vehicles = store.vehicles()
-        if not vehicles:
+        if not vehicles and not args.json_stream:
             print(f"empty fleet store at {store.root}")
             return 0
         for vehicle_id in vehicles:
             archive = store.archive(vehicle_id)
-            template = "yes" if store.has_template(vehicle_id) else "no"
+            has_template = store.has_template(vehicle_id)
             # File count only — status must not crash on (or pay for
             # parsing) a corrupt template the way a real load would.
             n_bus = len(store.bus_template_files(vehicle_id))
             ledger_path = store.ledger_path(vehicle_id)
-            entries = "-"
+            ledger_state, entries = "missing", None
             if ledger_path.is_file():
                 try:
-                    entries = str(
-                        len(_json.loads(ledger_path.read_text())["entries"])
+                    entries = len(
+                        _json.loads(ledger_path.read_text())["entries"]
                     )
+                    ledger_state = "ok"
                 except (ValueError, KeyError, TypeError):
                     # TypeError covers a scalar root / null entries —
                     # as corrupt as unparseable JSON for status purposes.
-                    entries = "corrupt"
-            print(
-                f"{vehicle_id}: {len(archive)} captures, template={template}, "
-                f"bus templates={n_bus}, ledger entries={entries}"
-            )
+                    ledger_state = "corrupt"
+            if args.json_stream:
+                # One object per line: the dashboard/scripting hook.
+                print(_json.dumps({
+                    "vehicle": vehicle_id,
+                    "captures": len(archive),
+                    "template": has_template,
+                    "bus_templates": n_bus,
+                    "ledger": ledger_state,
+                    "ledger_entries": entries,
+                }, sort_keys=True))
+            else:
+                shown = {
+                    "ok": str(entries), "corrupt": "corrupt", "missing": "-",
+                }[ledger_state]
+                print(
+                    f"{vehicle_id}: {len(archive)} captures, "
+                    f"template={'yes' if has_template else 'no'}, "
+                    f"bus templates={n_bus}, ledger entries={shown}"
+                )
         return 0
 
     # scan / report / watch
@@ -727,6 +862,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "template": _cmd_template,
         "detect": _cmd_detect,
         "scan-archive": _cmd_scan_archive,
+        "serve": _cmd_serve,
         "worker": _cmd_worker,
         "fleet": _cmd_fleet,
         "fig2": _cmd_experiment,

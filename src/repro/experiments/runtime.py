@@ -1,19 +1,22 @@
 """Runtime experiment: executor backends over a fleet-scale archive.
 
 The runtime layer's pitch is that the execution backend is a pure
-deployment choice: serial, process pool and filesystem work queue all
-produce **bit-identical** reports, differing only in where the work
-runs.  This experiment makes both halves measurable: it builds a
-synthetic archive of dozens of vehicle-drives, scans it once per
-backend, asserts full-report parity, and reports the per-backend
-throughput (plus the queue protocol's overhead — every task and result
-crosses the filesystem as JSON, which is the price of crossing hosts
-with no broker).
+deployment choice: serial, process pool, filesystem work queue and TCP
+scan fabric all produce **bit-identical** reports, differing only in
+where the work runs.  This experiment makes both halves measurable: it
+builds a synthetic archive of dozens of vehicle-drives, scans it once
+per backend, asserts full-report parity, and reports the per-backend
+throughput (plus each fabric's protocol overhead — every task and
+result crosses the filesystem or the wire as JSON, which is the price
+of crossing hosts).
 
 The queue backend is measured twice: *drained* (coordinator executes
 its own tasks — the zero-worker degenerate case, isolating pure
 protocol overhead) and *served* (a background worker thread claims
-tasks concurrently, the deployment shape).
+tasks concurrently, the deployment shape).  The net backend is
+measured in the served shape: an in-process coordinator with one
+network worker attached, the smallest honest deployment of the TCP
+fabric.
 """
 
 from __future__ import annotations
@@ -30,10 +33,13 @@ from repro.core import IDSConfig, IDSPipeline
 from repro.core.template import GoldenTemplate
 from repro.io.archive import CaptureArchive
 from repro.runtime import (
+    NetExecutor,
     PoolExecutor,
     SerialExecutor,
+    ServerThread,
     WorkQueueExecutor,
     default_workers,
+    run_net_worker,
     run_worker,
 )
 from repro.vehicle.ids_catalog import VehicleCatalog
@@ -56,6 +62,7 @@ class RuntimeExperimentResult:
     pool_s: float
     queue_drained_s: float
     queue_served_s: float
+    net_served_s: float
     parity_ok: bool
 
     def _fps(self, seconds: float) -> float:
@@ -69,9 +76,10 @@ class RuntimeExperimentResult:
             (f"pool({self.pool_workers})", self.pool_s),
             ("queue drained", self.queue_drained_s),
             ("queue +worker", self.queue_served_s),
+            ("net +worker", self.net_served_s),
         ]
         lines = [
-            "Runtime executors: one archive, three backends",
+            "Runtime executors: one archive, four backends",
             f"archive: {self.n_captures} captures x {self.frames_per_capture}"
             f" frames ({self.total_frames} total)",
             f"{'backend':>14} {'seconds':>10} {'vs serial':>10} {'frames/s':>12}",
@@ -159,9 +167,28 @@ def run(
         (Path(served_dir) / "stop").touch()
         worker.join(timeout=120)
 
+        with ServerThread() as coordinator:
+            net_worker = threading.Thread(
+                target=run_net_worker,
+                kwargs=dict(
+                    connect=coordinator.address, poll_s=0.01, max_idle_s=60.0
+                ),
+                daemon=True,
+            )
+            net_worker.start()
+            start = time.perf_counter()
+            netted = pipeline.analyze_archive(
+                archive,
+                executor=NetExecutor(coordinator.address, timeout_s=600.0),
+            )
+            net_served_s = time.perf_counter() - start
+            coordinator.drain()  # releases the idle worker
+            net_worker.join(timeout=120)
+
         reference = serial.to_dict()
         parity_ok = all(
-            report.to_dict() == reference for report in (pooled, drained, served)
+            report.to_dict() == reference
+            for report in (pooled, drained, served, netted)
         )
         return RuntimeExperimentResult(
             n_captures=n_captures,
@@ -172,6 +199,7 @@ def run(
             pool_s=pool_s,
             queue_drained_s=queue_drained_s,
             queue_served_s=queue_served_s,
+            net_served_s=net_served_s,
             parity_ok=parity_ok,
         )
     finally:

@@ -1,4 +1,4 @@
-"""Runtime layer: pluggable execution backends for archive-scale scans.
+"""Runtime layer: the scan fabric behind archive-scale scans.
 
 Every scan path (cold ``analyze_archive``, incremental ``watch_scan``,
 fleet-wide ``analyze_fleet``) funnels through one per-capture shard
@@ -11,13 +11,25 @@ task; this package owns *how* those tasks execute:
 * :class:`~repro.runtime.pool.PoolExecutor` — one host's cores via a
   ``multiprocessing`` pool;
 * :class:`~repro.runtime.queue.WorkQueueExecutor` — many hosts via a
-  shared filesystem queue directory served by ``repro-ids worker``
-  processes (:func:`~repro.runtime.worker.run_worker`).
+  shared filesystem queue directory served by ``repro-ids worker
+  --queue`` processes (:func:`~repro.runtime.worker.run_worker`);
+* :class:`~repro.runtime.net.NetExecutor` — many hosts via an asyncio
+  TCP coordinator (``repro-ids serve``) served by ``repro-ids worker
+  --connect`` processes (:func:`~repro.runtime.net.run_net_worker`) —
+  no shared disk required.
+
+The two distributed backends are transports over one protocol module
+(:mod:`repro.runtime.protocol`): the task/claim/result state machine,
+versioned JSON codecs, lease/re-post/poison rules, the shared claimant
+(:func:`~repro.runtime.protocol.execute_task`) and the shared
+coordinator collection logic
+(:class:`~repro.runtime.protocol.ResultCollector`) are each written
+exactly once.
 
 All backends are bit-identical for any spec and worker count
 (``tests/test_runtime_executors.py``); the choice is purely a
-deployment decision, surfaced as ``--executor serial|pool|queue`` on
-the CLI and ``executor=`` on the pipeline entry points.
+deployment decision, surfaced as ``--executor serial|pool|queue|net``
+on the CLI and ``executor=`` on the pipeline entry points.
 """
 
 from repro.runtime.base import (
@@ -28,7 +40,27 @@ from repro.runtime.base import (
     resolve_executor,
     spec_from_payload,
 )
+from repro.runtime.net import (
+    NetExecutor,
+    ScanServer,
+    ServerThread,
+    parse_address,
+    run_net_worker,
+)
 from repro.runtime.pool import PoolExecutor, default_workers
+from repro.runtime.protocol import (
+    DEFAULT_LEASE_S,
+    PROTOCOL_VERSION,
+    ClaimToken,
+    ResultCollector,
+    TaskFormatError,
+    TaskMessage,
+    TaskResult,
+    execute_task,
+    make_tasks,
+    new_job_id,
+    require_portable,
+)
 from repro.runtime.queue import (
     WorkQueueExecutor,
     claim_next_task,
@@ -39,19 +71,35 @@ from repro.runtime.serial import SerialExecutor
 from repro.runtime.worker import WorkerStats, run_worker
 
 __all__ = [
+    "DEFAULT_LEASE_S",
+    "PROTOCOL_VERSION",
     "BaselineScanSpec",
+    "ClaimToken",
     "EntropyScanSpec",
     "Executor",
+    "NetExecutor",
     "PoolExecutor",
+    "ResultCollector",
+    "ScanServer",
     "ScanSpec",
     "SerialExecutor",
+    "ServerThread",
+    "TaskFormatError",
+    "TaskMessage",
+    "TaskResult",
     "WorkQueueExecutor",
     "WorkerStats",
     "claim_next_task",
     "default_workers",
     "execute_claimed_task",
+    "execute_task",
+    "make_tasks",
+    "new_job_id",
+    "parse_address",
     "queue_dirs",
+    "require_portable",
     "resolve_executor",
+    "run_net_worker",
     "run_worker",
     "spec_from_payload",
 ]

@@ -12,7 +12,7 @@ per-window verdicts.  :class:`Executor` is the protocol over that task:
   when — order stability is what makes every backend bit-identical to
   a serial scan.
 
-Three backends implement it:
+Four backends implement it:
 
 * :class:`~repro.runtime.serial.SerialExecutor` — one process, one
   loop; the reference semantics;
@@ -21,15 +21,18 @@ Three backends implement it:
 * :class:`~repro.runtime.queue.WorkQueueExecutor` — a filesystem work
   queue; independent ``repro-ids worker`` processes (on this host or
   any host sharing the directory) claim tasks via atomic rename and
-  upload ledger-protocol result dicts.
+  upload ledger-protocol result dicts;
+* :class:`~repro.runtime.net.NetExecutor` — the same protocol over an
+  asyncio TCP coordinator (``repro-ids serve``); workers need only a
+  route to the coordinator's port, no shared disk.
 
 A :class:`ScanSpec` describes the work one capture needs.
 :class:`EntropyScanSpec` (the paper's detector) is additionally
-*portable*: it serialises to a JSON payload so the work-queue backend
-can ship it to workers that share nothing but a directory.
-:class:`BaselineScanSpec` carries a fitted baseline object — picklable
-(serial/pool) but not portable, which the queue backend refuses
-explicitly.
+*portable*: it serialises to a JSON payload so the distributed
+backends can ship it to workers that share nothing but a directory or
+a socket.  :class:`BaselineScanSpec` carries a fitted baseline object —
+picklable (serial/pool) but not portable, which the distributed
+backends refuse explicitly.
 """
 
 from __future__ import annotations
@@ -203,20 +206,24 @@ def resolve_executor(
     workers: Optional[int] = None,
     queue_dir: Union[str, Path, None] = None,
     queue_drain: bool = True,
+    connect: Optional[str] = None,
 ) -> Optional["Executor"]:
     """Turn a CLI-style executor choice into an :class:`Executor`.
 
     ``executor`` may be an instance (returned as-is), one of the names
-    ``"serial"`` / ``"pool"`` / ``"queue"``, or ``None`` (returns
-    ``None`` — callers fall back to their default pool behaviour, which
-    keeps the historical ``workers=`` semantics intact).  ``"queue"``
-    requires ``queue_dir``; ``queue_drain=False`` (CLI:
-    ``--queue-no-drain``) forbids the coordinator from executing its
-    own tasks — every task must be served by a worker, with a bounded
-    timeout so a worker-less queue errors instead of hanging.
+    ``"serial"`` / ``"pool"`` / ``"queue"`` / ``"net"``, or ``None``
+    (returns ``None`` — callers fall back to their default pool
+    behaviour, which keeps the historical ``workers=`` semantics
+    intact).  ``"queue"`` requires ``queue_dir``; ``"net"`` requires
+    ``connect`` (``host:port`` of a running ``repro-ids serve``).
+    ``queue_drain=False`` (CLI: ``--no-drain``) forbids the coordinator
+    from executing its own tasks — every task must be served by a
+    worker, with a bounded timeout so a worker-less fabric errors
+    instead of hanging.
     """
     if executor is None or isinstance(executor, Executor):
         return executor
+    from repro.runtime.net import NetExecutor
     from repro.runtime.pool import PoolExecutor
     from repro.runtime.queue import WorkQueueExecutor
     from repro.runtime.serial import SerialExecutor
@@ -235,6 +242,17 @@ def resolve_executor(
             coordinator_drains=queue_drain,
             timeout_s=None if queue_drain else 600.0,
         )
+    if executor == "net":
+        if connect is None:
+            raise DetectorError(
+                "the net executor needs a coordinator address (--connect)"
+            )
+        return NetExecutor(
+            connect,
+            drain=queue_drain,
+            timeout_s=None if queue_drain else 600.0,
+        )
     raise DetectorError(
-        f"unknown executor {executor!r}; expected serial, pool or queue"
+        f"unknown executor {executor!r}; expected serial, pool, queue "
+        f"or net"
     )

@@ -1,0 +1,950 @@
+"""The TCP transport of the scan fabric: no shared disk required.
+
+The filesystem queue needs every worker to mount the coordinator's
+directory; this module carries the same protocol
+(:mod:`repro.runtime.protocol`) over a socket instead, so workers need
+nothing but a route to one TCP port.  Three pieces:
+
+* :class:`ScanServer` — the asyncio coordinator (``repro-ids serve``).
+  A small in-memory broker speaking newline-delimited JSON: submitter
+  connections post jobs and stream results back; worker connections
+  register, pull tasks, renew leases and upload results.  A worker
+  whose connection drops (or whose lease expires — the backstop for
+  half-open sockets) has its claimed tasks re-posted immediately, so a
+  SIGKILLed worker delays a scan, it never wedges one.  SIGTERM drains
+  gracefully: no new jobs are accepted, in-flight jobs finish, idle
+  workers are told to exit.
+
+* :class:`NetExecutor` — the coordinator-side backend (``--executor
+  net --connect host:port``).  Submits the job, collects streamed
+  results, and (by default) drains tasks through a second, worker-role
+  connection while waiting — so workers accelerate a scan but are
+  never required for one, exactly like the queue backend.
+
+* :func:`run_net_worker` — the network claimant behind ``repro-ids
+  worker --connect``.  Pull a task, execute it through the shared
+  :func:`~repro.runtime.protocol.execute_task` (per-spec engine cache
+  included), upload, repeat; a background heartbeat renews the lease
+  during long scans.
+
+Wire format: one JSON object per line, ASCII.  Every conversation
+opens with ``{"version": 1, "type": "hello", "role": "worker"|"submit",
+"name": ...}`` answered by ``{"type": "welcome", "lease_s": ...}``.
+Workers send ``next`` (→ ``task`` / ``idle`` / ``drain``), ``result``
+(→ ``ack``) and fire-and-forget ``renew`` heartbeats; submitters send
+``submit`` (→ ``submitted``) and then receive pushed ``result``
+messages.  Task and result payloads are the protocol module's
+versioned codecs — the very bytes the filesystem transport writes to
+disk — which is what keeps a net scan bit-identical to a serial one.
+
+Capture *paths* still travel by name, not content: a worker that
+cannot read a path publishes an error result and the draining
+coordinator retries locally, so a mixed fleet (some hosts with the
+archive mounted, some without) degrades instead of failing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import DetectorError
+from repro.runtime.base import Executor, ScanSpec
+from repro.runtime.protocol import (
+    DEFAULT_LEASE_S,
+    PROTOCOL_VERSION,
+    ClaimToken,
+    ResultCollector,
+    TaskFormatError,
+    TaskMessage,
+    TaskResult,
+    execute_task,
+    make_tasks,
+    new_job_id,
+    require_portable,
+)
+from repro.runtime.worker import WorkerStats
+
+__all__ = [
+    "NetExecutor",
+    "ScanServer",
+    "ServerThread",
+    "parse_address",
+    "run_net_worker",
+]
+
+
+def parse_address(connect: str) -> Tuple[str, int]:
+    """Split ``host:port`` (the ``--connect`` flag) into its parts."""
+    host, sep, port = str(connect).rpartition(":")
+    if not sep or not host:
+        raise DetectorError(
+            f"coordinator address {connect!r} is not host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise DetectorError(
+            f"coordinator address {connect!r} has a non-numeric port"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Coordinator (asyncio server)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Job:
+    """One submitted job's server-side state."""
+
+    job: str
+    tasks: Dict[int, TaskMessage]
+    pending: Deque[int]
+    submitter: asyncio.StreamWriter
+    claimed: Dict[int, ClaimToken] = field(default_factory=dict)
+    done: Set[int] = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.done) >= len(self.tasks)
+
+
+@dataclass
+class _WorkerConn:
+    """One connected worker's claims, for disconnect cleanup."""
+
+    name: str
+    claims: Set[Tuple[str, int]] = field(default_factory=set)
+
+
+class ScanServer:
+    """The asyncio TCP coordinator: an in-memory scan-fabric broker.
+
+    Holds no detection state at all — only the protocol state machine
+    (pending / claimed-with-lease / done per task) — so it is cheap
+    enough to leave running as a long-lived fleet service.  Start with
+    :meth:`start` inside a running event loop; ``repro-ids serve`` and
+    :class:`ServerThread` both wrap that.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_s: float = DEFAULT_LEASE_S,
+        log=None,
+    ) -> None:
+        if lease_s <= 0:
+            raise DetectorError("lease_s must be positive")
+        self.host = host
+        self.port = int(port)  # rebound to the real port by start()
+        self.lease_s = float(lease_s)
+        self.log = log
+        self.draining = False
+        self._jobs: Dict[str, _Job] = {}
+        self._workers: Dict[asyncio.StreamWriter, _WorkerConn] = {}
+        self._locks: Dict[asyncio.StreamWriter, asyncio.Lock] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._reaper: Optional[asyncio.Task] = None
+        self._handlers: Set[asyncio.Task] = set()
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.create_task(self._reap_expired())
+        self._log(f"serve: listening on {self.host}:{self.port}")
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def close(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Cancel connection handlers ourselves — leaving them to the
+        # loop's shutdown sweep spews CancelledError tracebacks.
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+
+    def request_drain(self) -> None:
+        """Graceful shutdown: finish in-flight jobs, accept no new ones."""
+        self.draining = True
+        self._log("serve: draining (no new jobs accepted)")
+        self._maybe_finish()
+
+    def request_stop(self) -> None:
+        """Immediate shutdown (teardown paths; in-flight jobs dropped)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def snapshot(self) -> dict:
+        """Introspection for tests, status lines and operators."""
+        return {
+            "draining": self.draining,
+            "workers": sorted(w.name for w in self._workers.values()),
+            "jobs": {
+                job.job: {
+                    "total": len(job.tasks),
+                    "pending": len(job.pending),
+                    "claimed": {
+                        i: token.claimant
+                        for i, token in job.claimed.items()
+                    },
+                    "done": len(job.done),
+                }
+                for job in self._jobs.values()
+            },
+        }
+
+    # -- internals ------------------------------------------------------
+    def _log(self, line: str) -> None:
+        if self.log is not None:
+            self.log(line)
+
+    def _maybe_finish(self) -> None:
+        if self.draining and not self._jobs and self._stopped is not None:
+            self._stopped.set()
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        data = (json.dumps(message) + "\n").encode("ascii")
+        lock = self._locks.setdefault(writer, asyncio.Lock())
+        async with lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _reap_expired(self) -> None:
+        """Lease backstop: repost claims of half-open, silent workers."""
+        interval = max(self.lease_s / 4.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for job in self._jobs.values():
+                for index, token in list(job.claimed.items()):
+                    if token.expired(now) and index not in job.done:
+                        del job.claimed[index]
+                        job.pending.appendleft(index)
+                        self._log(
+                            f"serve: lease expired, reposted task "
+                            f"{job.job}-{index:06d} (was {token.claimant})"
+                        )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            hello = await self._read(reader)
+            if (
+                hello is None
+                or hello.get("type") != "hello"
+                or hello.get("version") != PROTOCOL_VERSION
+            ):
+                await self._send(
+                    writer,
+                    {"type": "error", "error": "bad hello or version"},
+                )
+                return
+            await self._send(
+                writer,
+                {
+                    "type": "welcome",
+                    "version": PROTOCOL_VERSION,
+                    "lease_s": self.lease_s,
+                },
+            )
+            role = hello.get("role")
+            name = str(hello.get("name", "?"))
+            if role == "worker":
+                await self._worker_loop(reader, writer, name)
+            elif role == "submit":
+                await self._submit_loop(reader, writer, name)
+            else:
+                await self._send(
+                    writer,
+                    {"type": "error", "error": f"unknown role {role!r}"},
+                )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # peer vanished; per-role cleanup below still runs
+        except asyncio.CancelledError:
+            pass  # server teardown; ending normally keeps the loop quiet
+        finally:
+            self._release_worker(writer)
+            self._release_submitter(writer)
+            self._locks.pop(writer, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read(reader: asyncio.StreamReader) -> Optional[dict]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            message = json.loads(line)
+        except ValueError:
+            return {"type": "malformed"}
+        return message if isinstance(message, dict) else {"type": "malformed"}
+
+    # -- worker role ----------------------------------------------------
+    def _claim_for(self, conn: _WorkerConn) -> Optional[TaskMessage]:
+        for job in self._jobs.values():
+            while job.pending:
+                index = job.pending.popleft()
+                if index in job.done:
+                    continue
+                job.claimed[index] = ClaimToken(
+                    task=job.tasks[index],
+                    claimant=conn.name,
+                    claimed_at=time.monotonic(),
+                    lease_s=self.lease_s,
+                )
+                conn.claims.add((job.job, index))
+                return job.tasks[index]
+        return None
+
+    def _release_worker(self, writer: asyncio.StreamWriter) -> None:
+        conn = self._workers.pop(writer, None)
+        if conn is None:
+            return
+        for job_id, index in conn.claims:
+            job = self._jobs.get(job_id)
+            if job is not None and index not in job.done:
+                job.claimed.pop(index, None)
+                job.pending.appendleft(index)
+                self._log(
+                    f"serve: worker {conn.name} gone, reposted task "
+                    f"{job_id}-{index:06d}"
+                )
+
+    async def _complete(self, outcome: TaskResult) -> None:
+        job = self._jobs.get(outcome.job)
+        if job is None or outcome.index in job.done:
+            return  # stale or duplicate upload: harmless
+        job.done.add(outcome.index)
+        job.claimed.pop(outcome.index, None)
+        for conn in self._workers.values():
+            conn.claims.discard((outcome.job, outcome.index))
+        try:
+            await self._send(
+                job.submitter,
+                {"type": "result", "outcome": outcome.to_wire()},
+            )
+        except (ConnectionError, OSError):
+            pass  # submitter gone; its cleanup drops the job
+        if job.complete:
+            del self._jobs[outcome.job]
+            self._log(f"serve: job {outcome.job} complete")
+            self._maybe_finish()
+
+    async def _worker_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        name: str,
+    ) -> None:
+        conn = _WorkerConn(name)
+        self._workers[writer] = conn
+        self._log(f"serve: worker {name} registered")
+        while True:
+            message = await self._read(reader)
+            if message is None:
+                return
+            kind = message.get("type")
+            if kind == "next":
+                task = self._claim_for(conn)
+                if task is not None:
+                    await self._send(
+                        writer, {"type": "task", "task": task.to_wire()}
+                    )
+                elif self.draining:
+                    await self._send(writer, {"type": "drain"})
+                else:
+                    await self._send(writer, {"type": "idle"})
+            elif kind == "result":
+                try:
+                    outcome = TaskResult.from_wire(message.get("outcome"))
+                except TaskFormatError as exc:
+                    await self._send(
+                        writer, {"type": "error", "error": str(exc)}
+                    )
+                    continue
+                conn.claims.discard((outcome.job, outcome.index))
+                await self._complete(outcome)
+                await self._send(writer, {"type": "ack"})
+            elif kind == "renew":
+                # Fire-and-forget heartbeat: renew every lease this
+                # connection holds (no reply, so the worker's renewal
+                # thread never races its request/reply stream).
+                now = time.monotonic()
+                for job_id, index in conn.claims:
+                    job = self._jobs.get(job_id)
+                    if job is not None and index in job.claimed:
+                        job.claimed[index].renew(now)
+            elif kind == "ping":
+                await self._send(writer, {"type": "pong"})
+            else:
+                await self._send(
+                    writer,
+                    {"type": "error", "error": f"unknown message {kind!r}"},
+                )
+
+    # -- submitter role -------------------------------------------------
+    def _release_submitter(self, writer: asyncio.StreamWriter) -> None:
+        dead = [
+            j for j, job in self._jobs.items() if job.submitter is writer
+        ]
+        for job_id in dead:
+            del self._jobs[job_id]
+            self._log(f"serve: submitter gone, dropped job {job_id}")
+        if dead:
+            self._maybe_finish()
+
+    async def _submit_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        name: str,
+    ) -> None:
+        while True:
+            message = await self._read(reader)
+            if message is None:
+                return
+            if message.get("type") != "submit":
+                await self._send(
+                    writer,
+                    {
+                        "type": "error",
+                        "error": f"unknown message {message.get('type')!r}",
+                    },
+                )
+                continue
+            if self.draining:
+                await self._send(
+                    writer,
+                    {
+                        "type": "error",
+                        "error": "coordinator is draining; no new jobs",
+                    },
+                )
+                continue
+            try:
+                job_id = str(message["job"])
+                spec_payload = dict(message["spec"])
+                paths = [str(p) for p in message["paths"]]
+                if not paths:
+                    raise ValueError("empty path list")
+                if job_id in self._jobs:
+                    raise ValueError(f"job {job_id} already submitted")
+            except (KeyError, TypeError, ValueError) as exc:
+                await self._send(
+                    writer, {"type": "error", "error": f"bad submit: {exc}"}
+                )
+                continue
+            tasks = {
+                i: TaskMessage(job=job_id, index=i, path=p, spec=spec_payload)
+                for i, p in enumerate(paths)
+            }
+            self._jobs[job_id] = _Job(
+                job=job_id,
+                tasks=tasks,
+                pending=deque(range(len(paths))),
+                submitter=writer,
+            )
+            self._log(
+                f"serve: job {job_id} submitted by {name} "
+                f"({len(paths)} tasks)"
+            )
+            await self._send(
+                writer,
+                {"type": "submitted", "job": job_id, "tasks": len(paths)},
+            )
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_s: float = DEFAULT_LEASE_S,
+    log=None,
+    handle_signals: bool = True,
+    ready=None,
+) -> None:
+    """Run a coordinator until it drains (the ``repro-ids serve`` body).
+
+    SIGTERM/SIGINT request a graceful drain: in-flight jobs finish,
+    then the server exits.  ``ready`` (optional callable) receives the
+    started :class:`ScanServer` once the port is bound.
+    """
+    server = ScanServer(host=host, port=port, lease_s=lease_s, log=log)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    if handle_signals:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+    try:
+        await server.wait_stopped()
+    finally:
+        await server.close()
+
+
+class ServerThread:
+    """A coordinator on a background thread (tests, benchmarks).
+
+    Context manager: entering starts the event loop thread and blocks
+    until the port is bound; ``address`` is then connectable.  Exiting
+    stops the server immediately (in-flight jobs dropped — this is a
+    teardown path, not a drain).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        lease_s: float = DEFAULT_LEASE_S,
+        log=None,
+    ) -> None:
+        self._host = host
+        self._lease_s = lease_s
+        self._log = log
+        self._ready = threading.Event()
+        self.server: Optional[ScanServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        if self.server is None:
+            raise DetectorError("server thread not started")
+        return f"{self.server.host}:{self.server.port}"
+
+    def _main(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+
+            def ready(server: ScanServer) -> None:
+                self.server = server
+                self._ready.set()
+
+            await serve(
+                host=self._host,
+                lease_s=self._lease_s,
+                log=self._log,
+                handle_signals=False,
+                ready=ready,
+            )
+
+        asyncio.run(body())
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise DetectorError("scan coordinator failed to start")
+        return self
+
+    def drain(self) -> None:
+        """Thread-safe graceful drain (the SIGTERM path, from outside)."""
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_drain)
+            except RuntimeError:
+                pass  # loop already finished: nothing left to drain
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already finished (e.g. a drain completed)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Blocking client plumbing (executor + worker side)
+# ----------------------------------------------------------------------
+
+class _Connection:
+    """A blocking NDJSON client connection with timeout-safe framing.
+
+    Partial lines survive timeouts (the buffer persists across
+    :meth:`recv` calls), so a slow coordinator can never tear a
+    message.  Writes are locked: the worker's heartbeat thread shares
+    the socket with the claim loop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        role: str,
+        name: Optional[str] = None,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout_s
+            )
+        except OSError as exc:
+            raise DetectorError(
+                f"cannot reach scan coordinator at {host}:{port}: {exc} "
+                f"(is repro-ids serve running?)"
+            ) from exc
+        self._buffer = bytearray()
+        self._lock = threading.Lock()
+        self.send(
+            {
+                "version": PROTOCOL_VERSION,
+                "type": "hello",
+                "role": role,
+                "name": name or f"{socket.gethostname()}:{os.getpid()}",
+            }
+        )
+        welcome = self.recv(timeout=connect_timeout_s)
+        if welcome is None or welcome.get("type") != "welcome":
+            self.close()
+            raise DetectorError(
+                f"scan coordinator at {host}:{port} rejected the "
+                f"handshake: {welcome!r}"
+            )
+        self.lease_s = float(welcome.get("lease_s", DEFAULT_LEASE_S))
+
+    def send(self, message: dict) -> None:
+        data = (json.dumps(message) + "\n").encode("ascii")
+        with self._lock:
+            self._sock.sendall(data)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """Next message, or None on timeout.  Raises on a closed peer."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue  # torn foreign junk; keep the stream alive
+                if isinstance(message, dict):
+                    return message
+                continue
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._sock.settimeout(remaining)
+            else:
+                self._sock.settimeout(None)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                return None
+            if not chunk:
+                raise DetectorError(
+                    "scan coordinator closed the connection"
+                )
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class _Heartbeat:
+    """Fire-and-forget lease renewal on a background thread."""
+
+    def __init__(self, conn: _Connection, every_s: float) -> None:
+        self._conn = conn
+        self._every_s = max(every_s, 0.05)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._every_s):
+            try:
+                self._conn.send({"type": "renew"})
+            except OSError:
+                return  # connection gone; the main loop will notice
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# NetExecutor (coordinator side)
+# ----------------------------------------------------------------------
+
+class NetExecutor(Executor):
+    """Distribute shard tasks through a running scan coordinator.
+
+    Parameters
+    ----------
+    connect:
+        Coordinator address, ``host:port`` (a running ``repro-ids
+        serve``).
+    drain:
+        When True (default) the executor opens a second, worker-role
+        connection and executes its own pending tasks while waiting —
+        zero workers degrade to a serial scan, and a worker's error
+        result is retried locally.  With False every task must be
+        served by a network worker and an error result raises.
+    timeout_s:
+        Give up (``DetectorError``) when no result has arrived for this
+        long.  ``None`` waits forever — safe with ``drain``.
+    poll_s:
+        How long each collection sweep waits for a pushed result before
+        attempting to drain a task itself.
+    """
+
+    def __init__(
+        self,
+        connect: str,
+        drain: bool = True,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.05,
+    ) -> None:
+        self.host, self.port = parse_address(connect)
+        if poll_s <= 0:
+            raise DetectorError("poll_s must be positive")
+        self.drain = bool(drain)
+        self.timeout_s = timeout_s
+        self.poll_s = float(poll_s)
+
+    def run(
+        self, spec: ScanSpec, paths: Sequence[Union[str, Path]]
+    ) -> List[list]:
+        require_portable(spec)
+        names = [str(p) for p in paths]
+        if not names:
+            return []
+        job = new_job_id()
+        collector = ResultCollector(
+            spec, names, job, local_retry=self.drain
+        )
+        submit = _Connection(self.host, self.port, "submit")
+        drain_conn: Optional[_Connection] = None
+        scanners: Dict[str, object] = {}
+        try:
+            submit.send(
+                {
+                    "type": "submit",
+                    "job": job,
+                    "spec": spec.to_payload(),
+                    "paths": [str(Path(p).resolve()) for p in names],
+                }
+            )
+            reply = submit.recv(timeout=30.0)
+            if reply is None or reply.get("type") != "submitted":
+                raise DetectorError(
+                    f"scan coordinator refused the job: {reply!r}"
+                )
+            last_progress = time.monotonic()
+            while not collector.done:
+                progressed = False
+                message = submit.recv(timeout=self.poll_s)
+                if message is not None:
+                    if message.get("type") == "result":
+                        try:
+                            outcome = TaskResult.from_wire(
+                                message.get("outcome")
+                            )
+                        except TaskFormatError:
+                            outcome = None
+                        if outcome is not None and collector.offer(outcome):
+                            progressed = True
+                    elif message.get("type") == "error":
+                        raise DetectorError(
+                            f"scan coordinator error: {message.get('error')}"
+                        )
+                elif self.drain:
+                    if drain_conn is None:
+                        drain_conn = _Connection(
+                            self.host, self.port, "worker",
+                            name="coordinator-drain",
+                        )
+                    drain_conn.send({"type": "next"})
+                    reply = drain_conn.recv(timeout=30.0)
+                    if reply is not None and reply.get("type") == "task":
+                        task = TaskMessage.from_wire(reply["task"])
+                        outcome = execute_task(task, scanners)
+                        drain_conn.send(
+                            {"type": "result", "outcome": outcome.to_wire()}
+                        )
+                        drain_conn.recv(timeout=30.0)  # ack
+                        # The server also pushes this result back on the
+                        # submit connection; offering directly just
+                        # makes that push a harmless duplicate.
+                        if collector.offer(outcome):
+                            progressed = True
+                if progressed:
+                    last_progress = time.monotonic()
+                    continue
+                if (
+                    self.timeout_s is not None
+                    and time.monotonic() - last_progress > self.timeout_s
+                ):
+                    outstanding = len(names) - collector.n_collected
+                    raise DetectorError(
+                        f"scan coordinator {self.host}:{self.port} made no "
+                        f"progress for {self.timeout_s:g}s with "
+                        f"{outstanding} of {len(names)} tasks outstanding"
+                    )
+        finally:
+            submit.close()
+            if drain_conn is not None:
+                drain_conn.close()
+        return collector.results()
+
+    def describe(self) -> str:
+        return f"net({self.host}:{self.port})"
+
+
+# ----------------------------------------------------------------------
+# Network worker (claimant side)
+# ----------------------------------------------------------------------
+
+def run_net_worker(
+    connect: str,
+    poll_s: float = 0.2,
+    max_idle_s: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+    handle_signals: bool = False,
+    log=None,
+) -> WorkerStats:
+    """Serve a scan coordinator over TCP until told to stop.
+
+    The network twin of :func:`repro.runtime.worker.run_worker`: pull a
+    task, execute it (shared per-spec engine cache), upload the result,
+    repeat; sleep ``poll_s`` between polls of an idle coordinator.
+    Stops on SIGTERM/SIGINT (``handle_signals``), ``max_idle_s`` of
+    continuous emptiness, ``max_tasks`` executed, a draining
+    coordinator, or a vanished one.  A heartbeat thread renews the
+    claim lease during long scans, so a slow task is never mistaken for
+    a dead worker.
+    """
+    host, port = parse_address(connect)
+    stats = WorkerStats()
+    stop_requested: List[str] = []
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal timing
+        stop_requested.append(signal.Signals(signum).name)
+
+    previous = {}
+    if handle_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _request_stop)
+
+    conn = _Connection(host, port, "worker")
+    heartbeat = _Heartbeat(conn, every_s=conn.lease_s / 3.0)
+    scanners: Dict[str, object] = {}
+    idle_since = time.monotonic()
+    try:
+        while True:
+            if stop_requested:
+                stats.stop_reason = stop_requested[0]
+                break
+            try:
+                conn.send({"type": "next"})
+                reply = conn.recv(timeout=30.0)
+            except (DetectorError, OSError):
+                stats.stop_reason = "coordinator gone"
+                break
+            kind = None if reply is None else reply.get("type")
+            if kind == "drain":
+                stats.stop_reason = "coordinator drained"
+                break
+            if kind != "task":
+                # idle (or a slow coordinator): wait and re-poll.
+                if (
+                    max_idle_s is not None
+                    and time.monotonic() - idle_since >= max_idle_s
+                ):
+                    stats.stop_reason = f"idle {max_idle_s:g}s"
+                    break
+                time.sleep(poll_s)
+                continue
+            try:
+                task = TaskMessage.from_wire(reply.get("task"))
+            except TaskFormatError as exc:
+                # Version skew or a torn relay: publish the rejection
+                # as an error result (when addressable) so the
+                # coordinator's poison rule surfaces it, and move on.
+                stats.quarantined += 1
+                raw = reply.get("task")
+                if isinstance(raw, dict) and "job" in raw and "index" in raw:
+                    try:
+                        conn.send(
+                            {
+                                "type": "result",
+                                "outcome": TaskResult(
+                                    str(raw["job"]),
+                                    int(raw["index"]),
+                                    error=f"TaskFormatError: {exc}",
+                                ).to_wire(),
+                            }
+                        )
+                        conn.recv(timeout=30.0)  # ack
+                    except (DetectorError, OSError, TypeError, ValueError):
+                        pass
+                if log is not None:
+                    log(f"worker: rejected malformed task ({exc})")
+                idle_since = time.monotonic()
+                continue
+            outcome = execute_task(task, scanners)
+            try:
+                conn.send({"type": "result", "outcome": outcome.to_wire()})
+                conn.recv(timeout=30.0)  # ack
+            except (DetectorError, OSError):
+                stats.stop_reason = "coordinator gone"
+                break
+            stats.executed += 1
+            if log is not None:
+                log(f"worker: executed {task.name}")
+            idle_since = time.monotonic()
+            if max_tasks is not None and stats.executed >= max_tasks:
+                stats.stop_reason = f"max tasks {max_tasks}"
+                break
+    finally:
+        heartbeat.stop()
+        conn.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return stats

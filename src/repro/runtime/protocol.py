@@ -1,0 +1,328 @@
+"""The scan-fabric protocol: one state machine, any transport.
+
+Every distributed backend moves the same three messages and obeys the
+same rules, no matter what carries the bytes:
+
+* :class:`TaskMessage` — a unit of work: *run this portable spec over
+  this capture path*, identified by ``(job, index)``;
+* :class:`ClaimToken` — a lease on a claimed task: the claimant must
+  finish (or renew) within ``lease_s`` or the task is re-posted for
+  another claimant;
+* :class:`TaskResult` — the outcome: ledger-protocol window verdicts
+  (bit-exact float round trips) or an error string.
+
+The state machine per task::
+
+    posted ──claim──> claimed ──publish──> done
+      ^                 │
+      └──lease expiry───┘        (claimant died: re-post, never wedge)
+
+    malformed task ──> quarantined (poison must not crash a claimant;
+                       the coordinator raises a diagnostic — no result
+                       will ever arrive for it, waiting would hang)
+
+    error result ──> local retry (drain mode: workers accelerate a
+                     scan, they are never *required* for one) or a
+                     DetectorError (no-drain mode)
+
+Two transports implement it: the filesystem queue
+(:mod:`repro.runtime.queue` — posting is a file write, claiming an
+atomic rename, the lease stamp an mtime) and the asyncio TCP fabric
+(:mod:`repro.runtime.net` — posting is a ``submit`` message, claiming a
+``next`` reply, the lease renewed by worker heartbeats).  Both are
+bit-identical to a serial scan because both move the same
+:class:`TaskResult` codec.
+
+:func:`execute_task` is the claimant half shared by every worker —
+filesystem, network, or a draining coordinator — including the
+per-spec scanner cache; :class:`ResultCollector` is the coordinator
+half: offer results in any order (duplicates welcome — a re-posted
+task's duplicate result is byte-identical), get input-ordered results
+out.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import DetectorError
+from repro.runtime.base import ScanSpec, spec_from_payload
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "PROTOCOL_VERSION",
+    "ClaimToken",
+    "ResultCollector",
+    "TaskFormatError",
+    "TaskMessage",
+    "TaskResult",
+    "execute_task",
+    "make_tasks",
+    "new_job_id",
+    "require_portable",
+]
+
+#: Wire-format version, stamped into every task and result message.
+#: Bump on incompatible changes; claimants quarantine (or reject)
+#: anything they cannot speak.
+PROTOCOL_VERSION = 1
+
+#: Default claim lease: a claimant that neither publishes nor renews
+#: within this window is presumed dead and its task is re-posted.
+DEFAULT_LEASE_S = 300.0
+
+
+class TaskFormatError(DetectorError):
+    """A task or result message could not be decoded.
+
+    Transports translate this into their quarantine rule: the
+    filesystem queue moves the file into ``failed/``, the network
+    fabric relays an error result.  Never fatal to a claimant — a
+    poison message must not crash a fleet's shared worker.
+    """
+
+
+def new_job_id() -> str:
+    """A fresh job identifier (also the task-name prefix on disk)."""
+    return uuid.uuid4().hex[:12]
+
+
+def require_portable(spec: ScanSpec) -> None:
+    """Refuse specs that cannot serialise across a host boundary."""
+    if not spec.portable:
+        raise DetectorError(
+            f"{type(spec).__name__} cannot be shipped through a work "
+            f"queue or network fabric; use the serial or pool executor"
+        )
+
+
+def _decode_error(payload: object, exc: Exception) -> TaskFormatError:
+    head = repr(payload)
+    if len(head) > 80:
+        head = head[:77] + "..."
+    return TaskFormatError(f"malformed fabric message {head}: {exc}")
+
+
+@dataclass(frozen=True)
+class TaskMessage:
+    """One unit of work: a portable spec payload over one capture path."""
+
+    job: str
+    index: int
+    path: str
+    spec: dict
+
+    @property
+    def name(self) -> str:
+        """Canonical task name, also the filesystem transport's stem."""
+        return f"{self.job}-{self.index:06d}"
+
+    def to_wire(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "job": self.job,
+            "index": self.index,
+            "path": self.path,
+            "spec": self.spec,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "TaskMessage":
+        try:
+            if payload["version"] != PROTOCOL_VERSION:
+                raise ValueError(
+                    f"fabric protocol version {payload['version']!r}"
+                )
+            return cls(
+                job=str(payload["job"]),
+                index=int(payload["index"]),
+                path=str(payload["path"]),
+                spec=dict(payload["spec"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _decode_error(payload, exc) from exc
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """A task's outcome: encoded window verdicts, or an error string."""
+
+    job: str
+    index: int
+    result: Optional[list] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_wire(self) -> dict:
+        wire = {
+            "version": PROTOCOL_VERSION,
+            "job": self.job,
+            "index": self.index,
+        }
+        if self.error is not None:
+            wire["error"] = self.error
+        else:
+            wire["result"] = self.result
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "TaskResult":
+        try:
+            if payload["version"] != PROTOCOL_VERSION:
+                raise ValueError(
+                    f"fabric protocol version {payload['version']!r}"
+                )
+            error = payload.get("error")
+            if error is None and "result" not in payload:
+                raise ValueError("neither result nor error present")
+            return cls(
+                job=str(payload["job"]),
+                index=int(payload["index"]),
+                result=payload.get("result"),
+                error=None if error is None else str(error),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _decode_error(payload, exc) from exc
+
+
+@dataclass
+class ClaimToken:
+    """A lease on a claimed task, renewable by claimant heartbeats."""
+
+    task: TaskMessage
+    claimant: str
+    claimed_at: float
+    lease_s: float = DEFAULT_LEASE_S
+
+    def expired(self, now: float) -> bool:
+        return now - self.claimed_at > self.lease_s
+
+    def renew(self, now: float) -> None:
+        self.claimed_at = now
+
+
+def make_tasks(
+    spec: ScanSpec, paths: Sequence[str], job: Optional[str] = None
+) -> List[TaskMessage]:
+    """Describe a job: one :class:`TaskMessage` per capture path."""
+    require_portable(spec)
+    job = job or new_job_id()
+    payload = spec.to_payload()
+    return [
+        TaskMessage(job=job, index=i, path=str(p), spec=payload)
+        for i, p in enumerate(paths)
+    ]
+
+
+def execute_task(
+    task: TaskMessage, scanners: Optional[Dict[str, object]] = None
+) -> TaskResult:
+    """Run one task; a scan failure becomes an *error result*.
+
+    The claimant half shared by every worker.  ``scanners`` caches
+    built scanners keyed by the canonical spec payload, so a claimant
+    draining a whole archive builds its engine once.  Errors are
+    published, not raised: the coordinator is the process with a human
+    attached, so failures surface there, and the fabric never wedges on
+    a poison capture.
+    """
+    key = json.dumps(task.spec, sort_keys=True)
+    try:
+        spec = spec_from_payload(task.spec)
+        if scanners is not None and key in scanners:
+            scan = scanners[key]
+        else:
+            scan = spec.make_scanner()
+            if scanners is not None:
+                scanners[key] = scan
+        result = scan(task.path)
+        return TaskResult(
+            task.job, task.index, result=spec.encode_result(result)
+        )
+    except Exception as exc:  # noqa: BLE001 - published, not swallowed
+        return TaskResult(
+            task.job, task.index, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+class ResultCollector:
+    """The coordinator half: out-of-order results in, input order out.
+
+    Encapsulates the error-result rule once for every transport: with
+    ``local_retry`` (drain mode) a worker's error result is retried
+    locally — a remote failure (missing mount on the worker's host,
+    transient IO fault) degrades to local execution and only a local
+    failure (the capture really is bad) propagates, with the true local
+    exception.  Without it, an error result raises immediately.
+
+    Duplicate and foreign results are ignored (``offer`` returns
+    False): a re-posted task may legitimately complete twice, and the
+    duplicate results of a deterministic task are byte-identical — the
+    collector takes whichever arrives first.
+    """
+
+    def __init__(
+        self,
+        spec: ScanSpec,
+        paths: Sequence[str],
+        job: str,
+        local_retry: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.names = [str(p) for p in paths]
+        self.job = job
+        self.local_retry = bool(local_retry)
+        self._collected: Dict[int, list] = {}
+        self._local_scan = None
+
+    @property
+    def done(self) -> bool:
+        return len(self._collected) >= len(self.names)
+
+    @property
+    def n_collected(self) -> int:
+        return len(self._collected)
+
+    def collected(self, index: int) -> bool:
+        return index in self._collected
+
+    def pending_indices(self) -> List[int]:
+        return [
+            i for i in range(len(self.names)) if i not in self._collected
+        ]
+
+    def offer(self, outcome: TaskResult) -> bool:
+        """Accept one outcome; True when it progressed the job."""
+        if outcome.job != self.job:
+            return False
+        index = outcome.index
+        if not 0 <= index < len(self.names) or index in self._collected:
+            return False
+        if outcome.error is not None:
+            if not self.local_retry:
+                raise DetectorError(
+                    f"worker failed scanning {self.names[index]}: "
+                    f"{outcome.error}"
+                )
+            if self._local_scan is None:
+                self._local_scan = self.spec.make_scanner()
+            self._collected[index] = self._local_scan(self.names[index])
+        else:
+            self._collected[index] = self.spec.decode_result(outcome.result)
+        return True
+
+    def results(self) -> List[list]:
+        """Input-ordered results; only valid once :attr:`done`."""
+        if not self.done:
+            raise DetectorError(
+                f"job {self.job} incomplete: "
+                f"{len(self.names) - len(self._collected)} of "
+                f"{len(self.names)} tasks outstanding"
+            )
+        return [self._collected[i] for i in range(len(self.names))]

@@ -1,14 +1,27 @@
-"""The filesystem work-queue executor: scans that span hosts.
+"""The filesystem transport of the scan fabric: scans over shared disk.
 
-The pool backend scales to one machine's cores; a fleet-sized archive
-wants more.  :class:`WorkQueueExecutor` spills each shard task as a
-small JSON spec into a *queue directory* — any filesystem the
-coordinator and its workers share (local disk, NFS, a mounted bucket).
-Independent ``repro-ids worker`` processes, launchable on any host that
-mounts the directory, claim tasks and upload results; the coordinator
-collects and reorders.  No sockets, no broker, no new dependency — the
-only primitives are atomic rename (claiming) and atomic write
-(publishing), both POSIX guarantees.
+:class:`WorkQueueExecutor` is the degenerate transport of the protocol
+in :mod:`repro.runtime.protocol`: every fabric primitive maps onto a
+POSIX filesystem guarantee, so any directory the coordinator and its
+workers share (local disk, NFS, a mounted bucket) is a broker.
+
+====================  ==============================================
+fabric primitive      filesystem realisation
+====================  ==============================================
+post a task           atomic write of ``tasks/<job>-<index>.json``
+                      (:class:`~repro.runtime.protocol.TaskMessage`
+                      wire format)
+claim a task          ``os.rename`` into ``claimed/`` — atomic, so
+                      exactly one claimant wins
+claim lease           the claimed file's mtime, restamped at claim
+                      time (:class:`~repro.runtime.protocol.ClaimToken`
+                      semantics; ``stale_claim_s`` is the lease)
+publish a result      atomic write of ``results/<job>-<index>.json``
+                      (:class:`~repro.runtime.protocol.TaskResult`
+                      wire format — the ledger protocol's bit-exact
+                      float round trips)
+quarantine            ``os.replace`` into ``failed/``
+====================  ==============================================
 
 Queue directory layout::
 
@@ -16,24 +29,17 @@ Queue directory layout::
       tasks/     posted task specs, awaiting a claimant
       claimed/   tasks being executed (claim = rename tasks/x -> claimed/x)
       results/   uploaded result dicts, named after their task
-      failed/    malformed task files quarantined by workers
+      failed/    malformed task files (and ``*.json.corrupt`` result
+                 files) quarantined with their evidence intact
       stop       (optional) tells every worker to exit after its task
-
-The claim protocol: a worker picks the oldest task file and
-``os.rename``\\ s it into ``claimed/``.  Rename is atomic, so exactly
-one claimant wins; the losers get ``FileNotFoundError`` and move on.
-Results are written with :func:`repro.io.atomic.atomic_write_text`, so
-a visible result file is always complete.  Task results use the fleet
-ledger's serialisation protocol (``WindowResult.to_dict``, bit-exact
-float round trips), which is what makes a queue scan **bit-identical**
-to a serial scan of the same archive.
 
 The coordinator *also drains the queue itself* while waiting (on by
 default): with zero workers a queue scan degrades to a serial scan
 instead of hanging, and with busy workers the coordinator's cycles are
 not wasted.  Claimed tasks whose worker died are re-posted after
 ``stale_claim_s`` (mtime-based), so a killed worker delays a scan, it
-never wedges one.
+never wedges one.  The TCP transport (:mod:`repro.runtime.net`) speaks
+the same protocol without requiring the shared directory at all.
 """
 
 from __future__ import annotations
@@ -41,13 +47,22 @@ from __future__ import annotations
 import json
 import os
 import time
-import uuid
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DetectorError
 from repro.io.atomic import atomic_write_text
-from repro.runtime.base import Executor, ScanSpec, spec_from_payload
+from repro.runtime.base import Executor, ScanSpec
+from repro.runtime.protocol import (
+    PROTOCOL_VERSION,
+    ResultCollector,
+    TaskFormatError,
+    TaskMessage,
+    TaskResult,
+    execute_task,
+    make_tasks,
+    require_portable,
+)
 
 __all__ = [
     "WorkQueueExecutor",
@@ -56,8 +71,9 @@ __all__ = [
     "queue_dirs",
 ]
 
-#: Queue-dir protocol version, stamped into every task file.
-QUEUE_VERSION = 1
+#: Queue-dir protocol version (the fabric protocol version; the wire
+#: format is shared with the TCP transport).
+QUEUE_VERSION = PROTOCOL_VERSION
 
 #: Name of the file that tells workers to exit (coordinator-independent
 #: shutdown; see ``repro-ids worker --stop-file``).
@@ -71,10 +87,6 @@ def queue_dirs(queue_dir: Union[str, Path]) -> Tuple[Path, Path, Path, Path]:
     for d in dirs:
         d.mkdir(parents=True, exist_ok=True)
     return dirs
-
-
-def _task_name(job: str, index: int) -> str:
-    return f"{job}-{index:06d}.json"
 
 
 def _index_of(name: str) -> int:
@@ -114,28 +126,21 @@ def execute_claimed_task(
 ) -> bool:
     """Run one claimed task file and publish its result.
 
-    ``scanners`` caches built scanners keyed by the canonical spec
-    payload, so a worker draining a whole archive builds its engine
-    once, exactly like a pool worker.  Returns True when a result
-    (success *or* recorded failure) was published; False when the task
-    file itself was malformed and quarantined into ``failed/`` — a
-    foreign or torn task must not crash a fleet's shared worker.
-
-    A scan failure (unreadable capture, template mismatch) publishes an
-    *error result* instead of raising: the coordinator is the process
-    with a human attached, so errors surface there, and the queue never
-    wedges on a poison task.
+    The filesystem face of :func:`repro.runtime.protocol.execute_task`:
+    decode the task file, execute, publish the
+    :class:`~repro.runtime.protocol.TaskResult` atomically.  Returns
+    True when a result (success *or* recorded failure) was published;
+    False when the task file itself was malformed and quarantined into
+    ``failed/`` — a foreign or torn task must not crash a fleet's
+    shared worker.
     """
     queue_root = claimed_path.parent.parent
     _, _, results, failed = queue_dirs(queue_root)
     try:
-        task = json.loads(claimed_path.read_text(encoding="ascii"))
-        if task["version"] != QUEUE_VERSION:
-            raise ValueError(f"queue protocol version {task['version']!r}")
-        spec_payload = task["spec"]
-        capture = task["path"]
-        name = _task_name(task["job"], int(task["index"]))
-    except (ValueError, KeyError, TypeError, OSError):
+        task = TaskMessage.from_wire(
+            json.loads(claimed_path.read_text(encoding="ascii"))
+        )
+    except (TaskFormatError, ValueError, OSError):
         target = failed / claimed_path.name
         try:
             os.replace(claimed_path, target)
@@ -143,31 +148,10 @@ def execute_claimed_task(
             pass
         return False
 
-    key = json.dumps(spec_payload, sort_keys=True)
-    outcome: dict
-    try:
-        spec = spec_from_payload(spec_payload)
-        if scanners is not None and key in scanners:
-            scan = scanners[key]
-        else:
-            scan = spec.make_scanner()
-            if scanners is not None:
-                scanners[key] = scan
-        result = scan(capture)
-        outcome = {
-            "version": QUEUE_VERSION,
-            "job": task["job"],
-            "index": int(task["index"]),
-            "result": spec.encode_result(result),
-        }
-    except Exception as exc:  # noqa: BLE001 - published, not swallowed
-        outcome = {
-            "version": QUEUE_VERSION,
-            "job": task["job"],
-            "index": int(task["index"]),
-            "error": f"{type(exc).__name__}: {exc}",
-        }
-    atomic_write_text(results / name, json.dumps(outcome))
+    outcome = execute_task(task, scanners)
+    atomic_write_text(
+        results / f"{task.name}.json", json.dumps(outcome.to_wire())
+    )
     try:
         claimed_path.unlink()
     except OSError:
@@ -201,10 +185,10 @@ class WorkQueueExecutor(Executor):
         local failure (the capture really is bad) propagates.  With
         False, an error result raises immediately.
     stale_claim_s:
-        Claimed tasks older than this are re-posted for another worker
-        (crash recovery).  The scan stays correct either way: duplicate
-        results of a deterministic task are byte-identical, and the
-        coordinator takes whichever arrives.
+        The claim lease: claimed tasks older than this are re-posted
+        for another worker (crash recovery).  The scan stays correct
+        either way: duplicate results of a deterministic task are
+        byte-identical, and the coordinator takes whichever arrives.
     orphan_ttl_s:
         At job start the coordinator sweeps ``results/`` and ``failed/``
         files older than this (leftovers of SIGKILLed coordinators or
@@ -239,7 +223,7 @@ class WorkQueueExecutor(Executor):
         _, _, results, failed = queue_dirs(self.queue_dir)
         cutoff = time.time() - self.orphan_ttl_s
         for directory in (results, failed):
-            for path in directory.glob("*.json"):
+            for path in directory.glob("*.json*"):
                 try:
                     if path.stat().st_mtime < cutoff:
                         path.unlink()
@@ -249,18 +233,14 @@ class WorkQueueExecutor(Executor):
     def _post(self, spec: ScanSpec, paths: Sequence[str]) -> str:
         self._sweep_orphans()
         tasks, _, _, _ = queue_dirs(self.queue_dir)
-        job = uuid.uuid4().hex[:12]
-        payload = spec.to_payload()
-        for index, path in enumerate(paths):
-            task = {
-                "version": QUEUE_VERSION,
-                "job": job,
-                "index": index,
-                "path": str(Path(path).resolve()),
-                "spec": payload,
-            }
-            atomic_write_text(tasks / _task_name(job, index), json.dumps(task))
-        return job
+        messages = make_tasks(
+            spec, [str(Path(p).resolve()) for p in paths]
+        )
+        for task in messages:
+            atomic_write_text(
+                tasks / f"{task.name}.json", json.dumps(task.to_wire())
+            )
+        return messages[0].job
 
     def _repost_stale_claims(self, job: str) -> None:
         tasks, claimed, _, _ = queue_dirs(self.queue_dir)
@@ -286,51 +266,69 @@ class WorkQueueExecutor(Executor):
                     pass
 
     # ------------------------------------------------------------------
+    def _read_outcome(
+        self, path: Path, failed_dir: Path, job: str
+    ) -> Optional[TaskResult]:
+        """Decode one result file; quarantine corruption, never crash.
+
+        A truncated or garbage result file (torn NFS write, disk fault)
+        is moved to ``failed/<name>.corrupt`` as evidence and becomes a
+        synthetic *error result* carrying the diagnostic — which the
+        normal error rule then handles (local retry while draining, a
+        clean ``DetectorError`` otherwise).  Returns None when the file
+        name itself is unparseable (quarantined the same way; no index
+        to synthesise an error for).
+        """
+        try:
+            index = _index_of(path.name)
+        except (ValueError, IndexError):
+            index = None
+        try:
+            return TaskResult.from_wire(
+                json.loads(path.read_text(encoding="ascii"))
+            )
+        except (TaskFormatError, ValueError, OSError) as exc:
+            target = failed_dir / (path.name + ".corrupt")
+            try:
+                os.replace(path, target)
+            except OSError:
+                pass
+            if index is None:
+                return None
+            return TaskResult(
+                job,
+                index,
+                error=(
+                    f"corrupt result file quarantined as {target}: {exc}"
+                ),
+            )
+
     def run(
         self, spec: ScanSpec, paths: Sequence[Union[str, Path]]
     ) -> List[list]:
-        if not spec.portable:
-            raise DetectorError(
-                f"{type(spec).__name__} cannot be shipped through a work "
-                f"queue; use the serial or pool executor"
-            )
+        require_portable(spec)
         names = [str(p) for p in paths]
         if not names:
             return []
         job = self._post(spec, names)
         _, _, results_dir, failed_dir = queue_dirs(self.queue_dir)
-        collected: Dict[int, list] = {}
+        collector = ResultCollector(
+            spec, names, job, local_retry=self.coordinator_drains
+        )
         scanners: Dict[str, object] = {}
-        local_scan = None
         last_progress = time.monotonic()
         try:
-            while len(collected) < len(names):
+            while not collector.done:
                 progressed = False
                 for path in sorted(results_dir.glob(f"{job}-*.json")):
-                    index = _index_of(path.name)
-                    if index in collected:
-                        continue
-                    outcome = json.loads(path.read_text(encoding="ascii"))
-                    if "error" in outcome:
-                        if not self.coordinator_drains:
-                            raise DetectorError(
-                                f"worker failed scanning {names[index]}: "
-                                f"{outcome['error']}"
-                            )
-                        # Workers accelerate a scan, they must never be
-                        # *required* for one: a remote failure (missing
-                        # mount on another host, transient IO fault)
-                        # degrades to local execution.  A capture that is
-                        # genuinely bad fails here too — with the true
-                        # local exception instead of a relayed string.
-                        if local_scan is None:
-                            local_scan = spec.make_scanner()
-                        collected[index] = local_scan(names[index])
-                    else:
-                        collected[index] = spec.decode_result(
-                            outcome["result"]
-                        )
-                    progressed = True
+                    try:
+                        if collector.collected(_index_of(path.name)):
+                            continue
+                    except (ValueError, IndexError):
+                        pass
+                    outcome = self._read_outcome(path, failed_dir, job)
+                    if outcome is not None and collector.offer(outcome):
+                        progressed = True
                 quarantined = sorted(failed_dir.glob(f"{job}-*.json"))
                 if quarantined:
                     # A worker could not even parse one of this job's
@@ -343,7 +341,7 @@ class WorkQueueExecutor(Executor):
                         f"{', '.join(p.name for p in quarantined)} under "
                         f"{failed_dir}; check the queue's worker versions"
                     )
-                if len(collected) >= len(names):
+                if collector.done:
                     break
                 if self.coordinator_drains:
                     claimed = claim_next_task(self.queue_dir, job)
@@ -358,15 +356,16 @@ class WorkQueueExecutor(Executor):
                     self.timeout_s is not None
                     and time.monotonic() - last_progress > self.timeout_s
                 ):
+                    outstanding = len(names) - collector.n_collected
                     raise DetectorError(
                         f"work queue {self.queue_dir} made no progress for "
-                        f"{self.timeout_s:g}s with {len(names) - len(collected)}"
+                        f"{self.timeout_s:g}s with {outstanding}"
                         f" of {len(names)} tasks outstanding"
                     )
                 time.sleep(self.poll_s)
         finally:
             self._cleanup(job)
-        return [collected[i] for i in range(len(names))]
+        return collector.results()
 
     def describe(self) -> str:
         return f"queue({self.queue_dir})"

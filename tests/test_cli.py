@@ -259,6 +259,55 @@ class TestFleet:
         assert main(["fleet", "status", "--store", str(store)]) == 0
         assert "ledger entries=corrupt" in capsys.readouterr().out
 
+    def test_status_json_streams_machine_readable_vehicles(
+        self, tmp_path, capsys
+    ):
+        """--json: one JSON object per vehicle (the dashboard hook),
+        carrying the same facts as the human lines."""
+        import json
+
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "5", "--out", str(trace)])
+        for vehicle in ("car-a", "car-b"):
+            main(["fleet", "add", "--store", str(store),
+                  "--vehicle", vehicle, "--trace", str(trace)])
+        main(["fleet", "train", "--store", str(store), "--vehicle", "car-a"])
+        capsys.readouterr()
+        assert main(
+            ["fleet", "status", "--store", str(store), "--json"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [r["vehicle"] for r in rows] == ["car-a", "car-b"]
+        by_vehicle = {r["vehicle"]: r for r in rows}
+        assert by_vehicle["car-a"]["template"] is True
+        assert by_vehicle["car-b"]["template"] is False
+        assert by_vehicle["car-a"]["captures"] == 1
+        assert by_vehicle["car-a"]["ledger"] == "missing"
+        assert by_vehicle["car-a"]["ledger_entries"] is None
+
+    def test_status_json_reports_ledger_entries_after_scan(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        store = tmp_path / "fleet"
+        trace = tmp_path / "d.log"
+        main(["simulate", "--duration", "5", "--out", str(trace)])
+        main(["fleet", "add", "--store", str(store), "--vehicle", "car-a",
+              "--trace", str(trace)])
+        main(["fleet", "train", "--store", str(store), "--vehicle", "car-a"])
+        assert main(["fleet", "scan", "--store", str(store)]) in (0, 2)
+        capsys.readouterr()
+        assert main(
+            ["fleet", "status", "--store", str(store), "--json"]
+        ) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.strip().splitlines()]
+        assert rows[0]["ledger"] == "ok"
+        assert rows[0]["ledger_entries"] == 1
+
     def test_train_without_captures_exits_one(self, tmp_path, capsys):
         store = tmp_path / "fleet"
         assert main(
@@ -404,6 +453,68 @@ class TestRuntimeCli:
               "--trace", str(trace)])
         main(["fleet", "train", "--store", str(store), "--vehicle", "car-a"])
         return store
+
+    def test_scan_archive_net_equals_serial(self, tmp_path, capsys):
+        """The network fabric through the CLI flags: an --executor net
+        scan (self-draining coordinator, no workers) must produce the
+        byte-identical JSON report."""
+        from repro.runtime import ServerThread
+
+        template_path, archive_dir = self.build_archive(tmp_path)
+        serial_json = tmp_path / "serial.json"
+        net_json = tmp_path / "net.json"
+        assert main(
+            ["scan-archive", "--template", str(template_path),
+             "--dir", str(archive_dir), "--executor", "serial",
+             "--json", str(serial_json)]
+        ) == 2
+        with ServerThread() as st:
+            assert main(
+                ["scan-archive", "--template", str(template_path),
+                 "--dir", str(archive_dir), "--executor", "net",
+                 "--connect", st.address, "--json", str(net_json)]
+            ) == 2
+        assert serial_json.read_text() == net_json.read_text()
+
+    def test_net_without_connect_diagnosed(self, tmp_path, capsys):
+        template_path, archive_dir = self.build_archive(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["scan-archive", "--template", str(template_path),
+             "--dir", str(archive_dir), "--executor", "net"]
+        ) == 1
+        assert "coordinator address" in capsys.readouterr().out
+
+    def test_executor_flag_mismatches_exit_cleanly(self, tmp_path):
+        """A transport flag aimed at the wrong backend is a config
+        error: clear SystemExit message, never a traceback."""
+        template_path, archive_dir = self.build_archive(tmp_path)
+        base = ["scan-archive", "--template", str(template_path),
+                "--dir", str(archive_dir)]
+        with pytest.raises(SystemExit, match="--queue-dir only applies"):
+            main(base + ["--executor", "serial",
+                         "--queue-dir", str(tmp_path / "q")])
+        with pytest.raises(SystemExit, match="--connect only applies"):
+            main(base + ["--executor", "queue",
+                         "--queue-dir", str(tmp_path / "q"),
+                         "--connect", "localhost:7341"])
+        with pytest.raises(SystemExit, match="--no-drain only applies"):
+            main(base + ["--executor", "serial", "--no-drain"])
+        # The same guard protects the fleet entry points.
+        store = self.build_store(tmp_path)
+        with pytest.raises(SystemExit, match="--connect only applies"):
+            main(["fleet", "scan", "--store", str(store),
+                  "--connect", "localhost:7341"])
+
+    def test_worker_requires_exactly_one_fabric(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one fabric"):
+            main(["worker"])
+        with pytest.raises(SystemExit, match="exactly one fabric"):
+            main(["worker", "--queue", str(tmp_path / "q"),
+                  "--connect", "localhost:7341"])
+        with pytest.raises(SystemExit, match="--stop-file only applies"):
+            main(["worker", "--connect", "localhost:7341",
+                  "--stop-file", str(tmp_path / "stop")])
 
     def test_fleet_watch_bounded_cycles(self, tmp_path, capsys):
         import signal

@@ -1,10 +1,11 @@
-"""Executor backends: bit-identical reports across serial/pool/queue.
+"""Executor backends: bit-identical reports across serial/pool/queue/net.
 
 The runtime layer's acceptance bar: ``analyze_archive``, ``watch_scan``
 and ``analyze_fleet`` must produce **bit-identical** reports under
-:class:`SerialExecutor`, :class:`PoolExecutor` and
-:class:`WorkQueueExecutor` at any worker count.  (Multiprocess *perf*
-is never asserted — the container may expose one CPU — only equality.)
+:class:`SerialExecutor`, :class:`PoolExecutor`,
+:class:`WorkQueueExecutor` and :class:`NetExecutor` at any worker
+count.  (Multiprocess *perf* is never asserted — the container may
+expose one CPU — only equality.)
 """
 
 import threading
@@ -19,10 +20,13 @@ from repro.fleet import FleetStore, watch_scan
 from repro.io import CaptureArchive
 from repro.runtime import (
     EntropyScanSpec,
+    NetExecutor,
     PoolExecutor,
     SerialExecutor,
+    ServerThread,
     WorkQueueExecutor,
     resolve_executor,
+    run_net_worker,
     run_worker,
 )
 from repro.vehicle import VehicleSimulation
@@ -60,33 +64,41 @@ def pipeline(golden_template, ids_config, catalog):
     return IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
 
 
-def executors_for(tmp_path):
+@pytest.fixture(scope="module")
+def coordinator():
+    """One TCP scan coordinator shared by every net-backend run."""
+    with ServerThread() as st:
+        yield st
+
+
+def executors_for(tmp_path, coordinator):
     return [
         SerialExecutor(),
         PoolExecutor(workers=1),
         PoolExecutor(workers=3),
         WorkQueueExecutor(tmp_path / "queue", timeout_s=120.0),
+        NetExecutor(coordinator.address, timeout_s=120.0),
     ]
 
 
 class TestArchiveParity:
     def test_analyze_archive_identical_across_backends(
-        self, pipeline, archive_dir, tmp_path
+        self, pipeline, archive_dir, tmp_path, coordinator
     ):
         """The acceptance criterion, on the cold scan path."""
         reference = pipeline.analyze_archive(archive_dir, workers=1)
         assert [p.name for p in reference.alarmed_captures] == ["cap2.log"]
-        for executor in executors_for(tmp_path):
+        for executor in executors_for(tmp_path, coordinator):
             report = pipeline.analyze_archive(archive_dir, executor=executor)
             assert report.to_dict() == reference.to_dict(), executor.describe()
 
     def test_watch_scan_identical_across_backends(
-        self, pipeline, archive_dir, tmp_path
+        self, pipeline, archive_dir, tmp_path, coordinator
     ):
         """The acceptance criterion, on the incremental path: every
         backend feeds the same bytes into the same ledger protocol."""
         reference = pipeline.analyze_archive(archive_dir, workers=1)
-        for i, executor in enumerate(executors_for(tmp_path)):
+        for i, executor in enumerate(executors_for(tmp_path, coordinator)):
             result = watch_scan(
                 pipeline,
                 archive_dir,
@@ -97,7 +109,8 @@ class TestArchiveParity:
             assert result.report.to_dict() == reference.to_dict()
 
     def test_analyze_fleet_identical_across_backends(
-        self, pipeline, golden_template, ids_config, catalog, tmp_path
+        self, pipeline, golden_template, ids_config, catalog, tmp_path,
+        coordinator,
     ):
         """The acceptance criterion, fleet-wide."""
         store = FleetStore(tmp_path / "fleet")
@@ -112,7 +125,7 @@ class TestArchiveParity:
                 vid, golden_template, window_us=ids_config.window_us
             )
         reports = []
-        for executor in executors_for(tmp_path):
+        for executor in executors_for(tmp_path, coordinator):
             # Fresh ledgers per backend: each run must be a cold scan.
             for vid in store.vehicles():
                 if store.ledger_path(vid).is_file():
@@ -172,6 +185,37 @@ class TestQueueWithRealWorkers:
         assert report.to_dict() == reference.to_dict()
 
 
+class TestNetWithRealWorkers:
+    def test_network_workers_serve_the_scan(
+        self, pipeline, archive_dir, coordinator
+    ):
+        """The network twin of the queue test above: ``drain=False``
+        means completion proves the TCP workers executed every task."""
+        threads = [
+            threading.Thread(
+                target=run_net_worker,
+                kwargs=dict(
+                    connect=coordinator.address, poll_s=0.02, max_idle_s=5.0
+                ),
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        executor = NetExecutor(
+            coordinator.address, drain=False, timeout_s=120.0
+        )
+        report = pipeline.analyze_archive(archive_dir, executor=executor)
+        reference = pipeline.analyze_archive(archive_dir, workers=1)
+        assert report.to_dict() == reference.to_dict()
+        # Idle the workers out rather than draining: the module-scoped
+        # coordinator must survive for later net-backend runs.
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+
+
 class TestBackendSelection:
     def test_resolve_executor_names(self, tmp_path):
         assert resolve_executor(None) is None
@@ -187,6 +231,13 @@ class TestBackendSelection:
         # No self-drain means no progress guarantee: a timeout replaces
         # the wait-forever default so a worker-less queue errors out.
         assert not strict.coordinator_drains and strict.timeout_s is not None
+        net = resolve_executor("net", connect="127.0.0.1:7341")
+        assert isinstance(net, NetExecutor)
+        assert net.drain and net.timeout_s is None
+        strict_net = resolve_executor(
+            "net", connect="127.0.0.1:7341", queue_drain=False
+        )
+        assert not strict_net.drain and strict_net.timeout_s is not None
         passthrough = SerialExecutor()
         assert resolve_executor(passthrough) is passthrough
 
@@ -194,6 +245,8 @@ class TestBackendSelection:
         with pytest.raises(DetectorError):
             resolve_executor("queue")  # no queue dir
         with pytest.raises(DetectorError):
+            resolve_executor("net")  # no coordinator address
+        with pytest.raises(DetectorError, match="serial, pool, queue or net"):
             resolve_executor("carrier-pigeon")
 
     def test_queue_rejects_baseline_specs(

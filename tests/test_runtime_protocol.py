@@ -1,0 +1,186 @@
+"""Protocol-layer coverage: codecs, leases, claimant and collector.
+
+The transports (filesystem queue, TCP fabric) have their own suites;
+this one pins down the transport-neutral rules they share — wire
+format versioning, the claim lease, the shared claimant
+(``execute_task``) and the coordinator-side ``ResultCollector`` whose
+error rule decides when a scan degrades locally versus fails.
+"""
+
+import pytest
+
+from repro.baselines import FrequencyIDS
+from repro.exceptions import DetectorError
+from repro.runtime import (
+    BaselineScanSpec,
+    EntropyScanSpec,
+    ResultCollector,
+    TaskFormatError,
+    TaskMessage,
+    TaskResult,
+    execute_task,
+    make_tasks,
+    new_job_id,
+    require_portable,
+)
+from repro.runtime.protocol import PROTOCOL_VERSION, ClaimToken
+from repro.vehicle.traffic import simulate_drive
+
+
+@pytest.fixture()
+def spec(golden_template, ids_config):
+    return EntropyScanSpec(golden_template, ids_config)
+
+
+@pytest.fixture()
+def capture_path(tmp_path, catalog):
+    from repro.io import write_candump
+
+    path = tmp_path / "drive.log"
+    write_candump(simulate_drive(5.0, seed=31, catalog=catalog), path)
+    return path
+
+
+class TestCodecs:
+    def test_task_round_trips(self, spec):
+        task = TaskMessage("abc123", 4, "/data/cap.log", spec.to_payload())
+        assert task.name == "abc123-000004"
+        assert TaskMessage.from_wire(task.to_wire()) == task
+        assert task.to_wire()["version"] == PROTOCOL_VERSION
+
+    def test_result_round_trips(self):
+        ok = TaskResult("abc123", 1, result=[{"w": 1}])
+        err = TaskResult("abc123", 2, error="boom")
+        assert TaskResult.from_wire(ok.to_wire()) == ok and ok.ok
+        assert TaskResult.from_wire(err.to_wire()) == err and not err.ok
+
+    def test_future_version_rejected(self, spec):
+        wire = TaskMessage("j", 0, "p", spec.to_payload()).to_wire()
+        wire["version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(TaskFormatError):
+            TaskMessage.from_wire(wire)
+        wire = TaskResult("j", 0, result=[]).to_wire()
+        wire["version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(TaskFormatError):
+            TaskResult.from_wire(wire)
+
+    def test_result_needs_result_or_error(self):
+        with pytest.raises(TaskFormatError):
+            TaskResult.from_wire({"version": PROTOCOL_VERSION,
+                                  "job": "j", "index": 0})
+
+    def test_garbage_rejected_with_diagnostic(self):
+        with pytest.raises(TaskFormatError, match="malformed"):
+            TaskMessage.from_wire({"torn": True})
+
+    def test_make_tasks_enumerates_one_job(self, spec):
+        tasks = make_tasks(spec, ["a.log", "b.log"], job="feedface")
+        assert [t.index for t in tasks] == [0, 1]
+        assert {t.job for t in tasks} == {"feedface"}
+        assert tasks[0].spec == tasks[1].spec == spec.to_payload()
+
+    def test_job_ids_unique(self):
+        assert new_job_id() != new_job_id()
+
+    def test_baseline_specs_are_not_portable(self, catalog):
+        baseline = FrequencyIDS()
+        baseline.fit(
+            [simulate_drive(2.0, seed=s, catalog=catalog) for s in (1, 2)]
+        )
+        with pytest.raises(DetectorError, match="work queue"):
+            require_portable(BaselineScanSpec(baseline))
+
+
+class TestClaimToken:
+    def test_lease_expires_and_renews(self, spec):
+        task = TaskMessage("j", 0, "p", spec.to_payload())
+        token = ClaimToken(task, "worker-a", claimed_at=100.0, lease_s=30.0)
+        assert not token.expired(129.0)
+        assert token.expired(131.0)
+        token.renew(131.0)
+        assert not token.expired(160.0)
+
+
+class TestExecuteTask:
+    def test_result_matches_direct_scan(self, spec, capture_path):
+        task = make_tasks(spec, [str(capture_path)])[0]
+        outcome = execute_task(task)
+        assert outcome.ok and (outcome.job, outcome.index) == (task.job, 0)
+        direct = spec.make_scanner()(str(capture_path))
+        assert outcome.result == spec.encode_result(direct)
+
+    def test_scanner_cache_shared_across_tasks(self, spec, capture_path):
+        scanners = {}
+        for task in make_tasks(spec, [str(capture_path)] * 2):
+            assert execute_task(task, scanners).ok
+        assert len(scanners) == 1  # one spec payload, one built engine
+
+    def test_failure_becomes_error_result(self, spec, tmp_path):
+        task = make_tasks(spec, [str(tmp_path / "missing.log")])[0]
+        outcome = execute_task(task)
+        assert not outcome.ok and "missing.log" in outcome.error
+
+
+class TestResultCollector:
+    def test_out_of_order_results_come_back_in_input_order(
+        self, spec, capture_path
+    ):
+        paths = [str(capture_path)] * 3
+        tasks = make_tasks(spec, paths)
+        collector = ResultCollector(spec, paths, tasks[0].job)
+        for task in reversed(tasks):
+            assert collector.offer(execute_task(task))
+        assert collector.done
+        direct = spec.make_scanner()(str(capture_path))
+        for got in collector.results():
+            assert [w.to_dict() for w in got] == [w.to_dict() for w in direct]
+
+    def test_duplicates_and_foreign_jobs_ignored(self, spec, capture_path):
+        paths = [str(capture_path)]
+        task = make_tasks(spec, paths)[0]
+        collector = ResultCollector(spec, paths, task.job)
+        outcome = execute_task(task)
+        assert collector.offer(outcome)
+        assert not collector.offer(outcome)  # duplicate (re-posted task)
+        foreign = TaskResult("other-job", 0, result=outcome.result)
+        assert not collector.offer(foreign)
+        bogus = TaskResult(task.job, 99, result=outcome.result)
+        assert not collector.offer(bogus)  # index out of range
+
+    def test_error_result_retries_locally_by_default(
+        self, spec, capture_path
+    ):
+        paths = [str(capture_path)]
+        job = new_job_id()
+        collector = ResultCollector(spec, paths, job)
+        assert collector.offer(TaskResult(job, 0, error="remote mount lost"))
+        direct = spec.make_scanner()(str(capture_path))
+        got = collector.results()[0]
+        assert [w.to_dict() for w in got] == [w.to_dict() for w in direct]
+
+    def test_error_result_raises_without_local_retry(
+        self, spec, capture_path
+    ):
+        job = new_job_id()
+        collector = ResultCollector(
+            spec, [str(capture_path)], job, local_retry=False
+        )
+        with pytest.raises(DetectorError, match="remote mount lost"):
+            collector.offer(TaskResult(job, 0, error="remote mount lost"))
+
+    def test_local_retry_surfaces_the_true_local_exception(
+        self, spec, tmp_path
+    ):
+        job = new_job_id()
+        missing = str(tmp_path / "gone.log")
+        collector = ResultCollector(spec, [missing], job)
+        with pytest.raises(Exception, match="gone.log"):
+            collector.offer(TaskResult(job, 0, error="worker io fault"))
+
+    def test_incomplete_results_raise(self, spec, capture_path):
+        collector = ResultCollector(
+            spec, [str(capture_path)] * 2, new_job_id()
+        )
+        assert collector.pending_indices() == [0, 1]
+        with pytest.raises(DetectorError, match="outstanding"):
+            collector.results()

@@ -151,6 +151,63 @@ class TestFailureModes:
         with pytest.raises(DetectorError, match="worker failed scanning"):
             executor.run(spec, [capture_path])
 
+    def test_corrupt_result_file_quarantined_then_drained_locally(
+        self, tmp_path, spec, capture_path
+    ):
+        """A truncated/garbage *result* file (torn NFS write, disk
+        fault) must never crash the drain loop: it is quarantined as
+        evidence and the task is retried locally."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(queue, timeout_s=60.0, poll_s=0.01)
+        job = executor._post(spec, [str(capture_path)])
+        _, _, results, failed = queue_dirs(queue)
+        (results / f"{job}-000000.json").write_text(
+            '{"version": 1, "job": "' + job + '", "ind',  # torn mid-write
+            encoding="ascii",
+        )
+        executor._post = lambda *a, **k: job
+        result = executor.run(spec, [capture_path])
+        assert len(result) == 1 and result[0]  # locally re-executed
+        quarantined = list(failed.glob("*.json.corrupt"))
+        assert [p.name for p in quarantined] == [f"{job}-000000.json.corrupt"]
+
+    def test_corrupt_result_file_raises_diagnostic_without_draining(
+        self, tmp_path, spec, capture_path
+    ):
+        """No-drain mode has no local fallback: the corruption surfaces
+        as a clean diagnostic naming the quarantined evidence file."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(
+            queue, timeout_s=60.0, poll_s=0.01, coordinator_drains=False
+        )
+        job = executor._post(spec, [str(capture_path)])
+        _, _, results, _ = queue_dirs(queue)
+        (results / f"{job}-000000.json").write_text(
+            "\x00garbage\x00", encoding="ascii"
+        )
+        executor._post = lambda *a, **k: job
+        with pytest.raises(DetectorError, match="corrupt result file"):
+            executor.run(spec, [capture_path])
+
+    def test_unparseable_result_filename_quarantined_not_fatal(
+        self, tmp_path, spec, capture_path
+    ):
+        """A result file whose *name* does not parse to a task index is
+        quarantined and the scan still completes via the drain loop."""
+        queue = tmp_path / "queue"
+        executor = WorkQueueExecutor(queue, timeout_s=60.0, poll_s=0.01)
+        job = executor._post(spec, [str(capture_path)])
+        _, _, results, failed = queue_dirs(queue)
+        (results / f"{job}-not-an-index.json").write_text(
+            "garbage", encoding="ascii"
+        )
+        executor._post = lambda *a, **k: job
+        result = executor.run(spec, [capture_path])
+        assert len(result) == 1 and result[0]
+        assert [p.name for p in failed.glob("*.corrupt")] == [
+            f"{job}-not-an-index.json.corrupt"
+        ]
+
     def test_truly_bad_capture_fails_with_local_exception(self, tmp_path, spec):
         """A capture that is genuinely unreadable fails the local retry
         too — with the real exception, not a relayed string."""
