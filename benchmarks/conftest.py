@@ -65,6 +65,19 @@ def append_artifact(name: str, text: str) -> Path:
     return path
 
 
+def append_bench(name: str, records) -> Path:
+    """Merge benchmark records into ``results/BENCH_<name>.json``.
+
+    The JSON twin of :func:`append_artifact`: sections present in
+    ``records`` are replaced, everything else in the file survives, so
+    partial benchmark re-runs keep the other experiments' numbers.
+    """
+    from repro.experiments.bench import write_bench_json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return write_bench_json(RESULTS_DIR / f"BENCH_{name}.json", records)
+
+
 def bench_seeds() -> tuple:
     """Seeds used by the campaign benchmarks (env-overridable)."""
     raw = os.environ.get("REPRO_BENCH_SEEDS", "1,2")

@@ -9,7 +9,7 @@ claim, not a separate test).
 
 import os
 
-from conftest import save_artifact
+from conftest import append_bench, save_artifact
 from repro.experiments import fleet as fleet_experiment
 
 #: Sizing knobs (kept modest by default; scale up via the environment
@@ -33,6 +33,7 @@ class TestFleetIncrementalScan:
             catalog=setup.catalog,
         )
         save_artifact("fleet", result.render())
+        append_bench("fleet", result.bench_records())
         # Bit-identical incremental results are the subsystem's headline
         # guarantee — a perf number without it is meaningless.
         assert result.parity_ok, result.render()

@@ -11,7 +11,7 @@ correctness only.
 
 import os
 
-from conftest import append_artifact
+from conftest import append_artifact, append_bench
 from repro.experiments import runtime as runtime_experiment
 
 #: Sizing knobs (kept modest by default; scale up via the environment
@@ -30,6 +30,7 @@ class TestRuntimeExecutors:
             catalog=setup.catalog,
         )
         append_artifact("throughput", result.render())
+        append_bench("throughput", result.bench_records())
         # Bit-identical reports are the runtime layer's headline
         # guarantee — a perf number without it is meaningless.
         assert result.parity_ok, result.render()

@@ -14,11 +14,11 @@ import os
 import numpy as np
 import pytest
 
-from conftest import append_artifact, save_artifact
+from conftest import append_artifact, append_bench, save_artifact
 from repro.baselines import MuterEntropyIDS
 from repro.core import BatchEntropyEngine, BitCounter, EntropyDetector, binary_entropy
 from repro.core.entropy import shannon_entropy
-from repro.experiments import throughput
+from repro.experiments import ooc_smoke, throughput
 from repro.vehicle.traffic import record_template_windows, simulate_drive
 
 #: Capture size for the large-capture benchmark.  The default keeps the
@@ -182,8 +182,43 @@ class TestLargeCaptureThroughput:
             catalog=setup.catalog,
         )
         append_artifact("throughput", result.render())
+        append_bench("throughput", result.bench_records())
         assert result.n_frames == BENCH_FRAMES
         assert result.speedup >= 10.0, result.render()
+
+
+class TestFusedKernelThroughput:
+    def test_bench_fused_kernel_vs_legacy(self, setup):
+        """The fused single-pass kernel against the per-bit reduceat
+        path it replaced, same capture, best-of-N in one process.  The
+        kernel's acceptance bar is an integer-multiple win with
+        bit-identical verdicts."""
+        result = throughput.run_kernel(
+            setup.template,
+            setup.config,
+            n_frames=BENCH_FRAMES,
+            catalog=setup.catalog,
+        )
+        append_artifact("throughput", result.render())
+        append_bench("throughput", result.bench_records())
+        # Speedup without parity is meaningless; assert parity first.
+        assert result.parity_ok, result.render()
+        assert result.kernel_speedup >= 2.0, result.render()
+        # The chunked out-of-core driver must not give the win back.
+        assert result.stream_speedup >= 2.0, result.render()
+
+
+class TestOutOfCoreCeiling:
+    def test_bench_rss_bounded_out_of_core_scan(self, setup):
+        """A capture several times larger than an enforced RLIMIT_DATA
+        ceiling scans out-of-core to a report bit-identical to the
+        in-RAM scan (and the eager load correctly dies trying)."""
+        result = ooc_smoke.run(setup.template, setup.config)
+        append_artifact("throughput", result.render())
+        append_bench("throughput", result.bench_records())
+        assert result.identical, result.render()
+        assert result.eager_failed, result.render()
+        assert result.size_over_limit >= 4.0, result.render()
 
 
 #: Archive benchmark sizing (kept modest by default; scale up with the
@@ -207,6 +242,7 @@ class TestArchiveThroughput:
             catalog=setup.catalog,
         )
         append_artifact("throughput", result.render())
+        append_bench("throughput", result.bench_records())
         # Columnar-native loading must beat loading through records by
         # a wide margin on both formats.
         assert result.candump_load_speedup >= 5.0, result.render()

@@ -69,6 +69,12 @@ def _can_id(text: str) -> int:
     return value
 
 
+#: Default --out-of-core chunk size, mirrored from
+#: repro.core.engine.DEFAULT_CHUNK_WINDOWS (kept literal so building
+#: the parser never imports numpy; asserted equal in tests/test_cli.py).
+DEFAULT_CHUNK_WINDOWS = 64
+
+
 def _add_executor_args(cmd) -> None:
     """The runtime-backend flags every scanning command shares."""
     cmd.add_argument("--workers", type=int, default=None,
@@ -91,6 +97,15 @@ def _add_executor_args(cmd) -> None:
                           "tasks: every task must be served by a worker "
                           "(bounded timeout instead of degrading to a "
                           "local scan)")
+    cmd.add_argument("--out-of-core", action="store_true",
+                     help="scan captures with bounded memory: lazy "
+                          "(memory-mapped .npz) loading + window-aligned "
+                          "chunked kernel; bit-identical reports")
+    cmd.add_argument("--chunk-windows", type=int, default=None,
+                     metavar="N",
+                     help="detection windows per out-of-core chunk "
+                          "(implies --out-of-core; default "
+                          f"{DEFAULT_CHUNK_WINDOWS})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -295,8 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
 def _write_trace(trace, path: Path) -> None:
     from repro.io import write_candump, write_csv
 
-    if path.suffix.lower() == ".csv":
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
         write_csv(trace, path)
+    elif suffix == ".npz":
+        from repro.io import ColumnTrace
+
+        ColumnTrace.coerce(trace).save_npz(path)
     else:
         write_candump(trace, path)
 
@@ -304,8 +324,13 @@ def _write_trace(trace, path: Path) -> None:
 def _read_trace(path: Path):
     from repro.io import read_candump, read_csv
 
-    if path.suffix.lower() == ".csv":
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
         return read_csv(path)
+    if suffix == ".npz":
+        from repro.io import ColumnTrace
+
+        return ColumnTrace.load_npz(path).to_trace()
     return read_candump(path)
 
 
@@ -432,6 +457,23 @@ def _cli_executor(args):
     )
 
 
+def _cli_chunk_windows(args) -> Optional[int]:
+    """Resolve --out-of-core / --chunk-windows into a chunk size.
+
+    ``--chunk-windows N`` is the explicit form (and implies
+    ``--out-of-core``); bare ``--out-of-core`` uses the default chunk
+    size.  ``None`` (neither flag) keeps the in-RAM scan.
+    """
+    if args.chunk_windows is not None:
+        if args.chunk_windows < 1:
+            raise SystemExit(
+                "repro-ids: error: --chunk-windows must be >= 1, got "
+                f"{args.chunk_windows}"
+            )
+        return args.chunk_windows
+    return DEFAULT_CHUNK_WINDOWS if args.out_of_core else None
+
+
 def _cmd_scan_archive(args) -> int:
     from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
     from repro.exceptions import DetectorError
@@ -450,7 +492,7 @@ def _cmd_scan_archive(args) -> int:
         executor = _cli_executor(args)
         report = pipeline.analyze_archive(
             archive, workers=args.workers, infer_k=args.infer_k,
-            executor=executor,
+            executor=executor, chunk_windows=_cli_chunk_windows(args),
         )
     except DetectorError as exc:
         print(str(exc))
@@ -783,6 +825,7 @@ def _cmd_fleet(args) -> int:
                 executor=_cli_executor(args),
                 workers=args.workers,
                 infer_k=args.infer_k,
+                chunk_windows=_cli_chunk_windows(args),
                 log=print,
             )
             daemon.install_signal_handlers()
@@ -799,6 +842,7 @@ def _cmd_fleet(args) -> int:
         report = pipeline.analyze_fleet(
             store, workers=args.workers, infer_k=args.infer_k,
             executor=_cli_executor(args),
+            chunk_windows=_cli_chunk_windows(args),
         )
     except TemplateError as exc:
         # Corrupt or unreadable per-vehicle template: diagnose, don't

@@ -31,6 +31,7 @@ from repro.core.detector import EntropyDetector, WindowResult
 from repro.core.engine import BatchEntropyEngine, batch_scan
 from repro.core.entropy import binary_entropy, entropy_vector, shannon_entropy
 from repro.core.inference import InferenceEngine, InferenceResult
+from repro.core.kernel import KernelWorkspace, WindowBlock, scan_windows
 from repro.core.pipeline import (
     ArchiveReport,
     DetectionReport,
@@ -59,14 +60,17 @@ __all__ = [
     "IDSPipeline",
     "InferenceEngine",
     "InferenceResult",
+    "KernelWorkspace",
     "MultiBusReport",
     "ResponseGate",
     "ResponseOutcome",
     "ShardedScanner",
     "SlidingEntropyDetector",
     "TemplateBuilder",
+    "WindowBlock",
     "WindowResult",
     "batch_scan",
+    "scan_windows",
     "binary_entropy",
     "build_template",
     "entropy_vector",

@@ -3,11 +3,11 @@
 :class:`BatchEntropyEngine` computes exactly what the streaming
 :class:`~repro.core.detector.EntropyDetector` computes — the same
 tumbling windows, per-bit probabilities, entropies, deviations, verdicts
-and alerts — but over a whole recorded capture at once: window
-segmentation is one integer division plus a boundary scan, the per-bit
-1-counts of *all* windows come from ``n_bits`` ``np.add.reduceat``
-passes, and every window is judged against the golden template with a
-single broadcasted comparison.
+and alerts — but over a whole recorded capture at once, by delegating to
+the fused kernel (:func:`repro.core.kernel.scan_windows`): packed-field
+bit counting, binary-search segmentation, and a struct-of-arrays
+:class:`~repro.core.kernel.WindowBlock` result with no per-window Python
+in the hot path.
 
 The result is bit-for-bit identical to ``EntropyDetector.scan`` (the
 parity test suite asserts array equality, not approximation): both paths
@@ -15,8 +15,20 @@ divide the same ``int64`` counts, feed the same ``float64``
 probabilities through :func:`~repro.core.entropy.binary_entropy`, and
 subtract the same template arrays.  The streaming detector remains the
 deployment path for live buses; this engine is the path for recorded
-captures, where it is orders of magnitude faster than feeding records
-through the interpreter one by one.
+captures.
+
+Two call shapes per path:
+
+* :meth:`scan` / :meth:`scan_stream` — legacy list-of-
+  :class:`WindowResult` API, alerts emitted to the sink;
+* :meth:`scan_block` / :meth:`scan_stream_block` — the
+  :class:`WindowBlock` struct-of-arrays, for callers that only need
+  aggregates (no per-window objects are built).
+
+The ``stream`` variants drive the same kernel chunk-by-chunk over
+window-aligned slices (:meth:`ColumnTrace.iter_window_chunks`), so a
+memory-mapped 100M-frame capture scans under a bounded memory budget
+with a report bit-identical to the in-RAM scan.
 """
 
 from __future__ import annotations
@@ -26,16 +38,20 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.core.alerts import AlertSink
-from repro.core.bitprob import check_id_range, window_bit_counts
 from repro.core.config import IDSConfig
 from repro.core.detector import WindowResult
-from repro.core.entropy import binary_entropy
+from repro.core.kernel import KernelWorkspace, WindowBlock, scan_windows
 from repro.core.template import GoldenTemplate
 from repro.exceptions import DetectorError
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace
 
-__all__ = ["BatchEntropyEngine", "batch_scan"]
+__all__ = ["BatchEntropyEngine", "batch_scan", "DEFAULT_CHUNK_WINDOWS"]
+
+#: Default chunk size (in detection windows) for the streamed scan: big
+#: enough that per-chunk overhead vanishes, small enough that a chunk of
+#: a dense bus (tens of thousands of frames) stays cache-resident.
+DEFAULT_CHUNK_WINDOWS = 64
 
 
 class BatchEntropyEngine:
@@ -63,6 +79,56 @@ class BatchEntropyEngine:
         self.sink = sink if sink is not None else AlertSink()
 
     # ------------------------------------------------------------------
+    def scan_block(self, trace: Union[Trace, ColumnTrace]) -> WindowBlock:
+        """Judge every tumbling window, returning the struct-of-arrays
+        :class:`WindowBlock` (no per-window objects, no alert emission).
+
+        This is the aggregate fast path: callers that only need counts,
+        verdicts or entropy series read the block's arrays directly.
+        """
+        ct = ColumnTrace.coerce(trace)
+        if len(ct) == 0:
+            return WindowBlock.empty(self.config.n_bits, self.config.window_us)
+        return scan_windows(ct, self.template, self.config)
+
+    def scan_stream_block(
+        self,
+        trace: Union[Trace, ColumnTrace],
+        chunk_windows: int = DEFAULT_CHUNK_WINDOWS,
+    ) -> WindowBlock:
+        """Chunked :meth:`scan_block`: bounded peak memory, identical
+        result.
+
+        The trace is consumed in window-aligned chunks (so no chunk
+        boundary can split a detection window) with the grid anchored
+        once at the trace's first timestamp; each chunk runs through
+        the same fused kernel with a shared workspace, and the
+        per-chunk blocks concatenate into a block bit-identical to the
+        whole-trace scan.  On a memory-mapped trace only the chunk
+        currently being scanned is paged in.
+        """
+        ct = ColumnTrace.coerce(trace)
+        if len(ct) == 0:
+            return WindowBlock.empty(self.config.n_bits, self.config.window_us)
+        origin = ct.start_us
+        workspace = KernelWorkspace()
+        blocks: List[WindowBlock] = []
+        emitted = 0
+        for chunk in ct.iter_window_chunks(self.config.window_us, chunk_windows):
+            block = scan_windows(
+                chunk,
+                self.template,
+                self.config,
+                origin_us=origin,
+                index_base=emitted,
+                workspace=workspace,
+            )
+            emitted += len(block)
+            blocks.append(block)
+        return WindowBlock.concat(
+            blocks, self.config.n_bits, self.config.window_us
+        )
+
     def scan(self, trace: Union[Trace, ColumnTrace]) -> List[WindowResult]:
         """Judge every tumbling window of a recorded capture.
 
@@ -70,51 +136,24 @@ class BatchEntropyEngine:
         streaming detector emits: one result per *non-empty* grid window
         (silent gaps are skipped without verdicts), indices sequential
         over the emitted windows, the trailing partial window included.
+        Alarming windows are emitted to the sink, in window order.
         """
-        ct = ColumnTrace.coerce(trace)
-        if len(ct) == 0:
-            return []
-        n_bits = self.config.n_bits
-        ids = ct.can_id
-        check_id_range(ids, n_bits)
+        return self._emit(self.scan_block(trace))
 
-        grid, seg_starts, seg_ends = ct.window_segments(self.config.window_us)
-        n_windows = grid.size
-        t_starts = ct.start_us + grid * np.int64(self.config.window_us)
+    def scan_stream(
+        self,
+        trace: Union[Trace, ColumnTrace],
+        chunk_windows: int = DEFAULT_CHUNK_WINDOWS,
+    ) -> List[WindowResult]:
+        """Chunked :meth:`scan`: same results, same alerts, bounded
+        memory (see :meth:`scan_stream_block`)."""
+        return self._emit(self.scan_stream_block(trace, chunk_windows))
 
-        counts = window_bit_counts(ids, seg_starts, n_bits)
-        totals = seg_ends - seg_starts
-        attacks = ct.attack_counts(seg_starts)
-
-        # Same float path as BitCounter.probabilities(): int64 counts
-        # divided by the float total — then the shared entropy function.
-        probabilities = counts / totals[:, None].astype(float)
-        entropy = np.asarray(binary_entropy(probabilities), dtype=float)
-        judged = totals >= self.config.min_window_messages
-        deviations = np.where(
-            judged[:, None], entropy - self.template.mean_entropy, 0.0
-        )
-        violated = np.abs(deviations) > self.template.thresholds
-        violated &= judged[:, None]
-
-        window_us = self.config.window_us
-        results: List[WindowResult] = []
-        for w in range(n_windows):
-            result = WindowResult(
-                index=w,
-                t_start_us=int(t_starts[w]),
-                t_end_us=int(t_starts[w]) + window_us,
-                n_messages=int(totals[w]),
-                n_attack_messages=int(attacks[w]),
-                probabilities=probabilities[w],
-                entropy=entropy[w],
-                deviations=deviations[w],
-                violated=violated[w],
-                judged=bool(judged[w]),
-            )
-            if result.alarm:
-                self.sink.emit(result.to_alert())
-            results.append(result)
+    def _emit(self, block: WindowBlock) -> List[WindowResult]:
+        """Materialise the legacy result list and emit alarm alerts."""
+        results = block.results()
+        for i in np.flatnonzero(block.alarm_mask):
+            self.sink.emit(results[int(i)].to_alert())
         return results
 
 

@@ -380,6 +380,7 @@ class IDSPipeline:
         workers: Optional[int] = None,
         infer_k=1,
         executor=None,
+        chunk_windows: Optional[int] = None,
     ) -> "ArchiveReport":
         """Scan a whole capture archive, sharded across an executor.
 
@@ -392,15 +393,21 @@ class IDSPipeline:
         (e.g. a :class:`~repro.runtime.queue.WorkQueueExecutor` served
         by ``repro-ids worker`` processes on other hosts).  Every
         backend is bit-identical to scanning each capture serially.
-        Inference runs per capture in the parent process, only for
-        captures that alarmed.
+        ``chunk_windows`` switches each slot to the out-of-core scan
+        (memory-mapped ``.npz`` load, window-aligned chunked kernel) —
+        same bits, bounded memory per capture.  Inference runs per
+        capture in the parent process, only for captures that alarmed.
         """
         from repro.core.shard import ShardedScanner  # cycle-free import
 
         if not isinstance(archive, CaptureArchive):
             archive = CaptureArchive(archive)
         scanner = ShardedScanner(
-            self.template, self.config, workers=workers, executor=executor
+            self.template,
+            self.config,
+            workers=workers,
+            executor=executor,
+            chunk_windows=chunk_windows,
         )
         captures = []
         for scan in scanner.scan_archive(archive):
@@ -476,6 +483,7 @@ class IDSPipeline:
         workers: Optional[int] = None,
         infer_k=1,
         executor=None,
+        chunk_windows: Optional[int] = None,
         **drift_kwargs,
     ):
         """Incrementally scan a whole fleet store and aggregate drift.
@@ -504,6 +512,7 @@ class IDSPipeline:
             workers=workers,
             infer_k=infer_k,
             executor=executor,
+            chunk_windows=chunk_windows,
             **drift_kwargs,
         )
 

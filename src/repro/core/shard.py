@@ -75,6 +75,12 @@ class ShardedScanner:
         Any :class:`~repro.runtime.base.Executor`; ``None`` builds a
         :class:`~repro.runtime.pool.PoolExecutor` from ``workers`` (the
         historical behaviour).
+    chunk_windows:
+        When set, every execution slot scans its capture out-of-core:
+        lazily loaded (memory-mapped ``.npz``) and streamed through the
+        fused kernel in chunks of this many detection windows.  Results
+        are bit-identical to the in-RAM scan; peak memory per capture is
+        bounded by the chunk size instead of the capture size.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class ShardedScanner:
         config: Optional[IDSConfig] = None,
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
+        chunk_windows: Optional[int] = None,
     ) -> None:
         self.template = template
         self.config = config or IDSConfig()
@@ -99,6 +106,7 @@ class ShardedScanner:
         else:
             self.workers = getattr(executor, "workers", 1)
         self.executor = executor
+        self.chunk_windows = chunk_windows
 
     # ------------------------------------------------------------------
     def _resolve_paths(
@@ -122,7 +130,8 @@ class ShardedScanner:
         if not paths:
             return []
         results = self.executor.run(
-            EntropyScanSpec(self.template, self.config), paths
+            EntropyScanSpec(self.template, self.config, self.chunk_windows),
+            paths,
         )
         return [CaptureScan(p, w) for p, w in zip(paths, results)]
 

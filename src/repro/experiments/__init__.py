@@ -9,11 +9,15 @@
 :mod:`~repro.experiments.throughput` Streaming vs batch detection at scale
 :mod:`~repro.experiments.fleet`      Incremental fleet scanning vs cold scans
 :mod:`~repro.experiments.runtime`    Executor backends (serial/pool/queue) sized
+:mod:`~repro.experiments.ooc_smoke`  Out-of-core scan under an RSS ceiling
 ==================  ========================================================
 
 Each module exposes ``run(...)`` returning a structured result object
-with a ``render()`` method producing the table/series as text.  The
-``benchmarks/`` directory wraps these in pytest-benchmark entries.
+with a ``render()`` method producing the table/series as text; the
+performance-facing results also expose ``bench_records()``, flat JSON
+measurements collected into ``results/BENCH_*.json`` by
+:mod:`repro.experiments.bench`.  The ``benchmarks/`` directory wraps
+these in pytest-benchmark entries.
 """
 
 from repro.experiments.runner import (

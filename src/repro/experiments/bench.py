@@ -1,0 +1,101 @@
+"""Machine-readable benchmark records (``results/BENCH_*.json``).
+
+The experiment modules have always rendered human-readable tables into
+``results/*.txt``; those are good for reading and useless for diffing
+the performance trajectory across PRs.  This module is the JSON twin:
+every experiment result exposes ``bench_records()`` — a flat list of
+measurements, one dict per metric::
+
+    {"section": "throughput", "metric": "batch_mps",
+     "value": 29779148.0, "unit": "msg/s",
+     "params": {"n_frames": 1000000, ...}}
+
+``section`` groups records the way the .txt sections do, ``metric`` is
+a stable snake_case name, ``value`` is a plain number, ``unit`` names
+its dimension, and ``params`` carries the experiment's sizing so a
+regression diff can tell a real slowdown from a smaller run.
+
+:func:`write_bench_json` merges records into ``results/BENCH_<name>.json``
+with the same section-replace semantics the .txt writer uses: re-running
+one experiment replaces that experiment's sections and leaves the rest
+of the file intact.  Files are written atomically (temp + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["bench_record", "write_bench_json"]
+
+
+def bench_record(
+    section: str,
+    metric: str,
+    value: float,
+    unit: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """One benchmark measurement in the BENCH_*.json schema."""
+    return {
+        "section": str(section),
+        "metric": str(metric),
+        "value": float(value),
+        "unit": str(unit),
+        "params": dict(params or {}),
+    }
+
+
+def write_bench_json(
+    path: Union[str, Path], records: Sequence[Mapping[str, object]]
+) -> Path:
+    """Merge ``records`` into a BENCH json file, replacing their sections.
+
+    Existing records whose ``section`` does not appear in ``records``
+    are kept (other experiments own them); every section present in
+    ``records`` is replaced wholesale.  Records are sorted by
+    ``(section, metric)`` so the file diffs cleanly.  A corrupt or
+    foreign file is replaced rather than crashing the experiment.
+    """
+    path = Path(path)
+    incoming = [
+        bench_record(
+            r["section"], r["metric"], r["value"], r["unit"], r.get("params")
+        )
+        for r in records
+    ]
+    sections = {r["section"] for r in incoming}
+    kept: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+            kept = [
+                r
+                for r in previous
+                if isinstance(r, dict) and r.get("section") not in sections
+            ]
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            kept = []
+    merged = sorted(
+        kept + incoming,
+        key=lambda r: (str(r.get("section")), str(r.get("metric"))),
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

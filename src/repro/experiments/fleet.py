@@ -93,6 +93,31 @@ class FleetExperimentResult:
         ]
         return "\n".join(lines)
 
+    def bench_records(self) -> list:
+        """Machine-readable twin of :meth:`render`."""
+        from repro.experiments.bench import bench_record
+
+        params = {
+            "n_vehicles": self.n_vehicles,
+            "captures_per_vehicle": self.captures_per_vehicle,
+            "frames_per_capture": self.frames_per_capture,
+        }
+        section = "fleet"
+        return [
+            bench_record(section, "cold_fps", self.cold_fps, "frames/s", params),
+            bench_record(
+                section, "warm_speedup", self.warm_speedup, "x", params
+            ),
+            bench_record(
+                section, "incremental_speedup", self.incremental_speedup,
+                "x", params,
+            ),
+            bench_record(
+                section, "parity_ok", 1.0 if self.parity_ok else 0.0,
+                "bool", params,
+            ),
+        ]
+
 
 def _attack_capture(catalog, seed: int, duration_s: float = 7.0):
     """A short attacked drive (record-path simulation, ground truth)."""

@@ -1,0 +1,384 @@
+"""Out-of-core scan under an enforced RSS ceiling.
+
+The tentpole claim of the out-of-core path is *bounded memory*: a
+capture far larger than the scanner's memory budget scans to a report
+bit-identical to the in-RAM scan.  This experiment enforces the claim
+with the kernel's own accounting rather than trusting ours:
+
+* the **parent** synthesizes a multi-million-frame ``.npz`` capture
+  (several times larger than the ceiling), scans it in RAM for the
+  reference report, and spawns a **child** process;
+* the child runs under ``RLIMIT_DATA`` — since Linux 4.7 that limit
+  covers brk *and* private anonymous mappings, i.e. every numpy
+  allocation, while leaving the read-only file-backed ``mmap`` of the
+  capture uncounted.  Any attempt to materialise the capture in memory
+  dies with ``MemoryError``; paging windows through the fused kernel
+  does not;
+* the ceiling is sized honestly: a probe child first measures the anon
+  data baseline of a bare interpreter + numpy + detector import, and
+  the ceiling is that baseline plus a fixed scan budget.  The capture
+  is then sized to at least ``min_size_ratio`` (default 4x) the ceiling;
+* the child also *attempts* an eager (non-mmap) load under the same
+  ceiling and reports the expected ``MemoryError`` — demonstrating the
+  ceiling is real, not generous;
+* finally the parent diffs the child's JSON report against its in-RAM
+  reference, field for field.
+
+Run standalone (the CI ``ooc-smoke`` job)::
+
+    python -m repro.experiments.ooc_smoke
+
+which exits non-zero unless the out-of-core report is bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["OocSmokeResult", "run", "synthesize_capture"]
+
+#: Anonymous-memory budget granted to the child on top of its measured
+#: import baseline.  Generous for the chunked scan (whose working set is
+#: the kernel workspace plus one chunk of derived arrays) and far too
+#: small to materialise the capture.
+DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
+
+#: The capture must be at least this many times the RSS ceiling.
+DEFAULT_SIZE_RATIO = 4.0
+
+#: Mean synthetic inter-arrival (microseconds); ~4000 frames per 2s
+#: detection window.
+_MEAN_GAP_US = 500
+
+
+def _vm_data_bytes() -> int:
+    """Current anon data-segment size (what ``RLIMIT_DATA`` meters)."""
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmData:"):
+                return int(line.split()[1]) * 1024
+    return 0
+
+
+def synthesize_capture(n_frames: int, seed: int = 7):
+    """A deterministic attack-sprinkled capture with silent gaps.
+
+    Built straight from numpy (no traffic model) so that a few hundred
+    megabytes of capture synthesize in seconds: random identifiers over
+    the full 11-bit space, ~0.1% frames flagged as attacks, two
+    multi-window silent gaps (exercising the chunk iterator's gap jump)
+    and a trailing partial window.
+    """
+    import numpy as np
+
+    from repro.io.columnar import ColumnTrace
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(
+        _MEAN_GAP_US // 2, _MEAN_GAP_US * 3 // 2, size=n_frames, dtype=np.int64
+    )
+    for fraction in (0.33, 0.71):  # silent gaps spanning many windows
+        gaps[int(n_frames * fraction)] += 11 * 2_000_000
+    timestamps = np.cumsum(gaps) + 1_000_000
+    ids = rng.integers(0, 2048, size=n_frames, dtype=np.int64)
+    attacks = rng.random(n_frames) < 0.001
+    return ColumnTrace(timestamps, ids, is_attack=attacks, validate=False)
+
+
+@dataclass(frozen=True)
+class OocSmokeResult:
+    """Outcome of one RSS-bounded out-of-core scan."""
+
+    n_frames: int
+    n_windows: int
+    npz_bytes: int
+    baseline_bytes: int
+    rss_limit_bytes: int
+    chunk_windows: int
+    child_elapsed_s: float
+    ooc_mps: float
+    eager_failed: bool
+    identical: bool
+
+    @property
+    def size_over_limit(self) -> float:
+        """Capture bytes over the RSS ceiling."""
+        return (
+            self.npz_bytes / self.rss_limit_bytes
+            if self.rss_limit_bytes
+            else 0.0
+        )
+
+    @property
+    def ok(self) -> bool:
+        """The experiment's pass verdict."""
+        return self.identical and self.eager_failed
+
+    def render(self) -> str:
+        """The experiment's artifact table."""
+        mb = 1024 * 1024
+        lines = [
+            "Out-of-core scan under an RSS ceiling (RLIMIT_DATA)",
+            f"capture: {self.n_frames:,} frames, "
+            f"{self.npz_bytes / mb:,.0f} MB npz "
+            f"({self.size_over_limit:.1f}x the ceiling)",
+            f"ceiling: {self.rss_limit_bytes / mb:,.0f} MB "
+            f"(import baseline {self.baseline_bytes / mb:,.0f} MB + scan "
+            f"budget), chunk_windows={self.chunk_windows}",
+            f"ooc scan: {self.n_windows} windows in "
+            f"{self.child_elapsed_s:.2f}s ({self.ooc_mps:,.0f} msg/s)",
+            "eager load under ceiling: "
+            + ("MemoryError (as expected)" if self.eager_failed
+               else "SUCCEEDED (ceiling not binding!)"),
+            "report parity vs in-RAM scan: "
+            + ("bit-identical" if self.identical else "MISMATCH"),
+        ]
+        return "\n".join(lines)
+
+    def bench_records(self) -> List[dict]:
+        """Machine-readable twin of :meth:`render`."""
+        from repro.experiments.bench import bench_record
+
+        params = {
+            "n_frames": self.n_frames,
+            "n_windows": self.n_windows,
+            "chunk_windows": self.chunk_windows,
+        }
+        section = "ooc"
+        return [
+            bench_record(section, "npz_bytes", self.npz_bytes, "bytes", params),
+            bench_record(
+                section, "rss_limit_bytes", self.rss_limit_bytes,
+                "bytes", params,
+            ),
+            bench_record(
+                section, "size_over_limit", self.size_over_limit, "x", params
+            ),
+            bench_record(section, "ooc_mps", self.ooc_mps, "msg/s", params),
+            bench_record(
+                section, "eager_failed", 1.0 if self.eager_failed else 0.0,
+                "bool", params,
+            ),
+            bench_record(
+                section, "identical", 1.0 if self.identical else 0.0,
+                "bool", params,
+            ),
+        ]
+
+
+# ----------------------------------------------------------------------
+# Child process: scan one capture, optionally under RLIMIT_DATA
+# ----------------------------------------------------------------------
+
+def _child_main(argv: List[str]) -> int:
+    """``--scan`` entry: runs before any heavy import so the rlimit is
+    in place for everything numpy allocates."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="ooc_smoke --scan")
+    parser.add_argument("capture")
+    parser.add_argument("--setup", required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--limit-bytes", type=int, default=None)
+    parser.add_argument("--chunk-windows", type=int, default=None)
+    parser.add_argument("--try-eager", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.limit_bytes is not None:
+        import resource
+
+        resource.setrlimit(
+            resource.RLIMIT_DATA, (args.limit_bytes, args.limit_bytes)
+        )
+
+    from repro.core import BatchEntropyEngine, IDSConfig
+    from repro.core.engine import DEFAULT_CHUNK_WINDOWS
+    from repro.core.template import GoldenTemplate
+    from repro.io.columnar import ColumnTrace
+
+    with open(args.setup, encoding="utf-8") as handle:
+        setup = json.load(handle)
+    template = GoldenTemplate.from_dict(setup["template"])
+    config = IDSConfig(**setup["config"])
+    chunk_windows = (
+        args.chunk_windows if args.chunk_windows else DEFAULT_CHUNK_WINDOWS
+    )
+
+    trace = ColumnTrace.load_npz(args.capture, mmap=True)
+    start = time.perf_counter()
+    windows = BatchEntropyEngine(template, config).scan_stream(
+        trace, chunk_windows=chunk_windows
+    )
+    elapsed = time.perf_counter() - start
+
+    eager_failed = None
+    if args.try_eager:
+        try:
+            ColumnTrace.load_npz(args.capture)
+            eager_failed = False
+        except MemoryError:
+            eager_failed = True
+
+    report = {
+        "n_frames": len(trace),
+        "elapsed_s": elapsed,
+        "vm_data_bytes": _vm_data_bytes(),
+        "eager_failed": eager_failed,
+        "windows": [w.to_dict() for w in windows],
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def _spawn_child(capture, setup_path, out_path, **options) -> dict:
+    """Run the ``--scan`` child and return its JSON report."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else os.pathsep.join([src_root, existing])
+    )
+    command = [
+        sys.executable, "-m", "repro.experiments.ooc_smoke", "--scan",
+        str(capture), "--setup", str(setup_path), "--out", str(out_path),
+    ]
+    if options.get("limit_bytes"):
+        command += ["--limit-bytes", str(int(options["limit_bytes"]))]
+    if options.get("chunk_windows"):
+        command += ["--chunk-windows", str(int(options["chunk_windows"]))]
+    if options.get("try_eager"):
+        command += ["--try-eager"]
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"ooc child failed ({completed.returncode}):\n"
+            f"{completed.stdout}\n{completed.stderr}"
+        )
+    with open(out_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def run(
+    template=None,
+    config=None,
+    n_frames: Optional[int] = None,
+    budget_bytes: int = DEFAULT_BUDGET_BYTES,
+    min_size_ratio: float = DEFAULT_SIZE_RATIO,
+    chunk_windows: Optional[int] = None,
+    seed: int = 7,
+    workdir: Optional[str] = None,
+) -> OocSmokeResult:
+    """Scan a larger-than-ceiling capture out-of-core and diff reports.
+
+    ``n_frames`` defaults to whatever makes the capture at least
+    ``min_size_ratio`` times the ceiling (probe baseline +
+    ``budget_bytes``); pass it explicitly to size the run by hand.
+    ``template`` defaults to a quick golden template trained on the
+    synthetic capture's own clean prefix.
+    """
+    from repro.core import BatchEntropyEngine, IDSConfig, TemplateBuilder
+    from repro.core.engine import DEFAULT_CHUNK_WINDOWS
+
+    config = config or IDSConfig()
+    chunk_windows = (
+        int(chunk_windows) if chunk_windows else DEFAULT_CHUNK_WINDOWS
+    )
+    cleanup = workdir is None
+    tmp = Path(
+        tempfile.mkdtemp(prefix="repro-ooc-") if cleanup else workdir
+    )
+    try:
+        # --- probe: baseline anon usage + on-disk bytes per frame ----
+        probe_frames = 50_000
+        probe_capture = synthesize_capture(probe_frames, seed=seed)
+        if template is None:
+            builder = TemplateBuilder(config)
+            builder.add_trace_windows(probe_capture)
+            template = builder.build()
+        probe_npz = tmp / "probe.npz"
+        probe_capture.save_npz(probe_npz)
+        setup_path = tmp / "setup.json"
+        setup_path.write_text(
+            json.dumps(
+                {"template": template.to_dict(), "config": asdict(config)}
+            ),
+            encoding="utf-8",
+        )
+        probe_report = _spawn_child(
+            probe_npz, setup_path, tmp / "probe_report.json",
+            chunk_windows=chunk_windows,
+        )
+        baseline = int(probe_report["vm_data_bytes"])
+        limit = baseline + int(budget_bytes)
+
+        # --- the capture: >= min_size_ratio x the ceiling -------------
+        bytes_per_frame = probe_npz.stat().st_size / probe_frames
+        if n_frames is None:
+            n_frames = int(min_size_ratio * 1.05 * limit / bytes_per_frame)
+        capture = synthesize_capture(int(n_frames), seed=seed)
+        npz_path = tmp / "capture.npz"
+        capture.save_npz(npz_path)
+        npz_bytes = npz_path.stat().st_size
+
+        # --- in-RAM reference (parent, no limit) ----------------------
+        reference = [
+            w.to_dict()
+            for w in BatchEntropyEngine(template, config).scan(capture)
+        ]
+        reference = json.loads(json.dumps(reference))
+        del capture
+
+        # --- the RSS-bounded child ------------------------------------
+        child = _spawn_child(
+            npz_path, setup_path, tmp / "report.json",
+            limit_bytes=limit, chunk_windows=chunk_windows, try_eager=True,
+        )
+        elapsed = float(child["elapsed_s"])
+        return OocSmokeResult(
+            n_frames=int(n_frames),
+            n_windows=len(reference),
+            npz_bytes=int(npz_bytes),
+            baseline_bytes=baseline,
+            rss_limit_bytes=int(limit),
+            chunk_windows=chunk_windows,
+            child_elapsed_s=elapsed,
+            ooc_mps=int(n_frames) / elapsed if elapsed else 0.0,
+            eager_failed=bool(child["eager_failed"]),
+            identical=child["windows"] == reference,
+        )
+    finally:
+        if cleanup:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry: child mode with ``--scan``, driver mode otherwise."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--scan":
+        return _child_main(argv[1:])
+    result = run()
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

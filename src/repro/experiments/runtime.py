@@ -96,6 +96,37 @@ class RuntimeExperimentResult:
         )
         return "\n".join(lines)
 
+    def bench_records(self) -> list:
+        """Machine-readable twin of :meth:`render`."""
+        from repro.experiments.bench import bench_record
+
+        params = {
+            "n_captures": self.n_captures,
+            "frames_per_capture": self.frames_per_capture,
+            "pool_workers": self.pool_workers,
+        }
+        section = "runtime"
+        records = [
+            bench_record(
+                section, f"{metric}_fps", self._fps(seconds),
+                "frames/s", params,
+            )
+            for metric, seconds in (
+                ("serial", self.serial_s),
+                ("pool", self.pool_s),
+                ("queue_drained", self.queue_drained_s),
+                ("queue_served", self.queue_served_s),
+                ("net_served", self.net_served_s),
+            )
+        ]
+        records.append(
+            bench_record(
+                section, "parity_ok", 1.0 if self.parity_ok else 0.0,
+                "bool", params,
+            )
+        )
+        return records
+
 
 def run(
     template: GoldenTemplate,

@@ -25,11 +25,18 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core import BatchEntropyEngine, EntropyDetector, IDSConfig
+from repro.core.bitprob import check_id_range, window_bit_counts
+from repro.core.detector import WindowResult
+from repro.core.engine import DEFAULT_CHUNK_WINDOWS
+from repro.core.entropy import binary_entropy
 from repro.core.shard import ShardedScanner
 from repro.core.template import GoldenTemplate
+from repro.experiments.bench import bench_record
 from repro.io.archive import CaptureArchive
 from repro.io.columnar import ColumnTrace
 from repro.io.csvlog import read_csv, read_csv_columns, write_csv_columns
@@ -73,6 +80,24 @@ class ThroughputResult:
             f"speedup: {self.speedup:.1f}x",
         ]
         return "\n".join(lines)
+
+    def bench_records(self) -> List[dict]:
+        """Machine-readable twin of :meth:`render`."""
+        params = {
+            "n_frames": self.n_frames,
+            "n_windows": self.n_windows,
+            "streaming_frames": self.streaming_frames,
+        }
+        return [
+            bench_record(
+                "throughput", "streaming_mps", self.streaming_mps,
+                "msg/s", params,
+            ),
+            bench_record(
+                "throughput", "batch_mps", self.batch_mps, "msg/s", params
+            ),
+            bench_record("throughput", "speedup", self.speedup, "x", params),
+        ]
 
 
 def run(
@@ -124,6 +149,227 @@ def run(
         streaming_frames=sample_n,
         streaming_mps=streaming_mps,
         batch_mps=batch_mps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused kernel vs the per-bit reduceat batch path
+# ----------------------------------------------------------------------
+
+def _legacy_batch_scan(
+    template: GoldenTemplate, config: IDSConfig, ct: ColumnTrace
+) -> List[WindowResult]:
+    """The pre-kernel batch hot path, kept as the benchmark baseline.
+
+    This is the ``BatchEntropyEngine.scan`` implementation the fused
+    kernel replaced: ``n_bits`` separate ``np.add.reduceat`` passes over
+    the capture (one per monitored bit) followed by a per-window Python
+    loop building results.  It stays here — not in ``repro.core`` — so
+    the "kernel is N x faster" claim remains measurable against the same
+    reference after the engine rewrite.
+    """
+    if len(ct) == 0:
+        return []
+    n_bits = config.n_bits
+    ids = ct.can_id
+    check_id_range(ids, n_bits)
+
+    grid, seg_starts, seg_ends = ct.window_segments(config.window_us)
+    n_windows = grid.size
+    t_starts = ct.start_us + grid * np.int64(config.window_us)
+
+    counts = window_bit_counts(ids, seg_starts, n_bits)
+    totals = seg_ends - seg_starts
+    attacks = ct.attack_counts(seg_starts)
+
+    probabilities = counts / totals[:, None].astype(float)
+    entropy = np.asarray(binary_entropy(probabilities), dtype=float)
+    judged = totals >= config.min_window_messages
+    deviations = np.where(
+        judged[:, None], entropy - template.mean_entropy, 0.0
+    )
+    violated = np.abs(deviations) > template.thresholds
+    violated &= judged[:, None]
+
+    window_us = config.window_us
+    results: List[WindowResult] = []
+    for w in range(n_windows):
+        results.append(
+            WindowResult(
+                index=w,
+                t_start_us=int(t_starts[w]),
+                t_end_us=int(t_starts[w]) + window_us,
+                n_messages=int(totals[w]),
+                n_attack_messages=int(attacks[w]),
+                probabilities=probabilities[w],
+                entropy=entropy[w],
+                deviations=deviations[w],
+                violated=violated[w],
+                judged=bool(judged[w]),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class KernelThroughputResult:
+    """Fused-kernel rates against the per-bit reduceat baseline."""
+
+    n_frames: int
+    n_windows: int
+    reps: int
+    chunk_windows: int
+    legacy_mps: float
+    kernel_mps: float
+    kernel_block_mps: float
+    stream_block_mps: float
+    parity_ok: bool
+
+    @property
+    def kernel_speedup(self) -> float:
+        """Fused kernel (materialised results) over the legacy path."""
+        return self.kernel_mps / self.legacy_mps if self.legacy_mps else 0.0
+
+    @property
+    def block_speedup(self) -> float:
+        """Fused kernel (WindowBlock, no materialisation) over legacy."""
+        return (
+            self.kernel_block_mps / self.legacy_mps if self.legacy_mps else 0.0
+        )
+
+    @property
+    def stream_speedup(self) -> float:
+        """Chunked out-of-core driver over the legacy path."""
+        return (
+            self.stream_block_mps / self.legacy_mps if self.legacy_mps else 0.0
+        )
+
+    def render(self) -> str:
+        """The experiment's artifact table."""
+        lines = [
+            "Fused kernel vs per-bit reduceat batch path",
+            f"capture: {self.n_frames} frames, {self.n_windows} windows, "
+            f"best of {self.reps} reps "
+            f"(stream chunk_windows={self.chunk_windows})",
+            f"{'path':>22} {'msg/s':>14} {'speedup':>9}",
+            f"{'legacy per-bit':>22} {self.legacy_mps:>14,.0f} {'1.0x':>9}",
+            f"{'kernel (results)':>22} {self.kernel_mps:>14,.0f} "
+            f"{self.kernel_speedup:>8.1f}x",
+            f"{'kernel (block)':>22} {self.kernel_block_mps:>14,.0f} "
+            f"{self.block_speedup:>8.1f}x",
+            f"{'stream (block)':>22} {self.stream_block_mps:>14,.0f} "
+            f"{self.stream_speedup:>8.1f}x",
+            f"parity vs legacy: {'bit-identical' if self.parity_ok else 'MISMATCH'}",
+        ]
+        return "\n".join(lines)
+
+    def bench_records(self) -> List[dict]:
+        """Machine-readable twin of :meth:`render`."""
+        params = {
+            "n_frames": self.n_frames,
+            "n_windows": self.n_windows,
+            "reps": self.reps,
+            "chunk_windows": self.chunk_windows,
+        }
+        section = "kernel"
+        return [
+            bench_record(section, "legacy_mps", self.legacy_mps, "msg/s", params),
+            bench_record(section, "kernel_mps", self.kernel_mps, "msg/s", params),
+            bench_record(
+                section, "kernel_block_mps", self.kernel_block_mps,
+                "msg/s", params,
+            ),
+            bench_record(
+                section, "stream_block_mps", self.stream_block_mps,
+                "msg/s", params,
+            ),
+            bench_record(
+                section, "kernel_speedup", self.kernel_speedup, "x", params
+            ),
+            bench_record(
+                section, "block_speedup", self.block_speedup, "x", params
+            ),
+            bench_record(
+                section, "stream_speedup", self.stream_speedup, "x", params
+            ),
+            bench_record(
+                section, "parity_ok", 1.0 if self.parity_ok else 0.0,
+                "bool", params,
+            ),
+        ]
+
+
+def _best_rate(fn: Callable[[], object], n: int, reps: int) -> float:
+    """Best-of-``reps`` messages/second for ``fn`` over ``n`` frames."""
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n / best if best else 0.0
+
+
+def run_kernel(
+    template: GoldenTemplate,
+    config: Optional[IDSConfig] = None,
+    n_frames: int = 1_000_000,
+    reps: int = 5,
+    chunk_windows: int = DEFAULT_CHUNK_WINDOWS,
+    seed: int = 29,
+    scenario: str = "city",
+    catalog: Optional[VehicleCatalog] = None,
+    capture: Optional[ColumnTrace] = None,
+) -> KernelThroughputResult:
+    """Measure the fused kernel against the per-bit reduceat baseline.
+
+    All four variants run in one process on the same capture (best of
+    ``reps`` repetitions each, interleaving-immune on a noisy host), and
+    parity is asserted on the full ``WindowResult.to_dict`` stream —
+    the kernel's speedup only counts if its verdicts are bit-identical.
+    """
+    config = config or IDSConfig()
+    if capture is None:
+        probe = generate_drive_columns(
+            10.0, scenario=scenario, seed=seed, catalog=catalog
+        )
+        rate = max(probe.message_rate_hz(), 1.0)
+        duration_s = n_frames / rate * 1.02 + 1.0
+        capture = generate_drive_columns(
+            duration_s, scenario=scenario, seed=seed, catalog=catalog,
+            with_payloads=False,
+        ).slice(0, n_frames)
+    n = len(capture)
+    engine = BatchEntropyEngine(template, config)
+
+    legacy = _legacy_batch_scan(template, config, capture)
+    kernel_results = engine.scan(capture)
+    stream_results = engine.scan_stream(capture, chunk_windows=chunk_windows)
+    parity_ok = (
+        [w.to_dict() for w in legacy] == [w.to_dict() for w in kernel_results]
+        and [w.to_dict() for w in legacy]
+        == [w.to_dict() for w in stream_results]
+    )
+
+    legacy_mps = _best_rate(
+        lambda: _legacy_batch_scan(template, config, capture), n, reps
+    )
+    kernel_mps = _best_rate(lambda: engine.scan(capture), n, reps)
+    kernel_block_mps = _best_rate(lambda: engine.scan_block(capture), n, reps)
+    stream_block_mps = _best_rate(
+        lambda: engine.scan_stream_block(capture, chunk_windows=chunk_windows),
+        n, reps,
+    )
+
+    return KernelThroughputResult(
+        n_frames=n,
+        n_windows=len(legacy),
+        reps=int(reps),
+        chunk_windows=int(chunk_windows),
+        legacy_mps=legacy_mps,
+        kernel_mps=kernel_mps,
+        kernel_block_mps=kernel_block_mps,
+        stream_block_mps=stream_block_mps,
+        parity_ok=parity_ok,
     )
 
 
@@ -196,6 +442,48 @@ class ArchiveThroughputResult:
         lines.append(f"(host exposes {self.cpus} CPU(s); sharding speedup is "
                      f"bounded by the cores actually available)")
         return "\n".join(lines)
+
+    def bench_records(self) -> List[dict]:
+        """Machine-readable twin of :meth:`render`."""
+        params = {
+            "n_captures": self.n_captures,
+            "frames_per_capture": self.frames_per_capture,
+            "cpus": self.cpus,
+        }
+        section = "archive"
+        records = [
+            bench_record(
+                section, "candump_record_fps", self.candump_record_fps,
+                "frames/s", params,
+            ),
+            bench_record(
+                section, "candump_columnar_fps", self.candump_columnar_fps,
+                "frames/s", params,
+            ),
+            bench_record(
+                section, "candump_load_speedup", self.candump_load_speedup,
+                "x", params,
+            ),
+            bench_record(
+                section, "csv_record_fps", self.csv_record_fps,
+                "frames/s", params,
+            ),
+            bench_record(
+                section, "csv_columnar_fps", self.csv_columnar_fps,
+                "frames/s", params,
+            ),
+            bench_record(
+                section, "csv_load_speedup", self.csv_load_speedup, "x", params
+            ),
+        ]
+        for workers, fps in self.scan_scaling:
+            records.append(
+                bench_record(
+                    section, f"scan_fps_workers_{workers}", fps,
+                    "frames/s", params,
+                )
+            )
+        return records
 
 
 def run_archive(

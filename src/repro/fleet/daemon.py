@@ -116,7 +116,7 @@ class WatchDaemon:
     stop_file:
         Path polled every cycle *and* during sleeps; its existence
         requests a graceful stop (the cross-host analogue of SIGTERM).
-    executor / workers / infer_k / drift_slack / drift_limit:
+    executor / workers / infer_k / drift_slack / drift_limit / chunk_windows:
         Forwarded to :func:`~repro.fleet.drift.analyze_fleet`.
     log:
         Per-cycle status sink (``print`` for the CLI; tests capture).
@@ -137,6 +137,7 @@ class WatchDaemon:
         infer_k=1,
         drift_slack: float = DEFAULT_DRIFT_SLACK,
         drift_limit: float = DEFAULT_DRIFT_LIMIT,
+        chunk_windows: Optional[int] = None,
         log: Optional[Callable[[str], None]] = print,
     ) -> None:
         self.store = store if isinstance(store, FleetStore) else FleetStore(store)
@@ -157,6 +158,7 @@ class WatchDaemon:
         self.infer_k = infer_k
         self.drift_slack = drift_slack
         self.drift_limit = drift_limit
+        self.chunk_windows = chunk_windows
         self.log = log or (lambda line: None)
         self.cycles: List[CycleResult] = []
         self._stop_reason: Optional[str] = None
@@ -219,6 +221,7 @@ class WatchDaemon:
             executor=self.executor,
             drift_slack=self.drift_slack,
             drift_limit=self.drift_limit,
+            chunk_windows=self.chunk_windows,
         )
         retrained: List[str] = []
         skipped: List[str] = []

@@ -346,6 +346,7 @@ def analyze_fleet(
     drift_slack: float = DEFAULT_DRIFT_SLACK,
     drift_limit: float = DEFAULT_DRIFT_LIMIT,
     executor=None,
+    chunk_windows: Optional[int] = None,
 ) -> FleetReport:
     """Incrementally scan every vehicle and aggregate fleet analytics.
 
@@ -377,6 +378,7 @@ def analyze_fleet(
             workers=workers,
             infer_k=infer_k,
             executor=executor,
+            chunk_windows=chunk_windows,
         )
         watch[vehicle_id] = result
         vehicles[vehicle_id] = aggregate_vehicle(

@@ -116,12 +116,14 @@ def watch_scan(
     workers: Optional[int] = None,
     infer_k=1,
     executor=None,
+    chunk_windows: Optional[int] = None,
 ) -> WatchResult:
     """Scan an archive incrementally, updating its ledger.
 
     Captures whose relative path *and* content fingerprint match a
     ledger entry replay the persisted report; everything else fans out
-    through :class:`ShardedScanner` (``workers`` and ``executor`` as in
+    through :class:`ShardedScanner` (``workers``, ``executor`` and the
+    out-of-core ``chunk_windows`` as in
     :meth:`IDSPipeline.analyze_archive` — any runtime backend, same
     bit-identical result) and lands in the ledger for next time.
     Entries for captures no longer present are pruned, and the ledger
@@ -163,7 +165,7 @@ def watch_scan(
     if stale:
         scanner = ShardedScanner(
             pipeline.template, pipeline.config, workers=workers,
-            executor=executor,
+            executor=executor, chunk_windows=chunk_windows,
         )
         for i, scan in zip(stale, scanner.scan_archive(scanned_paths)):
             alerts = [w.to_alert() for w in scan.windows if w.alarm]

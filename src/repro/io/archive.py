@@ -36,8 +36,9 @@ from repro.io.log import (
 __all__ = ["CaptureArchive", "capture_suffix", "load_capture_columns"]
 
 #: File patterns an archive enumerates by default (gzipped twins of
-#: both text formats included; the readers decompress transparently).
-DEFAULT_PATTERNS = ("*.log", "*.csv", "*.log.gz", "*.csv.gz")
+#: both text formats included; the readers decompress transparently,
+#: and columnar ``.npz`` exports load without parsing at all).
+DEFAULT_PATTERNS = ("*.log", "*.csv", "*.npz", "*.log.gz", "*.csv.gz")
 
 
 def capture_suffix(path: Union[str, Path]) -> str:
@@ -52,25 +53,44 @@ def capture_suffix(path: Union[str, Path]) -> str:
     return path.suffix.lower()
 
 
-def load_capture_columns(path: Union[str, Path]) -> ColumnTrace:
+def load_capture_columns(
+    path: Union[str, Path], *, mmap: bool = False
+) -> ColumnTrace:
     """Load one capture file into columns, choosing the reader by suffix.
 
-    ``.csv`` (or ``.csv.gz``) files take the CSV reader; anything else
-    is treated as a candump text log.  This is the module-level loader
-    the shard workers call, so it must stay importable (picklable) by
-    name.
+    ``.csv`` (or ``.csv.gz``) files take the CSV reader, ``.npz`` the
+    columnar loader (with ``mmap=True`` the columns come back as lazy
+    read-only memory maps — see :meth:`ColumnTrace.load_npz`; the flag
+    has no effect on text formats, which must be parsed anyway).
+    Anything else is treated as a candump text log.  This is the
+    module-level loader the shard workers call, so it must stay
+    importable (picklable) by name.
     """
     path = Path(path)
-    if capture_suffix(path) == ".csv":
+    suffix = capture_suffix(path)
+    if suffix == ".csv":
         return read_csv_columns(path)
+    if suffix == ".npz":
+        return ColumnTrace.load_npz(path, mmap=mmap)
     return read_candump_columns(path)
+
+
+def _iter_npz_chunks(path: Path, chunk_frames: int) -> Iterator[ColumnTrace]:
+    # Chunks of an npz capture are zero-copy slices over the memory
+    # map, so only ~chunk_frames of pages are resident at a time.
+    trace = ColumnTrace.load_npz(path, mmap=True)
+    for lo in range(0, len(trace), chunk_frames):
+        yield trace.slice(lo, lo + chunk_frames)
 
 
 def _iter_capture_chunks(
     path: Path, chunk_frames: int
 ) -> Iterator[ColumnTrace]:
-    if capture_suffix(path) == ".csv":
+    suffix = capture_suffix(path)
+    if suffix == ".csv":
         return iter_csv_columns(path, chunk_frames)
+    if suffix == ".npz":
+        return _iter_npz_chunks(path, chunk_frames)
     return iter_candump_columns(path, chunk_frames)
 
 
@@ -170,8 +190,8 @@ class CaptureArchive:
     ) -> Path:
         """Write a capture into the archive directory and index it.
 
-        ``fmt`` is ``"candump"`` or ``"csv"`` (inferred from the name's
-        suffix when omitted).  Accepts either trace representation;
+        ``fmt`` is ``"candump"``, ``"csv"`` or ``"npz"`` (inferred from
+        the name's suffix when omitted).  Accepts either trace representation;
         returns the file path.  The new file is appended to the scan
         order snapshot — and must therefore match the archive's
         patterns, or a freshly constructed archive over the same
@@ -205,9 +225,14 @@ class CaptureArchive:
             )
         ct = ColumnTrace.coerce(trace)
         if fmt is None:
-            fmt = "csv" if capture_suffix(path) == ".csv" else "candump"
+            suffix = capture_suffix(path)
+            fmt = {"csv": "csv", "npz": "npz"}.get(
+                suffix.lstrip("."), "candump"
+            )
         if fmt == "csv":
             write_csv_columns(ct, path)
+        elif fmt == "npz":
+            ct.save_npz(path)
         elif fmt == "candump":
             write_candump_columns(ct, path)
         else:

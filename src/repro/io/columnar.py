@@ -18,6 +18,10 @@ documented in ``ARCHITECTURE.md``.
 
 from __future__ import annotations
 
+import io
+import struct
+import warnings
+import zipfile
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -50,6 +54,89 @@ def _gather_payload(
         np.repeat(starts - out_offsets, lengths) + np.arange(total, dtype=np.int64)
     )
     return payload[indices]
+
+
+#: Alignment of array data inside uncompressed ``.npz`` archives.  The
+#: npy format already pads its own header to 64 bytes; padding each zip
+#: member's *local header* (via a benign extra field) keeps that
+#: guarantee through the archive, so ``np.memmap`` hands back ALIGNED
+#: arrays.  Without it, whole-column kernels on a mapped trace (e.g.
+#: ``searchsorted`` over 100M timestamps) silently copy the column into
+#: anonymous memory — exactly what the out-of-core path must never do.
+_NPZ_ALIGN = 64
+
+
+def _write_aligned_npz(handle, members: Dict[str, np.ndarray]) -> None:
+    """Write an uncompressed ``.npz`` whose array data is 64-byte aligned.
+
+    Layout-compatible with ``np.savez`` (``np.load`` and the mmap reader
+    accept both); the only difference is a padding extra field (id 0,
+    skipped by every zip reader) sized so each member's array data lands
+    on a :data:`_NPZ_ALIGN` boundary.  Timestamps are pinned to the zip
+    epoch so identical traces produce identical bytes.
+    """
+    with zipfile.ZipFile(handle, "w", zipfile.ZIP_STORED) as zf:
+        for name, value in members.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.asanyarray(value), allow_pickle=False
+            )
+            filename = f"{name}.npy"
+            offset = handle.tell()
+            pad = -(offset + 30 + len(filename.encode("ascii"))) % _NPZ_ALIGN
+            if 0 < pad < 4:
+                pad += _NPZ_ALIGN
+            info = zipfile.ZipInfo(filename, date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            if pad:
+                info.extra = struct.pack("<HH", 0, pad - 4) + bytes(pad - 4)
+            zf.writestr(info, buffer.getvalue())
+
+
+class _CompressedNpz(Exception):
+    """Internal: an npz member needs inflating, so it cannot be mapped."""
+
+    def __init__(self, member: str) -> None:
+        super().__init__(member)
+        self.member = member
+
+
+def _mmap_npz_member(
+    zf: zipfile.ZipFile, fh, name: str
+) -> np.ndarray:
+    """Map one stored ``.npy`` member of an open ``.npz`` read-only.
+
+    A ``ZIP_STORED`` member's bytes sit verbatim in the archive: seek
+    to its local file header (whose filename/extra lengths may differ
+    from the central directory's, so parse them from the header
+    itself), step over the npy magic + header, and hand the remaining
+    offset to ``np.memmap``.  Zero-length arrays are returned as empty
+    ndarrays — ``mmap`` cannot map zero bytes.
+    """
+    info = zf.getinfo(f"{name}.npy")
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise _CompressedNpz(name)
+    fh.seek(info.header_offset)
+    local = fh.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise TraceFormatError(f"corrupt zip local header for member {name!r}")
+    fn_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    fh.seek(info.header_offset + 30 + fn_len + extra_len)
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    else:
+        raise TraceFormatError(
+            f"unsupported npy format version {version} for member {name!r}"
+        )
+    if fortran or len(shape) != 1:
+        raise TraceFormatError(f"npz member {name!r} is not a 1-D C array")
+    if shape[0] == 0:
+        return np.empty(0, dtype=dtype)
+    return np.memmap(fh, mode="r", dtype=dtype, shape=shape, offset=fh.tell())
 
 
 class ColumnTrace:
@@ -282,8 +369,13 @@ class ColumnTrace:
     # Columnar file export (.npz)
     # ------------------------------------------------------------------
 
-    #: On-disk schema version of the ``.npz`` export.
-    _NPZ_VERSION = 1
+    #: On-disk schema version of the ``.npz`` export.  v1 stored the
+    #: per-row ``dlc`` column; v2 stores the (rebased) ``payload_offsets``
+    #: array directly so a memory-mapped load needs no cumsum pass.
+    _NPZ_VERSION = 2
+
+    #: Versions :meth:`load_npz` accepts (v1 files remain readable).
+    _NPZ_READABLE = (1, 2)
 
     def save_npz(self, path, compressed: bool = False) -> None:
         """Write the trace as a NumPy ``.npz`` archive (columnar-native).
@@ -294,43 +386,100 @@ class ColumnTrace:
         round-trip format and the only one that preserves *everything*,
         including bus tags (which the text formats drop) and
         ground-truth attack labels.  ``compressed`` trades write speed
-        for size (zlib per column).  :meth:`load_npz` is the lossless
+        for size (zlib per column) but forfeits memory-mapped loading:
+        only the default uncompressed (``ZIP_STORED``) layout supports
+        ``load_npz(mmap=True)``.  :meth:`load_npz` is the lossless
         inverse; ``tests/test_io_npz.py`` asserts field-exact equality.
         """
-        writer = np.savez_compressed if compressed else np.savez
+        base = int(self.payload_offsets[0]) if len(self) else 0
+        members = dict(
+            version=np.int64(self._NPZ_VERSION),
+            timestamp_us=self.timestamp_us,
+            can_id=self.can_id,
+            payload=self.payload_bytes(),
+            payload_offsets=self.payload_offsets - np.int64(base),
+            extended=self.extended,
+            is_attack=self.is_attack,
+            source_code=self.source_code,
+            source_table=np.asarray(self.source_table, dtype=np.str_),
+            bus_code=self.bus_code,
+            bus_table=np.asarray(self.bus_table, dtype=np.str_),
+        )
         # Write through an open handle: np.savez given a *name* appends
         # ".npz" when the suffix is missing, and the file the caller
         # asked for would then not exist for load_npz.
         with open(path, "wb") as handle:
-            writer(
-                handle,
-                version=np.int64(self._NPZ_VERSION),
-                timestamp_us=self.timestamp_us,
-                can_id=self.can_id,
-                payload=self.payload_bytes(),
-                dlc=self.dlc,
-                extended=self.extended,
-                is_attack=self.is_attack,
-                source_code=self.source_code,
-                source_table=np.asarray(self.source_table, dtype=np.str_),
-                bus_code=self.bus_code,
-                bus_table=np.asarray(self.bus_table, dtype=np.str_),
-            )
+            if compressed:
+                np.savez_compressed(handle, **members)
+            else:
+                _write_aligned_npz(handle, members)
+
+    #: Large per-row columns worth memory-mapping (the intern tables and
+    #: version scalar are a few bytes and always loaded eagerly).
+    _NPZ_COLUMNS_V2 = (
+        "timestamp_us",
+        "can_id",
+        "payload",
+        "payload_offsets",
+        "extended",
+        "is_attack",
+        "source_code",
+        "bus_code",
+    )
+    _NPZ_COLUMNS_V1 = (
+        "timestamp_us",
+        "can_id",
+        "payload",
+        "dlc",
+        "extended",
+        "is_attack",
+        "source_code",
+        "bus_code",
+    )
 
     @classmethod
-    def load_npz(cls, path) -> "ColumnTrace":
-        """Read a trace written by :meth:`save_npz` (lossless inverse)."""
+    def load_npz(cls, path, *, mmap: bool = False) -> "ColumnTrace":
+        """Read a trace written by :meth:`save_npz` (lossless inverse).
+
+        With ``mmap=True`` the per-row columns are returned as lazy,
+        read-only ``np.memmap`` views over the file — nothing is paged
+        in until touched, so a 100M-frame capture "loads" in
+        milliseconds and scanning it costs only the pages the kernel
+        actually reads.  Requires the uncompressed (default) npz
+        layout; compressed files fall back to an eager load with a
+        warning.  Memory-mapped columns are enforced read-only.
+        """
+        if mmap:
+            try:
+                columns = cls._mmap_npz_columns(path)
+            except _CompressedNpz as exc:
+                warnings.warn(
+                    f"npz trace {path} stores member {exc.member!r} "
+                    "compressed; memory-mapping needs the uncompressed "
+                    "save_npz layout — falling back to an eager load",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
+                raise TraceFormatError(
+                    f"not a columnar npz trace: {path} ({exc})"
+                ) from exc
+            else:
+                return cls(validate=False, **columns)
         try:
             with np.load(path) as data:
                 version = int(data["version"])
-                if version != cls._NPZ_VERSION:
+                if version not in cls._NPZ_READABLE:
                     raise TraceFormatError(
                         f"npz trace schema version {version} not supported "
-                        f"(expected {cls._NPZ_VERSION})"
+                        f"(expected one of {list(cls._NPZ_READABLE)})"
                     )
-                dlc = np.asarray(data["dlc"], dtype=np.int64)
-                offsets = np.zeros(dlc.size + 1, dtype=np.int64)
-                np.cumsum(dlc, out=offsets[1:] if dlc.size else None)
+                if version == 1:
+                    dlc = np.asarray(data["dlc"], dtype=np.int64)
+                    offsets = np.zeros(dlc.size + 1, dtype=np.int64)
+                    np.cumsum(dlc, out=offsets[1:] if dlc.size else None)
+                else:
+                    offsets = np.asarray(data["payload_offsets"], dtype=np.int64)
                 return cls(
                     data["timestamp_us"],
                     data["can_id"],
@@ -347,6 +496,46 @@ class ColumnTrace:
             raise TraceFormatError(
                 f"not a columnar npz trace: {path} ({exc})"
             ) from exc
+
+    @classmethod
+    def _mmap_npz_columns(cls, path) -> Dict[str, object]:
+        """Constructor kwargs with per-row columns memory-mapped.
+
+        An ``.npz`` is a ZIP of ``.npy`` members; for ``ZIP_STORED``
+        (uncompressed) members the array bytes sit verbatim in the file
+        at ``local header + npy header``, so each column can be mapped
+        with ``np.memmap`` at that offset — zero copies, zero reads
+        until a page is touched.  Raises :class:`_CompressedNpz` if any
+        needed member is deflated.
+        """
+        with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+            with zf.open("version.npy") as member:
+                version = int(np.lib.format.read_array(member))
+            if version not in cls._NPZ_READABLE:
+                raise TraceFormatError(
+                    f"npz trace schema version {version} not supported "
+                    f"(expected one of {list(cls._NPZ_READABLE)})"
+                )
+            tables: Dict[str, Tuple[str, ...]] = {}
+            for name in ("source_table", "bus_table"):
+                with zf.open(f"{name}.npy") as member:
+                    tables[name] = tuple(
+                        str(s) for s in np.lib.format.read_array(member)
+                    )
+            names = cls._NPZ_COLUMNS_V2 if version == 2 else cls._NPZ_COLUMNS_V1
+            raw = {name: _mmap_npz_member(zf, fh, name) for name in names}
+        if version == 1:
+            # v1 stored dlc, not offsets: rebuild eagerly (one pass over
+            # the mapped dlc column), then freeze to match the read-only
+            # contract of the mapped columns.
+            dlc = np.asarray(raw.pop("dlc"), dtype=np.int64)
+            offsets = np.zeros(dlc.size + 1, dtype=np.int64)
+            np.cumsum(dlc, out=offsets[1:] if dlc.size else None)
+            offsets.flags.writeable = False
+            raw["payload_offsets"] = offsets
+        raw["source_table"] = tables["source_table"]
+        raw["bus_table"] = tables["bus_table"]
+        return raw
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -705,6 +894,48 @@ class ColumnTrace:
         if not self.is_attack.any():
             return np.zeros(seg_starts.size, dtype=np.int64)
         return np.add.reduceat(self.is_attack.astype(np.int64), seg_starts)
+
+    def iter_window_chunks(
+        self,
+        window_us: int,
+        chunk_windows: int,
+        *,
+        origin_us: Optional[int] = None,
+    ) -> Iterator["ColumnTrace"]:
+        """Yield zero-copy chunks aligned to the detection-window grid.
+
+        Each chunk covers ``chunk_windows`` consecutive grid windows
+        (``window_us`` each, anchored at ``origin_us`` / the first
+        timestamp), so a chunk boundary is always a window boundary —
+        chunking can never split a detection window, which is what
+        makes the chunked scan bit-identical to a whole-trace scan.
+        Empty chunks are skipped (silent gaps of any length cost
+        nothing); every yielded chunk is non-empty.  On a memory-mapped
+        trace the slices stay lazy: only the pages a chunk's consumer
+        touches are ever read.
+        """
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        if chunk_windows <= 0:
+            raise ValueError(
+                f"chunk_windows must be positive, got {chunk_windows}"
+            )
+        n = len(self)
+        if n == 0:
+            return
+        t0 = self.start_us if origin_us is None else int(origin_us)
+        span = int(window_us) * int(chunk_windows)
+        ts = self.timestamp_us
+        lo = 0
+        while lo < n:
+            # Jump straight to the chunk containing the next record —
+            # floor division lands in the right chunk even for records
+            # before the origin (negative grid indices).
+            k = (int(ts[lo]) - t0) // span
+            boundary = t0 + (k + 1) * span
+            hi = int(np.searchsorted(ts, boundary, side="left"))
+            yield self.slice(lo, hi)
+            lo = hi
 
     def time_windows(
         self, window_us: int, *, start_us: Optional[int] = None

@@ -110,19 +110,30 @@ class EntropyScanSpec(ScanSpec):
     Results are ``List[WindowResult]`` — exactly what the serial scan
     produces, and (via the lossless ``WindowResult`` dict round trip)
     exactly what a remote worker uploads.
+
+    ``chunk_windows`` switches the worker to the out-of-core path:
+    captures are loaded lazily (memory-mapped for ``.npz``) and scanned
+    through :meth:`BatchEntropyEngine.scan_stream` in chunks of that
+    many detection windows — bit-identical results, bounded memory.
     """
 
     template: GoldenTemplate
     config: IDSConfig
+    chunk_windows: Optional[int] = None
 
     portable = True
 
     def make_scanner(self) -> Callable[[str], List[WindowResult]]:
         engine = BatchEntropyEngine(self.template, self.config, AlertSink())
-        return lambda path: engine.scan(load_capture_columns(path))
+        if self.chunk_windows is None:
+            return lambda path: engine.scan(load_capture_columns(path))
+        chunk_windows = int(self.chunk_windows)
+        return lambda path: engine.scan_stream(
+            load_capture_columns(path, mmap=True), chunk_windows
+        )
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "version": SPEC_VERSION,
             "kind": "entropy",
             "template": self.template.to_dict(),
@@ -133,6 +144,11 @@ class EntropyScanSpec(ScanSpec):
                 "alpha": self.config.alpha,
             },
         }
+        if self.chunk_windows is not None:
+            # Additive optional key: workers predating it ignore it and
+            # scan in-RAM — same bits, just unbounded memory there.
+            payload["chunk_windows"] = int(self.chunk_windows)
+        return payload
 
     def encode_result(self, result: List[WindowResult]) -> list:
         # The ledger protocol: WindowResult dicts round-trip bit-exactly
@@ -176,9 +192,12 @@ def spec_from_payload(payload: dict) -> EntropyScanSpec:
             window_us=int(payload["config"]["window_us"]),
             min_window_messages=int(payload["config"]["min_window_messages"]),
         )
+        chunk_windows = payload.get("chunk_windows")
+        if chunk_windows is not None:
+            chunk_windows = int(chunk_windows)
     except (KeyError, TypeError, ValueError) as exc:
         raise DetectorError(f"malformed task spec payload: {exc}") from exc
-    return EntropyScanSpec(template, config)
+    return EntropyScanSpec(template, config, chunk_windows)
 
 
 class Executor(ABC):

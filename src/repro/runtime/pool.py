@@ -60,9 +60,19 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def default_workers() -> int:
-    """Worker count when none is given: one per core, capped at 8."""
-    return max(1, min(os.cpu_count() or 1, 8))
+def default_workers(n_tasks: Optional[int] = None) -> int:
+    """Worker count when none is given: one per core, capped at 8.
+
+    When the task count is known it caps the answer too — an archive of
+    3 captures never warrants 8 workers, and on a 1-CPU host the cap
+    collapses to 1, which the pool runs inline: no fork, no pickling,
+    no pool overhead for parallelism the hardware cannot deliver
+    (results/throughput.txt showed pool(1) at 0.87x serial before this).
+    """
+    cap = max(1, min(os.cpu_count() or 1, 8))
+    if n_tasks is not None:
+        cap = max(1, min(cap, int(n_tasks)))
+    return cap
 
 
 class PoolExecutor(Executor):
@@ -72,19 +82,32 @@ class PoolExecutor(Executor):
     ----------
     workers:
         Pool size.  ``1`` runs inline (no pool).  Defaults to
-        :func:`default_workers`.
+        :func:`default_workers` sized against the actual task count at
+        :meth:`run` time.
     """
 
     def __init__(self, workers: Optional[int] = None) -> None:
-        self.workers = default_workers() if workers is None else int(workers)
-        if self.workers < 1:
+        self._requested = None if workers is None else int(workers)
+        if self._requested is not None and self._requested < 1:
             raise DetectorError(f"workers must be >= 1, got {workers}")
+
+    @property
+    def workers(self) -> int:
+        """The effective pool size (before the per-run task-count cap)."""
+        return (
+            default_workers() if self._requested is None else self._requested
+        )
 
     def run(
         self, spec: ScanSpec, paths: Sequence[Union[str, Path]]
     ) -> List[list]:
         names = [str(p) for p in paths]
-        n_workers = min(self.workers, len(names))
+        requested = (
+            default_workers(len(names))
+            if self._requested is None
+            else self._requested
+        )
+        n_workers = min(requested, len(names))
         if n_workers <= 1:
             _init_worker(spec)
             try:

@@ -123,6 +123,56 @@ class TestScanArchive:
         assert "no captures" in capsys.readouterr().out
 
 
+class TestOutOfCoreFlags:
+    """--out-of-core / --chunk-windows: the chunked-scan plumbing."""
+
+    def test_default_chunk_windows_mirrors_engine(self):
+        # cli.py keeps the literal so building the parser never imports
+        # numpy; this pin is what allows that.
+        from repro import cli
+        from repro.core import engine
+
+        assert cli.DEFAULT_CHUNK_WINDOWS == engine.DEFAULT_CHUNK_WINDOWS
+
+    def test_flag_resolution(self):
+        from repro.cli import DEFAULT_CHUNK_WINDOWS, _cli_chunk_windows
+
+        parser = build_parser()
+        base = ["scan-archive", "--template", "t.json", "--dir", "d"]
+        assert _cli_chunk_windows(parser.parse_args(base)) is None
+        assert (
+            _cli_chunk_windows(parser.parse_args(base + ["--out-of-core"]))
+            == DEFAULT_CHUNK_WINDOWS
+        )
+        # --chunk-windows implies --out-of-core and overrides the default.
+        assert _cli_chunk_windows(
+            parser.parse_args(base + ["--chunk-windows", "9"])
+        ) == 9
+        with pytest.raises(SystemExit):
+            _cli_chunk_windows(
+                parser.parse_args(base + ["--chunk-windows", "0"])
+            )
+
+    def test_out_of_core_archive_scan_matches_in_ram(self, tmp_path, capsys):
+        template_path = tmp_path / "template.json"
+        archive_dir = tmp_path / "captures"
+        archive_dir.mkdir()
+        assert main(["template", "--windows", "6", "--out", str(template_path)]) == 0
+        assert main(
+            ["simulate", "--duration", "4", "--seed", "10",
+             "--out", str(archive_dir / "drive.npz")]
+        ) == 0
+        capsys.readouterr()
+        base = ["scan-archive", "--template", str(template_path),
+                "--dir", str(archive_dir)]
+        in_ram_code = main(base)
+        in_ram_out = capsys.readouterr().out
+        ooc_code = main(base + ["--out-of-core", "--chunk-windows", "2"])
+        ooc_out = capsys.readouterr().out
+        assert ooc_code == in_ram_code
+        assert ooc_out == in_ram_out  # same rendered report, bit for bit
+
+
 class TestFleet:
     """fleet add -> train -> scan -> (append) -> scan -> status/report."""
 

@@ -1,0 +1,211 @@
+"""The fused kernel: packed-field counting, segmentation, WindowBlock.
+
+The kernel's contract is *bit-identity* with the reference paths it
+replaced: packed-field counts equal the per-bit ``reduceat`` counts,
+binary-search segmentation equals ``ColumnTrace.window_segments``, and
+``scan_windows`` equals ``BatchEntropyEngine``'s float pipeline.  These
+tests pin each layer separately, plus the fallback gates (wide
+identifiers, overflow-sized windows) and the WindowBlock container.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitCounter,
+    IDSConfig,
+    KernelWorkspace,
+    TemplateBuilder,
+    WindowBlock,
+    scan_windows,
+)
+from repro.core.bitprob import window_bit_counts
+from repro.core.detector import EntropyDetector
+from repro.core.kernel import (
+    _fused_counts,
+    _pack_table,
+    _segment_windows,
+    _STRIP_ROWS,
+)
+from repro.exceptions import DetectorError
+from repro.io import ColumnTrace, Trace, TraceRecord
+
+CONFIG = IDSConfig(window_us=1_000, min_window_messages=4)
+
+
+def tiny_template(config=CONFIG):
+    builder = TemplateBuilder(config)
+    builder.add_counter(BitCounter.from_ids([0x100, 0x2A5, 0x0F3, 0x555]))
+    builder.add_counter(BitCounter.from_ids([0x101, 0x2A5, 0x100, 0x7FF]))
+    builder.add_counter(BitCounter.from_ids([0x100, 0x1A5, 0x0F3, 0x3F0]))
+    return builder.build()
+
+
+TEMPLATE = tiny_template()
+
+
+def random_trace(n, seed=0, gap_range=(0, 500), id_bits=11):
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.integers(*gap_range, size=n)).astype(np.int64)
+    ids = rng.integers(0, 1 << id_bits, size=n, dtype=np.int64)
+    attacks = rng.random(n) < 0.05
+    return ColumnTrace(ts, ids, is_attack=attacks, validate=False)
+
+
+class TestPackTable:
+    def test_rows_pack_msb_first_bits(self):
+        table = _pack_table(11)
+        assert table.shape == (2048, 3)
+        for value in (0, 1, 0x2A5, 0x7FF, 1365):
+            row = table[value]
+            for bit in range(11):
+                word, field = divmod(bit, 4)
+                unpacked = (int(row[word]) >> (16 * field)) & 0xFFFF
+                assert unpacked == (value >> (11 - 1 - bit)) & 1
+
+    def test_table_is_cached(self):
+        assert _pack_table(11) is _pack_table(11)
+
+
+class TestFusedCounts:
+    @pytest.mark.parametrize("n", [1, 5, 1000, 3 * _STRIP_ROWS + 17])
+    def test_matches_per_bit_reduceat(self, n):
+        trace = random_trace(n, seed=n)
+        grid, starts, ends = trace.window_segments(CONFIG.window_us)
+        fused = _fused_counts(
+            trace.can_id, starts, ends, ends - starts, 11, KernelWorkspace()
+        )
+        reference = window_bit_counts(trace.can_id, starts, 11)
+        assert fused.dtype == np.int64
+        assert np.array_equal(fused, reference)
+
+    def test_wide_ids_fall_back(self):
+        """Identifiers beyond the packed table width use the reference
+        path (29-bit extended frames would need a 2**29-row table)."""
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 1 << 29, size=500, dtype=np.int64)
+        starts = np.array([0, 100, 350], dtype=np.int64)
+        ends = np.array([100, 350, 500], dtype=np.int64)
+        fused = _fused_counts(
+            ids, starts, ends, ends - starts, 29, KernelWorkspace()
+        )
+        assert np.array_equal(fused, window_bit_counts(ids, starts, 29))
+
+    def test_overflow_sized_windows_fall_back(self):
+        """A window holding >= 2**16 messages would carry between packed
+        fields; the gate must route it to the per-bit path."""
+        n = (1 << 16) + 10
+        ids = np.full(n, 0x7FF, dtype=np.int64)  # all ones: max per-field
+        starts = np.array([0], dtype=np.int64)
+        ends = np.array([n], dtype=np.int64)
+        fused = _fused_counts(
+            ids, starts, ends, ends - starts, 11, KernelWorkspace()
+        )
+        assert np.array_equal(fused, window_bit_counts(ids, starts, 11))
+        assert fused[0, 0] == n  # > 0xFFFF: impossible for packed fields
+
+
+class TestSegmentation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_window_segments(self, seed):
+        trace = random_trace(2_000, seed=seed, gap_range=(0, 3_000))
+        grid, starts, ends = trace.window_segments(CONFIG.window_us)
+        k_grid, k_starts, k_ends = _segment_windows(
+            trace.timestamp_us, CONFIG.window_us, int(trace.timestamp_us[0])
+        )
+        assert np.array_equal(grid, k_grid)
+        assert np.array_equal(starts, k_starts)
+        assert np.array_equal(ends, k_ends)
+
+    def test_sparse_trace_takes_dividing_fallback(self):
+        """More grid windows than records: the binary-search route would
+        cost more than the O(n) pass, and both must agree."""
+        ts = np.array([0, 10_000_000, 90_000_000], dtype=np.int64)
+        grid, starts, ends = _segment_windows(ts, 1_000, 0)
+        assert np.array_equal(grid, [0, 10_000, 90_000])
+        assert np.array_equal(starts, [0, 1, 2])
+        assert np.array_equal(ends, [1, 2, 3])
+
+    def test_records_before_origin_fall_back(self):
+        """A chunk driver may pass an origin after the first record of a
+        *mis-sliced* chunk; negative grid indices must still be exact."""
+        ts = np.array([-2_500, -100, 50, 999, 1_001], dtype=np.int64)
+        grid, starts, ends = _segment_windows(ts, 1_000, 0)
+        assert np.array_equal(grid, [-3, -1, 0, 1])
+        assert np.array_equal(ends - starts, [1, 1, 2, 1])
+
+
+class TestScanWindows:
+    def test_matches_streaming_detector(self):
+        trace = random_trace(5_000, seed=11)
+        block = scan_windows(trace, TEMPLATE, CONFIG)
+        stream = EntropyDetector(TEMPLATE, CONFIG).scan(trace.to_trace())
+        assert len(block) == len(stream)
+        for got, want in zip(block.results(), stream):
+            assert got.to_dict() == want.to_dict()
+
+    def test_empty_trace_rejected(self):
+        empty = ColumnTrace.from_trace(Trace())
+        with pytest.raises(DetectorError):
+            scan_windows(empty, TEMPLATE, CONFIG)
+
+    def test_template_width_mismatch_rejected(self):
+        trace = random_trace(100)
+        with pytest.raises(DetectorError):
+            scan_windows(trace, TEMPLATE, IDSConfig(n_bits=29, window_us=1_000))
+
+    def test_origin_and_index_base_offset_the_grid(self):
+        trace = random_trace(1_000, seed=5)
+        t0 = int(trace.timestamp_us[0])
+        block = scan_windows(
+            trace, TEMPLATE, CONFIG, origin_us=t0 - 10 * CONFIG.window_us,
+            index_base=7,
+        )
+        reference = scan_windows(trace, TEMPLATE, CONFIG)
+        assert np.array_equal(block.index, np.arange(7, 7 + len(block)))
+        # The origin moved by a whole number of windows, so segments and
+        # window start times are unchanged — only indices shift.
+        assert np.array_equal(block.n_messages, reference.n_messages)
+        assert np.array_equal(
+            block.t_start_us, reference.t_start_us
+        )
+
+
+class TestWindowBlock:
+    def test_aggregates_and_lazy_results(self):
+        trace = random_trace(3_000, seed=2)
+        block = scan_windows(trace, TEMPLATE, CONFIG)
+        results = block.results()
+        assert block.total_messages == len(trace)
+        assert block.n_judged == sum(1 for r in results if r.judged)
+        assert block.n_alarmed == sum(1 for r in results if r.alarm)
+        assert np.array_equal(
+            block.alarm_mask, np.array([r.alarm for r in results])
+        )
+        assert np.array_equal(block.t_end_us, block.t_start_us + CONFIG.window_us)
+        assert [r.to_dict() for r in block] == [r.to_dict() for r in results]
+        # Rows are views, not copies.
+        assert results[0].probabilities.base is not None
+
+    def test_empty_and_concat(self):
+        empty = WindowBlock.empty(11, CONFIG.window_us)
+        assert len(empty) == 0 and empty.n_bits == 11
+        assert len(WindowBlock.concat([], 11, CONFIG.window_us)) == 0
+
+        trace = random_trace(2_000, seed=9)
+        whole = scan_windows(trace, TEMPLATE, CONFIG)
+        cut = len(trace) // 2
+        # Cut on a window boundary so the halves tile the grid.
+        boundary_ts = int(trace.timestamp_us[cut])
+        t0 = int(trace.timestamp_us[0])
+        aligned = t0 + ((boundary_ts - t0) // CONFIG.window_us) * CONFIG.window_us
+        cut = int(np.searchsorted(trace.timestamp_us, aligned, side="left"))
+        first = scan_windows(trace.slice(0, cut), TEMPLATE, CONFIG, origin_us=t0)
+        second = scan_windows(
+            trace.slice(cut, len(trace)), TEMPLATE, CONFIG,
+            origin_us=t0, index_base=len(first),
+        )
+        glued = WindowBlock.concat([first, second], 11, CONFIG.window_us)
+        assert [r.to_dict() for r in glued] == [r.to_dict() for r in whole]
+        # Single-block concat returns the block itself (no copy).
+        assert WindowBlock.concat([first], 11, CONFIG.window_us) is first

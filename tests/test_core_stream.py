@@ -1,0 +1,134 @@
+"""Chunk-boundary parity: the streamed scan must be bit-identical.
+
+``BatchEntropyEngine.scan_stream`` drives the same kernel chunk by
+chunk over window-aligned slices; no chunk size, silent gap, trailing
+partial window or attack placement may change a single bit of the
+report relative to the one-shot ``scan``.  The sweep here is the
+acceptance gate for the out-of-core path — everything else (mmap,
+RLIMIT ceilings) reduces to it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchEntropyEngine, BitCounter, IDSConfig, TemplateBuilder
+from repro.core.engine import DEFAULT_CHUNK_WINDOWS
+from repro.io import ColumnTrace
+
+CONFIG = IDSConfig(window_us=1_000, min_window_messages=4)
+
+CHUNK_SWEEP = (1, 7, 64, 10**9)  # 10**9 windows ~= "the whole trace"
+
+
+def tiny_template(config=CONFIG):
+    builder = TemplateBuilder(config)
+    builder.add_counter(BitCounter.from_ids([0x100, 0x2A5, 0x0F3, 0x555]))
+    builder.add_counter(BitCounter.from_ids([0x101, 0x2A5, 0x100, 0x7FF]))
+    builder.add_counter(BitCounter.from_ids([0x100, 0x1A5, 0x0F3, 0x3F0]))
+    return builder.build()
+
+
+TEMPLATE = tiny_template()
+
+
+def build_trace(
+    n=4_000, seed=0, gap_windows=(), attack_stride=17, trailing_partial=True
+):
+    """A trace with controlled silent gaps and sprinkled attack frames."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(10, 400, size=n).astype(np.int64)
+    for where, span_windows in gap_windows:
+        gaps[int(n * where)] += span_windows * CONFIG.window_us
+    ts = np.cumsum(gaps)
+    if trailing_partial:
+        # Ensure the capture does not end on a window boundary.
+        if (int(ts[-1]) - int(ts[0])) % CONFIG.window_us == 0:
+            ts[-1] += 1
+    ids = rng.integers(0, 2048, size=n, dtype=np.int64)
+    attacks = np.zeros(n, dtype=bool)
+    attacks[::attack_stride] = True
+    return ColumnTrace(ts, ids, is_attack=attacks, validate=False)
+
+
+TRACES = {
+    "dense": build_trace(seed=1),
+    "gappy": build_trace(seed=2, gap_windows=((0.2, 3), (0.5, 40), (0.8, 1))),
+    "sparse": build_trace(n=120, seed=3, gap_windows=((0.4, 500),)),
+    "single-window": build_trace(n=30, seed=4, trailing_partial=False),
+}
+
+
+class TestIterWindowChunks:
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    @pytest.mark.parametrize("chunk_windows", CHUNK_SWEEP)
+    def test_chunks_are_window_aligned_and_cover_the_trace(
+        self, name, chunk_windows
+    ):
+        trace = TRACES[name]
+        t0 = int(trace.timestamp_us[0])
+        span = CONFIG.window_us * chunk_windows
+        total = 0
+        for chunk in trace.iter_window_chunks(CONFIG.window_us, chunk_windows):
+            assert len(chunk) > 0  # silent spans are skipped, not yielded
+            first, last = int(chunk.timestamp_us[0]), int(chunk.timestamp_us[-1])
+            # All records of a chunk fall inside one chunk-grid cell, so
+            # no detection window is ever split across chunks.
+            assert (first - t0) // span == (last - t0) // span
+            total += len(chunk)
+        assert total == len(trace)
+
+    def test_zero_copy_slices(self):
+        trace = TRACES["dense"]
+        chunk = next(trace.iter_window_chunks(CONFIG.window_us, 8))
+        assert chunk.timestamp_us.base is not None
+
+    def test_invalid_arguments_rejected(self):
+        trace = TRACES["dense"]
+        with pytest.raises(ValueError):
+            next(trace.iter_window_chunks(CONFIG.window_us, 0))
+        with pytest.raises(ValueError):
+            next(trace.iter_window_chunks(0, 4))
+
+
+class TestStreamParity:
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    @pytest.mark.parametrize("chunk_windows", CHUNK_SWEEP)
+    def test_scan_stream_bit_equal_to_scan(self, name, chunk_windows):
+        trace = TRACES[name]
+        engine = BatchEntropyEngine(TEMPLATE, CONFIG)
+        reference = engine.scan(trace)
+        streamed = engine.scan_stream(trace, chunk_windows=chunk_windows)
+        assert [w.to_dict() for w in streamed] == [
+            w.to_dict() for w in reference
+        ]
+
+    @pytest.mark.parametrize("chunk_windows", CHUNK_SWEEP)
+    def test_scan_stream_block_bit_equal_to_scan_block(self, chunk_windows):
+        trace = TRACES["gappy"]
+        engine = BatchEntropyEngine(TEMPLATE, CONFIG)
+        whole = engine.scan_block(trace)
+        chunked = engine.scan_stream_block(trace, chunk_windows=chunk_windows)
+        for field in (
+            "index", "t_start_us", "n_messages", "n_attack_messages",
+            "probabilities", "entropy", "deviations", "violated", "judged",
+        ):
+            assert np.array_equal(getattr(chunked, field), getattr(whole, field))
+
+    def test_stream_emits_the_same_alerts(self):
+        trace = TRACES["dense"]
+        scan_engine = BatchEntropyEngine(TEMPLATE, CONFIG)
+        stream_engine = BatchEntropyEngine(TEMPLATE, CONFIG)
+        scan_engine.scan(trace)
+        stream_engine.scan_stream(trace, chunk_windows=3)
+        reference = [a.to_dict() for a in scan_engine.sink.alerts]
+        assert [a.to_dict() for a in stream_engine.sink.alerts] == reference
+        assert reference  # the sweep must actually exercise alert parity
+
+    def test_empty_trace(self):
+        engine = BatchEntropyEngine(TEMPLATE, CONFIG)
+        empty = ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert engine.scan_stream(empty) == []
+        assert len(engine.scan_stream_block(empty)) == 0
+
+    def test_default_chunk_windows_sane(self):
+        assert DEFAULT_CHUNK_WINDOWS >= 1

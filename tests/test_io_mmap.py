@@ -1,0 +1,150 @@
+"""Memory-mapped ``.npz`` loading: lazy, read-only, field-exact.
+
+``ColumnTrace.load_npz(mmap=True)`` must hand back the same trace the
+eager loader builds — as zero-copy views over the file, aligned (so
+whole-column kernels never silently copy a 100M-frame column into
+RAM), immutable, and sliceable.  Compressed archives cannot be mapped
+and must fall back to the eager load with a clear diagnostic.
+"""
+
+import warnings
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.io.columnar import ColumnTrace
+from repro.vehicle import VehicleSimulation
+
+from test_io_npz import assert_field_exact
+
+
+@pytest.fixture()
+def tagged_trace(catalog):
+    """A payload-carrying, bus-tagged capture (worst-case schema)."""
+    sim = VehicleSimulation(catalog=catalog, scenario="city", seed=21)
+    return ColumnTrace.from_trace(sim.run(4.0)).with_bus("high_speed")
+
+
+@pytest.fixture()
+def npz_path(tagged_trace, tmp_path):
+    path = tmp_path / "capture.npz"
+    tagged_trace.save_npz(path)
+    return path
+
+
+def backing(array: np.ndarray) -> np.ndarray:
+    """The array owning ``array``'s buffer (columns are views over the
+    raw ``np.memmap``, whose own base is the OS-level ``mmap``)."""
+    while (
+        not isinstance(array, np.memmap)
+        and isinstance(getattr(array, "base", None), np.ndarray)
+    ):
+        array = array.base
+    return array
+
+
+class TestMmapLoad:
+    def test_field_exact_vs_eager(self, tagged_trace, npz_path):
+        lazy = ColumnTrace.load_npz(npz_path, mmap=True)
+        eager = ColumnTrace.load_npz(npz_path)
+        assert_field_exact(tagged_trace, lazy)
+        assert lazy == eager == tagged_trace
+
+    def test_columns_are_lazy_readonly_aligned(self, npz_path):
+        lazy = ColumnTrace.load_npz(npz_path, mmap=True)
+        for name in (
+            "timestamp_us", "can_id", "payload", "payload_offsets",
+            "extended", "is_attack", "source_code", "bus_code",
+        ):
+            column = getattr(lazy, name)
+            assert isinstance(backing(column), np.memmap), name
+            assert not column.flags.writeable, name
+            # Alignment is what keeps whole-column numpy ops zero-copy;
+            # an unaligned map would silently buffer into anon memory.
+            assert column.flags.aligned, name
+            with pytest.raises(ValueError):
+                column[:1] = 0
+
+    def test_slices_and_bus_filter_work_on_mapped_trace(
+        self, tagged_trace, npz_path
+    ):
+        lazy = ColumnTrace.load_npz(npz_path, mmap=True)
+        n = len(lazy)
+        assert lazy.slice(n // 4, n // 2) == tagged_trace.slice(n // 4, n // 2)
+        assert lazy.for_bus("high_speed") == tagged_trace
+        mid = int(lazy.timestamp_us[n // 2])
+        assert lazy.between(mid, mid + 500_000) == tagged_trace.between(
+            mid, mid + 500_000
+        )
+
+    def test_empty_trace_maps(self, tmp_path):
+        empty = ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        path = tmp_path / "empty.npz"
+        empty.save_npz(path)
+        assert ColumnTrace.load_npz(path, mmap=True) == empty
+
+    def test_compressed_falls_back_with_diagnostic(
+        self, tagged_trace, tmp_path
+    ):
+        path = tmp_path / "compressed.npz"
+        tagged_trace.save_npz(path, compressed=True)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            loaded = ColumnTrace.load_npz(path, mmap=True)
+        assert loaded == tagged_trace
+        assert not isinstance(backing(loaded.timestamp_us), np.memmap)
+
+    def test_eager_load_emits_no_warning(self, npz_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ColumnTrace.load_npz(npz_path)
+
+    def test_v1_schema_still_loads_both_ways(self, tagged_trace, tmp_path):
+        """Archives written before the offsets-based v2 schema carried a
+        ``dlc`` member; both loaders must keep reading them (the mmap
+        loader rebuilds offsets eagerly — dlc needs a cumsum anyway)."""
+        v2 = tmp_path / "v2.npz"
+        tagged_trace.save_npz(v2)
+        v1 = tmp_path / "v1.npz"
+        with zipfile.ZipFile(v2) as src, zipfile.ZipFile(v1, "w") as dst:
+            import io
+
+            for name in src.namelist():
+                if name == "payload_offsets.npy":
+                    buffer = io.BytesIO()
+                    np.save(buffer, tagged_trace.dlc.astype(np.int64))
+                    dst.writestr("dlc.npy", buffer.getvalue())
+                elif name == "version.npy":
+                    buffer = io.BytesIO()
+                    np.save(buffer, np.int64(1))
+                    dst.writestr(name, buffer.getvalue())
+                else:
+                    dst.writestr(name, src.read(name))
+        assert ColumnTrace.load_npz(v1) == tagged_trace
+        lazy = ColumnTrace.load_npz(v1, mmap=True)
+        assert lazy == tagged_trace
+        assert not lazy.payload_offsets.flags.writeable
+
+    def test_unaligned_foreign_npz_still_loads(self, tagged_trace, tmp_path):
+        """A schema-compatible archive written by plain ``np.savez``
+        (no alignment padding) must stay readable both ways — alignment
+        is an optimisation of our writer, not a format requirement."""
+        path = tmp_path / "foreign.npz"
+        base = int(tagged_trace.payload_offsets[0])
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                version=np.int64(2),
+                timestamp_us=tagged_trace.timestamp_us,
+                can_id=tagged_trace.can_id,
+                payload=tagged_trace.payload_bytes(),
+                payload_offsets=tagged_trace.payload_offsets - np.int64(base),
+                extended=tagged_trace.extended,
+                is_attack=tagged_trace.is_attack,
+                source_code=tagged_trace.source_code,
+                source_table=np.asarray(tagged_trace.source_table, dtype=np.str_),
+                bus_code=tagged_trace.bus_code,
+                bus_table=np.asarray(tagged_trace.bus_table, dtype=np.str_),
+            )
+        assert ColumnTrace.load_npz(path) == tagged_trace
+        assert ColumnTrace.load_npz(path, mmap=True) == tagged_trace
