@@ -155,6 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also infer malicious-ID candidates")
     detect.add_argument("--infer-k", type=int, default=1)
 
+    convert = sub.add_parser(
+        "convert",
+        help="convert a capture to the block-compressed columnar "
+             "container (.npb) without materialising it",
+    )
+    convert.add_argument("--trace", type=Path, required=True,
+                         help="input capture (candump/CSV/.gz/.npz/.npb)")
+    convert.add_argument("--out", type=Path, required=True,
+                         help="output path; must end in .npb")
+    convert.add_argument("--block-frames", type=int, default=None,
+                         help="rows per compressed block (default: the "
+                              "container's native block size)")
+    convert.add_argument("--level", type=int, default=None,
+                         help="zlib compression level 0-9 (default 6)")
+
     scan_archive = sub.add_parser(
         "scan-archive",
         help="scan a directory of captures over an executor backend",
@@ -317,6 +332,10 @@ def _write_trace(trace, path: Path) -> None:
         from repro.io import ColumnTrace
 
         ColumnTrace.coerce(trace).save_npz(path)
+    elif suffix == ".npb":
+        from repro.io import write_blocks
+
+        write_blocks(path, trace)
     else:
         write_candump(trace, path)
 
@@ -331,6 +350,10 @@ def _read_trace(path: Path):
         from repro.io import ColumnTrace
 
         return ColumnTrace.load_npz(path).to_trace()
+    if suffix == ".npb":
+        from repro.io import load_capture_columns
+
+        return load_capture_columns(path).to_trace()
     return read_candump(path)
 
 
@@ -421,6 +444,47 @@ def _cmd_detect(args) -> int:
     return 0 if not report.alarmed_windows else 2
 
 
+def _cmd_convert(args) -> int:
+    from repro.exceptions import TraceFormatError
+    from repro.io.archive import iter_capture_chunks
+    from repro.io.blocks import (
+        DEFAULT_BLOCK_FRAMES,
+        DEFAULT_LEVEL,
+        BlockWriter,
+    )
+
+    if args.out.suffix.lower() != ".npb":
+        print(
+            f"convert writes the block-compressed container; --out must "
+            f"end in .npb, got {args.out.name!r}"
+        )
+        return 1
+    block_frames = (
+        DEFAULT_BLOCK_FRAMES if args.block_frames is None else args.block_frames
+    )
+    level = DEFAULT_LEVEL if args.level is None else args.level
+    frames = 0
+    try:
+        # Stream parse -> compress -> append: the capture is never
+        # materialised, so converting works under the same memory
+        # ceiling the converted file will later be scanned under.
+        with BlockWriter(args.out, block_frames=block_frames, level=level) as w:
+            for chunk in iter_capture_chunks(args.trace, block_frames):
+                w.append(chunk)
+                frames += len(chunk)
+    except TraceFormatError as exc:
+        print(str(exc))
+        return 1
+    in_bytes = args.trace.stat().st_size
+    out_bytes = args.out.stat().st_size
+    ratio = in_bytes / out_bytes if out_bytes else float("inf")
+    print(
+        f"wrote {frames} frames to {args.out} "
+        f"({in_bytes} -> {out_bytes} bytes, {ratio:.2f}x)"
+    )
+    return 0
+
+
 def _cli_executor(args):
     """Resolve the executor flags into an Executor (or None).
 
@@ -477,7 +541,8 @@ def _cli_chunk_windows(args) -> Optional[int]:
 def _cmd_scan_archive(args) -> int:
     from repro.core import GoldenTemplate, IDSConfig, IDSPipeline
     from repro.exceptions import DetectorError
-    from repro.io import CaptureArchive
+    from repro.io import CaptureArchive, capture_suffix
+    from repro.io.columnar import npz_is_compressed
     from repro.vehicle import ford_fusion_catalog
 
     template = GoldenTemplate.load(args.template)
@@ -488,11 +553,26 @@ def _cmd_scan_archive(args) -> int:
     if not len(archive):
         print(f"no captures found under {args.archive_dir}")
         return 1
+    chunk_windows = _cli_chunk_windows(args)
+    if chunk_windows is not None:
+        compressed = [
+            p for p in archive.paths
+            if capture_suffix(p) == ".npz" and npz_is_compressed(p)
+        ]
+        if compressed:
+            for p in compressed:
+                print(
+                    f"{p}: compressed npz cannot memory-map for "
+                    "--out-of-core; convert it to the block-compressed "
+                    f"container first: repro-ids convert --trace {p} "
+                    f"--out {p.with_suffix('.npb')}"
+                )
+            return 1
     try:
         executor = _cli_executor(args)
         report = pipeline.analyze_archive(
             archive, workers=args.workers, infer_k=args.infer_k,
-            executor=executor, chunk_windows=_cli_chunk_windows(args),
+            executor=executor, chunk_windows=chunk_windows,
         )
     except DetectorError as exc:
         print(str(exc))
@@ -905,6 +985,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "attack": _cmd_attack,
         "template": _cmd_template,
         "detect": _cmd_detect,
+        "convert": _cmd_convert,
         "scan-archive": _cmd_scan_archive,
         "serve": _cmd_serve,
         "worker": _cmd_worker,

@@ -79,17 +79,39 @@ class BatchEntropyEngine:
         self.sink = sink if sink is not None else AlertSink()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _window_chunk_source(trace):
+        """Pass through any streaming chunk source, coerce the rest.
+
+        The stream scanner only needs ``len``, ``start_us`` and
+        ``iter_window_chunks``; besides :class:`ColumnTrace` that
+        surface is implemented by :class:`repro.io.blocks.BlockReader`
+        (one inflated block in memory at a time).  Duck typing keeps
+        the core layer free of an io-container import.
+        """
+        if isinstance(trace, ColumnTrace) or (
+            not isinstance(trace, Trace)
+            and hasattr(trace, "iter_window_chunks")
+            and hasattr(trace, "start_us")
+        ):
+            return trace
+        return ColumnTrace.coerce(trace)
+
     def scan_block(self, trace: Union[Trace, ColumnTrace]) -> WindowBlock:
         """Judge every tumbling window, returning the struct-of-arrays
         :class:`WindowBlock` (no per-window objects, no alert emission).
 
         This is the aggregate fast path: callers that only need counts,
         verdicts or entropy series read the block's arrays directly.
+        Streaming-only sources (e.g. a ``BlockReader``) are scanned via
+        :meth:`scan_stream_block` — identical result, bounded memory.
         """
-        ct = ColumnTrace.coerce(trace)
-        if len(ct) == 0:
+        source = self._window_chunk_source(trace)
+        if not isinstance(source, ColumnTrace):
+            return self.scan_stream_block(source)
+        if len(source) == 0:
             return WindowBlock.empty(self.config.n_bits, self.config.window_us)
-        return scan_windows(ct, self.template, self.config)
+        return scan_windows(source, self.template, self.config)
 
     def scan_stream_block(
         self,
@@ -105,9 +127,10 @@ class BatchEntropyEngine:
         the same fused kernel with a shared workspace, and the
         per-chunk blocks concatenate into a block bit-identical to the
         whole-trace scan.  On a memory-mapped trace only the chunk
-        currently being scanned is paged in.
+        currently being scanned is paged in; on a block-compressed
+        ``BlockReader`` only one inflated block is ever held.
         """
-        ct = ColumnTrace.coerce(trace)
+        ct = self._window_chunk_source(trace)
         if len(ct) == 0:
             return WindowBlock.empty(self.config.n_bits, self.config.window_us)
         origin = ct.start_us

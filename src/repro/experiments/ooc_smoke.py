@@ -24,11 +24,21 @@ with the kernel's own accounting rather than trusting ours:
 * finally the parent diffs the child's JSON report against its in-RAM
   reference, field for field.
 
+The **ingest** phase (:func:`run_ingest`) makes the same claim for the
+path *into* the scanner: a multi-hundred-megabyte gzipped candump text
+capture streams — under the same kind of ceiling — through the
+block-vectorised reader into the block-compressed ``.npb`` container,
+and the container then scans to the bit-identical report, while the
+eager whole-file text load dies with ``MemoryError``.  It also checks
+the container earns its keep on disk: smaller than the uncompressed
+``.npz`` of the same columns.
+
 Run standalone (the CI ``ooc-smoke`` job)::
 
     python -m repro.experiments.ooc_smoke
 
-which exits non-zero unless the out-of-core report is bit-identical.
+which runs both phases and exits non-zero unless both out-of-core
+reports are bit-identical (and the eager paths really failed).
 """
 
 from __future__ import annotations
@@ -43,7 +53,13 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import List, Optional
 
-__all__ = ["OocSmokeResult", "run", "synthesize_capture"]
+__all__ = [
+    "IngestSmokeResult",
+    "OocSmokeResult",
+    "run",
+    "run_ingest",
+    "synthesize_capture",
+]
 
 #: Anonymous-memory budget granted to the child on top of its measured
 #: import baseline.  Generous for the chunked scan (whose working set is
@@ -53,6 +69,18 @@ DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
 
 #: The capture must be at least this many times the RSS ceiling.
 DEFAULT_SIZE_RATIO = 4.0
+
+#: Anonymous-memory budget for the *ingest* child.  Streaming ingest
+#: works harder per byte than the window scan — vectorised block
+#: parsing, chunk re-slicing and per-column compression all allocate
+#: transients — so it gets more headroom; still a small fraction of
+#: the capture it digests.
+DEFAULT_INGEST_BUDGET_BYTES = 2 * DEFAULT_BUDGET_BYTES
+
+#: The *uncompressed text* of the ingest capture must be at least this
+#: many times the ceiling (the eager text load buffers the whole
+#: decompressed file, so any multiple over ~1 forces ``MemoryError``).
+DEFAULT_INGEST_SIZE_RATIO = 2.5
 
 #: Mean synthetic inter-arrival (microseconds); ~4000 frames per 2s
 #: detection window.
@@ -174,6 +202,90 @@ class OocSmokeResult:
         ]
 
 
+@dataclass(frozen=True)
+class IngestSmokeResult:
+    """Outcome of one RSS-bounded streaming ingest + container scan."""
+
+    n_frames: int
+    n_windows: int
+    gz_bytes: int
+    npz_bytes: int
+    npb_bytes: int
+    baseline_bytes: int
+    rss_limit_bytes: int
+    chunk_windows: int
+    ingest_elapsed_s: float
+    scan_elapsed_s: float
+    ingest_mps: float
+    eager_failed: bool
+    identical: bool
+
+    @property
+    def ok(self) -> bool:
+        """The experiment's pass verdict."""
+        return (
+            self.identical
+            and self.eager_failed
+            and self.npb_bytes < self.npz_bytes
+        )
+
+    def render(self) -> str:
+        """The experiment's artifact table."""
+        mb = 1024 * 1024
+        lines = [
+            "Out-of-core ingest under an RSS ceiling (RLIMIT_DATA)",
+            f"capture: {self.n_frames:,} frames, "
+            f"{self.gz_bytes / mb:,.0f} MB gzipped candump",
+            f"ceiling: {self.rss_limit_bytes / mb:,.0f} MB "
+            f"(import baseline {self.baseline_bytes / mb:,.0f} MB + "
+            f"budget), chunk_windows={self.chunk_windows}",
+            f"ingest -> .npb: {self.ingest_elapsed_s:.2f}s "
+            f"({self.ingest_mps:,.0f} msg/s), container scan: "
+            f"{self.n_windows} windows in {self.scan_elapsed_s:.2f}s",
+            f"container size: {self.npb_bytes / mb:,.1f} MB npb vs "
+            f"{self.npz_bytes / mb:,.1f} MB uncompressed npz "
+            + ("(smaller)" if self.npb_bytes < self.npz_bytes
+               else "(NOT smaller!)"),
+            "eager text load under ceiling: "
+            + ("MemoryError (as expected)" if self.eager_failed
+               else "SUCCEEDED (ceiling not binding!)"),
+            "report parity vs in-RAM scan: "
+            + ("bit-identical" if self.identical else "MISMATCH"),
+        ]
+        return "\n".join(lines)
+
+    def bench_records(self) -> List[dict]:
+        """Machine-readable twin of :meth:`render`."""
+        from repro.experiments.bench import bench_record
+
+        params = {
+            "n_frames": self.n_frames,
+            "n_windows": self.n_windows,
+            "chunk_windows": self.chunk_windows,
+        }
+        section = "ooc_ingest"
+        return [
+            bench_record(section, "gz_bytes", self.gz_bytes, "bytes", params),
+            bench_record(section, "npz_bytes", self.npz_bytes, "bytes", params),
+            bench_record(section, "npb_bytes", self.npb_bytes, "bytes", params),
+            bench_record(
+                section, "rss_limit_bytes", self.rss_limit_bytes,
+                "bytes", params,
+            ),
+            bench_record(
+                section, "ingest_mps", self.ingest_mps, "msg/s", params
+            ),
+            bench_record(
+                section, "eager_failed", 1.0 if self.eager_failed else 0.0,
+                "bool", params,
+            ),
+            bench_record(
+                section, "identical", 1.0 if self.identical else 0.0,
+                "bool", params,
+            ),
+        ]
+
+
 # ----------------------------------------------------------------------
 # Child process: scan one capture, optionally under RLIMIT_DATA
 # ----------------------------------------------------------------------
@@ -190,6 +302,8 @@ def _child_main(argv: List[str]) -> int:
     parser.add_argument("--limit-bytes", type=int, default=None)
     parser.add_argument("--chunk-windows", type=int, default=None)
     parser.add_argument("--try-eager", action="store_true")
+    parser.add_argument("--ingest", metavar="NPB", default=None)
+    parser.add_argument("--block-bytes", type=int, default=None)
     args = parser.parse_args(argv)
 
     if args.limit_bytes is not None:
@@ -211,25 +325,58 @@ def _child_main(argv: List[str]) -> int:
     chunk_windows = (
         args.chunk_windows if args.chunk_windows else DEFAULT_CHUNK_WINDOWS
     )
+    engine = BatchEntropyEngine(template, config)
 
-    trace = ColumnTrace.load_npz(args.capture, mmap=True)
-    start = time.perf_counter()
-    windows = BatchEntropyEngine(template, config).scan_stream(
-        trace, chunk_windows=chunk_windows
-    )
-    elapsed = time.perf_counter() - start
+    if args.ingest is not None:
+        # Streaming ingest: gzipped candump text -> block-compressed
+        # container -> container scan, all under the rlimit.
+        from repro.io.blocks import DEFAULT_BLOCK_FRAMES, BlockReader, BlockWriter
+        from repro.io.log import iter_candump_columns
+        from repro.io._gz import DEFAULT_BLOCK_BYTES
 
-    eager_failed = None
-    if args.try_eager:
-        try:
-            ColumnTrace.load_npz(args.capture)
-            eager_failed = False
-        except MemoryError:
-            eager_failed = True
+        block_bytes = args.block_bytes or DEFAULT_BLOCK_BYTES
+        start = time.perf_counter()
+        with BlockWriter(args.ingest) as writer:
+            for chunk in iter_candump_columns(
+                args.capture, DEFAULT_BLOCK_FRAMES, block_bytes=block_bytes
+            ):
+                writer.append(chunk)
+        ingest_elapsed = time.perf_counter() - start
+        with BlockReader(args.ingest) as reader:
+            n_frames = len(reader)
+            start = time.perf_counter()
+            windows = engine.scan_stream(reader, chunk_windows=chunk_windows)
+        elapsed = time.perf_counter() - start
+
+        eager_failed = None
+        if args.try_eager:
+            from repro.io.log import read_candump_columns
+
+            try:
+                read_candump_columns(args.capture)
+                eager_failed = False
+            except MemoryError:
+                eager_failed = True
+    else:
+        ingest_elapsed = None
+        trace = ColumnTrace.load_npz(args.capture, mmap=True)
+        n_frames = len(trace)
+        start = time.perf_counter()
+        windows = engine.scan_stream(trace, chunk_windows=chunk_windows)
+        elapsed = time.perf_counter() - start
+
+        eager_failed = None
+        if args.try_eager:
+            try:
+                ColumnTrace.load_npz(args.capture)
+                eager_failed = False
+            except MemoryError:
+                eager_failed = True
 
     report = {
-        "n_frames": len(trace),
+        "n_frames": n_frames,
         "elapsed_s": elapsed,
+        "ingest_elapsed_s": ingest_elapsed,
         "vm_data_bytes": _vm_data_bytes(),
         "eager_failed": eager_failed,
         "windows": [w.to_dict() for w in windows],
@@ -263,6 +410,10 @@ def _spawn_child(capture, setup_path, out_path, **options) -> dict:
         command += ["--chunk-windows", str(int(options["chunk_windows"]))]
     if options.get("try_eager"):
         command += ["--try-eager"]
+    if options.get("ingest"):
+        command += ["--ingest", str(options["ingest"])]
+    if options.get("block_bytes"):
+        command += ["--block-bytes", str(int(options["block_bytes"]))]
     completed = subprocess.run(
         command, env=env, capture_output=True, text=True
     )
@@ -370,6 +521,117 @@ def run(
             shutil.rmtree(tmp, ignore_errors=True)
 
 
+def run_ingest(
+    template=None,
+    config=None,
+    n_frames: Optional[int] = None,
+    budget_bytes: int = DEFAULT_INGEST_BUDGET_BYTES,
+    min_size_ratio: float = DEFAULT_INGEST_SIZE_RATIO,
+    chunk_windows: Optional[int] = None,
+    seed: int = 7,
+    workdir: Optional[str] = None,
+) -> IngestSmokeResult:
+    """Stream a larger-than-ceiling gzipped candump into the container.
+
+    The child — under ``RLIMIT_DATA`` — block-parses the text capture
+    into a ``.npb`` container, then scans the container out-of-core;
+    the parent diffs the report against an in-RAM reference scan.
+    ``n_frames`` defaults to whatever makes the *uncompressed* text at
+    least ``min_size_ratio`` times the ceiling, so the eager whole-file
+    text load cannot fit.
+    """
+    from repro.core import BatchEntropyEngine, IDSConfig, TemplateBuilder
+    from repro.core.engine import DEFAULT_CHUNK_WINDOWS
+    from repro.io.log import write_candump_columns
+
+    config = config or IDSConfig()
+    chunk_windows = (
+        int(chunk_windows) if chunk_windows else DEFAULT_CHUNK_WINDOWS
+    )
+    cleanup = workdir is None
+    tmp = Path(
+        tempfile.mkdtemp(prefix="repro-ooc-ingest-") if cleanup else workdir
+    )
+    try:
+        # --- probe: baseline anon usage + text bytes per frame --------
+        probe_frames = 50_000
+        probe_capture = synthesize_capture(probe_frames, seed=seed)
+        if template is None:
+            builder = TemplateBuilder(config)
+            builder.add_trace_windows(probe_capture)
+            template = builder.build()
+        probe_log = tmp / "probe.log"
+        write_candump_columns(probe_capture, probe_log)
+        text_bytes_per_frame = probe_log.stat().st_size / probe_frames
+        probe_gz = tmp / "probe.log.gz"
+        write_candump_columns(probe_capture, probe_gz)
+        setup_path = tmp / "setup.json"
+        setup_path.write_text(
+            json.dumps(
+                {"template": template.to_dict(), "config": asdict(config)}
+            ),
+            encoding="utf-8",
+        )
+        probe_report = _spawn_child(
+            probe_gz, setup_path, tmp / "probe_report.json",
+            chunk_windows=chunk_windows, ingest=tmp / "probe.npb",
+        )
+        baseline = int(probe_report["vm_data_bytes"])
+        limit = baseline + int(budget_bytes)
+
+        # --- the capture: uncompressed text >= ratio x the ceiling ----
+        if n_frames is None:
+            n_frames = int(
+                min_size_ratio * 1.05 * limit / text_bytes_per_frame
+            )
+        capture = synthesize_capture(int(n_frames), seed=seed)
+        gz_path = tmp / "capture.log.gz"
+        write_candump_columns(capture, gz_path)
+        gz_bytes = gz_path.stat().st_size
+        npz_path = tmp / "capture.npz"
+        capture.save_npz(npz_path)
+        npz_bytes = npz_path.stat().st_size
+
+        # --- in-RAM reference (parent, no limit) ----------------------
+        reference = [
+            w.to_dict()
+            for w in BatchEntropyEngine(template, config).scan(capture)
+        ]
+        reference = json.loads(json.dumps(reference))
+        del capture
+
+        # --- the RSS-bounded ingest + container scan ------------------
+        npb_path = tmp / "capture.npb"
+        child = _spawn_child(
+            gz_path, setup_path, tmp / "report.json",
+            limit_bytes=limit, chunk_windows=chunk_windows, try_eager=True,
+            ingest=npb_path, block_bytes=4 * 1024 * 1024,
+        )
+        ingest_elapsed = float(child["ingest_elapsed_s"])
+        return IngestSmokeResult(
+            n_frames=int(n_frames),
+            n_windows=len(reference),
+            gz_bytes=int(gz_bytes),
+            npz_bytes=int(npz_bytes),
+            npb_bytes=int(npb_path.stat().st_size),
+            baseline_bytes=baseline,
+            rss_limit_bytes=int(limit),
+            chunk_windows=chunk_windows,
+            ingest_elapsed_s=ingest_elapsed,
+            scan_elapsed_s=float(child["elapsed_s"]),
+            ingest_mps=(
+                int(n_frames) / ingest_elapsed if ingest_elapsed else 0.0
+            ),
+            eager_failed=bool(child["eager_failed"]),
+            identical=child["windows"] == reference,
+        )
+    finally:
+        if cleanup:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry: child mode with ``--scan``, driver mode otherwise."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -377,7 +639,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _child_main(argv[1:])
     result = run()
     print(result.render())
-    return 0 if result.ok else 1
+    ingest = run_ingest()
+    print()
+    print(ingest.render())
+    return 0 if result.ok and ingest.ok else 1
 
 
 if __name__ == "__main__":

@@ -7,7 +7,13 @@ attack labels, a candump-compatible text format, and a Vehicle-Spy-like
 CSV format.
 """
 
-from repro.io.archive import CaptureArchive, capture_suffix
+from repro.io.archive import (
+    CaptureArchive,
+    capture_suffix,
+    load_capture_columns,
+    open_capture_stream,
+)
+from repro.io.blocks import BlockReader, BlockWriter, write_blocks
 from repro.io.columnar import ColumnTrace
 from repro.io.fingerprint import fingerprint_bytes, fingerprint_file
 from repro.io.csvlog import (
@@ -27,6 +33,8 @@ from repro.io.log import (
 from repro.io.trace import Trace, TraceRecord
 
 __all__ = [
+    "BlockReader",
+    "BlockWriter",
     "CaptureArchive",
     "ColumnTrace",
     "Trace",
@@ -36,6 +44,9 @@ __all__ = [
     "fingerprint_file",
     "iter_candump_columns",
     "iter_csv_columns",
+    "load_capture_columns",
+    "open_capture_stream",
+    "write_blocks",
     "read_candump",
     "read_candump_columns",
     "read_csv",

@@ -12,14 +12,40 @@ the record readers spend most of their time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
 from repro.exceptions import TraceFormatError
 from repro.io.columnar import ColumnTrace
 
-__all__ = ["ColumnBuilder"]
+__all__ = ["ColumnBuilder", "rechunk_parts"]
+
+
+def rechunk_parts(
+    parts: Iterable[ColumnTrace], chunk_frames: int
+) -> Iterator[ColumnTrace]:
+    """Re-slice a stream of time-ordered parts into exact-size chunks.
+
+    The streaming readers parse whatever frame count a byte block
+    happens to hold; this adapter restores the chunked-reader contract
+    (every chunk except the last has exactly ``chunk_frames`` frames)
+    without ever buffering more than one chunk plus one part.  Slices
+    are zero-copy views; a merge only happens when a chunk spans parts.
+    """
+    pending: List[ColumnTrace] = []
+    count = 0
+    for part in parts:
+        pending.append(part)
+        count += len(part)
+        while count >= chunk_frames:
+            merged = pending[0] if len(pending) == 1 else ColumnTrace.merge(*pending)
+            yield merged.slice(0, chunk_frames)
+            merged = merged.slice(chunk_frames, count)
+            count = len(merged)
+            pending = [merged] if count else []
+    if count:
+        yield pending[0] if len(pending) == 1 else ColumnTrace.merge(*pending)
 
 
 class ColumnBuilder:

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Iterator, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import TraceFormatError
+from repro.io.blocks import BlockReader, write_blocks
 from repro.io.columnar import ColumnTrace
 from repro.io.csvlog import iter_csv_columns, read_csv_columns, write_csv_columns
 from repro.io.log import (
@@ -33,12 +34,21 @@ from repro.io.log import (
     write_candump_columns,
 )
 
-__all__ = ["CaptureArchive", "capture_suffix", "load_capture_columns"]
+__all__ = [
+    "CaptureArchive",
+    "capture_suffix",
+    "iter_capture_chunks",
+    "load_capture_columns",
+    "open_capture_stream",
+]
 
 #: File patterns an archive enumerates by default (gzipped twins of
 #: both text formats included; the readers decompress transparently,
-#: and columnar ``.npz`` exports load without parsing at all).
-DEFAULT_PATTERNS = ("*.log", "*.csv", "*.npz", "*.log.gz", "*.csv.gz")
+#: columnar ``.npz`` exports load without parsing at all, and
+#: block-compressed ``.npb`` containers stream block by block).
+DEFAULT_PATTERNS = (
+    "*.log", "*.csv", "*.npz", "*.npb", "*.log.gz", "*.csv.gz",
+)
 
 
 def capture_suffix(path: Union[str, Path]) -> str:
@@ -72,7 +82,32 @@ def load_capture_columns(
         return read_csv_columns(path)
     if suffix == ".npz":
         return ColumnTrace.load_npz(path, mmap=mmap)
+    if suffix == ".npb":
+        with BlockReader(path) as reader:
+            return reader.to_columns()
     return read_candump_columns(path)
+
+
+def open_capture_stream(path: Union[str, Path]):
+    """Open a capture as a *streaming* window-chunk source.
+
+    The out-of-core scan paths (``scan_stream``, ``--out-of-core``)
+    need a source whose memory footprint is bounded:
+
+    * ``.npz`` — the memory-mapped :class:`ColumnTrace` (lazy pages);
+    * ``.npb`` — a :class:`~repro.io.blocks.BlockReader` (one inflated
+      block at a time);
+    * text formats — parsed eagerly (chunk-parsing text would re-read
+      the file once per scan; converting once with ``repro-ids
+      convert`` is the bounded-memory route, which the CLI hints at).
+
+    The returned object may expose ``close()``; callers should call it
+    (or ignore it — :class:`ColumnTrace` has none) when the scan ends.
+    """
+    path = Path(path)
+    if capture_suffix(path) == ".npb":
+        return BlockReader(path)
+    return load_capture_columns(path, mmap=True)
 
 
 def _iter_npz_chunks(path: Path, chunk_frames: int) -> Iterator[ColumnTrace]:
@@ -83,7 +118,16 @@ def _iter_npz_chunks(path: Path, chunk_frames: int) -> Iterator[ColumnTrace]:
         yield trace.slice(lo, lo + chunk_frames)
 
 
-def _iter_capture_chunks(
+def _iter_blocks_chunks(path: Path, chunk_frames: int) -> Iterator[ColumnTrace]:
+    # One inflated block resident at a time, re-sliced to the caller's
+    # chunk size.
+    with BlockReader(path) as reader:
+        for block in reader.iter_blocks():
+            for lo in range(0, len(block), chunk_frames):
+                yield block.slice(lo, lo + chunk_frames)
+
+
+def iter_capture_chunks(
     path: Path, chunk_frames: int
 ) -> Iterator[ColumnTrace]:
     suffix = capture_suffix(path)
@@ -91,6 +135,8 @@ def _iter_capture_chunks(
         return iter_csv_columns(path, chunk_frames)
     if suffix == ".npz":
         return _iter_npz_chunks(path, chunk_frames)
+    if suffix == ".npb":
+        return _iter_blocks_chunks(path, chunk_frames)
     return iter_candump_columns(path, chunk_frames)
 
 
@@ -176,7 +222,7 @@ class CaptureArchive:
         capture arrive consecutively and in time order.
         """
         for path in self._paths:
-            for chunk in _iter_capture_chunks(path, chunk_frames):
+            for chunk in iter_capture_chunks(path, chunk_frames):
                 yield path, chunk
 
     # ------------------------------------------------------------------
@@ -190,8 +236,9 @@ class CaptureArchive:
     ) -> Path:
         """Write a capture into the archive directory and index it.
 
-        ``fmt`` is ``"candump"``, ``"csv"`` or ``"npz"`` (inferred from
-        the name's suffix when omitted).  Accepts either trace representation;
+        ``fmt`` is ``"candump"``, ``"csv"``, ``"npz"`` or ``"npb"``
+        (inferred from the name's suffix when omitted).  Accepts either
+        trace representation;
         returns the file path.  The new file is appended to the scan
         order snapshot — and must therefore match the archive's
         patterns, or a freshly constructed archive over the same
@@ -226,13 +273,15 @@ class CaptureArchive:
         ct = ColumnTrace.coerce(trace)
         if fmt is None:
             suffix = capture_suffix(path)
-            fmt = {"csv": "csv", "npz": "npz"}.get(
+            fmt = {"csv": "csv", "npz": "npz", "npb": "npb"}.get(
                 suffix.lstrip("."), "candump"
             )
         if fmt == "csv":
             write_csv_columns(ct, path)
         elif fmt == "npz":
             ct.save_npz(path)
+        elif fmt == "npb":
+            write_blocks(path, ct)
         elif fmt == "candump":
             write_candump_columns(ct, path)
         else:

@@ -1,0 +1,478 @@
+"""Block-compressed columnar capture container (``.npb``).
+
+The uncompressed aligned ``.npz`` (see :mod:`repro.io.columnar`) is the
+memory-mapping format: bounded-memory scans, zero-copy loads, but
+full-size on disk.  Fleet corpora are large *and* compressed, so this
+module adds the complementary container: every column is cut into
+per-block zlib streams with a JSON block index, so archives stay small
+on disk without giving up the RSS ceiling — :class:`BlockReader`
+inflates one block at a time and plugs straight into
+``BatchEntropyEngine.scan_stream``.
+
+File layout (all integers little-endian)::
+
+    magic            8 bytes   b"REPRONB1"
+    column chunks    back-to-back zlib streams, one per (block, column)
+    index            JSON (UTF-8): schema version, global intern
+                     tables, per-block row counts / time bounds /
+                     per-column [offset, compressed size, raw size,
+                     numpy dtype string]
+    trailer          <QQ8s: index offset, index size, magic again
+
+The writer is append-only (stream parse → compress → append, nothing
+buffered beyond one block), the reader seeks the trailer first, so both
+directions are O(block) memory.  Alignment rule: blocks are cut on
+frame boundaries only — every block holds exactly ``block_frames``
+rows (the last may be short) with its payload offsets rebased to 0 —
+and window alignment is applied at *read* time by merging each block
+with the carry of the previous one, so any ``(window_us,
+chunk_windows)`` grid scans bit-identically to the in-RAM path.
+Unknown index versions are refused up front (``version`` gate), like
+the npz schema gate.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import TraceFormatError
+from repro.io.columnar import ColumnTrace
+from repro.io.trace import Trace
+
+__all__ = ["BlockReader", "BlockWriter", "write_blocks", "BLOCKS_SUFFIX"]
+
+#: Canonical file suffix (``capture.npb`` — "numpy blocks").
+BLOCKS_SUFFIX = ".npb"
+
+_MAGIC = b"REPRONB1"
+_TRAILER = struct.Struct("<QQ8s")
+_FORMAT_NAME = "repro-blocks"
+_VERSION = 1
+_READABLE = (1,)
+
+#: Default rows per compressed block.  256 K rows ≈ 8 MB of raw column
+#: data — large enough that zlib sees real redundancy, small enough
+#: that one inflated block is a rounding error under an RSS ceiling.
+DEFAULT_BLOCK_FRAMES = 262_144
+
+#: zlib level 6: the default speed/size trade-off.
+DEFAULT_LEVEL = 6
+
+#: Per-block column order (also the byte order inside the file).
+_COLUMNS = (
+    "timestamp_us",
+    "can_id",
+    "payload",
+    "payload_offsets",
+    "extended",
+    "is_attack",
+    "source_code",
+    "bus_code",
+)
+
+
+class BlockWriter:
+    """Append-only writer for the ``.npb`` container.
+
+    ``append`` takes time-ordered :class:`ColumnTrace` chunks of any
+    size (the streaming readers' chunks, mapped npz slices, other
+    readers' blocks); the writer re-cuts them into exact
+    ``block_frames`` blocks, re-interns source/bus tags into global
+    tables, compresses each column and appends it.  Peak memory is
+    O(block), never O(capture).  Use as a context manager — the index
+    and trailer are written on a clean :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        block_frames: int = DEFAULT_BLOCK_FRAMES,
+        level: int = DEFAULT_LEVEL,
+    ) -> None:
+        if block_frames <= 0:
+            raise TraceFormatError(
+                f"block_frames must be positive, got {block_frames}"
+            )
+        if not -1 <= int(level) <= 9:
+            raise TraceFormatError(
+                f"compression level must be in -1..9, got {level}"
+            )
+        self.path = Path(path)
+        self.block_frames = int(block_frames)
+        self.level = int(level)
+        self._source_table: Dict[str, int] = {}
+        self._bus_table: Dict[str, int] = {}
+        self._parts: List[Dict[str, np.ndarray]] = []
+        self._buffered = 0
+        self._blocks: List[dict] = []
+        self._n_frames = 0
+        self._last_end: Optional[int] = None
+        self._closed = False
+        self._handle = open(self.path, "wb")
+        self._handle.write(_MAGIC)
+
+    # ------------------------------------------------------------------
+    def _recode(
+        self, codes: np.ndarray, names, table: Dict[str, int]
+    ) -> np.ndarray:
+        mapping = np.empty(len(names), dtype=np.int32)
+        for i, name in enumerate(names):
+            mapping[i] = table.setdefault(name, len(table))
+        return mapping[codes]
+
+    def append(self, trace) -> None:
+        """Append a time-ordered chunk (``Trace`` or ``ColumnTrace``)."""
+        if self._closed:
+            raise TraceFormatError(f"{self.path}: writer already closed")
+        ct = ColumnTrace.coerce(trace)
+        if not len(ct):
+            return
+        if self._last_end is not None and ct.start_us < self._last_end:
+            raise TraceFormatError(
+                f"{self.path}: appended chunk starts at {ct.start_us} us, "
+                f"before the previous chunk's end {self._last_end} us; "
+                f"blocks must be time-ordered"
+            )
+        if np.any(np.diff(ct.timestamp_us) < 0):
+            raise TraceFormatError(
+                f"{self.path}: appended chunk is not time-ordered"
+            )
+        self._last_end = ct.end_us
+        base = int(ct.payload_offsets[0])
+        self._parts.append(
+            {
+                "timestamp_us": ct.timestamp_us,
+                "can_id": ct.can_id,
+                "payload": ct.payload_bytes(),
+                "lengths": ct.dlc,
+                "extended": ct.extended,
+                "is_attack": ct.is_attack,
+                "source_code": self._recode(
+                    ct.source_code, ct.source_table, self._source_table
+                ),
+                "bus_code": self._recode(
+                    ct.bus_code, ct.bus_table, self._bus_table
+                ),
+            }
+        )
+        del base
+        self._buffered += len(ct)
+        if self._buffered >= self.block_frames:
+            self._drain(final=False)
+
+    # ------------------------------------------------------------------
+    def _drain(self, final: bool) -> None:
+        """Flush buffered parts as exact ``block_frames`` blocks."""
+        if not self._parts:
+            return
+        cat = {
+            name: np.concatenate([p[name] for p in self._parts])
+            for name in (
+                "timestamp_us",
+                "can_id",
+                "payload",
+                "lengths",
+                "extended",
+                "is_attack",
+                "source_code",
+                "bus_code",
+            )
+        }
+        n = cat["timestamp_us"].size
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(cat["lengths"], out=offsets[1:] if n else None)
+        lo = 0
+        while n - lo >= self.block_frames or (final and lo < n):
+            hi = min(lo + self.block_frames, n)
+            self._write_block(cat, offsets, lo, hi)
+            lo = hi
+        if lo:
+            rest = {
+                name: cat[name][lo:]
+                for name in cat
+                if name != "payload"
+            }
+            rest["payload"] = cat["payload"][offsets[lo]:]
+            self._parts = [rest] if n - lo else []
+        else:
+            self._parts = [dict(cat)]
+        self._buffered = n - lo
+
+    def _write_block(self, cat, offsets, lo: int, hi: int) -> None:
+        ts = cat["timestamp_us"]
+        arrays = {
+            "timestamp_us": ts[lo:hi],
+            "can_id": cat["can_id"][lo:hi],
+            "payload": cat["payload"][offsets[lo]:offsets[hi]],
+            "payload_offsets": offsets[lo : hi + 1] - offsets[lo],
+            "extended": cat["extended"][lo:hi],
+            "is_attack": cat["is_attack"][lo:hi],
+            "source_code": cat["source_code"][lo:hi],
+            "bus_code": cat["bus_code"][lo:hi],
+        }
+        columns = {}
+        for name in _COLUMNS:
+            data = np.ascontiguousarray(arrays[name])
+            raw = data.tobytes()
+            comp = zlib.compress(raw, self.level)
+            columns[name] = [
+                self._handle.tell(),
+                len(comp),
+                len(raw),
+                data.dtype.str,
+            ]
+            self._handle.write(comp)
+        self._blocks.append(
+            {
+                "rows": hi - lo,
+                "start_us": int(ts[lo]),
+                "end_us": int(ts[hi - 1]),
+                "columns": columns,
+            }
+        )
+        self._n_frames += hi - lo
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush the final block, then write the index and trailer."""
+        if self._closed:
+            return
+        self._drain(final=True)
+        index = {
+            "format": _FORMAT_NAME,
+            "version": _VERSION,
+            "n_frames": self._n_frames,
+            "block_frames": self.block_frames,
+            "level": self.level,
+            "source_table": list(self._source_table) or [""],
+            "bus_table": list(self._bus_table) or [""],
+            "blocks": self._blocks,
+        }
+        payload = json.dumps(index, separators=(",", ":")).encode("utf-8")
+        offset = self._handle.tell()
+        self._handle.write(payload)
+        self._handle.write(_TRAILER.pack(offset, len(payload), _MAGIC))
+        self._handle.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Close the raw handle without finalising (file stays invalid)."""
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "BlockWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def write_blocks(
+    path: Union[str, Path],
+    trace,
+    block_frames: int = DEFAULT_BLOCK_FRAMES,
+    level: int = DEFAULT_LEVEL,
+) -> None:
+    """Write a capture (or an iterable of time-ordered chunks) as ``.npb``.
+
+    Accepts a :class:`Trace`/:class:`ColumnTrace`, or any iterator of
+    :class:`ColumnTrace` chunks (e.g. ``iter_candump_columns``) — the
+    streaming form never materialises the capture.
+    """
+    with BlockWriter(path, block_frames=block_frames, level=level) as writer:
+        if isinstance(trace, (Trace, ColumnTrace)):
+            writer.append(trace)
+        else:
+            for chunk in trace:
+                writer.append(chunk)
+
+
+class BlockReader:
+    """One-block-at-a-time reader for the ``.npb`` container.
+
+    Exposes the same streaming surface as a :class:`ColumnTrace`
+    (``len``, ``start_us``/``end_us``, ``iter_window_chunks``), so
+    ``BatchEntropyEngine.scan_stream`` accepts it directly: peak memory
+    is one inflated block merged with one window-grid carry, no matter
+    how large the capture is.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "rb")
+        try:
+            index = self._read_index()
+        except Exception:
+            self._handle.close()
+            raise
+        self._index = index
+        self.n_frames = int(index["n_frames"])
+        self.source_table = tuple(index["source_table"])
+        self.bus_table = tuple(index["bus_table"])
+        self.blocks = index["blocks"]
+
+    def _read_index(self) -> dict:
+        fh = self._handle
+        fh.seek(0, 2)
+        size = fh.tell()
+        if size < len(_MAGIC) + _TRAILER.size:
+            raise TraceFormatError(
+                f"not a block-compressed trace: {self.path} (truncated)"
+            )
+        fh.seek(0)
+        if fh.read(len(_MAGIC)) != _MAGIC:
+            raise TraceFormatError(
+                f"not a block-compressed trace: {self.path} (bad magic)"
+            )
+        fh.seek(size - _TRAILER.size)
+        offset, length, magic = _TRAILER.unpack(fh.read(_TRAILER.size))
+        if magic != _MAGIC or offset + length + _TRAILER.size != size:
+            raise TraceFormatError(
+                f"not a block-compressed trace: {self.path} (bad trailer)"
+            )
+        fh.seek(offset)
+        try:
+            index = json.loads(fh.read(length).decode("utf-8"))
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"not a block-compressed trace: {self.path} (bad index: {exc})"
+            ) from exc
+        if index.get("format") != _FORMAT_NAME:
+            raise TraceFormatError(
+                f"not a block-compressed trace: {self.path} "
+                f"(format {index.get('format')!r})"
+            )
+        version = index.get("version")
+        if version not in _READABLE:
+            raise TraceFormatError(
+                f"block trace schema version {version} not supported "
+                f"(expected one of {list(_READABLE)})"
+            )
+        return index
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_frames
+
+    @property
+    def start_us(self) -> int:
+        """Timestamp of the first record (0 when empty)."""
+        return int(self.blocks[0]["start_us"]) if self.blocks else 0
+
+    @property
+    def end_us(self) -> int:
+        """Timestamp of the last record (0 when empty)."""
+        return int(self.blocks[-1]["end_us"]) if self.blocks else 0
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "BlockReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def read_block(self, i: int) -> ColumnTrace:
+        """Inflate block ``i`` into an in-RAM :class:`ColumnTrace`."""
+        entry = self.blocks[i]
+        rows = int(entry["rows"])
+        arrays = {}
+        for name in _COLUMNS:
+            offset, csize, rawsize, dtype = entry["columns"][name]
+            self._handle.seek(int(offset))
+            raw = zlib.decompress(self._handle.read(int(csize)))
+            if len(raw) != int(rawsize):
+                raise TraceFormatError(
+                    f"{self.path}: block {i} column {name!r} inflated to "
+                    f"{len(raw)} bytes, index says {rawsize}"
+                )
+            arrays[name] = np.frombuffer(raw, dtype=np.dtype(dtype))
+        expected = {name: rows for name in _COLUMNS}
+        expected["payload_offsets"] = rows + 1
+        expected["payload"] = arrays["payload"].size
+        for name in _COLUMNS:
+            if arrays[name].size != expected[name]:
+                raise TraceFormatError(
+                    f"{self.path}: block {i} column {name!r} has "
+                    f"{arrays[name].size} entries, expected {expected[name]}"
+                )
+        return ColumnTrace(
+            arrays["timestamp_us"],
+            arrays["can_id"],
+            payload=arrays["payload"],
+            payload_offsets=arrays["payload_offsets"],
+            extended=arrays["extended"],
+            is_attack=arrays["is_attack"],
+            source_code=arrays["source_code"],
+            source_table=self.source_table,
+            bus_code=arrays["bus_code"],
+            bus_table=self.bus_table,
+        )
+
+    def iter_blocks(self) -> Iterator[ColumnTrace]:
+        """Yield every block in order, one inflated at a time."""
+        for i in range(len(self.blocks)):
+            yield self.read_block(i)
+
+    def to_columns(self) -> ColumnTrace:
+        """Eagerly inflate the whole capture (the non-streaming load)."""
+        parts = list(self.iter_blocks())
+        if not parts:
+            return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        if len(parts) == 1:
+            return parts[0]
+        return ColumnTrace.merge(*parts)
+
+    def iter_window_chunks(
+        self,
+        window_us: int,
+        chunk_windows: int,
+        *,
+        origin_us: Optional[int] = None,
+    ) -> Iterator[ColumnTrace]:
+        """Window-grid-aligned chunks, one block in memory at a time.
+
+        Blocks are cut on frame boundaries, not window boundaries; the
+        alignment rule is applied here: each block merges with the
+        carry (the previous block's final, possibly-incomplete grid
+        chunk) and every chunk except the running last one is yielded.
+        The result is exactly the chunk stream
+        ``self.to_columns().iter_window_chunks(...)`` would produce,
+        with O(block + chunk) peak memory.
+        """
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        if chunk_windows <= 0:
+            raise ValueError(
+                f"chunk_windows must be positive, got {chunk_windows}"
+            )
+        t0 = self.start_us if origin_us is None else int(origin_us)
+        carry: Optional[ColumnTrace] = None
+        for block in self.iter_blocks():
+            if carry is not None and len(carry):
+                block = ColumnTrace.merge(carry, block)
+            carry = None
+            chunks = list(
+                block.iter_window_chunks(
+                    window_us, chunk_windows, origin_us=t0
+                )
+            )
+            if not chunks:
+                continue
+            carry = chunks.pop()
+            for chunk in chunks:
+                yield chunk
+        if carry is not None and len(carry):
+            yield carry

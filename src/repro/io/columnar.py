@@ -30,7 +30,27 @@ from repro.can.constants import SECOND_US
 from repro.exceptions import TraceFormatError
 from repro.io.trace import Trace, TraceRecord
 
-__all__ = ["ColumnTrace"]
+__all__ = ["ColumnTrace", "npz_is_compressed"]
+
+
+def npz_is_compressed(path) -> bool:
+    """True when any member of an ``.npz`` archive is deflated.
+
+    Cheap (central directory only, no member reads).  The out-of-core
+    CLI path uses it to refuse compressed npz captures *up front* with
+    a ``repro-ids convert`` hint, instead of silently busting the
+    memory budget through the eager-load fallback.  Non-zip files
+    return False — the capture loader reports those with its own
+    diagnostics.
+    """
+    try:
+        with zipfile.ZipFile(path) as zf:
+            return any(
+                info.compress_type != zipfile.ZIP_STORED
+                for info in zf.infolist()
+            )
+    except (OSError, zipfile.BadZipFile):
+        return False
 
 
 def _as_array(values, dtype) -> np.ndarray:
@@ -456,7 +476,11 @@ class ColumnTrace:
                 warnings.warn(
                     f"npz trace {path} stores member {exc.member!r} "
                     "compressed; memory-mapping needs the uncompressed "
-                    "save_npz layout — falling back to an eager load",
+                    "save_npz layout — falling back to an eager load. "
+                    "For compressed storage that still scans under a "
+                    "memory ceiling, convert to the block-compressed "
+                    "container: repro-ids convert <trace> --out "
+                    "<trace>.npb",
                     RuntimeWarning,
                     stacklevel=2,
                 )

@@ -17,6 +17,7 @@ uncompressed file.
 
 from __future__ import annotations
 
+import io
 import re
 import sys
 from pathlib import Path
@@ -26,8 +27,13 @@ import numpy as np
 
 from repro.can.constants import MAX_BASE_ID, SECOND_US
 from repro.exceptions import TraceFormatError
-from repro.io._builder import ColumnBuilder
-from repro.io._gz import open_text, read_bytes
+from repro.io._builder import ColumnBuilder, rechunk_parts
+from repro.io._gz import (
+    DEFAULT_BLOCK_BYTES,
+    iter_line_blocks,
+    open_text,
+    read_bytes,
+)
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace, TraceRecord
 from repro.io.vectorparse import parse_candump_bytes
@@ -184,15 +190,14 @@ def _append_candump_line(
     )
 
 
-def iter_candump_columns(
+def _iter_candump_columns_lines(
     path: Union[str, Path], chunk_frames: int
 ) -> Iterator[ColumnTrace]:
-    """Stream a candump file as :class:`ColumnTrace` chunks.
+    """The per-line chunked reader (the pre-vectorised implementation).
 
-    Yields consecutive chunks of at most ``chunk_frames`` frames, so a
-    capture larger than RAM streams through in bounded memory.  Chunks
-    split only on frame boundaries; timestamp monotonicity is enforced
-    across chunk boundaries too.
+    Kept verbatim as the diagnostics path behind
+    :func:`_read_candump_columns_robust` and as the baseline the ingest
+    throughput experiment measures the block-vectorised reader against.
     """
     if chunk_frames <= 0:
         raise TraceFormatError(
@@ -215,15 +220,97 @@ def iter_candump_columns(
         yield builder.build(path, last_timestamp)
 
 
+def _candump_block_fallback(
+    data: bytes, lineno_base: int, path, last_end: Optional[int]
+) -> ColumnTrace:
+    """Per-line parse of one byte block, with exact line diagnostics.
+
+    Text-mode semantics match the per-line reader exactly (ASCII
+    decode, universal newline splitting, ``strip``), so a block the
+    vector parser rejects — comments, blank lines, unusual spacing,
+    malformed frames — loads or fails precisely as the whole file would
+    have under the per-line reader.
+    """
+    builder = ColumnBuilder()
+    wrapper = io.TextIOWrapper(io.BytesIO(data), encoding="ascii", newline="")
+    for offset, line in enumerate(wrapper):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        _append_candump_line(builder, stripped, lineno_base + offset + 1, path)
+    return builder.build(path, last_end)
+
+
+def _candump_block_parts(
+    path: Union[str, Path], block_bytes: int
+) -> Iterator[ColumnTrace]:
+    """Parse a candump file block by block into validated column parts.
+
+    Each block of whole lines goes through the vectorised
+    :func:`repro.io.vectorparse.parse_candump_bytes`; a block it cannot
+    digest (or whose frames violate time order) re-parses line by line
+    with full diagnostics — the same contract as the whole-file reader,
+    scoped to the one offending block.
+    """
+    last_end: Optional[int] = None
+    for data, lineno_base in iter_line_blocks(path, block_bytes):
+        part: Optional[ColumnTrace] = None
+        cols = parse_candump_bytes(np.frombuffer(data, dtype=np.uint8))
+        if cols:
+            try:
+                part = ColumnTrace(**cols)
+            except TraceFormatError:
+                part = None  # re-parse names the offending line
+            else:
+                if last_end is not None and part.start_us < last_end:
+                    part = None
+        elif cols is not None:  # pragma: no cover - blocks are never empty
+            continue
+        if part is None:
+            part = _candump_block_fallback(data, lineno_base, path, last_end)
+        if len(part):
+            last_end = part.end_us
+            yield part
+
+
+def iter_candump_columns(
+    path: Union[str, Path],
+    chunk_frames: int,
+    *,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+) -> Iterator[ColumnTrace]:
+    """Stream a candump file as :class:`ColumnTrace` chunks.
+
+    Yields consecutive chunks of exactly ``chunk_frames`` frames (the
+    last may be short), so a capture larger than RAM streams through in
+    bounded memory.  Parsing is block-vectorised: the file reads as
+    ``block_bytes``-sized byte blocks of whole lines (gzip decompresses
+    block-wise too) and each block takes the same
+    :func:`~repro.io.vectorparse.parse_candump_bytes` fast path as the
+    whole-file reader, falling back to per-line parsing with exact line
+    diagnostics only for blocks the vector parser cannot digest.
+    Chunks split only on frame boundaries; timestamp monotonicity is
+    enforced across block and chunk boundaries too.  Bit-identical to
+    :func:`read_candump_columns` on any input.
+    """
+    if chunk_frames <= 0:
+        raise TraceFormatError(
+            f"chunk_frames must be positive, got {chunk_frames}"
+        )
+    return rechunk_parts(
+        _candump_block_parts(path, block_bytes), chunk_frames
+    )
+
+
 def _read_candump_columns_robust(path: Union[str, Path]) -> ColumnTrace:
     """Line-by-line columnar read with per-line diagnostics.
 
     The fallback for :func:`read_candump_columns` when the whole-file
     fast path cannot account for every data line: re-parses each line
-    (as one unbounded chunk of the chunked reader) so errors carry the
+    (as one unbounded chunk of the per-line reader) so errors carry the
     exact offending line number.
     """
-    for chunk in iter_candump_columns(path, chunk_frames=sys.maxsize):
+    for chunk in _iter_candump_columns_lines(path, chunk_frames=sys.maxsize):
         return chunk
     return ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
 
@@ -256,32 +343,42 @@ def read_candump_columns(path: Union[str, Path]) -> ColumnTrace:
         return _read_candump_columns_robust(path)
 
 
+#: Rows rendered per strip by the columnar text writers.  Strip-wise
+#: rendering keeps peak memory at O(strip) — a multi-hundred-MB capture
+#: (the ooc_smoke ingest experiment writes one) never holds the whole
+#: rendered text in RAM.
+_WRITE_STRIP_ROWS = 262_144
+
+
 def write_candump_columns(
     ct: ColumnTrace, path: Union[str, Path], iface: str = "can0"
 ) -> None:
     """Write a :class:`ColumnTrace` in candump format.
 
     Byte-identical to ``write_candump(ct.to_trace(), path)`` but renders
-    straight from the columns.  Bus tags are columnar-only metadata and
-    are not written (see ``ARCHITECTURE.md``).
+    straight from the columns, one :data:`_WRITE_STRIP_ROWS` strip at a
+    time (bounded memory for arbitrarily large captures).  Bus tags are
+    columnar-only metadata and are not written (see ``ARCHITECTURE.md``).
     """
-    n = len(ct)
-    base = int(ct.payload_offsets[0]) if n else 0
-    hex_all = ct.payload_bytes().tobytes().hex().upper()
-    offsets = ((ct.payload_offsets - base) * 2).tolist()
-    times = ct.timestamp_us.tolist()
-    ids = ct.can_id.tolist()
-    ext = ct.extended.tolist()
-    att = ct.is_attack.tolist()
-    sources = ct.sources()
     with open_text(path, "w") as handle:
-        lines = []
-        for i in range(n):
-            secs, usecs = divmod(times[i], SECOND_US)
-            width = 8 if ext[i] else 3
-            lines.append(
-                f"({secs}.{usecs:06d}) {iface} {ids[i]:0{width}X}"
-                f"#{hex_all[offsets[i]:offsets[i + 1]]}"
-                f" ; src={sources[i] or '-'} attack={1 if att[i] else 0}\n"
-            )
-        handle.write("".join(lines))
+        for strip_lo in range(0, len(ct), _WRITE_STRIP_ROWS):
+            strip = ct.slice(strip_lo, strip_lo + _WRITE_STRIP_ROWS)
+            n = len(strip)
+            base = int(strip.payload_offsets[0]) if n else 0
+            hex_all = strip.payload_bytes().tobytes().hex().upper()
+            offsets = ((strip.payload_offsets - base) * 2).tolist()
+            times = strip.timestamp_us.tolist()
+            ids = strip.can_id.tolist()
+            ext = strip.extended.tolist()
+            att = strip.is_attack.tolist()
+            sources = strip.sources()
+            lines = []
+            for i in range(n):
+                secs, usecs = divmod(times[i], SECOND_US)
+                width = 8 if ext[i] else 3
+                lines.append(
+                    f"({secs}.{usecs:06d}) {iface} {ids[i]:0{width}X}"
+                    f"#{hex_all[offsets[i]:offsets[i + 1]]}"
+                    f" ; src={sources[i] or '-'} attack={1 if att[i] else 0}\n"
+                )
+            handle.write("".join(lines))

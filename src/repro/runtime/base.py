@@ -49,7 +49,7 @@ from repro.core.detector import WindowResult
 from repro.core.engine import BatchEntropyEngine
 from repro.core.template import GoldenTemplate
 from repro.exceptions import DetectorError
-from repro.io.archive import load_capture_columns
+from repro.io.archive import load_capture_columns, open_capture_stream
 
 __all__ = [
     "BaselineScanSpec",
@@ -128,9 +128,20 @@ class EntropyScanSpec(ScanSpec):
         if self.chunk_windows is None:
             return lambda path: engine.scan(load_capture_columns(path))
         chunk_windows = int(self.chunk_windows)
-        return lambda path: engine.scan_stream(
-            load_capture_columns(path, mmap=True), chunk_windows
-        )
+
+        def scan_stream(path: str) -> List[WindowResult]:
+            # Streaming sources (mapped npz, block-compressed npb) keep
+            # the worker's memory bounded; the reader handle — if the
+            # source has one — is released when the scan ends.
+            source = open_capture_stream(path)
+            try:
+                return engine.scan_stream(source, chunk_windows)
+            finally:
+                close = getattr(source, "close", None)
+                if close is not None:
+                    close()
+
+        return scan_stream
 
     def to_payload(self) -> dict:
         payload = {

@@ -173,6 +173,80 @@ class TestOutOfCoreFlags:
         assert ooc_out == in_ram_out  # same rendered report, bit for bit
 
 
+class TestConvert:
+    """convert: any capture -> the block-compressed .npb container."""
+
+    def test_convert_and_detect_round_trip(self, tmp_path, capsys):
+        log_path = tmp_path / "drive.log"
+        npb_path = tmp_path / "drive.npb"
+        template_path = tmp_path / "template.json"
+        assert main(["template", "--windows", "6", "--out", str(template_path)]) == 0
+        assert main(
+            ["simulate", "--duration", "4", "--seed", "11", "--out", str(log_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["convert", "--trace", str(log_path), "--out", str(npb_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "frames" in out
+        assert npb_path.exists()
+
+        from repro.io import load_capture_columns
+
+        assert load_capture_columns(npb_path) == load_capture_columns(log_path)
+
+        # The container must detect identically to the text capture.
+        code_log = main(
+            ["detect", "--template", str(template_path), "--trace", str(log_path)]
+        )
+        out_log = capsys.readouterr().out
+        code_npb = main(
+            ["detect", "--template", str(template_path), "--trace", str(npb_path)]
+        )
+        out_npb = capsys.readouterr().out
+        assert code_npb == code_log
+        assert out_npb == out_log
+
+    def test_out_must_be_npb(self, tmp_path, capsys):
+        log_path = tmp_path / "drive.log"
+        assert main(
+            ["simulate", "--duration", "2", "--out", str(log_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["convert", "--trace", str(log_path), "--out", str(tmp_path / "x.npz")]
+        ) == 1
+        assert ".npb" in capsys.readouterr().out
+
+    def test_scan_archive_hints_convert_for_compressed_npz(
+        self, tmp_path, capsys
+    ):
+        """--out-of-core over a compressed npz must point at convert
+        instead of silently falling back to an eager load."""
+        from repro.io import load_capture_columns
+
+        template_path = tmp_path / "template.json"
+        archive_dir = tmp_path / "captures"
+        archive_dir.mkdir()
+        log_path = tmp_path / "drive.log"
+        assert main(["template", "--windows", "6", "--out", str(template_path)]) == 0
+        assert main(
+            ["simulate", "--duration", "3", "--out", str(log_path)]
+        ) == 0
+        load_capture_columns(log_path).save_npz(
+            archive_dir / "drive.npz", compressed=True
+        )
+        capsys.readouterr()
+        base = ["scan-archive", "--template", str(template_path),
+                "--dir", str(archive_dir)]
+        assert main(base + ["--out-of-core"]) == 1
+        out = capsys.readouterr().out
+        assert "repro-ids convert" in out
+        # Without the flag the eager path still scans it.
+        assert main(base) in (0, 2)
+
+
 class TestFleet:
     """fleet add -> train -> scan -> (append) -> scan -> status/report."""
 

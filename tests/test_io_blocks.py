@@ -1,0 +1,214 @@
+"""The block-compressed columnar container (``.npb``).
+
+Chunked per-column zlib compression with a JSON block index: captures
+round-trip losslessly, stream back one inflated block at a time, scan
+bit-identically to the in-RAM engine paths, and dispatch through the
+archive/runtime layers by suffix like any other capture format.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import BatchEntropyEngine
+from repro.exceptions import TraceFormatError
+from repro.io import (
+    BlockReader,
+    BlockWriter,
+    CaptureArchive,
+    load_capture_columns,
+    open_capture_stream,
+    write_blocks,
+)
+from repro.io.archive import DEFAULT_PATTERNS, iter_capture_chunks
+from repro.io.blocks import BLOCKS_SUFFIX
+from repro.io.columnar import ColumnTrace
+from repro.vehicle.traffic import generate_drive_columns
+
+
+@pytest.fixture(scope="module")
+def capture(catalog):
+    """A payload-bearing drive capture with interned source tables."""
+    return generate_drive_columns(
+        3.0, scenario="city", seed=41, catalog=catalog
+    )
+
+
+@pytest.fixture()
+def npb(capture, tmp_path):
+    path = tmp_path / "drive.npb"
+    write_blocks(path, capture, block_frames=1000)
+    return path
+
+
+class TestRoundTrip:
+    def test_lossless(self, capture, npb):
+        with BlockReader(npb) as reader:
+            assert len(reader) == len(capture)
+            assert reader.to_columns() == capture
+
+    def test_blocks_are_frame_aligned(self, capture, npb):
+        with BlockReader(npb) as reader:
+            blocks = list(reader.iter_blocks())
+        assert all(len(b) == 1000 for b in blocks[:-1])
+        assert sum(len(b) for b in blocks) == len(capture)
+        assert ColumnTrace.merge(*blocks) == capture
+
+    def test_streamed_appends_match_single_write(self, capture, tmp_path):
+        """Odd-sized appends land in the same exact-size blocks."""
+        whole = tmp_path / "whole.npb"
+        write_blocks(whole, capture, block_frames=777)
+        appended = tmp_path / "appended.npb"
+        with BlockWriter(appended, block_frames=777) as writer:
+            for lo in range(0, len(capture), 313):
+                writer.append(capture.slice(lo, lo + 313))
+        assert (
+            load_capture_columns(appended) == load_capture_columns(whole)
+        )
+        assert appended.read_bytes() == whole.read_bytes()
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.npb"
+        empty = ColumnTrace(np.empty(0, np.int64), np.empty(0, np.int64))
+        write_blocks(path, empty)
+        with BlockReader(path) as reader:
+            assert len(reader) == 0
+            assert reader.to_columns() == empty
+            assert list(reader.iter_window_chunks(2_000_000, 8)) == []
+
+    def test_out_of_order_appends_rejected(self, capture, tmp_path):
+        with BlockWriter(tmp_path / "o.npb") as writer:
+            writer.append(capture.slice(100, 200))
+            with pytest.raises(TraceFormatError, match="time-ordered"):
+                writer.append(capture.slice(0, 100))
+
+    def test_writer_validates_parameters(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="positive"):
+            BlockWriter(tmp_path / "b.npb", block_frames=0)
+        with pytest.raises(TraceFormatError, match="level"):
+            BlockWriter(tmp_path / "b.npb", level=99)
+
+
+class TestFormatGates:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.npb"
+        path.write_bytes(b"NOTABLOCKFILE" + b"\0" * 64)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            BlockReader(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "short.npb"
+        path.write_bytes(b"REPRO")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            BlockReader(path)
+
+    def test_corrupt_trailer(self, npb):
+        data = bytearray(npb.read_bytes())
+        data[-8:] = b"XXXXXXXX"  # trailer magic
+        npb.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="bad trailer"):
+            BlockReader(npb)
+
+    def test_future_version_refused(self, npb, capture, tmp_path):
+        """A reader must refuse schema versions it does not understand
+        rather than misread them."""
+        raw = npb.read_bytes()
+        trailer = struct.Struct("<QQ8s")
+        offset, length, magic = trailer.unpack(raw[-trailer.size:])
+        index = json.loads(raw[offset:offset + length])
+        index["version"] = 999
+        body = raw[:offset]
+        new_index = json.dumps(index).encode("ascii")
+        bumped = tmp_path / "future.npb"
+        bumped.write_bytes(
+            body + new_index
+            + trailer.pack(offset, len(new_index), magic)
+        )
+        with pytest.raises(TraceFormatError, match="version 999"):
+            BlockReader(bumped)
+
+
+class TestWindowChunking:
+    @pytest.mark.parametrize("chunk_windows", [1, 7, 64])
+    def test_chunks_match_in_ram_iterator(self, capture, npb, chunk_windows):
+        window_us = 2_000_000
+        with BlockReader(npb) as reader:
+            streamed = list(
+                reader.iter_window_chunks(window_us, chunk_windows)
+            )
+        in_ram = list(
+            capture.iter_window_chunks(window_us, chunk_windows)
+        )
+        assert ColumnTrace.merge(*streamed) == ColumnTrace.merge(*in_ram)
+
+    def test_engine_scan_stream_parity(self, capture, npb, golden_template, ids_config):
+        engine = BatchEntropyEngine(golden_template, ids_config)
+        reference = engine.scan(capture)
+        with BlockReader(npb) as reader:
+            streamed = engine.scan_stream(reader, chunk_windows=16)
+        assert [w.to_dict() for w in streamed] == [
+            w.to_dict() for w in reference
+        ]
+
+    def test_engine_scan_block_delegates(self, capture, npb, golden_template, ids_config):
+        engine = BatchEntropyEngine(golden_template, ids_config)
+        with BlockReader(npb) as reader:
+            block = engine.scan_block(reader)
+        assert [w.to_dict() for w in block.results()] == [
+            w.to_dict() for w in engine.scan(capture)
+        ]
+
+
+class TestDispatch:
+    def test_npb_in_default_patterns(self):
+        assert "*" + BLOCKS_SUFFIX in DEFAULT_PATTERNS
+
+    def test_archive_enumerates_and_loads(self, capture, tmp_path):
+        write_blocks(tmp_path / "a.npb", capture, block_frames=500)
+        archive = CaptureArchive(tmp_path)
+        assert [p.name for p in archive.paths] == ["a.npb"]
+        assert archive.load(0) == capture
+
+    def test_iter_capture_chunks(self, capture, npb):
+        chunks = list(iter_capture_chunks(npb, 333))
+        assert all(len(c) <= 333 for c in chunks)
+        assert ColumnTrace.merge(*chunks) == capture
+
+    def test_archive_write_capture(self, capture, tmp_path):
+        archive = CaptureArchive(tmp_path)
+        path = archive.write_capture("out.npb", capture)
+        assert path.suffix == ".npb"
+        assert load_capture_columns(path) == capture
+
+    def test_open_capture_stream(self, capture, npb):
+        source = open_capture_stream(npb)
+        assert isinstance(source, BlockReader)
+        source.close()
+
+    def test_container_beats_uncompressed_npz_on_disk(
+        self, capture, npb, tmp_path
+    ):
+        npz = tmp_path / "drive.npz"
+        capture.save_npz(npz)
+        assert npb.stat().st_size < npz.stat().st_size
+
+
+class TestRuntimeSpec:
+    def test_entropy_scan_spec_scans_npb(
+        self, capture, npb, golden_template, ids_config
+    ):
+        from repro.runtime.base import EntropyScanSpec
+
+        spec = EntropyScanSpec(
+            template=golden_template,
+            config=ids_config,
+            chunk_windows=16,
+        )
+        scanner = spec.make_scanner()
+        windows = scanner(str(npb))
+        engine = BatchEntropyEngine(golden_template, ids_config)
+        assert [w.to_dict() for w in windows] == [
+            w.to_dict() for w in engine.scan(capture)
+        ]
