@@ -1,0 +1,41 @@
+"""Telemetry-overhead benchmark: the repro.obs layer, off and on.
+
+The observability layer's contract is "one predictable branch when
+disabled, useful spans when enabled, identical verdicts either way".
+This benchmark holds it to that: the disabled path is measured against
+the true pre-instrumentation loop (inlined in the experiment module),
+the enabled path against the disabled one, and parity is asserted on
+the full ``WindowResult.to_dict`` stream before any rate is trusted.
+"""
+
+import os
+
+from conftest import append_artifact, append_bench
+from repro.experiments import throughput
+
+#: Capture size for the overhead measurement (env-overridable; larger
+#: captures shrink the per-call noise floor around the tiny deltas
+#: being measured).
+OBS_FRAMES = int(os.environ.get("REPRO_BENCH_OBS_FRAMES", "300000"))
+
+
+class TestTelemetryOverhead:
+    def test_bench_obs_overhead(self, setup):
+        """Off-path overhead vs the pre-instrumentation loop, on-path
+        overhead vs off, per-stage span totals — one process, one
+        capture, best-of-N."""
+        result = throughput.run_obs(
+            setup.template,
+            setup.config,
+            n_frames=OBS_FRAMES,
+            catalog=setup.catalog,
+        )
+        append_artifact("obs", result.render())
+        append_bench("obs", result.bench_records())
+        # Instrumentation that changes the answer is worse than useless:
+        # parity is unconditional, rates only gate with a core to spare.
+        assert result.parity_ok, result.render()
+        assert result.n_events > 0, result.render()
+        assert result.stages, result.render()
+        if (os.cpu_count() or 1) > 1:
+            assert result.off_overhead_pct <= 2.0, result.render()

@@ -14,6 +14,9 @@ Subcommands mirror the workflow of the paper's evaluation:
 * ``worker``   — serve shard tasks: either a shared work-queue
   directory (``--queue DIR``, filesystem fabric) or a running
   coordinator (``--connect HOST:PORT``, network fabric);
+* ``status``   — live scan-fabric console: poll a coordinator
+  (``--connect``) or a queue directory (``--queue-dir``) for task,
+  worker and job state (``--watch`` repaints continuously);
 * ``fleet``    — the persistent fleet store: ``add`` captures per
   vehicle, ``train`` per-vehicle golden templates, ``scan``
   incrementally against each vehicle's scan ledger, ``watch`` as a
@@ -37,6 +40,9 @@ Examples::
     repro-ids worker --connect coordinator-host:7341
     repro-ids scan-archive --template template.json --dir captures/ \\
         --executor net --connect coordinator-host:7341
+    repro-ids status --connect coordinator-host:7341 --watch
+    repro-ids scan-archive --template template.json --dir captures/ \\
+        --metrics-out events.jsonl
     repro-ids fleet add --store fleet/ --vehicle car-a --trace drive.log
     repro-ids fleet train --store fleet/ --vehicle car-a
     repro-ids fleet scan --store fleet/
@@ -49,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -106,6 +113,16 @@ def _add_executor_args(cmd) -> None:
                      help="detection windows per out-of-core chunk "
                           "(implies --out-of-core; default "
                           f"{DEFAULT_CHUNK_WINDOWS})")
+
+
+def _add_metrics_arg(cmd) -> None:
+    """The telemetry flag every instrumented command shares."""
+    cmd.add_argument("--metrics-out", type=Path, default=None,
+                     metavar="EVENTS.JSONL",
+                     help="enable the telemetry layer for this run and "
+                          "append its versioned events (stage spans, "
+                          "fabric events, a final metrics snapshot) to "
+                          "this JSONL file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan_archive.add_argument("--json", dest="json_out", type=Path, default=None,
                               help="also write the full report as JSON")
     _add_executor_args(scan_archive)
+    _add_metrics_arg(scan_archive)
 
     serve = sub.add_parser(
         "serve",
@@ -200,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--lease", type=_positive_float, default=300.0,
                        help="claim lease seconds: a worker silent this "
                             "long has its tasks re-posted")
+    _add_metrics_arg(serve)
 
     worker = sub.add_parser(
         "worker",
@@ -220,6 +239,26 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--stop-file", type=Path, default=None,
                         help="extra stop-file path besides <queue>/stop "
                              "(filesystem fabric only)")
+    _add_metrics_arg(worker)
+
+    status = sub.add_parser(
+        "status",
+        help="live scan-fabric console: poll a coordinator (--connect) "
+             "or a queue directory (--queue-dir) for task, worker and "
+             "job state",
+    )
+    status.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="coordinator to poll (a running repro-ids "
+                             "serve)")
+    status.add_argument("--queue-dir", type=Path, default=None,
+                        help="filesystem queue directory to inspect")
+    status.add_argument("--watch", action="store_true",
+                        help="repaint continuously until interrupted")
+    status.add_argument("--interval", type=_positive_float, default=2.0,
+                        help="seconds between --watch polls")
+    status.add_argument("--json", dest="json_stream", action="store_true",
+                        help="emit the raw versioned stats document (one "
+                             "JSON object per poll) instead of the console")
 
     fleet = sub.add_parser(
         "fleet",
@@ -273,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="infer malicious-ID candidates per alarmed capture")
         cmd.add_argument("--infer-k", type=int, default=1)
         _add_executor_args(cmd)
+        _add_metrics_arg(cmd)
     fleet_report.add_argument("--out", type=Path, default=None,
                               help="also write the report text to this file")
     fleet_report.add_argument("--json", dest="json_out", type=Path, default=None,
@@ -321,6 +361,37 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
+
+@contextmanager
+def _metrics(args, command: str):
+    """Enable the telemetry layer for one command run.
+
+    Without ``--metrics-out`` (or on commands that don't take it) this
+    is a no-op.  With it, the whole run executes under an enabled
+    :mod:`repro.obs` registry wired to a JSONL sink, inside a
+    ``cli.<command>`` span; a final ``metrics`` event carries the full
+    registry snapshot so the event log alone reconstructs every
+    counter, gauge and histogram.
+    """
+    path = getattr(args, "metrics_out", None)
+    if path is None:
+        yield None
+        return
+    from repro import obs
+
+    sink = obs.JsonlSink(path)
+    registry = obs.enable(sinks=(sink,))
+    try:
+        with registry.span(f"cli.{command}"):
+            yield registry
+    finally:
+        # Emitted even on the error paths: a failed run's partial
+        # metrics are exactly what you want when diagnosing it.
+        registry.emit("metrics", snapshot=registry.snapshot())
+        obs.disable()
+        sink.close()
+        print(f"telemetry events written to {path}", flush=True)
+
 
 def _write_trace(trace, path: Path) -> None:
     from repro.io import write_candump, write_csv
@@ -671,6 +742,48 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_status(args) -> int:
+    import json as _json
+    import time
+
+    from repro.exceptions import DetectorError
+    from repro.runtime import render_stats
+
+    if (args.connect is None) == (args.queue_dir is None):
+        raise SystemExit(
+            "repro-ids: error: status needs exactly one fabric: "
+            "--connect HOST:PORT (network) or --queue-dir DIR (filesystem)"
+        )
+
+    def fetch():
+        if args.connect is not None:
+            from repro.runtime import fetch_stats
+
+            return fetch_stats(args.connect)
+        from repro.runtime import queue_stats
+
+        return queue_stats(args.queue_dir)
+
+    try:
+        while True:
+            stats = fetch()
+            if args.json_stream:
+                print(_json.dumps(stats, sort_keys=True), flush=True)
+            else:
+                if args.watch and sys.stdout.isatty():
+                    # Clear + home: a live console, not a scrolling log.
+                    print("\x1b[2J\x1b[H", end="")
+                print(render_stats(stats), flush=True)
+            if not args.watch:
+                return 0
+            time.sleep(args.interval)
+    except DetectorError as exc:
+        print(str(exc))
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
 def _fleet_window_us(args, store):
     """Resolve the detection window and enforce it matches training.
 
@@ -874,6 +987,38 @@ def _cmd_fleet(args) -> int:
                     f"template={'yes' if has_template else 'no'}, "
                     f"bus templates={n_bus}, ledger entries={shown}"
                 )
+        # Surface the watch daemon's last-cycle state when one is (or
+        # was) running against this store: its status file is rewritten
+        # atomically every cycle.
+        import time as _time
+
+        from repro.fleet.daemon import STATUS_FILENAME
+
+        status_path = store.root / STATUS_FILENAME
+        if status_path.is_file():
+            try:
+                daemon_state = _json.loads(
+                    status_path.read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError):
+                daemon_state = None
+            if isinstance(daemon_state, dict):
+                if args.json_stream:
+                    print(_json.dumps(
+                        {"daemon": daemon_state}, sort_keys=True
+                    ))
+                else:
+                    cycle = daemon_state.get("cycle") or {}
+                    age = max(0.0, _time.time() - daemon_state.get("ts", 0.0))
+                    print(
+                        f"watch daemon (pid {daemon_state.get('pid', '?')}): "
+                        f"cycle {cycle.get('cycle', '?')}, "
+                        f"{cycle.get('scanned', 0)} scanned, "
+                        f"{cycle.get('cached', 0)} cached, "
+                        f"{cycle.get('drifting', 0)} drifting, "
+                        f"interval {daemon_state.get('interval_s', 0):g}s, "
+                        f"updated {age:.0f}s ago"
+                    )
         return 0
 
     # scan / report / watch
@@ -989,6 +1134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scan-archive": _cmd_scan_archive,
         "serve": _cmd_serve,
         "worker": _cmd_worker,
+        "status": _cmd_status,
         "fleet": _cmd_fleet,
         "fig2": _cmd_experiment,
         "fig3": _cmd_experiment,
@@ -996,7 +1142,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stability": _cmd_experiment,
         "cost": _cmd_experiment,
     }
-    return handlers[args.command](args)
+    label = args.command
+    fleet_command = getattr(args, "fleet_command", None)
+    if fleet_command:
+        label = f"{label}-{fleet_command}"
+    with _metrics(args, label):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

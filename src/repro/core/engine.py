@@ -37,6 +37,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.alerts import AlertSink
 from repro.core.config import IDSConfig
 from repro.core.detector import WindowResult
@@ -111,7 +112,11 @@ class BatchEntropyEngine:
             return self.scan_stream_block(source)
         if len(source) == 0:
             return WindowBlock.empty(self.config.n_bits, self.config.window_us)
-        return scan_windows(source, self.template, self.config)
+        reg = obs.active()
+        if reg is None:  # telemetry off: the hot path pays this branch only
+            return scan_windows(source, self.template, self.config)
+        with reg.span("engine.kernel", frames=len(source)):
+            return scan_windows(source, self.template, self.config)
 
     def scan_stream_block(
         self,
@@ -137,20 +142,53 @@ class BatchEntropyEngine:
         workspace = KernelWorkspace()
         blocks: List[WindowBlock] = []
         emitted = 0
-        for chunk in ct.iter_window_chunks(self.config.window_us, chunk_windows):
-            block = scan_windows(
-                chunk,
-                self.template,
-                self.config,
-                origin_us=origin,
-                index_base=emitted,
-                workspace=workspace,
+        reg = obs.active()
+        if reg is None:
+            # Telemetry off: the untouched loop — one branch, zero
+            # allocations beyond what the scan itself needs.
+            for chunk in ct.iter_window_chunks(
+                self.config.window_us, chunk_windows
+            ):
+                block = scan_windows(
+                    chunk,
+                    self.template,
+                    self.config,
+                    origin_us=origin,
+                    index_base=emitted,
+                    workspace=workspace,
+                )
+                emitted += len(block)
+                blocks.append(block)
+        else:
+            # Traced twin: chunk fetch (IO/decompress side) and kernel
+            # timed separately so span sums attribute the wall clock.
+            chunks = iter(
+                ct.iter_window_chunks(self.config.window_us, chunk_windows)
             )
-            emitted += len(block)
-            blocks.append(block)
-        return WindowBlock.concat(
-            blocks, self.config.n_bits, self.config.window_us
-        )
+            while True:
+                with reg.span("engine.chunk"):
+                    chunk = next(chunks, None)
+                if chunk is None:
+                    break
+                with reg.span("engine.kernel", frames=len(chunk)):
+                    block = scan_windows(
+                        chunk,
+                        self.template,
+                        self.config,
+                        origin_us=origin,
+                        index_base=emitted,
+                        workspace=workspace,
+                    )
+                emitted += len(block)
+                blocks.append(block)
+        if reg is None:
+            return WindowBlock.concat(
+                blocks, self.config.n_bits, self.config.window_us
+            )
+        with reg.span("engine.assemble", windows=emitted):
+            return WindowBlock.concat(
+                blocks, self.config.n_bits, self.config.window_us
+            )
 
     def scan(self, trace: Union[Trace, ColumnTrace]) -> List[WindowResult]:
         """Judge every tumbling window of a recorded capture.
@@ -174,7 +212,12 @@ class BatchEntropyEngine:
 
     def _emit(self, block: WindowBlock) -> List[WindowResult]:
         """Materialise the legacy result list and emit alarm alerts."""
-        results = block.results()
+        reg = obs.active()
+        if reg is None:
+            results = block.results()
+        else:
+            with reg.span("engine.assemble", windows=len(block)):
+                results = block.results()
         for i in np.flatnonzero(block.alarm_mask):
             self.sink.emit(results[int(i)].to_alert())
         return results

@@ -34,6 +34,7 @@ from repro.core.bitprob import check_id_range, window_bit_counts
 from repro.core.detector import WindowResult
 from repro.core.engine import DEFAULT_CHUNK_WINDOWS
 from repro.core.entropy import binary_entropy
+from repro.core.kernel import KernelWorkspace, WindowBlock, scan_windows
 from repro.core.shard import ShardedScanner
 from repro.core.template import GoldenTemplate
 from repro.experiments.bench import bench_record
@@ -757,3 +758,224 @@ def run_archive(
             import shutil
 
             shutil.rmtree(tmp, ignore_errors=True)
+
+# ----------------------------------------------------------------------
+# Telemetry overhead: the repro.obs instrumentation, off and on
+# ----------------------------------------------------------------------
+
+def _uninstrumented_stream_scan(
+    engine: BatchEntropyEngine, ct: ColumnTrace, chunk_windows: int
+) -> List[WindowResult]:
+    """The chunked scan hot loop with *no* telemetry branch at all.
+
+    This inlines what ``scan_stream`` did before the observability
+    layer existed — not even the single ``obs.active()`` check — so the
+    "telemetry off costs nothing" claim is measured against the true
+    pre-instrumentation loop, in the same process, on the same capture.
+    """
+    config = engine.config
+    if len(ct) == 0:
+        return []
+    origin = ct.start_us
+    workspace = KernelWorkspace()
+    blocks: List[WindowBlock] = []
+    emitted = 0
+    for chunk in ct.iter_window_chunks(config.window_us, chunk_windows):
+        block = scan_windows(
+            chunk,
+            engine.template,
+            config,
+            origin_us=origin,
+            index_base=emitted,
+            workspace=workspace,
+        )
+        emitted += len(block)
+        blocks.append(block)
+    block = WindowBlock.concat(blocks, config.n_bits, config.window_us)
+    results = block.results()
+    for i in np.flatnonzero(block.alarm_mask):
+        engine.sink.emit(results[int(i)].to_alert())
+    return results
+
+
+@dataclass(frozen=True)
+class ObsOverheadResult:
+    """Telemetry cost on the chunked scan path, off and on.
+
+    ``pre_mps`` is the uninstrumented pre-telemetry loop, ``off_mps``
+    the shipped path with telemetry disabled (one predictable branch
+    per call site), ``on_mps`` the same path under an enabled registry
+    recording per-stage spans.  ``parity_ok`` asserts all three produce
+    bit-identical window verdicts — instrumentation that changed the
+    answer would be worse than useless.
+    """
+
+    n_frames: int
+    n_windows: int
+    reps: int
+    chunk_windows: int
+    pre_mps: float
+    off_mps: float
+    on_mps: float
+    n_events: int
+    #: ``(span name, observations, total seconds)`` from the traced pass.
+    stages: Tuple[Tuple[str, int, float], ...]
+    parity_ok: bool
+
+    @property
+    def off_overhead_pct(self) -> float:
+        """Slowdown of the disabled-telemetry path vs the pre loop."""
+        if not self.pre_mps:
+            return 0.0
+        return (1.0 - self.off_mps / self.pre_mps) * 100.0
+
+    @property
+    def on_overhead_pct(self) -> float:
+        """Slowdown of the enabled-telemetry path vs disabled."""
+        if not self.off_mps:
+            return 0.0
+        return (1.0 - self.on_mps / self.off_mps) * 100.0
+
+    def render(self) -> str:
+        """The experiment's artifact table."""
+        lines = [
+            "Telemetry overhead: chunked scan with repro.obs off vs on",
+            f"capture: {self.n_frames} frames, {self.n_windows} windows, "
+            f"best of {self.reps} reps "
+            f"(chunk_windows={self.chunk_windows})",
+            f"{'path':>18} {'msg/s':>14} {'overhead':>9}",
+            f"{'pre-obs loop':>18} {self.pre_mps:>14,.0f} {'-':>9}",
+            f"{'telemetry off':>18} {self.off_mps:>14,.0f} "
+            f"{self.off_overhead_pct:>8.2f}%",
+            f"{'telemetry on':>18} {self.on_mps:>14,.0f} "
+            f"{self.on_overhead_pct:>8.2f}%",
+            f"traced pass: {self.n_events} events",
+        ]
+        for name, count, total_s in self.stages:
+            lines.append(
+                f"{'span ' + name:>24}: n={count}, total={total_s:.6f}s"
+            )
+        lines.append(
+            "parity across all three: "
+            + ("bit-identical" if self.parity_ok else "MISMATCH")
+        )
+        return "\n".join(lines)
+
+    def bench_records(self) -> List[dict]:
+        """Machine-readable twin of :meth:`render`."""
+        params = {
+            "n_frames": self.n_frames,
+            "n_windows": self.n_windows,
+            "reps": self.reps,
+            "chunk_windows": self.chunk_windows,
+        }
+        section = "obs"
+        records = [
+            bench_record(section, "pre_mps", self.pre_mps, "msg/s", params),
+            bench_record(section, "off_mps", self.off_mps, "msg/s", params),
+            bench_record(section, "on_mps", self.on_mps, "msg/s", params),
+            bench_record(
+                section, "off_overhead_pct", self.off_overhead_pct,
+                "%", params,
+            ),
+            bench_record(
+                section, "on_overhead_pct", self.on_overhead_pct, "%", params
+            ),
+            bench_record(
+                section, "n_events", float(self.n_events), "events", params
+            ),
+            bench_record(
+                section, "parity_ok", 1.0 if self.parity_ok else 0.0,
+                "bool", params,
+            ),
+        ]
+        for name, count, total_s in self.stages:
+            slug = name.replace(".", "_")
+            records.append(
+                bench_record(
+                    section, f"span_{slug}_s", total_s, "s",
+                    dict(params, observations=count),
+                )
+            )
+        return records
+
+
+def run_obs(
+    template: GoldenTemplate,
+    config: Optional[IDSConfig] = None,
+    n_frames: int = 300_000,
+    reps: int = 3,
+    chunk_windows: int = DEFAULT_CHUNK_WINDOWS,
+    seed: int = 41,
+    scenario: str = "city",
+    catalog: Optional[VehicleCatalog] = None,
+    capture: Optional[ColumnTrace] = None,
+) -> ObsOverheadResult:
+    """Measure the telemetry layer's cost on the chunked scan path.
+
+    Three variants run in one process on the same capture, best of
+    ``reps`` each: the pre-instrumentation loop (inlined above), the
+    shipped path with telemetry disabled, and the shipped path under an
+    enabled registry.  The traced pass also yields the per-stage span
+    totals and the captured event stream, so the artifact records what
+    the instrumentation *sees*, not just what it costs.
+    """
+    from repro import obs
+
+    config = config or IDSConfig()
+    if capture is None:
+        probe = generate_drive_columns(
+            10.0, scenario=scenario, seed=seed, catalog=catalog
+        )
+        rate = max(probe.message_rate_hz(), 1.0)
+        duration_s = n_frames / rate * 1.02 + 1.0
+        capture = generate_drive_columns(
+            duration_s, scenario=scenario, seed=seed, catalog=catalog,
+            with_payloads=False,
+        ).slice(0, n_frames)
+    n = len(capture)
+    engine = BatchEntropyEngine(template, config)
+
+    pre = _uninstrumented_stream_scan(engine, capture, chunk_windows)
+    off = engine.scan_stream(capture, chunk_windows=chunk_windows)
+    sink = obs.MemorySink()
+    with obs.capture(sinks=(sink,)) as registry:
+        on = engine.scan_stream(capture, chunk_windows=chunk_windows)
+        snapshot = registry.snapshot()
+    parity_ok = (
+        [w.to_dict() for w in pre]
+        == [w.to_dict() for w in off]
+        == [w.to_dict() for w in on]
+    )
+
+    pre_mps = _best_rate(
+        lambda: _uninstrumented_stream_scan(engine, capture, chunk_windows),
+        n, reps,
+    )
+    off_mps = _best_rate(
+        lambda: engine.scan_stream(capture, chunk_windows=chunk_windows),
+        n, reps,
+    )
+    with obs.capture():  # no sinks: the registry/span cost floor
+        on_mps = _best_rate(
+            lambda: engine.scan_stream(capture, chunk_windows=chunk_windows),
+            n, reps,
+        )
+
+    stages = tuple(
+        (name, int(h["count"]), float(h["total_s"]))
+        for name, h in sorted(snapshot["histograms"].items())
+        if name.startswith("engine.")
+    )
+    return ObsOverheadResult(
+        n_frames=n,
+        n_windows=len(pre),
+        reps=int(reps),
+        chunk_windows=int(chunk_windows),
+        pre_mps=pre_mps,
+        off_mps=off_mps,
+        on_mps=on_mps,
+        n_events=len(sink.events),
+        stages=stages,
+        parity_ok=parity_ok,
+    )

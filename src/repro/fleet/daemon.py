@@ -30,14 +30,18 @@ work happens in code that already exists and is already parity-tested:
 
 from __future__ import annotations
 
+import json
+import os
 import signal
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
+from repro import obs
 from repro.core.pipeline import IDSPipeline
 from repro.exceptions import TemplateError
+from repro.io.atomic import atomic_write_text
 from repro.fleet.drift import (
     DEFAULT_DRIFT_LIMIT,
     DEFAULT_DRIFT_SLACK,
@@ -46,7 +50,12 @@ from repro.fleet.drift import (
 from repro.fleet.retrain import retrain_vehicle, should_retrain
 from repro.fleet.store import FleetStore
 
-__all__ = ["CycleResult", "WatchDaemon"]
+__all__ = ["CycleResult", "WatchDaemon", "STATUS_FILENAME"]
+
+#: Per-cycle daemon status dropped (atomically) into the store root, so
+#: ``repro-ids fleet status`` on any host sharing the store can report
+#: the daemon's last cycle without talking to the daemon process.
+STATUS_FILENAME = "watch-status.json"
 
 
 @dataclass
@@ -78,21 +87,45 @@ class CycleResult:
         """True when the cycle scanned, retrained or compacted anything."""
         return bool(self.scanned or self.retrained or self.compacted)
 
+    def to_event(self) -> dict:
+        """The structured ``fleet.cycle`` event this cycle *is*.
+
+        This dict is the source of truth: :meth:`status_line` renders
+        it, the telemetry layer emits it, and the daemon persists it to
+        the store's status file — one schema, three consumers.
+        """
+        return {
+            "cycle": self.index,
+            "vehicles": len(self.report.vehicles),
+            "scanned": self.scanned,
+            "cached": self.cached,
+            "alarmed": len(self.report.alarmed_vehicles),
+            "drifting": len(self.report.drifting_vehicles),
+            "compacted": self.compacted,
+            "retrained": list(self.retrained),
+            "retrain_skipped": list(self.retrain_skipped),
+            "duration_s": round(self.duration_s, 6),
+        }
+
     def status_line(self) -> str:
-        """The daemon's one-line-per-cycle operator digest."""
+        """The daemon's one-line-per-cycle operator digest (a rendering
+        of :meth:`to_event`)."""
+        event = self.to_event()
         line = (
-            f"cycle {self.index}: {len(self.report.vehicles)} vehicles, "
-            f"{self.scanned} scanned, {self.cached} cached, "
-            f"{len(self.report.alarmed_vehicles)} alarmed, "
-            f"{len(self.report.drifting_vehicles)} drifting"
+            f"cycle {event['cycle']}: {event['vehicles']} vehicles, "
+            f"{event['scanned']} scanned, {event['cached']} cached, "
+            f"{event['alarmed']} alarmed, "
+            f"{event['drifting']} drifting"
         )
-        if self.compacted:
-            line += f", {self.compacted} ledger entries pruned"
-        if self.retrained:
-            line += f", retrained {', '.join(self.retrained)}"
-        if self.retrain_skipped:
-            line += f", retrain skipped for {', '.join(self.retrain_skipped)}"
-        return line + f" ({self.duration_s:.2f}s)"
+        if event["compacted"]:
+            line += f", {event['compacted']} ledger entries pruned"
+        if event["retrained"]:
+            line += f", retrained {', '.join(event['retrained'])}"
+        if event["retrain_skipped"]:
+            line += (
+                f", retrain skipped for {', '.join(event['retrain_skipped'])}"
+            )
+        return line + f" ({event['duration_s']:.2f}s)"
 
 
 class WatchDaemon:
@@ -163,6 +196,7 @@ class WatchDaemon:
         self.cycles: List[CycleResult] = []
         self._stop_reason: Optional[str] = None
         self._previous_handlers: dict = {}
+        self._current_interval = self.interval_s
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -257,8 +291,42 @@ class WatchDaemon:
             duration_s=time.perf_counter() - start,
         )
         self.cycles.append(cycle)
+        event = cycle.to_event()
+        reg = obs.active()
+        if reg is not None:
+            reg.emit("fleet.cycle", **event)
+            reg.counter("fleet.cycles").inc()
+            reg.gauge("fleet.cycle_s").set(cycle.duration_s)
+            reg.gauge("fleet.scanned").set(cycle.scanned)
+            reg.gauge("fleet.ledger_hits").set(cycle.cached)
+            reg.gauge("fleet.drifting").set(
+                len(cycle.report.drifting_vehicles)
+            )
+        self._write_status(event)
         self.log(cycle.status_line())
         return cycle
+
+    def _write_status(self, event: dict) -> None:
+        """Drop the cycle event (plus loop state) into the store root.
+
+        Atomic, best-effort: status is advisory — a read-only store
+        must not crash the daemon.  ``fleet status`` (and its
+        ``--json`` stream) reads this file to report daemon liveness.
+        """
+        payload = {
+            "v": obs.OBS_VERSION,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "interval_s": self._current_interval,
+            "cycle": event,
+        }
+        try:
+            atomic_write_text(
+                self.store.root / STATUS_FILENAME,
+                json.dumps(payload, sort_keys=True),
+            )
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # The loop
@@ -290,6 +358,13 @@ class WatchDaemon:
                     interval = self.interval_s
                 else:
                     interval = min(interval * self.backoff, self.max_interval_s)
+                self._current_interval = interval
+                obs.emit(
+                    "fleet.backoff",
+                    cycle=cycle.index,
+                    idle=not cycle.did_work,
+                    interval_s=interval,
+                )
                 if self._stop_requested():
                     break
                 prefix = "idle; " if not cycle.did_work else ""

@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import TraceFormatError
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace
@@ -384,11 +385,9 @@ class BlockReader:
         self.close()
 
     # ------------------------------------------------------------------
-    def read_block(self, i: int) -> ColumnTrace:
-        """Inflate block ``i`` into an in-RAM :class:`ColumnTrace`."""
-        entry = self.blocks[i]
-        rows = int(entry["rows"])
-        arrays = {}
+    def _inflate_columns(self, i: int, entry: dict) -> Dict[str, np.ndarray]:
+        """Seek + inflate every column of block ``i`` (the IO cost)."""
+        arrays: Dict[str, np.ndarray] = {}
         for name in _COLUMNS:
             offset, csize, rawsize, dtype = entry["columns"][name]
             self._handle.seek(int(offset))
@@ -399,6 +398,18 @@ class BlockReader:
                     f"{len(raw)} bytes, index says {rawsize}"
                 )
             arrays[name] = np.frombuffer(raw, dtype=np.dtype(dtype))
+        return arrays
+
+    def read_block(self, i: int) -> ColumnTrace:
+        """Inflate block ``i`` into an in-RAM :class:`ColumnTrace`."""
+        entry = self.blocks[i]
+        rows = int(entry["rows"])
+        reg = obs.active()
+        if reg is None:
+            arrays = self._inflate_columns(i, entry)
+        else:
+            with reg.span("io.decompress", block=i, rows=rows):
+                arrays = self._inflate_columns(i, entry)
         expected = {name: rows for name in _COLUMNS}
         expected["payload_offsets"] = rows + 1
         expected["payload"] = arrays["payload"].size

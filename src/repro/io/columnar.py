@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.can.constants import SECOND_US
 from repro.exceptions import TraceFormatError
 from repro.io.trace import Trace, TraceRecord
@@ -469,6 +470,14 @@ class ColumnTrace:
         layout; compressed files fall back to an eager load with a
         warning.  Memory-mapped columns are enforced read-only.
         """
+        reg = obs.active()
+        if reg is None:
+            return cls._load_npz(path, mmap=mmap)
+        with reg.span("io.parse", format="npz", mmap=bool(mmap)):
+            return cls._load_npz(path, mmap=mmap)
+
+    @classmethod
+    def _load_npz(cls, path, *, mmap: bool = False) -> "ColumnTrace":
         if mmap:
             try:
                 columns = cls._mmap_npz_columns(path)

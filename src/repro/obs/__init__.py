@@ -1,0 +1,129 @@
+"""``repro.obs`` — zero-dependency telemetry for the whole pipeline.
+
+One process-global :class:`Registry` is either *on* or *off*:
+
+* off (the default): :func:`active` returns ``None``;
+  instrumented call sites pay exactly one attribute load + ``is None``
+  branch, and :func:`span`/:func:`emit` are no-ops that allocate
+  nothing beyond the caller's kwargs.
+* on (:func:`enable`): every layer — engine kernel loop, ``.npb``/
+  ``.npz`` readers, fabric task execution, fleet daemon cycles, CLI
+  commands — records spans/counters into the registry and streams
+  versioned events to the configured sinks.
+
+The hot paths deliberately spell the guard out themselves::
+
+    reg = obs.active()
+    if reg is None:
+        ...fast path, untouched...
+    else:
+        with reg.span("engine.kernel", frames=n):
+            ...same code...
+
+so the disabled path constructs no kwargs dict and no context manager.
+The module-level :func:`span`/:func:`emit` helpers are for warm paths
+(CLI, daemon) where a dict per call is noise.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from repro.obs.registry import (
+    BUCKET_BOUNDS,
+    OBS_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, write_bench_snapshot
+
+__all__ = [
+    "OBS_VERSION",
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "MemorySink",
+    "JsonlSink",
+    "write_bench_snapshot",
+    "active",
+    "enabled",
+    "enable",
+    "disable",
+    "capture",
+    "span",
+    "emit",
+]
+
+_active: Optional[Registry] = None
+
+
+def active() -> Optional[Registry]:
+    """The enabled registry, or ``None`` — *the* hot-path guard."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def enable(registry: Optional[Registry] = None, sinks: Sequence = ()) -> Registry:
+    """Turn telemetry on process-wide; returns the active registry."""
+    global _active
+    _active = registry if registry is not None else Registry(sinks=sinks)
+    return _active
+
+
+def disable() -> Optional[Registry]:
+    """Turn telemetry off; returns the registry that was active."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def capture(sinks: Sequence = ()) -> Iterator[Registry]:
+    """Enable a fresh registry for the duration of a ``with`` block.
+
+    The test-suite idiom: guarantees ``disable()`` on the way out even
+    if the instrumented code raises.
+    """
+    registry = enable(sinks=sinks)
+    try:
+        yield registry
+    finally:
+        disable()
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **fields):
+    """Module-level span: times the block when enabled, no-op when off."""
+    registry = _active
+    if registry is None:
+        return _NOOP_SPAN
+    return registry.span(name, **fields)
+
+
+def emit(kind: str, **fields) -> Optional[dict]:
+    """Module-level event emit: dropped silently when telemetry is off."""
+    registry = _active
+    if registry is None:
+        return None
+    return registry.emit(kind, **fields)

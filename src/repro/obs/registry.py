@@ -1,0 +1,273 @@
+"""Metric registry: counters, gauges, log-bucket histograms, spans.
+
+Everything here is stdlib-only and self-contained so the hot path
+(`repro.core.engine`, `repro.io`) can import it without dragging in
+numpy or any other layer.  The design constraints, in order:
+
+* **Near-zero overhead when off.**  Instrumented call sites hold a
+  single ``reg = obs.active()`` / ``if reg is None`` branch; no metric
+  objects, kwargs dicts, or context managers are constructed on the
+  disabled path.
+* **Exact merges.**  Histograms use *fixed* log-scale bucket bounds
+  (powers of two from ~1 µs to ~68 min) shared by every instance, so
+  merging histograms from different workers/processes is exact bucket
+  addition — no re-binning error, ever.
+* **Versioned events.**  Every emitted event carries ``v`` =
+  :data:`OBS_VERSION` and a wall-clock ``ts`` so logs from different
+  builds can be distinguished, mirroring the wire-protocol version
+  gate in ``repro.runtime.protocol``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OBS_VERSION",
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+]
+
+#: Event / snapshot schema version (bump on incompatible change).
+OBS_VERSION = 1
+
+#: Shared histogram bucket upper bounds, in seconds: 2**-20 (~1 µs)
+#: through 2**12 (~68 min).  Values above the last bound land in a
+#: final overflow bucket.  Fixed bounds are what make cross-process
+#: merges exact.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(2.0 ** e for e in range(-20, 13))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins float."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Log-scale histogram over the shared :data:`BUCKET_BOUNDS`.
+
+    Buckets are stored sparsely (index -> count); bucket ``i`` counts
+    observations ``<= BUCKET_BOUNDS[i]``, with ``len(BUCKET_BOUNDS)``
+    as the overflow bucket.  Because every histogram shares the same
+    bounds, :meth:`merge` is plain addition and therefore exact.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        i = bisect_left(BUCKET_BOUNDS, value)
+        self.buckets[i] = self.buckets.get(i, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (exact: shared bounds)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for i, n in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + n
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "min_s": self.min,
+            "max_s": self.max,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Histogram":
+        hist = cls(name)
+        hist.count = int(payload["count"])
+        hist.total = float(payload["total_s"])
+        hist.min = None if payload["min_s"] is None else float(payload["min_s"])
+        hist.max = None if payload["max_s"] is None else float(payload["max_s"])
+        hist.buckets = {int(i): int(n) for i, n in payload["buckets"].items()}
+        return hist
+
+
+class Registry:
+    """Thread-safe home for metrics, spans, and event sinks.
+
+    A registry owns named counters/gauges/histograms (get-or-create)
+    and a list of sinks; :meth:`emit` stamps each event with the schema
+    version and wall-clock time and fans it out to every sink.
+    :meth:`span` times a stage with ``perf_counter``, records the
+    duration into the histogram of the same name, and emits a ``span``
+    event carrying the enclosing span's name so traces nest.
+    """
+
+    def __init__(self, sinks: Sequence = ()) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.sinks: List = list(sinks)
+        self._stack = threading.local()
+
+    # -- metric accessors (get-or-create) ---------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self.counters.get(name)
+            if metric is None:
+                metric = self.counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self.gauges.get(name)
+            if metric is None:
+                metric = self.gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self.histograms.get(name)
+            if metric is None:
+                metric = self.histograms[name] = Histogram(name)
+            return metric
+
+    # -- events -----------------------------------------------------------
+    def emit(self, kind: str, **fields) -> dict:
+        """Stamp and fan an event out to every sink; returns the event."""
+        event = {"v": OBS_VERSION, "ts": time.time(), "kind": kind}
+        event.update(fields)
+        for sink in self.sinks:
+            sink.write(event)
+        return event
+
+    # -- spans ------------------------------------------------------------
+    def _span_stack(self) -> List[str]:
+        stack = getattr(self._stack, "names", None)
+        if stack is None:
+            stack = self._stack.names = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[None]:
+        """Time a stage; record the duration; emit a ``span`` event."""
+        stack = self._span_stack()
+        parent = stack[-1] if stack else None
+        stack.append(name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - started
+            stack.pop()
+            with self._lock:
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram(name)
+            hist.observe(duration)
+            self.emit("span", name=name, dur_s=duration, parent=parent, **fields)
+
+    # -- aggregation ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-safe dump of every metric (versioned like events)."""
+        with self._lock:
+            return {
+                "v": OBS_VERSION,
+                "counters": {k: c.value for k, c in sorted(self.counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+                "histograms": {
+                    k: h.to_dict() for k, h in sorted(self.histograms.items())
+                },
+            }
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Fold a :meth:`snapshot` dict from another process into this
+        registry — exact for histograms thanks to the shared bounds."""
+        if payload.get("v") != OBS_VERSION:
+            raise ValueError(
+                f"snapshot version {payload.get('v')!r} != {OBS_VERSION}"
+            )
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_payload in payload.get("histograms", {}).items():
+            self.histogram(name).merge(Histogram.from_dict(name, hist_payload))
+
+    def bench_records(self, section: str) -> List[dict]:
+        """Render every metric as PR 7 ``bench`` records for
+        ``results/BENCH_*.json`` section-replace merges."""
+        from repro.experiments.bench import bench_record
+
+        records = []
+        with self._lock:
+            counters = sorted(self.counters.items())
+            gauges = sorted(self.gauges.items())
+            hists = sorted(self.histograms.items())
+        for name, counter in counters:
+            records.append(bench_record(section, name, counter.value, "count"))
+        for name, gauge in gauges:
+            records.append(bench_record(section, name, gauge.value, "value"))
+        for name, hist in hists:
+            records.append(
+                bench_record(
+                    section,
+                    f"{name}.total",
+                    hist.total,
+                    "s",
+                    params={"count": hist.count},
+                )
+            )
+            records.append(bench_record(section, f"{name}.mean", hist.mean, "s"))
+        return records

@@ -1,0 +1,74 @@
+"""Event sinks: in-memory for tests, JSONL on disk for operators.
+
+Sinks receive the already-stamped event dicts from
+:meth:`repro.obs.Registry.emit`.  They must be cheap and must never
+throw into the instrumented code path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import List, Union
+
+__all__ = ["MemorySink", "JsonlSink", "write_bench_snapshot"]
+
+
+class MemorySink:
+    """Buffers events in a list — the test double."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per line to ``path``.
+
+    Lines are written under a lock and flushed individually so a
+    crashed process leaves at most one torn trailing line — the same
+    torn-tail tolerance the queue transport already has — and
+    concurrent threads never interleave within a line.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_bench_snapshot(path: Union[str, Path], section: str, registry) -> Path:
+    """Section-replace-merge a registry's metrics into a BENCH JSON.
+
+    Rides the PR 7 ``bench`` schema so telemetry numbers land next to
+    the throughput tables with the same atomic-rename durability.
+    """
+    from repro.experiments.bench import write_bench_json
+
+    return write_bench_json(Path(path), registry.bench_records(section))

@@ -44,6 +44,7 @@ from repro.runtime.net import (
     NetExecutor,
     ScanServer,
     ServerThread,
+    fetch_stats,
     parse_address,
     run_net_worker,
 )
@@ -51,14 +52,17 @@ from repro.runtime.pool import PoolExecutor, default_workers
 from repro.runtime.protocol import (
     DEFAULT_LEASE_S,
     PROTOCOL_VERSION,
+    STATS_VERSION,
     ClaimToken,
     ResultCollector,
     TaskFormatError,
     TaskMessage,
     TaskResult,
     execute_task,
+    fabric_stats,
     make_tasks,
     new_job_id,
+    render_stats,
     require_portable,
 )
 from repro.runtime.queue import (
@@ -66,6 +70,7 @@ from repro.runtime.queue import (
     claim_next_task,
     execute_claimed_task,
     queue_dirs,
+    queue_stats,
 )
 from repro.runtime.serial import SerialExecutor
 from repro.runtime.worker import WorkerStats, run_worker
@@ -73,6 +78,7 @@ from repro.runtime.worker import WorkerStats, run_worker
 __all__ = [
     "DEFAULT_LEASE_S",
     "PROTOCOL_VERSION",
+    "STATS_VERSION",
     "BaselineScanSpec",
     "ClaimToken",
     "EntropyScanSpec",
@@ -93,10 +99,14 @@ __all__ = [
     "default_workers",
     "execute_claimed_task",
     "execute_task",
+    "fabric_stats",
+    "fetch_stats",
     "make_tasks",
     "new_job_id",
     "parse_address",
     "queue_dirs",
+    "queue_stats",
+    "render_stats",
     "require_portable",
     "resolve_executor",
     "run_net_worker",

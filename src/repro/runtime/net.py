@@ -28,12 +28,18 @@ nothing but a route to one TCP port.  Three pieces:
   during long scans.
 
 Wire format: one JSON object per line, ASCII.  Every conversation
-opens with ``{"version": 1, "type": "hello", "role": "worker"|"submit",
-"name": ...}`` answered by ``{"type": "welcome", "lease_s": ...}``.
-Workers send ``next`` (→ ``task`` / ``idle`` / ``drain``), ``result``
-(→ ``ack``) and fire-and-forget ``renew`` heartbeats; submitters send
+opens with ``{"version": 1, "type": "hello", "role":
+"worker"|"submit"|"status", "name": ...}`` answered by ``{"type":
+"welcome", "lease_s": ...}``.  Workers send ``next`` (→ ``task`` /
+``idle`` / ``drain``), ``result`` (→ ``ack``) and fire-and-forget
+``renew`` heartbeats (optionally carrying the worker's running
+:class:`~repro.runtime.worker.WorkerStats` so the coordinator sees
+per-task timing and engine-cache hit rates); submitters send
 ``submit`` (→ ``submitted``) and then receive pushed ``result``
-messages.  Task and result payloads are the protocol module's
+messages.  Every role may send ``stats`` (→ the transport-neutral
+:func:`~repro.runtime.protocol.fabric_stats` document — the admin verb
+behind ``repro-ids status --connect``); the ``status`` role may send
+nothing else.  Task and result payloads are the protocol module's
 versioned codecs — the very bytes the filesystem transport writes to
 disk — which is what keeps a net scan bit-identical to a serial one.
 
@@ -57,6 +63,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.exceptions import DetectorError
 from repro.runtime.base import Executor, ScanSpec
 from repro.runtime.protocol import (
@@ -68,6 +75,7 @@ from repro.runtime.protocol import (
     TaskMessage,
     TaskResult,
     execute_task,
+    fabric_stats,
     make_tasks,
     new_job_id,
     require_portable,
@@ -78,6 +86,7 @@ __all__ = [
     "NetExecutor",
     "ScanServer",
     "ServerThread",
+    "fetch_stats",
     "parse_address",
     "run_net_worker",
 ]
@@ -120,10 +129,17 @@ class _Job:
 
 @dataclass
 class _WorkerConn:
-    """One connected worker's claims, for disconnect cleanup."""
+    """One connected worker's claims, for disconnect cleanup.
+
+    ``stats`` is the latest self-report the worker carried in a
+    ``renew`` heartbeat (executed/cache-hit/busy numbers);
+    ``completed`` counts the uploads *this connection* landed first.
+    """
 
     name: str
     claims: Set[Tuple[str, int]] = field(default_factory=set)
+    stats: Dict[str, object] = field(default_factory=dict)
+    completed: int = 0
 
 
 class ScanServer:
@@ -157,6 +173,15 @@ class ScanServer:
         self._stopped: Optional[asyncio.Event] = None
         self._reaper: Optional[asyncio.Task] = None
         self._handlers: Set[asyncio.Task] = set()
+        # Lifetime telemetry, surfaced by stats()/summary_line().
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_reposted = 0
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.peak_workers = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -214,6 +239,88 @@ class ScanServer:
             },
         }
 
+    def stats(self) -> dict:
+        """The ``stats`` admin verb: live fabric telemetry, one schema.
+
+        The TCP realisation of
+        :func:`~repro.runtime.protocol.fabric_stats` — byte-compatible
+        with :func:`repro.runtime.queue.queue_stats`, so ``repro-ids
+        status`` renders either transport.  Worker rows fold in each
+        connection's latest heartbeat-carried self-report.
+        """
+        now = time.monotonic()
+        queued = sum(len(job.pending) for job in self._jobs.values())
+        claims: List[dict] = []
+        for job in self._jobs.values():
+            for index, token in job.claimed.items():
+                claims.append(
+                    {
+                        "task": job.tasks[index].name,
+                        "claimant": token.claimant,
+                        "lease_age_s": round(max(now - token.claimed_at, 0.0), 3),
+                    }
+                )
+        workers = []
+        for conn in self._workers.values():
+            ages = []
+            for job_id, index in conn.claims:
+                job = self._jobs.get(job_id)
+                if job is not None and index in job.claimed:
+                    ages.append(now - job.claimed[index].claimed_at)
+            row = {
+                "name": conn.name,
+                "claims": sorted(
+                    f"{job_id}-{index:06d}" for job_id, index in conn.claims
+                ),
+                "lease_age_s": round(max(ages), 3) if ages else None,
+                "completed": conn.completed,
+            }
+            for key in (
+                "executed",
+                "quarantined",
+                "cache_hits",
+                "cache_misses",
+                "busy_s",
+                "last_task_s",
+            ):
+                if key in conn.stats:
+                    row[key] = conn.stats[key]
+            workers.append(row)
+        jobs = {
+            job.job: {
+                "total": len(job.tasks),
+                "pending": len(job.pending),
+                "claimed": len(job.claimed),
+                "done": len(job.done),
+            }
+            for job in self._jobs.values()
+        }
+        return fabric_stats(
+            "net",
+            draining=self.draining,
+            tasks={
+                "queued": queued,
+                "claimed": len(claims),
+                "completed": self.tasks_completed,
+                "reposted": self.tasks_reposted,
+                "quarantined": 0,
+            },
+            jobs=jobs,
+            workers=sorted(workers, key=lambda row: row["name"]),
+            claims=sorted(claims, key=lambda row: row["task"]),
+            wire={"bytes_in": self.bytes_in, "bytes_out": self.bytes_out},
+        )
+
+    def summary_line(self) -> str:
+        """One-line lifetime digest (logged when a drain completes)."""
+        return (
+            f"serve: drained: {self.jobs_completed} jobs served "
+            f"({self.tasks_completed} tasks), "
+            f"{self.tasks_reposted} tasks reposted, "
+            f"peak {self.peak_workers} workers, "
+            f"{self.bytes_in} B in / {self.bytes_out} B out"
+        )
+
     # -- internals ------------------------------------------------------
     def _log(self, line: str) -> None:
         if self.log is not None:
@@ -225,6 +332,7 @@ class ScanServer:
 
     async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
         data = (json.dumps(message) + "\n").encode("ascii")
+        self.bytes_out += len(data)
         lock = self._locks.setdefault(writer, asyncio.Lock())
         async with lock:
             writer.write(data)
@@ -241,6 +349,7 @@ class ScanServer:
                     if token.expired(now) and index not in job.done:
                         del job.claimed[index]
                         job.pending.appendleft(index)
+                        self.tasks_reposted += 1
                         self._log(
                             f"serve: lease expired, reposted task "
                             f"{job.job}-{index:06d} (was {token.claimant})"
@@ -279,6 +388,8 @@ class ScanServer:
                 await self._worker_loop(reader, writer, name)
             elif role == "submit":
                 await self._submit_loop(reader, writer, name)
+            elif role == "status":
+                await self._status_loop(reader, writer)
             else:
                 await self._send(
                     writer,
@@ -298,11 +409,11 @@ class ScanServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    @staticmethod
-    async def _read(reader: asyncio.StreamReader) -> Optional[dict]:
+    async def _read(self, reader: asyncio.StreamReader) -> Optional[dict]:
         line = await reader.readline()
         if not line:
             return None
+        self.bytes_in += len(line)
         try:
             message = json.loads(line)
         except ValueError:
@@ -335,17 +446,19 @@ class ScanServer:
             if job is not None and index not in job.done:
                 job.claimed.pop(index, None)
                 job.pending.appendleft(index)
+                self.tasks_reposted += 1
                 self._log(
                     f"serve: worker {conn.name} gone, reposted task "
                     f"{job_id}-{index:06d}"
                 )
 
-    async def _complete(self, outcome: TaskResult) -> None:
+    async def _complete(self, outcome: TaskResult) -> bool:
         job = self._jobs.get(outcome.job)
         if job is None or outcome.index in job.done:
-            return  # stale or duplicate upload: harmless
+            return False  # stale or duplicate upload: harmless
         job.done.add(outcome.index)
         job.claimed.pop(outcome.index, None)
+        self.tasks_completed += 1
         for conn in self._workers.values():
             conn.claims.discard((outcome.job, outcome.index))
         try:
@@ -357,8 +470,10 @@ class ScanServer:
             pass  # submitter gone; its cleanup drops the job
         if job.complete:
             del self._jobs[outcome.job]
+            self.jobs_completed += 1
             self._log(f"serve: job {outcome.job} complete")
             self._maybe_finish()
+        return True
 
     async def _worker_loop(
         self,
@@ -368,6 +483,7 @@ class ScanServer:
     ) -> None:
         conn = _WorkerConn(name)
         self._workers[writer] = conn
+        self.peak_workers = max(self.peak_workers, len(self._workers))
         self._log(f"serve: worker {name} registered")
         while True:
             message = await self._read(reader)
@@ -393,17 +509,51 @@ class ScanServer:
                     )
                     continue
                 conn.claims.discard((outcome.job, outcome.index))
-                await self._complete(outcome)
+                if await self._complete(outcome):
+                    conn.completed += 1
                 await self._send(writer, {"type": "ack"})
             elif kind == "renew":
                 # Fire-and-forget heartbeat: renew every lease this
                 # connection holds (no reply, so the worker's renewal
-                # thread never races its request/reply stream).
+                # thread never races its request/reply stream).  The
+                # heartbeat doubles as the worker's telemetry uplink:
+                # a carried self-report lands on the connection row.
                 now = time.monotonic()
                 for job_id, index in conn.claims:
                     job = self._jobs.get(job_id)
                     if job is not None and index in job.claimed:
                         job.claimed[index].renew(now)
+                report = message.get("stats")
+                if isinstance(report, dict):
+                    conn.stats = report
+            elif kind == "stats":
+                await self._send(
+                    writer, {"type": "stats", "stats": self.stats()}
+                )
+            elif kind == "ping":
+                await self._send(writer, {"type": "pong"})
+            else:
+                await self._send(
+                    writer,
+                    {"type": "error", "error": f"unknown message {kind!r}"},
+                )
+
+    # -- status role ----------------------------------------------------
+    async def _status_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Read-only admin connections: ``stats`` and ``ping`` only."""
+        while True:
+            message = await self._read(reader)
+            if message is None:
+                return
+            kind = message.get("type")
+            if kind == "stats":
+                await self._send(
+                    writer, {"type": "stats", "stats": self.stats()}
+                )
             elif kind == "ping":
                 await self._send(writer, {"type": "pong"})
             else:
@@ -433,6 +583,11 @@ class ScanServer:
             message = await self._read(reader)
             if message is None:
                 return
+            if message.get("type") == "stats":
+                await self._send(
+                    writer, {"type": "stats", "stats": self.stats()}
+                )
+                continue
             if message.get("type") != "submit":
                 await self._send(
                     writer,
@@ -474,6 +629,8 @@ class ScanServer:
                 pending=deque(range(len(paths))),
                 submitter=writer,
             )
+            self.jobs_submitted += 1
+            self.tasks_submitted += len(paths)
             self._log(
                 f"serve: job {job_id} submitted by {name} "
                 f"({len(paths)} tasks)"
@@ -511,6 +668,8 @@ async def serve(
                 pass
     try:
         await server.wait_stopped()
+        if log is not None:
+            log(server.summary_line())
     finally:
         await server.close()
 
@@ -687,11 +846,19 @@ class _Connection:
 
 
 class _Heartbeat:
-    """Fire-and-forget lease renewal on a background thread."""
+    """Fire-and-forget lease renewal on a background thread.
 
-    def __init__(self, conn: _Connection, every_s: float) -> None:
+    ``payload`` (optional callable) builds each renewal message, which
+    lets the network worker piggyback its running stats on the beat it
+    already pays for — telemetry with zero extra round trips.
+    """
+
+    def __init__(
+        self, conn: _Connection, every_s: float, payload=None
+    ) -> None:
         self._conn = conn
         self._every_s = max(every_s, 0.05)
+        self._payload = payload or (lambda: {"type": "renew"})
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
@@ -699,7 +866,7 @@ class _Heartbeat:
     def _run(self) -> None:
         while not self._stop.wait(self._every_s):
             try:
-                self._conn.send({"type": "renew"})
+                self._conn.send(self._payload())
             except OSError:
                 return  # connection gone; the main loop will notice
 
@@ -831,10 +998,40 @@ class NetExecutor(Executor):
             submit.close()
             if drain_conn is not None:
                 drain_conn.close()
+        obs.emit(
+            "fabric.job", job=job, transport="net", tasks=len(names)
+        )
         return collector.results()
 
     def describe(self) -> str:
         return f"net({self.host}:{self.port})"
+
+
+def fetch_stats(connect: str, timeout_s: float = 10.0) -> dict:
+    """One-shot fabric-stats poll of a running coordinator.
+
+    The client half of the ``stats`` admin verb (``repro-ids status
+    --connect``): open a read-only ``status``-role connection, ask
+    once, return the :func:`~repro.runtime.protocol.fabric_stats`
+    document.
+    """
+    host, port = parse_address(connect)
+    conn = _Connection(host, port, "status", name="status")
+    try:
+        conn.send({"type": "stats"})
+        reply = conn.recv(timeout=timeout_s)
+        if reply is None or reply.get("type") != "stats":
+            raise DetectorError(
+                f"coordinator at {connect} did not answer stats: {reply!r}"
+            )
+        stats = reply.get("stats")
+        if not isinstance(stats, dict):
+            raise DetectorError(
+                f"coordinator at {connect} sent malformed stats: {stats!r}"
+            )
+        return stats
+    finally:
+        conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -873,7 +1070,11 @@ def run_net_worker(
             previous[sig] = signal.signal(sig, _request_stop)
 
     conn = _Connection(host, port, "worker")
-    heartbeat = _Heartbeat(conn, every_s=conn.lease_s / 3.0)
+    heartbeat = _Heartbeat(
+        conn,
+        every_s=conn.lease_s / 3.0,
+        payload=lambda: {"type": "renew", "stats": stats.to_wire()},
+    )
     scanners: Dict[str, object] = {}
     idle_since = time.monotonic()
     try:
@@ -928,7 +1129,7 @@ def run_net_worker(
                     log(f"worker: rejected malformed task ({exc})")
                 idle_since = time.monotonic()
                 continue
-            outcome = execute_task(task, scanners)
+            outcome = execute_task(task, scanners, stats=stats)
             try:
                 conn.send({"type": "result", "outcome": outcome.to_wire()})
                 conn.recv(timeout=30.0)  # ack

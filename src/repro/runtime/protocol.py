@@ -44,24 +44,29 @@ out.
 from __future__ import annotations
 
 import json
+import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.exceptions import DetectorError
 from repro.runtime.base import ScanSpec, spec_from_payload
 
 __all__ = [
     "DEFAULT_LEASE_S",
     "PROTOCOL_VERSION",
+    "STATS_VERSION",
     "ClaimToken",
     "ResultCollector",
     "TaskFormatError",
     "TaskMessage",
     "TaskResult",
     "execute_task",
+    "fabric_stats",
     "make_tasks",
     "new_job_id",
+    "render_stats",
     "require_portable",
 ]
 
@@ -73,6 +78,122 @@ PROTOCOL_VERSION = 1
 #: Default claim lease: a claimant that neither publishes nor renews
 #: within this window is presumed dead and its task is re-posted.
 DEFAULT_LEASE_S = 300.0
+
+#: Fabric-statistics schema version (the ``stats`` admin verb and
+#: ``queue_stats``).  Versioned separately from the task wire format so
+#: observability can evolve without re-posting a single task.
+STATS_VERSION = 1
+
+
+def fabric_stats(
+    transport: str,
+    *,
+    draining: bool = False,
+    tasks: Optional[dict] = None,
+    jobs: Optional[dict] = None,
+    workers: Optional[Sequence[dict]] = None,
+    claims: Optional[Sequence[dict]] = None,
+    wire: Optional[dict] = None,
+) -> dict:
+    """Build the one fabric-statistics document both transports speak.
+
+    The schema is transport-neutral on purpose: the TCP coordinator's
+    ``stats`` verb and the filesystem queue's directory scan fill in
+    the same keys, so ``repro-ids status`` renders either without
+    caring what carries the bytes.
+
+    * ``tasks`` — fabric-wide counts: ``queued`` (posted, unclaimed),
+      ``claimed`` (leases outstanding), ``completed``, ``reposted``
+      (lease expiries + dead claimants), ``quarantined``;
+    * ``jobs`` — per-job ``{total, pending, claimed, done}``;
+    * ``workers`` — per-claimant rows (name, live claims, lease age,
+      executed/cache-hit numbers carried by heartbeats); empty for the
+      queue transport, which has no claimant registry;
+    * ``claims`` — per-outstanding-claim rows ``{task, claimant,
+      lease_age_s}`` (claimant ``None`` on the queue, where the rename
+      doesn't record who);
+    * ``wire`` — transport bytes in/out (zeros for the queue).
+    """
+    base_tasks = {
+        "queued": 0,
+        "claimed": 0,
+        "completed": 0,
+        "reposted": 0,
+        "quarantined": 0,
+    }
+    if tasks:
+        base_tasks.update(tasks)
+    base_wire = {"bytes_in": 0, "bytes_out": 0}
+    if wire:
+        base_wire.update(wire)
+    return {
+        "version": STATS_VERSION,
+        "transport": str(transport),
+        "draining": bool(draining),
+        "tasks": base_tasks,
+        "jobs": dict(jobs or {}),
+        "workers": list(workers or []),
+        "claims": list(claims or []),
+        "wire": base_wire,
+    }
+
+
+def _age(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}s"
+
+
+def render_stats(stats: dict) -> str:
+    """Render a :func:`fabric_stats` document as the status console."""
+    if stats.get("version") != STATS_VERSION:
+        raise DetectorError(
+            f"fabric stats version {stats.get('version')!r} != {STATS_VERSION}"
+        )
+    tasks = stats["tasks"]
+    wire = stats["wire"]
+    state = "draining" if stats.get("draining") else "serving"
+    lines = [
+        f"fabric: {stats['transport']} ({state})",
+        (
+            f"tasks: {tasks['queued']} queued, {tasks['claimed']} claimed, "
+            f"{tasks['completed']} completed, {tasks['reposted']} reposted, "
+            f"{tasks['quarantined']} quarantined"
+        ),
+        f"wire: {wire['bytes_in']} B in, {wire['bytes_out']} B out",
+    ]
+    jobs = stats.get("jobs", {})
+    if jobs:
+        lines.append(f"jobs ({len(jobs)}):")
+        for job, row in sorted(jobs.items()):
+            lines.append(
+                f"  {job}: {row['done']}/{row['total']} done, "
+                f"{row['pending']} pending, {row['claimed']} claimed"
+            )
+    workers = stats.get("workers", [])
+    if workers:
+        lines.append(f"workers ({len(workers)}):")
+        for row in workers:
+            hits = row.get("cache_hits", 0)
+            misses = row.get("cache_misses", 0)
+            built = hits + misses
+            rate = f"{hits}/{built}" if built else "0/0"
+            claims = row.get("claims", [])
+            claim_note = ", ".join(claims) if claims else "idle"
+            lines.append(
+                f"  {row['name']}: {row.get('completed', 0)} completed, "
+                f"{len(claims)} claimed ({claim_note}), "
+                f"lease age {_age(row.get('lease_age_s'))}, "
+                f"cache {rate}, busy {row.get('busy_s', 0.0):.2f}s"
+            )
+    claims = stats.get("claims", [])
+    if claims:
+        lines.append(f"claims ({len(claims)}):")
+        for row in claims:
+            claimant = row.get("claimant") or "?"
+            lines.append(
+                f"  {row['task']}: {claimant}, "
+                f"age {_age(row.get('lease_age_s'))}"
+            )
+    return "\n".join(lines)
 
 
 class TaskFormatError(DetectorError):
@@ -221,7 +342,9 @@ def make_tasks(
 
 
 def execute_task(
-    task: TaskMessage, scanners: Optional[Dict[str, object]] = None
+    task: TaskMessage,
+    scanners: Optional[Dict[str, object]] = None,
+    stats: Optional[object] = None,
 ) -> TaskResult:
     """Run one task; a scan failure becomes an *error result*.
 
@@ -231,17 +354,31 @@ def execute_task(
     published, not raised: the coordinator is the process with a human
     attached, so failures surface there, and the fabric never wedges on
     a poison capture.
+
+    ``stats`` is an optional mutable accumulator (duck-typed
+    ``WorkerStats``): per-task timing and engine-cache hit/miss counts
+    land on it so workers can carry them in heartbeat renewals.
     """
     key = json.dumps(task.spec, sort_keys=True)
+    started = time.perf_counter()
     try:
         spec = spec_from_payload(task.spec)
         if scanners is not None and key in scanners:
             scan = scanners[key]
+            if stats is not None:
+                stats.cache_hits += 1
         else:
             scan = spec.make_scanner()
             if scanners is not None:
                 scanners[key] = scan
-        result = scan(task.path)
+            if stats is not None:
+                stats.cache_misses += 1
+        reg = obs.active()
+        if reg is None:
+            result = scan(task.path)
+        else:
+            with reg.span("fabric.task", task=task.name, path=task.path):
+                result = scan(task.path)
         return TaskResult(
             task.job, task.index, result=spec.encode_result(result)
         )
@@ -249,6 +386,11 @@ def execute_task(
         return TaskResult(
             task.job, task.index, error=f"{type(exc).__name__}: {exc}"
         )
+    finally:
+        if stats is not None:
+            elapsed = time.perf_counter() - started
+            stats.busy_s += elapsed
+            stats.last_task_s = elapsed
 
 
 class ResultCollector:

@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.exceptions import DetectorError
 from repro.io.atomic import atomic_write_text
 from repro.runtime.base import Executor, ScanSpec
@@ -60,6 +61,7 @@ from repro.runtime.protocol import (
     TaskMessage,
     TaskResult,
     execute_task,
+    fabric_stats,
     make_tasks,
     require_portable,
 )
@@ -69,6 +71,7 @@ __all__ = [
     "claim_next_task",
     "execute_claimed_task",
     "queue_dirs",
+    "queue_stats",
 ]
 
 #: Queue-dir protocol version (the fabric protocol version; the wire
@@ -121,8 +124,75 @@ def claim_next_task(
     return None
 
 
+def queue_stats(queue_dir: Union[str, Path]) -> dict:
+    """Snapshot a queue directory as the shared fabric-stats schema.
+
+    The filesystem face of the TCP coordinator's ``stats`` verb: the
+    same :func:`~repro.runtime.protocol.fabric_stats` document, filled
+    from directory state.  Point-in-time by construction — results are
+    counted while they await collection, and lease ages come from
+    claimed-file mtimes (exactly the lease the reposter enforces).  The
+    queue keeps no claimant registry, so ``workers`` is empty and each
+    outstanding claim reports ``claimant: None``.
+    """
+    root = Path(queue_dir)
+    if not root.is_dir():
+        raise DetectorError(f"no queue directory at {root}")
+    tasks, claimed, results, failed = queue_dirs(root)
+    now = time.time()
+    jobs: Dict[str, dict] = {}
+
+    def bump(name: str, state: str) -> None:
+        stem = name.split(".", 1)[0]
+        job = stem.rsplit("-", 1)[0]
+        row = jobs.setdefault(
+            job, {"total": 0, "pending": 0, "claimed": 0, "done": 0}
+        )
+        row[state] += 1
+        row["total"] += 1
+
+    n_queued = 0
+    for path in tasks.glob("*.json"):
+        bump(path.name, "pending")
+        n_queued += 1
+    claims = []
+    for path in claimed.glob("*.json"):
+        bump(path.name, "claimed")
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue  # the claimant finished mid-scan
+        claims.append(
+            {
+                "task": path.name.split(".", 1)[0],
+                "claimant": None,
+                "lease_age_s": round(max(age, 0.0), 3),
+            }
+        )
+    n_done = 0
+    for path in results.glob("*.json"):
+        bump(path.name, "done")
+        n_done += 1
+    n_quarantined = sum(1 for _ in failed.glob("*.json*"))
+    return fabric_stats(
+        "queue",
+        draining=(root / STOP_FILENAME).exists(),
+        tasks={
+            "queued": n_queued,
+            "claimed": len(claims),
+            "completed": n_done,
+            "reposted": 0,
+            "quarantined": n_quarantined,
+        },
+        jobs=jobs,
+        claims=sorted(claims, key=lambda row: row["task"]),
+    )
+
+
 def execute_claimed_task(
-    claimed_path: Path, scanners: Optional[Dict[str, object]] = None
+    claimed_path: Path,
+    scanners: Optional[Dict[str, object]] = None,
+    stats: Optional[object] = None,
 ) -> bool:
     """Run one claimed task file and publish its result.
 
@@ -148,7 +218,7 @@ def execute_claimed_task(
             pass
         return False
 
-    outcome = execute_task(task, scanners)
+    outcome = execute_task(task, scanners, stats=stats)
     atomic_write_text(
         results / f"{task.name}.json", json.dumps(outcome.to_wire())
     )
@@ -365,6 +435,9 @@ class WorkQueueExecutor(Executor):
                 time.sleep(self.poll_s)
         finally:
             self._cleanup(job)
+        obs.emit(
+            "fabric.job", job=job, transport="queue", tasks=len(names)
+        )
         return collector.results()
 
     def describe(self) -> str:

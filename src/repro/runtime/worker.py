@@ -32,17 +32,50 @@ __all__ = ["WorkerStats", "run_worker"]
 
 
 class WorkerStats:
-    """What one worker run accomplished (returned by :func:`run_worker`)."""
+    """What one worker run accomplished (returned by :func:`run_worker`).
+
+    Also the per-worker telemetry unit: ``execute_task`` accumulates
+    engine-cache hit/miss counts and busy time here, and the network
+    worker ships :meth:`to_wire` inside every heartbeat renewal so the
+    coordinator's ``stats`` verb can report live per-worker state.
+    """
 
     def __init__(self) -> None:
         self.executed = 0
         self.quarantined = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.busy_s = 0.0
+        self.last_task_s: Optional[float] = None
         self.stop_reason: Optional[str] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        built = self.cache_hits + self.cache_misses
+        return self.cache_hits / built if built else 0.0
+
+    def to_wire(self) -> dict:
+        return {
+            "executed": self.executed,
+            "quarantined": self.quarantined,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "busy_s": round(self.busy_s, 6),
+            "last_task_s": (
+                None if self.last_task_s is None else round(self.last_task_s, 6)
+            ),
+        }
 
     def summary(self) -> str:
         extra = f", {self.quarantined} quarantined" if self.quarantined else ""
+        cache = ""
+        if self.cache_hits or self.cache_misses:
+            cache = (
+                f", {self.cache_hits}/{self.cache_hits + self.cache_misses} "
+                f"engine-cache hits"
+            )
         return (
-            f"{self.executed} tasks executed{extra} "
+            f"{self.executed} tasks executed{extra}{cache} "
             f"(stopped: {self.stop_reason or 'n/a'})"
         )
 
@@ -116,7 +149,7 @@ def run_worker(
                 time.sleep(poll_s)
                 continue
             name = claimed.name
-            if execute_claimed_task(claimed, scanners):
+            if execute_claimed_task(claimed, scanners, stats=stats):
                 stats.executed += 1
                 if log is not None:
                     log(f"worker: executed {name}")

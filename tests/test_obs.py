@@ -1,0 +1,240 @@
+"""The ``repro.obs`` telemetry layer: registry, sinks, on/off semantics.
+
+The layer's contract, unit-tested here:
+
+* histograms share fixed log-scale bucket bounds, so merging two
+  histograms is *exact* — bit-equal to having observed every value in
+  one histogram;
+* spans nest (parent attribution) and record into the histogram of the
+  same name;
+* every emitted event is versioned and timestamped;
+* disabled telemetry is the default, and the module-level helpers are
+  true no-ops when off.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    BUCKET_BOUNDS,
+    OBS_VERSION,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    Registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    """Every test starts and ends with the process-global registry off."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = Registry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        reg.gauge("b").set(2.5)
+        assert reg.counter("a").value == 5
+        assert reg.gauge("b").value == 2.5
+        # get-or-create returns the same object, not a fresh zero.
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_bucket_bounds_are_fixed_and_sorted(self):
+        assert BUCKET_BOUNDS == tuple(sorted(BUCKET_BOUNDS))
+        assert BUCKET_BOUNDS[0] == 2.0 ** -20
+        assert BUCKET_BOUNDS[-1] == 2.0 ** 12
+
+    def test_histogram_observe(self):
+        hist = Histogram("h")
+        for v in (0.25, 1.0, 8.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(9.25)
+        assert hist.min == 0.25
+        assert hist.max == 8.0
+        assert hist.mean == pytest.approx(9.25 / 3)
+
+    def test_histogram_overflow_bucket(self):
+        hist = Histogram("h")
+        hist.observe(10_000.0)  # beyond the last bound (~68 min)
+        assert hist.buckets == {len(BUCKET_BOUNDS): 1}
+
+    def test_merge_is_exact(self):
+        """The design reason for fixed bounds: merged bucket counts are
+        plain integer addition — identical to one histogram having seen
+        every value, with no re-binning error.  (``total`` is a float
+        sum, so only its rounding order differs.)"""
+        values_a = [1e-6, 0.003, 0.5, 2.0, 7.25]
+        values_b = [4e-5, 0.003, 64.0, 9000.0]
+        a, b, one = Histogram("h"), Histogram("h"), Histogram("h")
+        for v in values_a:
+            a.observe(v)
+            one.observe(v)
+        for v in values_b:
+            b.observe(v)
+            one.observe(v)
+        a.merge(b)
+        assert a.buckets == one.buckets
+        assert (a.count, a.min, a.max) == (one.count, one.min, one.max)
+        assert a.total == pytest.approx(one.total)
+
+    def test_dict_round_trip(self):
+        hist = Histogram("h")
+        for v in (0.001, 0.5, 123.0):
+            hist.observe(v)
+        clone = Histogram.from_dict("h", json.loads(json.dumps(hist.to_dict())))
+        assert clone.to_dict() == hist.to_dict()
+
+    def test_empty_histogram_round_trip(self):
+        hist = Histogram("h")
+        assert Histogram.from_dict("h", hist.to_dict()).to_dict() == (
+            hist.to_dict()
+        )
+
+
+class TestRegistry:
+    def test_emit_stamps_version_and_time(self):
+        sink = MemorySink()
+        reg = Registry(sinks=[sink])
+        event = reg.emit("custom", detail="x")
+        assert event["v"] == OBS_VERSION
+        assert event["kind"] == "custom"
+        assert event["detail"] == "x"
+        assert event["ts"] > 0
+        assert sink.events == [event]
+
+    def test_span_records_histogram_and_event(self):
+        sink = MemorySink()
+        reg = Registry(sinks=[sink])
+        with reg.span("stage.outer"):
+            pass
+        assert reg.histograms["stage.outer"].count == 1
+        (event,) = sink.events
+        assert event["kind"] == "span"
+        assert event["name"] == "stage.outer"
+        assert event["parent"] is None
+        assert event["dur_s"] >= 0.0
+
+    def test_spans_nest_with_parent_attribution(self):
+        sink = MemorySink()
+        reg = Registry(sinks=[sink])
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        inner, outer = sink.events  # inner closes (and emits) first
+        assert inner["name"] == "inner" and inner["parent"] == "outer"
+        assert outer["name"] == "outer" and outer["parent"] is None
+
+    def test_span_records_even_when_the_block_raises(self):
+        reg = Registry()
+        with pytest.raises(RuntimeError):
+            with reg.span("doomed"):
+                raise RuntimeError("boom")
+        assert reg.histograms["doomed"].count == 1
+
+    def test_snapshot_and_exact_merge(self):
+        reg = Registry()
+        reg.counter("tasks").inc(3)
+        reg.gauge("depth").set(7.0)
+        with reg.span("stage"):
+            pass
+        snapshot = json.loads(json.dumps(reg.snapshot()))  # wire trip
+        assert snapshot["v"] == OBS_VERSION
+
+        other = Registry()
+        other.counter("tasks").inc(2)
+        other.merge_snapshot(snapshot)
+        assert other.counters["tasks"].value == 5
+        assert other.gauges["depth"].value == 7.0
+        assert other.histograms["stage"].to_dict() == (
+            reg.histograms["stage"].to_dict()
+        )
+
+    def test_merge_rejects_foreign_versions(self):
+        with pytest.raises(ValueError, match="version"):
+            Registry().merge_snapshot({"v": 99})
+
+    def test_bench_records_schema(self):
+        reg = Registry()
+        reg.counter("jobs").inc(2)
+        reg.gauge("depth").set(1.5)
+        with reg.span("stage"):
+            pass
+        records = reg.bench_records("obs")
+        by_metric = {r["metric"]: r for r in records}
+        assert by_metric["jobs"]["value"] == 2.0
+        assert by_metric["depth"]["value"] == 1.5
+        assert by_metric["stage.total"]["params"]["count"] == 1
+        assert "stage.mean" in by_metric
+        assert all(r["section"] == "obs" for r in records)
+
+
+class TestOnOff:
+    def test_disabled_is_the_default(self):
+        assert obs.active() is None
+        assert not obs.enabled()
+
+    def test_enable_disable_round_trip(self):
+        reg = obs.enable()
+        assert obs.active() is reg and obs.enabled()
+        assert obs.disable() is reg
+        assert obs.active() is None
+
+    def test_capture_restores_off_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.capture() as reg:
+                assert obs.active() is reg
+                raise RuntimeError("boom")
+        assert obs.active() is None
+
+    def test_module_helpers_are_noops_when_off(self):
+        with obs.span("nothing", ignored=1):
+            pass
+        assert obs.emit("nothing") is None
+
+    def test_module_helpers_record_when_on(self):
+        sink = MemorySink()
+        with obs.capture(sinks=[sink]) as reg:
+            with obs.span("stage"):
+                pass
+            assert obs.emit("custom")["kind"] == "custom"
+        assert reg.histograms["stage"].count == 1
+        assert [e["kind"] for e in sink.events] == ["span", "custom"]
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            reg = Registry(sinks=[sink])
+            reg.emit("one", n=1)
+            reg.emit("two", n=2)
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["kind"] for e in events] == ["one", "two"]
+        assert all(e["v"] == OBS_VERSION and "ts" in e for e in events)
+
+    def test_jsonl_sink_drops_writes_after_close(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.write({"kind": "late"})  # must not raise into the hot path
+        sink.close()  # idempotent
+        assert (tmp_path / "events.jsonl").read_text() == ""
+
+    def test_write_bench_snapshot(self, tmp_path):
+        reg = Registry()
+        reg.counter("tasks").inc(4)
+        path = obs.write_bench_snapshot(
+            tmp_path / "BENCH_obs.json", "obs", reg
+        )
+        records = json.loads(path.read_text())
+        assert records == [
+            {"section": "obs", "metric": "tasks", "value": 4.0,
+             "unit": "count", "params": {}},
+        ]

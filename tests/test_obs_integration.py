@@ -1,0 +1,430 @@
+"""Telemetry threaded through the stack: fabric, engine, daemon, CLI.
+
+The two acceptance bars from the observability PR live here:
+
+* **identical verdicts** — every scan path produces a whole-report
+  bit-identical result with telemetry on and off (instrumentation that
+  changed the answer would be worse than useless);
+* **a live console** — ``repro-ids status --connect`` against a real
+  coordinator serving two real worker *subprocesses* shows per-worker
+  claim/completion state that matches the job's final report.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core import BatchEntropyEngine, IDSPipeline
+from repro.exceptions import DetectorError
+from repro.fleet import FleetStore, WatchDaemon
+from repro.fleet.daemon import STATUS_FILENAME
+from repro.io import CaptureArchive
+from repro.runtime import (
+    STATS_VERSION,
+    NetExecutor,
+    ServerThread,
+    fetch_stats,
+    queue_stats,
+    render_stats,
+    run_net_worker,
+)
+from repro.runtime.queue import queue_dirs
+from repro.vehicle.traffic import simulate_drive
+
+from test_runtime_net import spawn_cli_worker, wait_until
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def archive_dir(tmp_path_factory, catalog):
+    directory = tmp_path_factory.mktemp("obs-archive")
+    archive = CaptureArchive(directory)
+    for i in range(4):
+        archive.write_capture(
+            f"cap{i}.log", simulate_drive(6.0, seed=150 + i, catalog=catalog)
+        )
+    return directory
+
+
+@pytest.fixture()
+def pipeline(golden_template, ids_config, catalog):
+    return IDSPipeline(golden_template, ids_config, id_pool=catalog.ids)
+
+
+class TestScanParity:
+    """Telemetry on must be report-bit-identical to telemetry off."""
+
+    def test_engine_scan_paths_identical_on_and_off(
+        self, golden_template, ids_config, catalog
+    ):
+        capture = simulate_drive(8.0, seed=61, catalog=catalog).to_columns()
+        engine = BatchEntropyEngine(golden_template, ids_config)
+        off_scan = [w.to_dict() for w in engine.scan(capture)]
+        off_stream = [w.to_dict() for w in engine.scan_stream(capture)]
+        with obs.capture() as reg:
+            on_scan = [w.to_dict() for w in engine.scan(capture)]
+            on_stream = [w.to_dict() for w in engine.scan_stream(capture)]
+        assert on_scan == off_scan
+        assert on_stream == off_stream
+        # ...and the traced pass actually recorded the engine stages.
+        assert reg.histograms["engine.kernel"].count >= 2
+        assert reg.histograms["engine.assemble"].count >= 2
+
+    def test_archive_report_identical_on_and_off(
+        self, pipeline, archive_dir
+    ):
+        reference = pipeline.analyze_archive(archive_dir, workers=1).to_dict()
+        with obs.capture():
+            traced = pipeline.analyze_archive(archive_dir, workers=1).to_dict()
+        assert traced == reference
+
+    def test_reader_spans_recorded(self, tmp_path, catalog):
+        from repro.io import load_capture_columns, write_blocks
+
+        capture = simulate_drive(4.0, seed=63, catalog=catalog).to_columns()
+        npb = tmp_path / "cap.npb"
+        npz = tmp_path / "cap.npz"
+        write_blocks(npb, capture)
+        capture.save_npz(npz)
+        with obs.capture() as reg:
+            via_npb = load_capture_columns(npb)
+            via_npz = load_capture_columns(npz)
+        assert via_npb == capture and via_npz == capture
+        assert reg.histograms["io.decompress"].count >= 1
+        assert reg.histograms["io.parse"].count >= 1
+
+
+class TestQueueStats:
+    def test_missing_directory_is_a_clean_error(self, tmp_path):
+        with pytest.raises(DetectorError, match="no queue directory"):
+            queue_stats(tmp_path / "nope")
+
+    def test_directory_state_fills_the_shared_schema(self, tmp_path):
+        queue = tmp_path / "q"
+        tasks, claimed, results, failed = queue_dirs(queue)
+        (tasks / "job0aa-000001.json").write_text("{}")
+        (tasks / "job0aa-000002.json").write_text("{}")
+        (claimed / "job0aa-000000.json").write_text("{}")
+        (results / "job0bb-000000.json").write_text("{}")
+        (failed / "job0bb-000001.json.1700000000").write_text("{}")
+        stats = queue_stats(queue)
+        assert stats["version"] == STATS_VERSION
+        assert stats["transport"] == "queue"
+        assert not stats["draining"]
+        assert stats["tasks"] == {
+            "queued": 2, "claimed": 1, "completed": 1,
+            "reposted": 0, "quarantined": 1,
+        }
+        assert stats["jobs"]["job0aa"] == {
+            "total": 3, "pending": 2, "claimed": 1, "done": 0,
+        }
+        (claim,) = stats["claims"]
+        assert claim["task"] == "job0aa-000000"
+        assert claim["claimant"] is None
+        assert claim["lease_age_s"] >= 0.0
+        # The console renders the same document either transport fills.
+        text = render_stats(stats)
+        assert "fabric: queue (serving)" in text
+        assert "2 queued, 1 claimed, 1 completed" in text
+
+    def test_stop_file_reports_draining(self, tmp_path):
+        queue = tmp_path / "q"
+        queue_dirs(queue)
+        (queue / "stop").touch()
+        assert queue_stats(queue)["draining"]
+        assert "fabric: queue (draining)" in render_stats(queue_stats(queue))
+
+    def test_render_rejects_foreign_versions(self):
+        with pytest.raises(DetectorError, match="version"):
+            render_stats({"version": 99, "transport": "net"})
+
+
+class TestNetStats:
+    def test_stats_verb_speaks_the_shared_schema(self):
+        with ServerThread() as st:
+            stats = fetch_stats(st.address)
+        assert stats["version"] == STATS_VERSION
+        assert stats["transport"] == "net"
+        assert stats["tasks"] == {
+            "queued": 0, "claimed": 0, "completed": 0,
+            "reposted": 0, "quarantined": 0,
+        }
+        assert stats["workers"] == [] and stats["claims"] == []
+        # The status-role connection itself moved bytes both ways.
+        assert stats["wire"]["bytes_in"] > 0
+        assert stats["wire"]["bytes_out"] > 0
+
+    def test_fetch_stats_refused_connection_is_clean(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(DetectorError):
+            fetch_stats(f"127.0.0.1:{port}")
+
+    def test_heartbeats_carry_worker_self_reports(self):
+        """Renewals piggyback WorkerStats: the coordinator learns each
+        worker's executed/cache numbers with zero extra round trips."""
+        with ServerThread(lease_s=1.0) as st:
+            t = threading.Thread(
+                target=run_net_worker,
+                kwargs=dict(connect=st.address, poll_s=0.02, max_idle_s=30.0),
+                daemon=True,
+            )
+            t.start()
+
+            def self_report_arrived():
+                workers = st.server.stats()["workers"]
+                return bool(workers) and "executed" in workers[0]
+
+            assert wait_until(self_report_arrived, timeout_s=20.0)
+            row = st.server.stats()["workers"][0]
+            assert row["executed"] == 0
+            assert row["cache_hits"] == 0
+            st.drain()
+            t.join(timeout=30)
+
+    def test_drain_logs_the_lifetime_summary(self, pipeline, archive_dir):
+        lines = []
+        with ServerThread(log=lines.append) as st:
+            report = pipeline.analyze_archive(
+                archive_dir, executor=NetExecutor(st.address)
+            )
+            st.drain()
+            assert wait_until(
+                lambda: any(l.startswith("serve: drained:") for l in lines),
+                timeout_s=30.0,
+            )
+        (summary,) = [l for l in lines if l.startswith("serve: drained:")]
+        n_tasks = len(report.captures)
+        assert f"1 jobs served ({n_tasks} tasks)" in summary
+        assert "B in / " in summary
+
+
+class TestStatusConsole:
+    """The headline acceptance test: a live coordinator, two real
+    worker subprocesses, and the ``repro-ids status`` console agreeing
+    with the job's final report."""
+
+    def _status_cli(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "status", *argv],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+
+    def test_console_matches_the_final_report(
+        self, pipeline, archive_dir, tmp_path
+    ):
+        n_captures = len(list(archive_dir.glob("*.log")))
+        with ServerThread() as st:
+            workers = [
+                spawn_cli_worker(st.address, tmp_path / f"w{i}.log")
+                for i in range(2)
+            ]
+            try:
+                assert wait_until(
+                    lambda: len(st.server.snapshot()["workers"]) >= 2,
+                    timeout_s=60.0, poll_s=0.05,
+                )
+                report = pipeline.analyze_archive(
+                    archive_dir,
+                    executor=NetExecutor(
+                        st.address, drain=False, timeout_s=180.0
+                    ),
+                )
+                # Workers are still connected: poll the live console.
+                stats = fetch_stats(st.address)
+                proc = self._status_cli("--connect", st.address)
+                proc_json = self._status_cli(
+                    "--connect", st.address, "--json"
+                )
+            finally:
+                st.drain()
+                for proc_w in workers:
+                    try:
+                        proc_w.wait(timeout=60)
+                    except subprocess.TimeoutExpired:
+                        proc_w.kill()
+                        proc_w.wait()
+                    proc_w._log_handle.close()
+
+        assert report.to_dict() == pipeline.analyze_archive(
+            archive_dir, workers=1
+        ).to_dict()
+        # The machine-readable document agrees with the finished job.
+        assert stats["tasks"]["completed"] == n_captures
+        assert stats["tasks"]["queued"] == 0 and stats["tasks"]["claimed"] == 0
+        assert len(stats["workers"]) == 2
+        assert sum(w["completed"] for w in stats["workers"]) == n_captures
+        # The rendered console shows the same rows, non-empty.
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "fabric: net (serving)" in proc.stdout
+        assert "workers (2):" in proc.stdout
+        assert f"{n_captures} completed" in proc.stdout
+        for row in stats["workers"]:
+            assert row["name"] in proc.stdout
+        # And --json streams the raw document.
+        assert proc_json.returncode == 0
+        streamed = json.loads(proc_json.stdout.splitlines()[-1])
+        assert streamed["version"] == STATS_VERSION
+        assert streamed["transport"] == "net"
+        assert streamed["tasks"]["completed"] == n_captures
+
+    def test_exactly_one_fabric_flag_required(self):
+        proc = self._status_cli()
+        assert proc.returncode != 0
+        assert "exactly one fabric" in proc.stderr + proc.stdout
+
+
+class TestDaemonTelemetry:
+    @pytest.fixture()
+    def healthy_store(self, tmp_path, catalog, golden_template, ids_config):
+        store = FleetStore(tmp_path / "fleet")
+        store.add_capture(
+            "car-a", "d0.log", simulate_drive(6.0, seed=170, catalog=catalog)
+        )
+        store.save_template(
+            "car-a", golden_template, window_us=ids_config.window_us
+        )
+        return store
+
+    def test_cycle_event_and_status_file(
+        self, healthy_store, golden_template, ids_config
+    ):
+        pipeline = IDSPipeline(golden_template, ids_config)
+        lines = []
+        sink = obs.MemorySink()
+        with obs.capture(sinks=[sink]) as reg:
+            daemon = WatchDaemon(
+                healthy_store, pipeline, interval_s=0.01, workers=1,
+                log=lines.append,
+            )
+            cycles = daemon.run(max_cycles=2)
+        events = {e["kind"] for e in sink.events}
+        assert "fleet.cycle" in events
+        assert "fleet.backoff" in events
+        assert reg.counters["fleet.cycles"].value == 2
+        assert reg.gauges["fleet.scanned"].value == 0.0  # cycle 2 cached
+        # The human line is a rendering of the structured event.
+        event = cycles[0].to_event()
+        assert event["cycle"] == 0 and event["vehicles"] == 1
+        assert any(cycles[0].status_line() == line for line in lines)
+        # The status file is the cross-process face of the same event.
+        status = json.loads(
+            (healthy_store.root / STATUS_FILENAME).read_text()
+        )
+        assert status["v"] == obs.OBS_VERSION
+        assert status["pid"] == os.getpid()
+        assert status["cycle"] == cycles[1].to_event()
+
+    def test_status_file_written_even_with_telemetry_off(
+        self, healthy_store, golden_template, ids_config
+    ):
+        pipeline = IDSPipeline(golden_template, ids_config)
+        daemon = WatchDaemon(
+            healthy_store, pipeline, interval_s=0.01, workers=1,
+            log=lambda line: None,
+        )
+        daemon.run(max_cycles=1)
+        status = json.loads(
+            (healthy_store.root / STATUS_FILENAME).read_text()
+        )
+        assert status["cycle"]["cycle"] == 0
+        assert status["cycle"]["scanned"] == 1
+
+    def test_fleet_status_cli_surfaces_the_daemon(
+        self, healthy_store, golden_template, ids_config
+    ):
+        pipeline = IDSPipeline(golden_template, ids_config)
+        daemon = WatchDaemon(
+            healthy_store, pipeline, interval_s=0.01, workers=1,
+            log=lambda line: None,
+        )
+        daemon.run(max_cycles=1)
+        from repro.cli import main
+
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = main(["fleet", "status", "--store", str(healthy_store.root)])
+        assert rc == 0
+        out = buf.getvalue()
+        assert "watch daemon (pid " in out
+        assert "cycle 0" in out
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = main(["fleet", "status", "--store", str(healthy_store.root),
+                       "--json"])
+        assert rc == 0
+        objects = [json.loads(l) for l in buf.getvalue().splitlines()]
+        daemon_rows = [o for o in objects if "daemon" in o]
+        assert len(daemon_rows) == 1
+        assert daemon_rows[0]["daemon"]["cycle"]["cycle"] == 0
+
+
+class TestMetricsOutFlag:
+    def test_scan_archive_event_log(
+        self, archive_dir, golden_template, tmp_path
+    ):
+        from repro.cli import main
+
+        template_path = tmp_path / "t.json"
+        golden_template.save(template_path)
+        events_path = tmp_path / "events.jsonl"
+
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = main([
+                "scan-archive", "--template", str(template_path),
+                "--dir", str(archive_dir), "--executor", "serial",
+                "--metrics-out", str(events_path),
+            ])
+        assert rc in (0, 2)
+        assert not obs.enabled()  # the flag must not leak past the run
+        assert f"telemetry events written to {events_path}" in buf.getvalue()
+        events = [
+            json.loads(l) for l in events_path.read_text().splitlines()
+        ]
+        assert all(
+            e["v"] == obs.OBS_VERSION and "ts" in e and "kind" in e
+            for e in events
+        )
+        spans = [e for e in events if e["kind"] == "span"]
+        assert {"engine.kernel", "cli.scan-archive"} <= {
+            s["name"] for s in spans
+        }
+        # Stage spans nest under the command span, and their durations
+        # are bounded by it.
+        (cli_span,) = [s for s in spans if s["name"] == "cli.scan-archive"]
+        stage_total = sum(
+            s["dur_s"] for s in spans if s["parent"] == "cli.scan-archive"
+        )
+        assert stage_total <= cli_span["dur_s"]
+        (snapshot_event,) = [e for e in events if e["kind"] == "metrics"]
+        assert snapshot_event["snapshot"]["v"] == obs.OBS_VERSION
+        assert "engine.kernel" in snapshot_event["snapshot"]["histograms"]
