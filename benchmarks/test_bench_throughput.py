@@ -249,6 +249,31 @@ class TestIngestThroughput:
             assert result.min_speedup >= 1.5, result.render()
 
 
+class TestCodecThroughput:
+    def test_bench_codec_container_v2_vs_v1(self, setup):
+        """The v2 codec pipeline against the v1 raw-zlib container on
+        the same payload-bearing capture: disk footprint, cold
+        scan_stream rate, and the warm decoded-block-cache rescan.
+        Parity (v1 == v2 == warm == in-RAM) is unconditional, and so
+        are the codec bars: the filters are single-core wins, so they
+        must hold even on this 1-CPU runner (a small tolerance guards
+        the rate ratios against timer noise)."""
+        result = throughput.run_codec(
+            n_frames=INGEST_FRAMES, catalog=setup.catalog
+        )
+        append_artifact("throughput", result.render())
+        append_bench("ingest", result.bench_records())
+        assert result.parity_ok, result.render()
+        # v2 strictly smaller, by the target margin (deterministic).
+        assert result.v2_bytes < result.v1_bytes, result.render()
+        assert result.size_ratio >= 1.5, result.render()
+        # At least as fast as v1 cold (5% timer-noise guard) and
+        # measurably faster warm.
+        assert result.scan_speedup >= 0.95, result.render()
+        assert result.warm_speedup >= 1.05, result.render()
+        assert result.cache_hits > 0, result.render()
+
+
 #: Archive benchmark sizing (kept modest by default; scale up with the
 #: env knobs for fleet-regime measurements).
 ARCHIVE_CAPTURES = int(os.environ.get("REPRO_BENCH_ARCHIVE_CAPTURES", "4"))

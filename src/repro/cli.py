@@ -54,6 +54,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import contextmanager
 from pathlib import Path
@@ -178,7 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
              "container (.npb) without materialising it",
     )
     convert.add_argument("--trace", type=Path, required=True,
-                         help="input capture (candump/CSV/.gz/.npz/.npb)")
+                         action="append", dest="traces",
+                         help="input capture (candump/CSV/.gz/.npz/.npb); "
+                              "repeat to batch time-ordered captures into "
+                              "one container (block-aligned per capture)")
     convert.add_argument("--out", type=Path, required=True,
                          help="output path; must end in .npb")
     convert.add_argument("--block-frames", type=int, default=None,
@@ -186,6 +190,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "container's native block size)")
     convert.add_argument("--level", type=int, default=None,
                          help="zlib compression level 0-9 (default 6)")
+    convert.add_argument("--codec", default=None, metavar="COL=CODEC[,...]",
+                         help="force per-column codecs instead of the "
+                              "automatic first-block selection, e.g. "
+                              "--codec timestamp_us=delta,can_id=dict "
+                              "(codecs: raw, delta, dict, shuffle)")
+    convert.add_argument("--format-version", type=int, default=None,
+                         choices=(1, 2),
+                         help="container format version to write "
+                              "(default 2; 1 = legacy all-raw)")
+
+    inspect_p = sub.add_parser(
+        "inspect",
+        help="print a block container's index: per-column codec, "
+             "raw/compressed bytes, ratio, block count",
+    )
+    inspect_p.add_argument("capture", type=Path,
+                           help="a .npb block-compressed capture")
+    inspect_p.add_argument("--json", dest="json_stream", action="store_true",
+                           help="emit the summary as JSON")
 
     scan_archive = sub.add_parser(
         "scan-archive",
@@ -534,25 +557,85 @@ def _cmd_convert(args) -> int:
         DEFAULT_BLOCK_FRAMES if args.block_frames is None else args.block_frames
     )
     level = DEFAULT_LEVEL if args.level is None else args.level
+    version = 2 if args.format_version is None else args.format_version
+    codecs = None
+    if args.codec:
+        codecs = {}
+        for part in args.codec.split(","):
+            column, sep, codec = part.partition("=")
+            if not sep or not column or not codec:
+                print(
+                    f"--codec expects COLUMN=CODEC[,COLUMN=CODEC...], "
+                    f"got {part!r}"
+                )
+                return 1
+            codecs[column.strip()] = codec.strip()
     frames = 0
     try:
-        # Stream parse -> compress -> append: the capture is never
-        # materialised, so converting works under the same memory
+        # Stream parse -> filter -> compress -> append: captures are
+        # never materialised, so converting works under the same memory
         # ceiling the converted file will later be scanned under.
-        with BlockWriter(args.out, block_frames=block_frames, level=level) as w:
-            for chunk in iter_capture_chunks(args.trace, block_frames):
-                w.append(chunk)
-                frames += len(chunk)
+        with BlockWriter(
+            args.out,
+            block_frames=block_frames,
+            level=level,
+            codecs=codecs,
+            version=version,
+        ) as w:
+            for trace in args.traces:
+                for chunk in iter_capture_chunks(trace, block_frames):
+                    w.append(chunk)
+                    frames += len(chunk)
+                # Capture boundary: drain the column scratch so no
+                # block straddles two captures.
+                w.flush()
     except TraceFormatError as exc:
         print(str(exc))
         return 1
-    in_bytes = args.trace.stat().st_size
+    in_bytes = sum(trace.stat().st_size for trace in args.traces)
     out_bytes = args.out.stat().st_size
     ratio = in_bytes / out_bytes if out_bytes else float("inf")
     print(
         f"wrote {frames} frames to {args.out} "
         f"({in_bytes} -> {out_bytes} bytes, {ratio:.2f}x)"
     )
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.exceptions import TraceFormatError
+    from repro.io.blocks import BlockReader
+
+    try:
+        with BlockReader(args.capture, cache=False) as reader:
+            info = reader.describe()
+    except (TraceFormatError, OSError) as exc:
+        print(str(exc))
+        return 1
+    if args.json_stream:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{info['path']}: {info['format']} v{info['version']}, "
+        f"{info['n_frames']} frames in {info['blocks']} blocks "
+        f"(block_frames={info['block_frames']}, level={info['level']})"
+    )
+    print(
+        f"  file {info['file_bytes']} bytes; columns "
+        f"{info['raw_bytes']} -> {info['compressed_bytes']} bytes "
+        f"({info['ratio']:.2f}x)"
+    )
+    header = f"  {'column':<16} {'codec':<9} {'raw':>12} {'compressed':>12} {'ratio':>8}"
+    print(header)
+    for name, col in info["columns"].items():
+        used = col["codecs_used"]
+        codec = col["codec"]
+        if len(used) > 1:
+            codec = "+".join(f"{c}:{n}" for c, n in used.items())
+        print(
+            f"  {name:<16} {codec:<9} {col['raw_bytes']:>12} "
+            f"{col['compressed_bytes']:>12} {col['ratio']:>7.1f}x"
+        )
     return 0
 
 
@@ -1131,6 +1214,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "template": _cmd_template,
         "detect": _cmd_detect,
         "convert": _cmd_convert,
+        "inspect": _cmd_inspect,
         "scan-archive": _cmd_scan_archive,
         "serve": _cmd_serve,
         "worker": _cmd_worker,

@@ -1,0 +1,193 @@
+"""Benchmark regression guard over ``results/BENCH_*.json``.
+
+The BENCH files are committed alongside the code they measure, which
+makes them a baseline: re-running the benchmarks on the same revision
+must reproduce the committed numbers (parity booleans exactly, rates
+within noise).  This module diffs a fresh results directory against
+the committed one::
+
+    python -m repro.experiments.bench_guard \
+        --baseline /tmp/bench-baseline --fresh results
+
+Classification follows the schema in :mod:`repro.experiments.bench`:
+
+* ``bool``-unit metrics (parity flags) must match **exactly** — a
+  parity break is a correctness bug no matter how fast the runner is.
+* Numeric metrics (rates, sizes, ratios, spans) are compared within
+  ``--tolerance`` and produce **warnings** by default: CI runners are
+  noisy single-core boxes, and a 20 % throughput wobble is weather,
+  not regression.  ``--strict`` promotes warnings to failures for
+  quiet, dedicated hardware.
+* A metric present in the baseline but missing fresh is a failure —
+  a benchmark silently dropping a measurement is how regressions hide.
+* Metrics whose sizing ``params`` differ between runs are skipped
+  (compared runs must be the same experiment), and noted.
+
+Exit status: 0 when no failures (warnings allowed), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Finding", "compare_files", "run_guard", "main"]
+
+#: Default relative tolerance for numeric (non-bool) metrics.
+DEFAULT_TOLERANCE = 0.25
+
+
+class Finding:
+    """One comparison outcome: ``fail`` | ``warn`` | ``skip``."""
+
+    __slots__ = ("level", "file", "metric", "message")
+
+    def __init__(self, level: str, file: str, metric: str, message: str):
+        self.level = level
+        self.file = file
+        self.metric = metric
+        self.message = message
+
+    def render(self) -> str:
+        return f"[{self.level.upper()}] {self.file} {self.metric}: {self.message}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Finding({self.render()!r})"
+
+
+def _load(path: Path) -> Dict[Tuple[str, str], dict]:
+    """Index a BENCH json file by ``(section, metric)``."""
+    records = json.loads(path.read_text(encoding="utf-8"))
+    out: Dict[Tuple[str, str], dict] = {}
+    for rec in records:
+        if isinstance(rec, dict) and "section" in rec and "metric" in rec:
+            out[(str(rec["section"]), str(rec["metric"]))] = rec
+    return out
+
+
+def compare_files(
+    baseline: Path,
+    fresh: Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    strict: bool = False,
+) -> Iterator[Finding]:
+    """Yield findings for one baseline/fresh BENCH file pair."""
+    name = baseline.name
+    base = _load(baseline)
+    if not fresh.exists():
+        yield Finding(
+            "fail", name, "*", "fresh run produced no such results file"
+        )
+        return
+    new = _load(fresh)
+    numeric_level = "fail" if strict else "warn"
+    for key, rec in sorted(base.items()):
+        metric = f"{key[0]}.{key[1]}"
+        got = new.get(key)
+        if got is None:
+            yield Finding(
+                "fail", name, metric,
+                "metric present in baseline but missing from the fresh run",
+            )
+            continue
+        if rec.get("params") != got.get("params"):
+            yield Finding(
+                "skip", name, metric,
+                f"sizing params differ (baseline {rec.get('params')} vs "
+                f"fresh {got.get('params')}) — not comparable",
+            )
+            continue
+        want = float(rec["value"])
+        have = float(got["value"])
+        if rec.get("unit") == "bool":
+            if want != have:
+                yield Finding(
+                    "fail", name, metric,
+                    f"parity flag flipped: baseline {want:g}, fresh {have:g}",
+                )
+            continue
+        denom = max(abs(want), abs(have), 1e-12)
+        drift = abs(have - want) / denom
+        if drift > tolerance:
+            yield Finding(
+                numeric_level, name, metric,
+                f"baseline {want:g}, fresh {have:g} "
+                f"({drift:.1%} drift > {tolerance:.0%} tolerance)",
+            )
+
+
+def run_guard(
+    baseline_dir: Path,
+    fresh_dir: Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    strict: bool = False,
+) -> List[Finding]:
+    """Compare every ``BENCH_*.json`` under ``baseline_dir``."""
+    baseline_dir = Path(baseline_dir)
+    fresh_dir = Path(fresh_dir)
+    files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not files:
+        return [
+            Finding(
+                "fail", str(baseline_dir), "*",
+                "no BENCH_*.json baselines found",
+            )
+        ]
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(
+            compare_files(
+                path,
+                fresh_dir / path.name,
+                tolerance=tolerance,
+                strict=strict,
+            )
+        )
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench_guard",
+        description="Diff fresh BENCH_*.json results against baselines.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory holding the committed BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative drift allowed on numeric metrics "
+        f"(default {DEFAULT_TOLERANCE:g})",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="numeric drift beyond tolerance fails instead of warning",
+    )
+    args = parser.parse_args(argv)
+    findings = run_guard(
+        args.baseline, args.fresh,
+        tolerance=args.tolerance, strict=args.strict,
+    )
+    fails = [f for f in findings if f.level == "fail"]
+    warns = [f for f in findings if f.level == "warn"]
+    skips = [f for f in findings if f.level == "skip"]
+    for f in findings:
+        print(f.render())
+    print(
+        f"bench-guard: {len(fails)} failure(s), {len(warns)} warning(s), "
+        f"{len(skips)} skipped"
+    )
+    return 1 if fails else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

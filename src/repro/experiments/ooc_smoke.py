@@ -211,6 +211,8 @@ class IngestSmokeResult:
     gz_bytes: int
     npz_bytes: int
     npb_bytes: int
+    #: Size of the same capture re-written as a v1 (raw-zlib) container.
+    npb_v1_bytes: int
     baseline_bytes: int
     rss_limit_bytes: int
     chunk_windows: int
@@ -227,6 +229,7 @@ class IngestSmokeResult:
             self.identical
             and self.eager_failed
             and self.npb_bytes < self.npz_bytes
+            and self.npb_bytes <= self.npb_v1_bytes
         )
 
     def render(self) -> str:
@@ -246,6 +249,10 @@ class IngestSmokeResult:
             f"{self.npz_bytes / mb:,.1f} MB uncompressed npz "
             + ("(smaller)" if self.npb_bytes < self.npz_bytes
                else "(NOT smaller!)"),
+            f"codec pipeline: v2 {self.npb_bytes / mb:,.1f} MB vs v1 "
+            f"{self.npb_v1_bytes / mb:,.1f} MB "
+            + ("(v2 ≤ v1)" if self.npb_bytes <= self.npb_v1_bytes
+               else "(v2 LARGER than v1!)"),
             "eager text load under ceiling: "
             + ("MemoryError (as expected)" if self.eager_failed
                else "SUCCEEDED (ceiling not binding!)"),
@@ -268,6 +275,9 @@ class IngestSmokeResult:
             bench_record(section, "gz_bytes", self.gz_bytes, "bytes", params),
             bench_record(section, "npz_bytes", self.npz_bytes, "bytes", params),
             bench_record(section, "npb_bytes", self.npb_bytes, "bytes", params),
+            bench_record(
+                section, "npb_v1_bytes", self.npb_v1_bytes, "bytes", params
+            ),
             bench_record(
                 section, "rss_limit_bytes", self.rss_limit_bytes,
                 "bytes", params,
@@ -342,7 +352,19 @@ def _child_main(argv: List[str]) -> int:
             ):
                 writer.append(chunk)
         ingest_elapsed = time.perf_counter() - start
-        with BlockReader(args.ingest) as reader:
+        # Legacy-format twin for the size claim: stream the fresh v2
+        # container back out as v1, still under the rlimit (O(block)
+        # both directions).  The decoded-block cache is disabled in
+        # this child so the ceiling meters the streaming path itself,
+        # not the cache's (budgeted, evictable) retention.
+        v1_twin = args.ingest + ".v1"
+        with BlockReader(args.ingest, cache=False) as reader, BlockWriter(
+            v1_twin, version=1
+        ) as legacy:
+            for block in reader.iter_blocks():
+                legacy.append(block)
+        npb_v1_bytes = os.path.getsize(v1_twin)
+        with BlockReader(args.ingest, cache=False) as reader:
             n_frames = len(reader)
             start = time.perf_counter()
             windows = engine.scan_stream(reader, chunk_windows=chunk_windows)
@@ -359,6 +381,7 @@ def _child_main(argv: List[str]) -> int:
                 eager_failed = True
     else:
         ingest_elapsed = None
+        npb_v1_bytes = None
         trace = ColumnTrace.load_npz(args.capture, mmap=True)
         n_frames = len(trace)
         start = time.perf_counter()
@@ -377,6 +400,7 @@ def _child_main(argv: List[str]) -> int:
         "n_frames": n_frames,
         "elapsed_s": elapsed,
         "ingest_elapsed_s": ingest_elapsed,
+        "npb_v1_bytes": npb_v1_bytes,
         "vm_data_bytes": _vm_data_bytes(),
         "eager_failed": eager_failed,
         "windows": [w.to_dict() for w in windows],
@@ -614,6 +638,7 @@ def run_ingest(
             gz_bytes=int(gz_bytes),
             npz_bytes=int(npz_bytes),
             npb_bytes=int(npb_path.stat().st_size),
+            npb_v1_bytes=int(child["npb_v1_bytes"]),
             baseline_bytes=baseline,
             rss_limit_bytes=int(limit),
             chunk_windows=chunk_windows,

@@ -40,6 +40,7 @@ from typing import Callable, List, Optional, Union
 
 from repro import obs
 from repro.core.pipeline import IDSPipeline
+from repro.io import blockcache
 from repro.exceptions import TemplateError
 from repro.io.atomic import atomic_write_text
 from repro.fleet.drift import (
@@ -302,6 +303,12 @@ class WatchDaemon:
             reg.gauge("fleet.drifting").set(
                 len(cycle.report.drifting_vehicles)
             )
+            # Decoded-block cache occupancy: warm `.npb` rescans (drift
+            # + rescan double passes) show up here, not as disk reads.
+            block_cache = blockcache.default_cache().stats()
+            reg.gauge("io.block_cache.bytes").set(block_cache["bytes"])
+            reg.gauge("io.block_cache.hits").set(block_cache["hits"])
+            reg.gauge("io.block_cache.misses").set(block_cache["misses"])
         self._write_status(event)
         self.log(cycle.status_line())
         return cycle
@@ -319,6 +326,7 @@ class WatchDaemon:
             "pid": os.getpid(),
             "interval_s": self._current_interval,
             "cycle": event,
+            "block_cache": blockcache.default_cache().stats(),
         }
         try:
             atomic_write_text(

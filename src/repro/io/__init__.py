@@ -13,6 +13,7 @@ from repro.io.archive import (
     load_capture_columns,
     open_capture_stream,
 )
+from repro.io.blockcache import DecodedBlockCache, default_cache
 from repro.io.blocks import BlockReader, BlockWriter, write_blocks
 from repro.io.columnar import ColumnTrace
 from repro.io.fingerprint import fingerprint_bytes, fingerprint_file
@@ -37,6 +38,8 @@ __all__ = [
     "BlockWriter",
     "CaptureArchive",
     "ColumnTrace",
+    "DecodedBlockCache",
+    "default_cache",
     "Trace",
     "TraceRecord",
     "capture_suffix",

@@ -1,0 +1,124 @@
+"""Process-wide LRU cache of decoded ``.npb`` block columns.
+
+Fleet watch cycles, drift rescans and multi-detector passes read the
+same capture blocks over and over; inflating + un-filtering them anew
+each pass is pure waste.  This cache keeps the *decoded* column
+arrays — the expensive artefact — keyed by
+
+    ``(path, fingerprint, block index, column name)``
+
+where ``fingerprint`` is the file's ``(st_size, st_mtime_ns)`` stat
+pair captured when the reader opened it.  A rewritten capture gets a
+new fingerprint, so stale entries can never be served; they simply age
+out of the LRU.  (The fleet ledger's content BLAKE2b would be exact
+but costs a full file read per open — exactly the IO this cache
+exists to avoid.)
+
+Entries are read-only numpy arrays (the cache and every caller share
+them, so nobody may write); accounting is by ``nbytes`` against a
+byte budget, evicting least-recently-used whole entries.  A single
+module-level instance (:func:`default_cache`) backs every
+``BlockReader`` unless a reader opts out — that is what makes *warm*
+rescans warm across readers within one process.  All operations take
+an internal lock, so threaded executors can share it safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DecodedBlockCache", "default_cache", "DEFAULT_CACHE_BYTES"]
+
+#: Default budget: 64 MB ≈ a handful of decoded 256K-frame blocks —
+#: enough to keep a smoke-sized capture fully warm, small enough to be
+#: a rounding error under the out-of-core RSS ceilings.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class DecodedBlockCache:
+    """Byte-budgeted LRU of decoded column arrays."""
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Return the cached array (marking it most-recent) or ``None``."""
+        with self._lock:
+            arr = self._entries.get(key)
+            if arr is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return arr
+
+    def put(self, key: Hashable, arr: np.ndarray) -> np.ndarray:
+        """Insert ``arr`` (made read-only); returns the stored array.
+
+        Oversized arrays (bigger than the whole budget) are returned
+        read-only but not retained.
+        """
+        if arr.flags.writeable:
+            arr.flags.writeable = False
+        size = int(arr.nbytes)
+        if size > self.max_bytes:
+            return arr
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= int(old.nbytes)
+            self._entries[key] = arr
+            self._bytes += size
+            while self._bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= int(evicted.nbytes)
+        return arr
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        """Counters + occupancy, JSON-safe (for obs / status surfaces)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+
+_DEFAULT = DecodedBlockCache()
+
+
+def default_cache() -> DecodedBlockCache:
+    """The process-wide cache shared by every ``BlockReader``."""
+    return _DEFAULT
+
+
+def file_fingerprint(stat_result) -> Tuple[int, int]:
+    """Cheap identity token for a capture file: ``(size, mtime_ns)``."""
+    return (int(stat_result.st_size), int(stat_result.st_mtime_ns))

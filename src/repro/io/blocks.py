@@ -4,7 +4,7 @@ The uncompressed aligned ``.npz`` (see :mod:`repro.io.columnar`) is the
 memory-mapping format: bounded-memory scans, zero-copy loads, but
 full-size on disk.  Fleet corpora are large *and* compressed, so this
 module adds the complementary container: every column is cut into
-per-block zlib streams with a JSON block index, so archives stay small
+per-block streams with a JSON block index, so archives stay small
 on disk without giving up the RSS ceiling — :class:`BlockReader`
 inflates one block at a time and plugs straight into
 ``BatchEntropyEngine.scan_stream``.
@@ -14,35 +14,61 @@ File layout (all integers little-endian)::
     magic            8 bytes   b"REPRONB1"
     column chunks    back-to-back zlib streams, one per (block, column)
     index            JSON (UTF-8): schema version, global intern
-                     tables, per-block row counts / time bounds /
-                     per-column [offset, compressed size, raw size,
-                     numpy dtype string]
+                     tables, per-column codec choices, per-block row
+                     counts / time bounds / per-column entries
     trailer          <QQ8s: index offset, index size, magic again
 
-The writer is append-only (stream parse → compress → append, nothing
-buffered beyond one block), the reader seeks the trailer first, so both
-directions are O(block) memory.  Alignment rule: blocks are cut on
-frame boundaries only — every block holds exactly ``block_frames``
-rows (the last may be short) with its payload offsets rebased to 0 —
-and window alignment is applied at *read* time by merging each block
-with the carry of the previous one, so any ``(window_us,
-chunk_windows)`` grid scans bit-identically to the in-RAM path.
-Unknown index versions are refused up front (``version`` gate), like
-the npz schema gate.
+Format v2 filters each column through a codec (:mod:`repro.io.codecs`)
+*before* deflate — delta+zigzag for monotone timestamps and payload
+offsets (whose deltas are the DLC sequence), dictionary encoding for
+the few-distinct-values ID/source/bus columns, byte-transpose for
+payload bytes — chosen automatically per column by trying every
+candidate on the first block and keeping the smallest, with ``raw``
+as the always-available escape hatch (so v2 never loses to v1) and a
+per-block ``raw`` fallback when the winner cannot apply (e.g. a
+ragged-DLC block under the payload transpose).  Each v2 column entry
+records ``{off, csize, raw, dtype, codec, meta, crc}``; the CRC is of
+the filtered (pre-deflate) bytes, so a bit-flipped block is always a
+diagnosed ``TraceFormatError``, never silent garbage.  v1 files
+(plain per-column zlib, list-shaped entries) remain readable forever:
+the ``version`` gate dispatches, and :class:`BlockWriter` can still
+emit v1 byte-identically (``version=1``) for compatibility tooling
+and size comparisons.
+
+The writer is append-only (stream parse → filter → compress → append,
+nothing buffered beyond one block) and fsyncs the index before the
+trailer so a crash mid-write leaves a detectably-truncated file; the
+reader seeks the trailer first, so both directions are O(block)
+memory.  Alignment rule: blocks are cut on frame boundaries only —
+every block holds exactly ``block_frames`` rows (the last may be
+short) with its payload offsets rebased to 0 — and window alignment
+is applied at *read* time by merging each block with the carry of the
+previous one, so any ``(window_us, chunk_windows)`` grid scans
+bit-identically to the in-RAM path.  Unknown index versions are
+refused up front (``version`` gate), like the npz schema gate.
+
+Decoded block columns land in the process-wide
+:mod:`repro.io.blockcache` LRU (keyed by path + stat fingerprint +
+block + column), so warm fleet rescans and multi-detector passes over
+the same capture stop re-inflating identical blocks.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro import obs
 from repro.exceptions import TraceFormatError
+from repro.io import codecs as npb_codecs
+from repro.io.blockcache import DecodedBlockCache, default_cache, file_fingerprint
+from repro.io.codecs import CODEC_NAMES, CodecUnsuitable
 from repro.io.columnar import ColumnTrace
 from repro.io.trace import Trace
 
@@ -54,8 +80,8 @@ BLOCKS_SUFFIX = ".npb"
 _MAGIC = b"REPRONB1"
 _TRAILER = struct.Struct("<QQ8s")
 _FORMAT_NAME = "repro-blocks"
-_VERSION = 1
-_READABLE = (1,)
+_VERSION = 2
+_READABLE = (1, 2)
 
 #: Default rows per compressed block.  256 K rows ≈ 8 MB of raw column
 #: data — large enough that zlib sees real redundancy, small enough
@@ -77,6 +103,21 @@ _COLUMNS = (
     "bus_code",
 )
 
+#: Codec candidates per column, tried in order on the first block; the
+#: smallest compressed result wins (``raw`` is always a candidate, so
+#: a filter has to *pay* to be chosen).  Booleans stay raw: deflate
+#: already collapses their runs, and no filter here can beat that.
+_CANDIDATES: Dict[str, Tuple[str, ...]] = {
+    "timestamp_us": ("delta", "shuffle", "raw"),
+    "can_id": ("dict", "shuffle", "raw"),
+    "payload": ("shuffle", "raw"),
+    "payload_offsets": ("delta", "raw"),
+    "extended": ("raw",),
+    "is_attack": ("raw",),
+    "source_code": ("dict", "raw"),
+    "bus_code": ("dict", "raw"),
+}
+
 
 class BlockWriter:
     """Append-only writer for the ``.npb`` container.
@@ -85,9 +126,16 @@ class BlockWriter:
     size (the streaming readers' chunks, mapped npz slices, other
     readers' blocks); the writer re-cuts them into exact
     ``block_frames`` blocks, re-interns source/bus tags into global
-    tables, compresses each column and appends it.  Peak memory is
-    O(block), never O(capture).  Use as a context manager — the index
-    and trailer are written on a clean :meth:`close`.
+    tables, filters + compresses each column and appends it.  Peak
+    memory is O(block), never O(capture).  Use as a context manager —
+    the index and trailer are written on a clean :meth:`close`.
+
+    ``codecs`` forces specific codecs per column (skipping the
+    first-block selection for those columns); ``version=1`` writes the
+    legacy format byte-identically (all-raw, list-shaped entries).
+    Batch converts appending several captures into one container
+    should call :meth:`flush` between captures so the buffered column
+    scratch drains and no block straddles a capture boundary.
     """
 
     def __init__(
@@ -95,6 +143,9 @@ class BlockWriter:
         path: Union[str, Path],
         block_frames: int = DEFAULT_BLOCK_FRAMES,
         level: int = DEFAULT_LEVEL,
+        *,
+        codecs: Optional[Mapping[str, str]] = None,
+        version: int = _VERSION,
     ) -> None:
         if block_frames <= 0:
             raise TraceFormatError(
@@ -104,9 +155,34 @@ class BlockWriter:
             raise TraceFormatError(
                 f"compression level must be in -1..9, got {level}"
             )
+        if version not in _READABLE:
+            raise TraceFormatError(
+                f"cannot write block trace version {version} "
+                f"(writable: {list(_READABLE)})"
+            )
         self.path = Path(path)
         self.block_frames = int(block_frames)
         self.level = int(level)
+        self.version = int(version)
+        self._codec_overrides: Dict[str, str] = {}
+        for name, codec in dict(codecs or {}).items():
+            if name not in _COLUMNS:
+                raise TraceFormatError(
+                    f"unknown column {name!r} in codec overrides "
+                    f"(columns: {', '.join(_COLUMNS)})"
+                )
+            if codec not in CODEC_NAMES:
+                raise TraceFormatError(
+                    f"unknown codec {codec!r} for column {name!r} "
+                    f"(codecs: {', '.join(CODEC_NAMES)})"
+                )
+            self._codec_overrides[name] = codec
+        if self._codec_overrides and self.version < 2:
+            raise TraceFormatError(
+                "codec overrides require format version 2"
+            )
+        #: Selected codec per column — fixed after the first block.
+        self._codecs: Dict[str, str] = {}
         self._source_table: Dict[str, int] = {}
         self._bus_table: Dict[str, int] = {}
         self._parts: List[Dict[str, np.ndarray]] = []
@@ -145,7 +221,6 @@ class BlockWriter:
                 f"{self.path}: appended chunk is not time-ordered"
             )
         self._last_end = ct.end_us
-        base = int(ct.payload_offsets[0])
         self._parts.append(
             {
                 "timestamp_us": ct.timestamp_us,
@@ -162,10 +237,21 @@ class BlockWriter:
                 ),
             }
         )
-        del base
         self._buffered += len(ct)
         if self._buffered >= self.block_frames:
             self._drain(final=False)
+
+    def flush(self) -> None:
+        """Drain every buffered frame into blocks now (capture boundary).
+
+        Batch converts call this between captures: the column scratch
+        (``_parts``) empties completely, the tail becomes a (possibly
+        short) block, and the next capture starts on a fresh block —
+        no block ever straddles two captures.
+        """
+        if self._closed:
+            raise TraceFormatError(f"{self.path}: writer already closed")
+        self._drain(final=True)
 
     # ------------------------------------------------------------------
     def _drain(self, final: bool) -> None:
@@ -205,6 +291,48 @@ class BlockWriter:
             self._parts = [dict(cat)]
         self._buffered = n - lo
 
+    # ------------------------------------------------------------------
+    def _select_codec(self, name: str, data: np.ndarray, width) -> str:
+        """First-block selection: smallest deflated candidate wins."""
+        forced = self._codec_overrides.get(name)
+        if forced is not None:
+            return forced
+        best_codec = "raw"
+        best_cost = None
+        for cand in _CANDIDATES[name]:
+            try:
+                payload, meta = npb_codecs.encode(cand, data, width=width)
+            except CodecUnsuitable:
+                continue
+            cost = len(zlib.compress(payload, self.level))
+            if meta:
+                cost += len(json.dumps(meta, separators=(",", ":")))
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_codec = cand
+        return best_codec
+
+    def _encode_column(
+        self, name: str, data: np.ndarray, width
+    ) -> Tuple[str, bytes, dict]:
+        """Filter one column -> ``(codec used, payload, meta)``."""
+        if self.version < 2:
+            return "raw", data.tobytes(), {}
+        chosen = self._codecs.get(name)
+        if chosen is None:
+            chosen = self._select_codec(name, data, width)
+            self._codecs[name] = chosen
+        if chosen == "raw":
+            return "raw", data.tobytes(), {}
+        try:
+            payload, meta = npb_codecs.encode(chosen, data, width=width)
+        except CodecUnsuitable:
+            # Per-block escape hatch: the column-wide winner does not
+            # apply here (e.g. a ragged-DLC block under the payload
+            # transpose) — this block records ``raw``.
+            return "raw", data.tobytes(), {}
+        return chosen, payload, meta
+
     def _write_block(self, cat, offsets, lo: int, hi: int) -> None:
         ts = cat["timestamp_us"]
         arrays = {
@@ -217,17 +345,34 @@ class BlockWriter:
             "source_code": cat["source_code"][lo:hi],
             "bus_code": cat["bus_code"][lo:hi],
         }
+        lengths = cat["lengths"][lo:hi]
+        width = None
+        if lengths.size and int(lengths.min()) == int(lengths.max()):
+            width = int(lengths[0])
         columns = {}
         for name in _COLUMNS:
             data = np.ascontiguousarray(arrays[name])
-            raw = data.tobytes()
-            comp = zlib.compress(raw, self.level)
-            columns[name] = [
-                self._handle.tell(),
-                len(comp),
-                len(raw),
-                data.dtype.str,
-            ]
+            codec, payload, meta = self._encode_column(
+                name, data, width if name == "payload" else None
+            )
+            comp = zlib.compress(payload, self.level)
+            if self.version < 2:
+                columns[name] = [
+                    self._handle.tell(),
+                    len(comp),
+                    len(payload),
+                    data.dtype.str,
+                ]
+            else:
+                columns[name] = {
+                    "off": self._handle.tell(),
+                    "csize": len(comp),
+                    "raw": int(data.nbytes),
+                    "dtype": data.dtype.str,
+                    "codec": codec,
+                    "meta": meta,
+                    "crc": zlib.crc32(payload),
+                }
             self._handle.write(comp)
         self._blocks.append(
             {
@@ -241,13 +386,18 @@ class BlockWriter:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush the final block, then write the index and trailer."""
+        """Flush the final block, then write the index and trailer.
+
+        The index is fsynced *before* the trailer goes out: a crash at
+        any point leaves a file without a valid trailer — detectably
+        truncated — never a valid trailer over a torn index.
+        """
         if self._closed:
             return
         self._drain(final=True)
         index = {
             "format": _FORMAT_NAME,
-            "version": _VERSION,
+            "version": self.version,
             "n_frames": self._n_frames,
             "block_frames": self.block_frames,
             "level": self.level,
@@ -255,10 +405,20 @@ class BlockWriter:
             "bus_table": list(self._bus_table) or [""],
             "blocks": self._blocks,
         }
+        if self.version >= 2:
+            index["codecs"] = {
+                name: self._codecs[name]
+                for name in _COLUMNS
+                if name in self._codecs
+            }
         payload = json.dumps(index, separators=(",", ":")).encode("utf-8")
         offset = self._handle.tell()
         self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.write(_TRAILER.pack(offset, len(payload), _MAGIC))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.close()
         self._closed = True
 
@@ -283,6 +443,9 @@ def write_blocks(
     trace,
     block_frames: int = DEFAULT_BLOCK_FRAMES,
     level: int = DEFAULT_LEVEL,
+    *,
+    codecs: Optional[Mapping[str, str]] = None,
+    version: int = _VERSION,
 ) -> None:
     """Write a capture (or an iterable of time-ordered chunks) as ``.npb``.
 
@@ -290,7 +453,13 @@ def write_blocks(
     :class:`ColumnTrace` chunks (e.g. ``iter_candump_columns``) — the
     streaming form never materialises the capture.
     """
-    with BlockWriter(path, block_frames=block_frames, level=level) as writer:
+    with BlockWriter(
+        path,
+        block_frames=block_frames,
+        level=level,
+        codecs=codecs,
+        version=version,
+    ) as writer:
         if isinstance(trace, (Trace, ColumnTrace)):
             writer.append(trace)
         else:
@@ -306,9 +475,26 @@ class BlockReader:
     ``BatchEntropyEngine.scan_stream`` accepts it directly: peak memory
     is one inflated block merged with one window-grid carry, no matter
     how large the capture is.
+
+    Decode path: compressed bytes are read into a reusable scratch
+    buffer (``readinto`` + ``memoryview`` — no transient read
+    allocations), inflated via ``zlib.decompressobj``, CRC-checked,
+    and un-filtered with vectorised numpy; ``raw`` columns alias the
+    inflated bytes outright (``np.frombuffer`` — zero copy).  Decoded
+    columns are published read-only to the process-wide
+    :func:`repro.io.blockcache.default_cache` keyed by
+    ``(path, fingerprint, block, column)``, making repeat scans of the
+    same capture — fleet watch cycles, drift + detect double passes —
+    warm.  Pass ``cache=False`` to opt out, or a private
+    :class:`DecodedBlockCache` to isolate.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        cache: Union[None, bool, DecodedBlockCache] = None,
+    ) -> None:
         self.path = Path(path)
         self._handle = open(self.path, "rb")
         try:
@@ -317,10 +503,23 @@ class BlockReader:
             self._handle.close()
             raise
         self._index = index
+        self.version = int(index["version"])
         self.n_frames = int(index["n_frames"])
         self.source_table = tuple(index["source_table"])
         self.bus_table = tuple(index["bus_table"])
         self.blocks = index["blocks"]
+        self.codecs = dict(index.get("codecs") or {})
+        if cache is None:
+            self._cache: Optional[DecodedBlockCache] = default_cache()
+        elif cache is False:
+            self._cache = None
+        elif cache is True:
+            self._cache = default_cache()
+        else:
+            self._cache = cache
+        self._fingerprint = file_fingerprint(os.fstat(self._handle.fileno()))
+        self._cache_path = str(self.path.resolve())
+        self._scratch = bytearray()
 
     def _read_index(self) -> dict:
         fh = self._handle
@@ -385,20 +584,115 @@ class BlockReader:
         self.close()
 
     # ------------------------------------------------------------------
-    def _inflate_columns(self, i: int, entry: dict) -> Dict[str, np.ndarray]:
-        """Seek + inflate every column of block ``i`` (the IO cost)."""
-        arrays: Dict[str, np.ndarray] = {}
-        for name in _COLUMNS:
-            offset, csize, rawsize, dtype = entry["columns"][name]
-            self._handle.seek(int(offset))
-            raw = zlib.decompress(self._handle.read(int(csize)))
-            if len(raw) != int(rawsize):
-                raise TraceFormatError(
-                    f"{self.path}: block {i} column {name!r} inflated to "
-                    f"{len(raw)} bytes, index says {rawsize}"
+    def _column_entry(self, i: int, name: str):
+        """Normalise one column's index entry across format versions.
+
+        Returns ``(offset, csize, rawsize, dtype, codec, meta, crc)``
+        where ``rawsize`` is the *decoded* column's byte length in
+        both versions and ``crc`` (v2 only) covers the filtered
+        pre-deflate bytes.
+        """
+        try:
+            e = self.blocks[i]["columns"][name]
+        except (KeyError, TypeError) as exc:
+            raise TraceFormatError(
+                f"{self.path}: block {i} index is missing column {name!r}"
+            ) from exc
+        if self.version >= 2:
+            try:
+                return (
+                    int(e["off"]),
+                    int(e["csize"]),
+                    int(e["raw"]),
+                    e["dtype"],
+                    e.get("codec", "raw"),
+                    e.get("meta") or {},
+                    e.get("crc"),
                 )
-            arrays[name] = np.frombuffer(raw, dtype=np.dtype(dtype))
-        return arrays
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"{self.path}: block {i} column {name!r} has a "
+                    f"malformed index entry: {exc}"
+                ) from exc
+        offset, csize, rawsize, dtype = e
+        return (int(offset), int(csize), int(rawsize), dtype, "raw", {}, None)
+
+    def _decode_entry(self, i: int, name: str, entry) -> np.ndarray:
+        """Read + inflate + CRC-check + un-filter one column of block ``i``."""
+        offset, csize, rawsize, dtype, codec, meta, crc = entry
+        if len(self._scratch) < csize:
+            self._scratch = bytearray(csize)
+        view = memoryview(self._scratch)[:csize]
+        self._handle.seek(offset)
+        got = self._handle.readinto(view)
+        if got != csize:
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} truncated "
+                f"({got} of {csize} compressed bytes)"
+            )
+        inflater = zlib.decompressobj()
+        try:
+            raw = inflater.decompress(view)
+            raw += inflater.flush()
+        except zlib.error as exc:
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} is corrupt: {exc}"
+            ) from exc
+        if not inflater.eof or inflater.unused_data:
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} compressed "
+                f"stream is malformed"
+            )
+        if crc is not None and zlib.crc32(raw) != int(crc):
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} failed its "
+                f"checksum — the block is corrupt"
+            )
+        try:
+            arr = npb_codecs.decode(codec, raw, np.dtype(dtype), meta)
+        except KeyError as exc:
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} has unknown "
+                f"codec tag {codec!r}"
+            ) from exc
+        except (ValueError, TypeError) as exc:
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} failed to "
+                f"decode under codec {codec!r}: {exc}"
+            ) from exc
+        if int(arr.nbytes) != rawsize:
+            raise TraceFormatError(
+                f"{self.path}: block {i} column {name!r} decoded to "
+                f"{arr.nbytes} bytes, index says {rawsize}"
+            )
+        return arr
+
+    def _column_array(self, i: int, name: str, reg) -> np.ndarray:
+        """One decoded column, served from the cache when warm."""
+        key = None
+        if self._cache is not None:
+            key = (self._cache_path, self._fingerprint, i, name)
+            arr = self._cache.get(key)
+            if arr is not None:
+                if reg is not None:
+                    reg.counter("io.cache.hit").inc()
+                return arr
+            if reg is not None:
+                reg.counter("io.cache.miss").inc()
+        entry = self._column_entry(i, name)
+        codec = entry[4]
+        if reg is None:
+            arr = self._decode_entry(i, name, entry)
+        else:
+            with reg.span(f"io.decode.{codec}", block=i, column=name):
+                arr = self._decode_entry(i, name, entry)
+        if key is not None:
+            arr = self._cache.put(key, arr)
+        return arr
+
+    def _inflate_columns(self, i: int, reg) -> Dict[str, np.ndarray]:
+        """Decode every column of block ``i`` (the IO cost)."""
+        return {name: self._column_array(i, name, reg) for name in _COLUMNS}
 
     def read_block(self, i: int) -> ColumnTrace:
         """Inflate block ``i`` into an in-RAM :class:`ColumnTrace`."""
@@ -406,10 +700,10 @@ class BlockReader:
         rows = int(entry["rows"])
         reg = obs.active()
         if reg is None:
-            arrays = self._inflate_columns(i, entry)
+            arrays = self._inflate_columns(i, None)
         else:
             with reg.span("io.decompress", block=i, rows=rows):
-                arrays = self._inflate_columns(i, entry)
+                arrays = self._inflate_columns(i, reg)
         expected = {name: rows for name in _COLUMNS}
         expected["payload_offsets"] = rows + 1
         expected["payload"] = arrays["payload"].size
@@ -445,6 +739,55 @@ class BlockReader:
         if len(parts) == 1:
             return parts[0]
         return ColumnTrace.merge(*parts)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Machine-readable container summary (``repro-ids inspect``).
+
+        Per column: the codec actually used per block (winner plus any
+        ``raw`` fallbacks), logical vs compressed byte totals and the
+        resulting ratio.
+        """
+        file_bytes = os.fstat(self._handle.fileno()).st_size
+        columns: Dict[str, dict] = {}
+        for name in _COLUMNS:
+            raw_total = 0
+            comp_total = 0
+            used: Dict[str, int] = {}
+            for i in range(len(self.blocks)):
+                _, csize, rawsize, _, codec, _, _ = self._column_entry(i, name)
+                raw_total += rawsize
+                comp_total += csize
+                used[codec] = used.get(codec, 0) + 1
+            selected = self.codecs.get(name)
+            if selected is None:
+                if len(used) == 1:
+                    selected = next(iter(used))
+                else:
+                    selected = "mixed" if used else "raw"
+            columns[name] = {
+                "codec": selected,
+                "codecs_used": dict(sorted(used.items())),
+                "raw_bytes": raw_total,
+                "compressed_bytes": comp_total,
+                "ratio": (raw_total / comp_total) if comp_total else 0.0,
+            }
+        raw_total = sum(c["raw_bytes"] for c in columns.values())
+        comp_total = sum(c["compressed_bytes"] for c in columns.values())
+        return {
+            "path": str(self.path),
+            "format": _FORMAT_NAME,
+            "version": self.version,
+            "n_frames": self.n_frames,
+            "blocks": len(self.blocks),
+            "block_frames": int(self._index.get("block_frames", 0)),
+            "level": int(self._index.get("level", -2)),
+            "file_bytes": int(file_bytes),
+            "raw_bytes": raw_total,
+            "compressed_bytes": comp_total,
+            "ratio": (raw_total / comp_total) if comp_total else 0.0,
+            "columns": columns,
+        }
 
     def iter_window_chunks(
         self,

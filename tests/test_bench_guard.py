@@ -1,0 +1,142 @@
+"""The benchmark regression guard (``repro.experiments.bench_guard``)."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import bench_record, write_bench_json
+from repro.experiments.bench_guard import compare_files, main, run_guard
+
+
+def _write(path, records):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_bench_json(path, records)
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    base = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    base.mkdir()
+    fresh.mkdir()
+    return base, fresh
+
+
+def _records(rate=100.0, parity=1.0, params=None):
+    params = params or {"n_frames": 1000}
+    return [
+        bench_record("codec", "scan_mps", rate, "msg/s", params),
+        bench_record("codec", "parity_ok", parity, "bool", params),
+    ]
+
+
+class TestCompare:
+    def test_identical_runs_are_clean(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records())
+        _write(fresh / "BENCH_x.json", _records())
+        assert run_guard(base, fresh) == []
+
+    def test_parity_flip_fails_even_with_huge_tolerance(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(parity=1.0))
+        _write(fresh / "BENCH_x.json", _records(parity=0.0))
+        findings = run_guard(base, fresh, tolerance=10.0)
+        assert [f.level for f in findings] == ["fail"]
+        assert "parity" in findings[0].message
+
+    def test_rate_drift_warns_by_default(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(rate=100.0))
+        _write(fresh / "BENCH_x.json", _records(rate=10.0))
+        findings = run_guard(base, fresh)
+        assert [f.level for f in findings] == ["warn"]
+        assert "drift" in findings[0].message
+
+    def test_rate_drift_fails_in_strict_mode(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(rate=100.0))
+        _write(fresh / "BENCH_x.json", _records(rate=10.0))
+        findings = run_guard(base, fresh, strict=True)
+        assert [f.level for f in findings] == ["fail"]
+
+    def test_drift_within_tolerance_is_clean(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(rate=100.0))
+        _write(fresh / "BENCH_x.json", _records(rate=110.0))
+        assert run_guard(base, fresh, tolerance=0.25) == []
+
+    def test_missing_metric_fails(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records())
+        _write(
+            fresh / "BENCH_x.json",
+            [bench_record("codec", "parity_ok", 1.0, "bool",
+                          {"n_frames": 1000})],
+        )
+        findings = run_guard(base, fresh)
+        assert [f.level for f in findings] == ["fail"]
+        assert "missing" in findings[0].message
+
+    def test_missing_file_fails(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records())
+        findings = run_guard(base, fresh)
+        assert [f.level for f in findings] == ["fail"]
+        assert "no such results file" in findings[0].message
+
+    def test_different_sizing_params_skipped(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(params={"n_frames": 1000}))
+        _write(
+            fresh / "BENCH_x.json",
+            _records(rate=5.0, parity=0.0, params={"n_frames": 10}),
+        )
+        findings = run_guard(base, fresh)
+        assert {f.level for f in findings} == {"skip"}
+
+    def test_empty_baseline_dir_fails(self, dirs):
+        base, fresh = dirs
+        findings = run_guard(base, fresh)
+        assert [f.level for f in findings] == ["fail"]
+
+    def test_compare_files_extra_fresh_metrics_ignored(self, dirs):
+        """New metrics in the fresh run are fine — the guard protects
+        the committed baseline, not the other direction."""
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records())
+        _write(
+            fresh / "BENCH_x.json",
+            _records()
+            + [bench_record("codec", "new_metric", 1.0, "x", {})],
+        )
+        assert list(
+            compare_files(base / "BENCH_x.json", fresh / "BENCH_x.json")
+        ) == []
+
+
+class TestMain:
+    def test_exit_zero_on_warnings(self, dirs, capsys):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(rate=100.0))
+        _write(fresh / "BENCH_x.json", _records(rate=10.0))
+        code = main(["--baseline", str(base), "--fresh", str(fresh)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[WARN]" in out and "1 warning(s)" in out
+
+    def test_exit_one_on_failure(self, dirs, capsys):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(parity=1.0))
+        _write(fresh / "BENCH_x.json", _records(parity=0.0))
+        code = main(["--baseline", str(base), "--fresh", str(fresh)])
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_strict_flag(self, dirs):
+        base, fresh = dirs
+        _write(base / "BENCH_x.json", _records(rate=100.0))
+        _write(fresh / "BENCH_x.json", _records(rate=10.0))
+        assert main(
+            ["--baseline", str(base), "--fresh", str(fresh), "--strict"]
+        ) == 1

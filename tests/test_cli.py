@@ -219,6 +219,121 @@ class TestConvert:
         ) == 1
         assert ".npb" in capsys.readouterr().out
 
+    def test_batch_convert_with_flush_boundaries(self, tmp_path, capsys):
+        """Several --trace flags land in one container, each capture
+        starting on a fresh block; the result matches the captures
+        played back to back."""
+        from repro.io import (
+            BlockReader,
+            load_capture_columns,
+            write_candump_columns,
+        )
+
+        whole_log = tmp_path / "whole.log"
+        assert main(["simulate", "--duration", "4", "--seed", "5",
+                     "--out", str(whole_log)]) == 0
+        capsys.readouterr()
+        whole = load_capture_columns(whole_log)
+        cut = len(whole) // 2
+        a = tmp_path / "a.log"
+        b = tmp_path / "b.log"
+        write_candump_columns(whole.slice(0, cut), a)
+        write_candump_columns(whole.slice(cut, len(whole)), b)
+
+        npb = tmp_path / "fleet.npb"
+        assert main(
+            ["convert", "--trace", str(a), "--trace", str(b),
+             "--out", str(npb), "--block-frames", "500"]
+        ) == 0
+        assert load_capture_columns(npb) == whole
+        with BlockReader(npb, cache=False) as reader:
+            rows = [int(blk["rows"]) for blk in reader.blocks]
+        # The first capture's tail is drained before b starts.
+        boundary = (cut // 500) + (1 if cut % 500 else 0)
+        assert sum(rows[:boundary]) == cut
+
+    def test_convert_codec_override_and_version(self, tmp_path, capsys):
+        from repro.io import BlockReader, load_capture_columns
+
+        log = tmp_path / "drive.log"
+        assert main(["simulate", "--duration", "2", "--out", str(log)]) == 0
+        capsys.readouterr()
+
+        forced = tmp_path / "forced.npb"
+        assert main(
+            ["convert", "--trace", str(log), "--out", str(forced),
+             "--codec", "timestamp_us=shuffle,can_id=raw"]
+        ) == 0
+        with BlockReader(forced, cache=False) as reader:
+            assert reader.codecs["timestamp_us"] == "shuffle"
+            assert reader.codecs["can_id"] == "raw"
+
+        legacy = tmp_path / "legacy.npb"
+        assert main(
+            ["convert", "--trace", str(log), "--out", str(legacy),
+             "--format-version", "1"]
+        ) == 0
+        with BlockReader(legacy, cache=False) as reader:
+            assert reader.version == 1
+        assert load_capture_columns(legacy) == load_capture_columns(forced)
+
+    def test_convert_rejects_bad_codec_spec(self, tmp_path, capsys):
+        log = tmp_path / "drive.log"
+        assert main(["simulate", "--duration", "1", "--out", str(log)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["convert", "--trace", str(log),
+             "--out", str(tmp_path / "x.npb"), "--codec", "garbage"]
+        ) == 1
+        assert "COLUMN=CODEC" in capsys.readouterr().out
+        assert main(
+            ["convert", "--trace", str(log),
+             "--out", str(tmp_path / "y.npb"), "--codec", "can_id=zstd"]
+        ) == 1
+        assert "unknown codec" in capsys.readouterr().out
+
+
+class TestInspect:
+    """inspect: the per-column codec/size report over a container."""
+
+    @pytest.fixture()
+    def npb(self, tmp_path, capsys):
+        log = tmp_path / "drive.log"
+        npb = tmp_path / "drive.npb"
+        assert main(["simulate", "--duration", "3", "--out", str(log)]) == 0
+        assert main(
+            ["convert", "--trace", str(log), "--out", str(npb),
+             "--block-frames", "400"]
+        ) == 0
+        capsys.readouterr()
+        return npb
+
+    def test_text_report(self, npb, capsys):
+        assert main(["inspect", str(npb)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-blocks v2" in out
+        assert "timestamp_us" in out and "delta" in out
+        assert "can_id" in out and "dict" in out
+
+    def test_json_report(self, npb, capsys):
+        import json as _json
+
+        assert main(["inspect", str(npb), "--json"]) == 0
+        info = _json.loads(capsys.readouterr().out)
+        assert info["version"] == 2
+        assert info["columns"]["timestamp_us"]["codec"] == "delta"
+        assert info["ratio"] > 1.0
+        assert info["file_bytes"] > 0
+
+    def test_not_a_container(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.npb"
+        bogus.write_bytes(b"not a container")
+        assert main(["inspect", str(bogus)]) == 1
+        assert "not a block-compressed trace" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.npb")]) == 1
+
     def test_scan_archive_hints_convert_for_compressed_npz(
         self, tmp_path, capsys
     ):

@@ -1,0 +1,165 @@
+"""Per-column filter codecs for the v2 ``.npb`` container.
+
+Round-trip property sweep — every codec must invert ``encode`` exactly
+over every dtype/shape it claims to support, declare itself unsuitable
+(never half-encode) where it does not, and diagnose malformed byte
+streams with ``ValueError`` instead of decoding garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.io.codecs import CODEC_NAMES, CodecUnsuitable, decode, encode
+
+
+def roundtrip(codec, arr, *, width=None):
+    payload, meta = encode(codec, arr, width=width)
+    out = decode(codec, payload, arr.dtype, meta)
+    assert out.dtype == arr.dtype
+    np.testing.assert_array_equal(out, arr)
+    return payload, meta
+
+
+INT_DTYPES = ["<i8", "<i4", "<u4", "<u2", "<u1", "<i2"]
+
+
+class TestRaw:
+    @pytest.mark.parametrize("dtype", INT_DTYPES + ["<f8", "?"])
+    @pytest.mark.parametrize("n", [0, 1, 7, 1000])
+    def test_roundtrip(self, dtype, n):
+        rng = np.random.default_rng(7)
+        arr = rng.integers(0, 100, n).astype(dtype)
+        roundtrip("raw", arr)
+
+
+class TestDelta:
+    @pytest.mark.parametrize("dtype", INT_DTYPES)
+    @pytest.mark.parametrize("n", [1, 2, 777, 65_536])
+    def test_monotone_roundtrip(self, dtype, n):
+        """The timestamp shape: sorted, non-negative deltas (zz=0)."""
+        rng = np.random.default_rng(n)
+        hi = min(np.iinfo(dtype).max, 1 << 20)
+        arr = np.sort(rng.integers(0, hi, n)).astype(dtype)
+        payload, meta = roundtrip("delta", arr)
+        assert meta["zz"] == 0
+
+    @pytest.mark.parametrize("n", [2, 3, 1000])
+    def test_non_monotone_roundtrip_uses_zigzag(self, n):
+        rng = np.random.default_rng(n)
+        arr = rng.integers(-(1 << 40), 1 << 40, n).astype(np.int64)
+        if int(np.diff(arr).min()) >= 0:  # force a negative delta
+            arr[-1] = arr[0] - 1
+        payload, meta = roundtrip("delta", arr)
+        assert meta["zz"] == 1
+
+    def test_int64_extremes(self):
+        """Zigzag is computed mod 2**64 — the full-range delta between
+        int64 min and max must survive the trip."""
+        lo, hi = np.iinfo(np.int64).min, np.iinfo(np.int64).max
+        roundtrip("delta", np.array([hi, lo, hi, 0, lo], dtype=np.int64))
+
+    def test_constant_column_is_one_byte_per_value(self):
+        arr = np.full(10_000, 123_456_789, dtype=np.int64)
+        payload, meta = roundtrip("delta", arr)
+        assert meta["sdtype"] == "|u1"
+        assert len(payload) == arr.size - 1
+
+    def test_single_value(self):
+        payload, meta = roundtrip("delta", np.array([42], dtype=np.int64))
+        assert payload == b""
+        assert meta["first"] == 42
+
+    def test_empty_unsuitable(self):
+        with pytest.raises(CodecUnsuitable):
+            encode("delta", np.empty(0, dtype=np.int64))
+
+    def test_float_unsuitable(self):
+        with pytest.raises(CodecUnsuitable):
+            encode("delta", np.linspace(0, 1, 8))
+
+    def test_truncated_stream_raises(self):
+        payload, meta = encode(
+            "delta", np.arange(100, dtype=np.int64) * 1000
+        )
+        meta = dict(meta, sdtype="<u8")  # claims wider codes than present
+        with pytest.raises(ValueError):
+            decode("delta", payload[:3], np.dtype(np.int64), meta)
+
+
+class TestDict:
+    @pytest.mark.parametrize("dtype", INT_DTYPES)
+    @pytest.mark.parametrize("n", [0, 1, 50, 9999])
+    def test_roundtrip(self, dtype, n):
+        rng = np.random.default_rng(n + 1)
+        arr = rng.choice(
+            np.array([1, 5, 9, 200, 27, 3], dtype=dtype), size=n
+        )
+        payload, meta = roundtrip("dict", arr)
+        assert meta["nvals"] <= 6
+
+    def test_many_values_picks_wider_codes(self):
+        arr = np.arange(300, dtype=np.int64)
+        payload, meta = roundtrip("dict", arr)
+        assert meta["cdtype"] == "<u2"
+
+    def test_oversized_dictionary_unsuitable(self):
+        arr = np.arange(70_000, dtype=np.int64)
+        with pytest.raises(CodecUnsuitable, match="65536"):
+            encode("dict", arr)
+
+    def test_out_of_range_code_raises(self):
+        payload, meta = encode("dict", np.array([10, 20, 10], dtype=np.int64))
+        # Point a code past the dictionary.
+        bad = payload[:-1] + bytes([250])
+        with pytest.raises(ValueError, match="out of range"):
+            decode("dict", bad, np.dtype(np.int64), meta)
+
+    def test_truncated_values_raise(self):
+        payload, meta = encode("dict", np.array([10, 20, 10], dtype=np.int64))
+        with pytest.raises(ValueError, match="stream holds"):
+            decode("dict", payload[:4], np.dtype(np.int64), meta)
+
+
+class TestShuffle:
+    @pytest.mark.parametrize("dtype", ["<i8", "<u4", "<i2", "<u2"])
+    @pytest.mark.parametrize("n", [0, 1, 63, 4096])
+    def test_multibyte_roundtrip(self, dtype, n):
+        rng = np.random.default_rng(n + 2)
+        arr = rng.integers(0, 1 << 14, n).astype(dtype)
+        payload, meta = roundtrip("shuffle", arr)
+        assert meta["width"] == np.dtype(dtype).itemsize
+
+    @pytest.mark.parametrize("width", [2, 8, 13])
+    def test_payload_roundtrip(self, width):
+        """uint8 payload bytes shuffled by the block's uniform DLC."""
+        rng = np.random.default_rng(width)
+        arr = rng.integers(0, 256, 100 * width).astype(np.uint8)
+        roundtrip("shuffle", arr, width=width)
+
+    def test_uint8_needs_width(self):
+        with pytest.raises(CodecUnsuitable, match="width"):
+            encode("shuffle", np.zeros(16, dtype=np.uint8))
+
+    def test_ragged_payload_unsuitable(self):
+        """A block whose byte count is not a multiple of the DLC —
+        the ragged case the writer escapes to raw."""
+        with pytest.raises(CodecUnsuitable, match="divisible"):
+            encode("shuffle", np.zeros(17, dtype=np.uint8), width=8)
+
+    def test_bad_width_raises_on_decode(self):
+        payload, meta = encode("shuffle", np.arange(8, dtype=np.int64))
+        with pytest.raises(ValueError, match="divisible"):
+            decode("shuffle", payload[:-3], np.dtype(np.int64), meta)
+
+
+class TestDispatch:
+    def test_unknown_codec_is_keyerror(self):
+        with pytest.raises(KeyError):
+            encode("lz77", np.arange(4))
+        with pytest.raises(KeyError):
+            decode("lz77", b"", np.dtype(np.int64), {})
+
+    def test_all_names_registered(self):
+        arr = np.arange(1, 17, dtype=np.int64)
+        for codec in CODEC_NAMES:
+            roundtrip(codec, arr)
